@@ -1,0 +1,213 @@
+(* Benchmark harness.
+
+   Running this executable regenerates every evaluation artifact of the
+   paper:
+   - Tables 1, 2 and 3 (printed first — counts, not timings);
+   - the §3.1.5 cost claims, as bechamel timing benchmarks:
+     * jump-function construction cost per implementation,
+     * interprocedural propagation cost per implementation,
+     * end-to-end analysis cost per suite program,
+     * solver cost vs. program size (generated workloads);
+   - the procedure-cloning ablation (the Metzger–Stroud effect).
+
+     dune exec bench/main.exe
+*)
+
+open Bechamel
+open Toolkit
+open Ipcp_core
+open Ipcp_suite
+
+(* ------------------------------------------------------------------ *)
+(* Timing infrastructure *)
+
+let ols =
+  Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+
+let instances = Instance.[ monotonic_clock ]
+
+let run_benchmarks (test : Test.t) =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let print_results label results =
+  Fmt.pr "@.--- %s@." label;
+  match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> Fmt.pr "  (no results)@."
+  | Some tbl ->
+    let rows =
+      Hashtbl.fold
+        (fun name ols acc ->
+          let ns =
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> est
+            | _ -> Float.nan
+          in
+          (name, ns) :: acc)
+        tbl []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (name, ns) ->
+        if Float.is_nan ns then Fmt.pr "  %-44s (no estimate)@." name
+        else if ns > 1_000_000.0 then
+          Fmt.pr "  %-44s %10.3f ms/run@." name (ns /. 1_000_000.0)
+        else Fmt.pr "  %-44s %10.3f us/run@." name (ns /. 1_000.0))
+      rows
+
+(* ------------------------------------------------------------------ *)
+(* §3.1.5: cost of the four jump-function implementations *)
+
+let representative =
+  [ "doduc"; "linpackd"; "ocean"; "simple" ]
+  |> List.filter_map Registry.find
+
+let kind_label k = Jump_function.kind_name k
+
+(* jump-function construction: stages 1 and 2 of the pipeline, measured by
+   building the full analysis but skipping propagation *)
+let construction_tests =
+  List.concat_map
+    (fun (e : Registry.entry) ->
+      let prog = Registry.program e in
+      List.map
+        (fun kind ->
+          let config =
+            { Config.default with kind; interprocedural = false; return_jfs = true }
+          in
+          Test.make
+            ~name:(Fmt.str "construct/%s/%s" (kind_label kind) e.name)
+            (Staged.stage (fun () -> ignore (Driver.analyze config prog))))
+        Jump_function.all_kinds)
+    representative
+
+(* propagation only: jump functions prebuilt, measure Solver.run *)
+let propagation_tests =
+  List.concat_map
+    (fun (e : Registry.entry) ->
+      let prog = Registry.program e in
+      let global_keys =
+        List.map Ipcp_frontend.Prog.global_key (Ipcp_frontend.Prog.all_globals prog)
+      in
+      List.map
+        (fun kind ->
+          let t = Driver.analyze { Config.default with kind } prog in
+          let cg = t.Driver.cg and site_jfs = t.Driver.site_jfs in
+          Test.make
+            ~name:(Fmt.str "propagate/%s/%s" (kind_label kind) e.name)
+            (Staged.stage (fun () ->
+                 ignore (Solver.run cg ~site_jfs ~global_keys))))
+        Jump_function.all_kinds)
+    representative
+
+(* the binding multi-graph solver vs the iterative one (same inputs) *)
+let solver_comparison_tests =
+  List.concat_map
+    (fun (e : Registry.entry) ->
+      let prog = Registry.program e in
+      let global_keys =
+        List.map Ipcp_frontend.Prog.global_key (Ipcp_frontend.Prog.all_globals prog)
+      in
+      let t = Driver.analyze Config.polynomial_with_mod prog in
+      let cg = t.Driver.cg and site_jfs = t.Driver.site_jfs in
+      [
+        Test.make
+          ~name:(Fmt.str "solver/iterative/%s" e.name)
+          (Staged.stage (fun () -> ignore (Solver.run cg ~site_jfs ~global_keys)));
+        Test.make
+          ~name:(Fmt.str "solver/binding/%s" e.name)
+          (Staged.stage (fun () ->
+               ignore (Binding_solver.run cg ~site_jfs ~global_keys)));
+      ])
+    representative
+
+(* end-to-end: analyze + substitute, the paper's recommended configuration *)
+let end_to_end_tests =
+  List.map
+    (fun (e : Registry.entry) ->
+      let prog = Registry.program e in
+      Test.make
+        ~name:(Fmt.str "endtoend/passthrough/%s" e.name)
+        (Staged.stage (fun () -> ignore (Substitute.count Config.default prog))))
+    Registry.entries
+
+(* scaling: solver cost vs. program size on generated workloads *)
+let scaling_tests =
+  List.map
+    (fun n ->
+      let prog =
+        Workload.generate_resolved
+          { Workload.default_spec with seed = 42; num_procs = n; stmts_per_proc = 10 }
+      in
+      Test.make
+        ~name:(Fmt.str "scale/polynomial/procs=%02d" n)
+        (Staged.stage (fun () ->
+             ignore
+               (Substitute.count
+                  { Config.default with kind = Jump_function.Polynomial }
+                  prog))))
+    [ 4; 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* Jump-function size statistics (§3.1.5: "cost(J) approaches the cost of
+   pass-through jump functions and |support(J)| approaches 1") *)
+
+let jf_statistics () =
+  Fmt.pr "@.--- jump-function expression statistics (suite-wide)@.";
+  Fmt.pr "  %-14s %10s %10s %14s@." "kind" "sites" "total size" "total support";
+  List.iter
+    (fun kind ->
+      let sites, size, support =
+        List.fold_left
+          (fun (ns, sz, sp) (e : Registry.entry) ->
+            let t = Driver.analyze { Config.default with kind } (Registry.program e) in
+            List.fold_left
+              (fun (ns, sz, sp) sjf ->
+                ( ns + 1,
+                  sz + Jump_function.site_cost sjf,
+                  sp + Jump_function.site_support sjf ))
+              (ns, sz, sp) t.Driver.site_jfs)
+          (0, 0, 0) Registry.entries
+      in
+      Fmt.pr "  %-14s %10d %10d %14d@." (kind_label kind) sites size support)
+    Jump_function.all_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Cloning ablation *)
+
+let cloning_ablation () =
+  Fmt.pr "@.--- procedure cloning ablation (constants substituted)@.";
+  Fmt.pr "  %-12s %10s %10s %8s@." "program" "before" "after" "clones";
+  List.iter
+    (fun (e : Registry.entry) ->
+      let prog = Registry.program e in
+      let before = Substitute.count Config.polynomial_with_mod prog in
+      let cloned, clones = Cloning.clone_to_fixpoint prog in
+      let after = Substitute.count Config.polynomial_with_mod cloned in
+      Fmt.pr "  %-12s %10d %10d %8d@." e.name before after clones)
+    Registry.entries
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  (* the paper's tables *)
+  Fmt.pr "%a@." Tables.pp_all ();
+  jf_statistics ();
+  cloning_ablation ();
+  (* the timing benches *)
+  print_results "jump-function construction time (§3.1.5)"
+    (run_benchmarks (Test.make_grouped ~name:"" construction_tests));
+  print_results "interprocedural propagation time (§3.1.5)"
+    (run_benchmarks (Test.make_grouped ~name:"" propagation_tests));
+  print_results "iterative vs binding multi-graph solver"
+    (run_benchmarks (Test.make_grouped ~name:"" solver_comparison_tests));
+  print_results "end-to-end analysis time"
+    (run_benchmarks (Test.make_grouped ~name:"" end_to_end_tests));
+  print_results "solver scaling with program size"
+    (run_benchmarks (Test.make_grouped ~name:"" scaling_tests))

@@ -1,0 +1,257 @@
+(* ipcp — interprocedural constant propagation for MiniFort programs.
+
+   Subcommands:
+   - analyze: run the analyzer on a source file and report CONSTANTS sets,
+     optionally emitting the constant-substituted source;
+   - run: execute a program under the reference interpreter;
+   - tables: regenerate the paper's Tables 1-3 on the bundled suite;
+   - characteristics: Table 1 only;
+   - generate: emit a random workload program. *)
+
+open Cmdliner
+open Ipcp_frontend
+open Ipcp_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  try Ok (Sema.parse_and_resolve ~file:path (read_file path)) with
+  | Loc.Error (l, m) -> Error (Fmt.str "%a" Loc.pp_error (l, m))
+  | Sys_error m -> Error m
+
+(* ---------------- shared options ---------------- *)
+
+let kind_conv =
+  let parse = function
+    | "literal" -> Ok Jump_function.Literal
+    | "intraconst" -> Ok Jump_function.Intraconst
+    | "passthrough" -> Ok Jump_function.Passthrough
+    | "polynomial" -> Ok Jump_function.Polynomial
+    | s -> Error (`Msg (Fmt.str "unknown jump function %S" s))
+  in
+  Arg.conv (parse, fun ppf k -> Fmt.string ppf (Jump_function.kind_name k))
+
+let jf_kind =
+  let doc =
+    "Forward jump function: $(b,literal), $(b,intraconst), $(b,passthrough) \
+     or $(b,polynomial)."
+  in
+  Arg.(
+    value
+    & opt kind_conv Jump_function.Passthrough
+    & info [ "j"; "jump-function" ] ~docv:"KIND" ~doc)
+
+let no_return_jfs =
+  let doc = "Disable return jump functions." in
+  Arg.(value & flag & info [ "no-return-jfs" ] ~doc)
+
+let no_mod =
+  let doc =
+    "Disable interprocedural MOD summaries (worst-case call effects)."
+  in
+  Arg.(value & flag & info [ "no-mod" ] ~doc)
+
+let intra_only =
+  let doc = "Purely intraprocedural propagation (the paper's baseline)." in
+  Arg.(value & flag & info [ "intra-only" ] ~doc)
+
+let config_of kind no_ret no_mod intra =
+  if intra then Config.intraprocedural_only
+  else
+    {
+      Config.kind;
+      return_jfs = not no_ret;
+      use_mod = not no_mod;
+      interprocedural = true;
+    }
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"MiniFort source file.")
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let substitute_out =
+    let doc = "Write the constant-substituted source to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "substitute" ] ~docv:"OUT" ~doc)
+  in
+  let complete =
+    let doc = "Iterate propagation with dead-code elimination to a fixpoint." in
+    Arg.(value & flag & info [ "complete" ] ~doc)
+  in
+  let verbose =
+    let doc = "Also dump MOD/REF summaries and the call graph." in
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+  in
+  let run file kind no_ret no_mod intra substitute_out complete verbose =
+    match load file with
+    | Error m ->
+      Fmt.epr "%s@." m;
+      1
+    | Ok prog ->
+      let config = config_of kind no_ret no_mod intra in
+      let t =
+        if complete then (Complete.run ~config prog).final
+        else Driver.analyze config prog
+      in
+      if verbose then begin
+        Fmt.pr "--- call graph@.%a@." Callgraph.pp t.cg;
+        Fmt.pr "--- mod/ref@.%a@." Modref.pp t.modref
+      end;
+      Fmt.pr "--- configuration: %a@." Config.pp config;
+      Fmt.pr "--- CONSTANTS sets@.%a" Driver.pp_constants t;
+      let prog', stats = Substitute.apply t in
+      Fmt.pr "--- constants substituted: %d@." stats.total;
+      List.iter
+        (fun (p, n) -> if n > 0 then Fmt.pr "      %-16s %d@." p n)
+        stats.by_proc;
+      (match substitute_out with
+      | Some out ->
+        let oc = open_out out in
+        output_string oc (Pretty.program_to_string prog');
+        close_out oc;
+        Fmt.pr "--- substituted source written to %s@." out
+      | None -> ());
+      0
+  in
+  let doc = "Analyze a program and report its interprocedural constants." in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(
+      const run $ file_arg $ jf_kind $ no_return_jfs $ no_mod $ intra_only
+      $ substitute_out $ complete $ verbose)
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let input =
+    let doc = "Comma-separated integers consumed by $(b,read) statements." in
+    Arg.(value & opt (list int) [] & info [ "input" ] ~docv:"INTS" ~doc)
+  in
+  let fuel =
+    let doc = "Interpreter step budget." in
+    Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~doc)
+  in
+  let run file input fuel =
+    match load file with
+    | Error m ->
+      Fmt.epr "%s@." m;
+      1
+    | Ok prog -> (
+      let r = Ipcp_interp.Interp.run ~fuel ~input ~trace_entries:false prog in
+      List.iter print_endline r.outputs;
+      match r.outcome with
+      | Ipcp_interp.Interp.Finished -> 0
+      | Out_of_fuel ->
+        Fmt.epr "error: out of fuel after %d steps@." r.steps;
+        2
+      | Failed m ->
+        Fmt.epr "runtime error: %s@." m;
+        2)
+  in
+  let doc = "Execute a program under the reference interpreter." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ file_arg $ input $ fuel)
+
+(* ---------------- lint ---------------- *)
+
+let lint_cmd =
+  let run file =
+    match load file with
+    | Error m ->
+      Fmt.epr "%s@." m;
+      1
+    | Ok prog -> (
+      match Alias_check.check prog with
+      | [] ->
+        Fmt.pr "no argument-aliasing violations found@.";
+        0
+      | vs ->
+        List.iter (fun v -> Fmt.pr "%a@." Alias_check.pp_violation v) vs;
+        Fmt.pr "%d violation(s): interprocedural constant propagation is \
+                only sound for conforming programs@."
+          (List.length vs);
+        3)
+  in
+  let doc =
+    "Check a program for FORTRAN argument-aliasing violations (the analyzer \
+     assumes conforming programs)."
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ file_arg)
+
+(* ---------------- tables / characteristics ---------------- *)
+
+let tables_cmd =
+  let run () =
+    Fmt.pr "%a@." Ipcp_suite.Tables.pp_all ();
+    0
+  in
+  let doc = "Regenerate the paper's Tables 1, 2 and 3 on the bundled suite." in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ const ())
+
+let characteristics_cmd =
+  let run () =
+    Fmt.pr "%a@." Ipcp_suite.Metrics.pp_table1 ();
+    0
+  in
+  let doc = "Print the suite characteristics (Table 1)." in
+  Cmd.v (Cmd.info "characteristics" ~doc) Term.(const run $ const ())
+
+(* ---------------- generate ---------------- *)
+
+let generate_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let procs =
+    Arg.(
+      value & opt int 6 & info [ "procs" ] ~docv:"N" ~doc:"Number of procedures.")
+  in
+  let globals =
+    Arg.(
+      value & opt int 3
+      & info [ "globals" ] ~docv:"N" ~doc:"Number of common globals.")
+  in
+  let stmts =
+    Arg.(
+      value & opt int 8
+      & info [ "stmts" ] ~docv:"N" ~doc:"Statements per procedure.")
+  in
+  let run seed procs globals stmts =
+    let spec =
+      {
+        Ipcp_suite.Workload.default_spec with
+        seed;
+        num_procs = procs;
+        num_globals = globals;
+        stmts_per_proc = stmts;
+      }
+    in
+    print_string (Ipcp_suite.Workload.generate spec);
+    0
+  in
+  let doc = "Emit a random MiniFort workload program." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(const run $ seed $ procs $ globals $ stmts)
+
+let () =
+  let doc =
+    "interprocedural constant propagation: a study of jump function \
+     implementations (Grove & Torczon, PLDI 1993)"
+  in
+  let info = Cmd.info "ipcp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            analyze_cmd; run_cmd; lint_cmd; tables_cmd; characteristics_cmd;
+            generate_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/cloning.ml: Cloning Config Driver Fmt Ipcp_core Ipcp_frontend Ipcp_interp List Pretty Prog Sema Substitute

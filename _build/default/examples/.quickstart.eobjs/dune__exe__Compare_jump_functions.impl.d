@@ -1,0 +1,1 @@
+examples/compare_jump_functions.ml: Config Driver Fmt Ipcp_core Ipcp_frontend List Prog Sema String Substitute

@@ -1,0 +1,1 @@
+examples/dependence.ml: Config Dependence Driver Fmt Ipcp_analysis Ipcp_core Ipcp_frontend List Prog Sema Solver

@@ -1,0 +1,1 @@
+examples/loop_bounds.ml: Config Driver Fmt Hashtbl Ipcp_core Ipcp_frontend List Prog Sema

@@ -1,0 +1,1 @@
+examples/pipeline_tour.ml: Callgraph Config Driver Fmt Hashtbl Ipcp_analysis Ipcp_core Ipcp_frontend Ipcp_ir Jump_function List Modref Pretty Prog Sema Solver Substitute

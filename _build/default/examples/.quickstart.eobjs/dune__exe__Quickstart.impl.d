@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Driver Fmt Ipcp_core Ipcp_frontend Ipcp_interp Pretty Sema Substitute

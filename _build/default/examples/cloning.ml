@@ -1,0 +1,67 @@
+(* Procedure cloning guided by interprocedural constants — the application
+   the paper cites from Metzger & Stroud: call sites passing *different*
+   constants destroy each other at the meet; duplicating the callee per
+   constant signature recovers them.
+
+     dune exec examples/cloning.exe
+*)
+
+open Ipcp_frontend
+open Ipcp_core
+
+(* stencil is called with width 3 from one phase and width 5 from another:
+   the meet of 3 and 5 is ⊥, so no constant survives — until cloning. *)
+let source =
+  {|
+program main
+  integer rounds, i
+  rounds = 2
+  do i = 1, rounds
+    call phase1
+    call phase2
+  end do
+end
+
+subroutine phase1
+  call stencil(3, 100)
+end
+
+subroutine phase2
+  call stencil(5, 200)
+end
+
+subroutine stencil(width, npts)
+  integer width, npts, i
+  real acc
+  acc = 0.0
+  do i = 1, npts
+    acc = acc + width
+  end do
+  print *, 'stencil', width, width / 2, npts
+end
+|}
+
+let report label prog =
+  let t = Driver.analyze Config.polynomial_with_mod prog in
+  let _, stats = Substitute.apply t in
+  Fmt.pr "== %s: %d procedures, %d constants substituted@." label
+    (List.length prog.Prog.procs)
+    stats.Substitute.total;
+  Fmt.pr "%a@." Driver.pp_constants t;
+  stats.Substitute.total
+
+let () =
+  let prog = Sema.parse_and_resolve ~file:"cloning" source in
+  let before = report "before cloning" prog in
+
+  let result = Cloning.clone prog in
+  Fmt.pr "cloning created %d clone(s)@.@." result.clones_made;
+  let after = report "after cloning" result.cloned in
+
+  Fmt.pr "transformed source:@.%a@." Pretty.pp_program result.cloned;
+
+  (* the transformation preserves behaviour *)
+  let r1 = Ipcp_interp.Interp.run ~trace_entries:false prog in
+  let r2 = Ipcp_interp.Interp.run ~trace_entries:false result.cloned in
+  assert (r1.outputs = r2.outputs);
+  Fmt.pr "behaviour preserved; constants %d -> %d@." before after

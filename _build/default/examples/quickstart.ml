@@ -1,0 +1,61 @@
+(* Quickstart: parse a MiniFort program, run interprocedural constant
+   propagation, inspect the CONSTANTS sets, substitute, and check the
+   transformed program still behaves the same.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Ipcp_frontend
+open Ipcp_core
+
+let source =
+  {|
+program main
+  integer n, blocks
+  common /cfg/ scale
+  integer scale
+  scale = 8
+  n = 100
+  blocks = n / 10
+  call process(n, blocks)
+end
+
+subroutine process(total, nblk)
+  integer total, nblk, i
+  real work
+  common /cfg/ sc
+  integer sc
+  work = 0.0
+  do i = 1, nblk
+    work = work + total * sc
+  end do
+  print *, 'processed', total, 'in', nblk, 'blocks of', sc
+end
+|}
+
+let () =
+  (* 1. front end: parse + resolve *)
+  let prog = Sema.parse_and_resolve ~file:"quickstart" source in
+
+  (* 2. analyze with the paper's recommended configuration:
+        pass-through jump functions, return jump functions, MOD summaries *)
+  let t = Driver.analyze Config.default prog in
+
+  Fmt.pr "CONSTANTS sets discovered:@.%a@." Driver.pp_constants t;
+
+  (* 3. substitute the constants into the source *)
+  let prog', stats = Substitute.apply t in
+  Fmt.pr "substituted %d constant uses@.@." stats.Substitute.total;
+  Fmt.pr "transformed source:@.%a@." Pretty.pp_program prog';
+
+  (* 4. both versions print the same thing *)
+  let before = Ipcp_interp.Interp.run ~trace_entries:false prog in
+  let after = Ipcp_interp.Interp.run ~trace_entries:false prog' in
+  Fmt.pr "original output:    %a@."
+    (Fmt.list ~sep:(Fmt.any " / ") Fmt.string)
+    before.outputs;
+  Fmt.pr "transformed output: %a@."
+    (Fmt.list ~sep:(Fmt.any " / ") Fmt.string)
+    after.outputs;
+  assert (before.outputs = after.outputs);
+  Fmt.pr "outputs agree.@."

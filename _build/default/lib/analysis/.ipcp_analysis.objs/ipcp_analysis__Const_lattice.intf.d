@@ -1,0 +1,1 @@
+lib/analysis/const_lattice.mli: Fmt

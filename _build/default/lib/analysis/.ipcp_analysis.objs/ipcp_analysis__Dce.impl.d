@@ -1,0 +1,1 @@
+lib/analysis/dce.ml: Hashtbl Ipcp_frontend List Option Prog

@@ -1,0 +1,1 @@
+lib/analysis/dce.mli: Hashtbl Ipcp_frontend Prog

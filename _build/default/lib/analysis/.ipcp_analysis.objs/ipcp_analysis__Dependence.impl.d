@@ -1,0 +1,1 @@
+lib/analysis/dependence.ml: Ast Ipcp_frontend List Loc Option Prog

@@ -1,0 +1,1 @@
+lib/analysis/dependence.mli: Ipcp_frontend Loc Prog

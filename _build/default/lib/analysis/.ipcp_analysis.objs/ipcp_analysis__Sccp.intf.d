@@ -1,0 +1,1 @@
+lib/analysis/sccp.mli: Fmt Hashtbl Ipcp_frontend Ipcp_ir Prog Ssa Ssa_value

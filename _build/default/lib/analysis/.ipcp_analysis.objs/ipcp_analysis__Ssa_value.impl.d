@@ -1,0 +1,1 @@
+lib/analysis/ssa_value.ml: Array Ast Cfg Hashtbl Ipcp_frontend Ipcp_ir List Prog Ssa Symbolic

@@ -1,0 +1,1 @@
+lib/analysis/ssa_value.mli: Cfg Ipcp_frontend Ipcp_ir Prog Ssa Symbolic

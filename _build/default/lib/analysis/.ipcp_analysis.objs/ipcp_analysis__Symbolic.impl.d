@@ -1,0 +1,1 @@
+lib/analysis/symbolic.ml: Fmt Ipcp_frontend Option Set

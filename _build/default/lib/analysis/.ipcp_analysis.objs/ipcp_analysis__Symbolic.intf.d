@@ -1,0 +1,1 @@
+lib/analysis/symbolic.mli: Fmt Ipcp_frontend

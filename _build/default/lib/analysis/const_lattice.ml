@@ -1,0 +1,45 @@
+(** The constant-propagation lattice of the paper's Figure 1.
+
+    Elements are ⊤ (no information yet — optimistic initial value), an
+    integer constant, or ⊥ (known non-constant).  Only integer constants are
+    propagated (paper §4, limitation 1).  The lattice has depth 2: any value
+    can be lowered at most twice, which bounds the interprocedural
+    propagation (paper §3.1.5). *)
+
+type t = Top | Const of int | Bottom
+
+let equal a b =
+  match (a, b) with
+  | Top, Top | Bottom, Bottom -> true
+  | Const x, Const y -> x = y
+  | (Top | Const _ | Bottom), _ -> false
+
+(** Meet, per Figure 1: ⊤ ∧ x = x; c ∧ c = c; c₁ ∧ c₂ = ⊥ when c₁ ≠ c₂;
+    ⊥ ∧ x = ⊥. *)
+let meet a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Bottom, _ | _, Bottom -> Bottom
+  | Const x, Const y -> if x = y then a else Bottom
+
+(** Partial order: [le a b] iff a ⊑ b (a is lower / less optimistic). *)
+let le a b =
+  match (a, b) with
+  | Bottom, _ -> true
+  | _, Top -> true
+  | Const x, Const y -> x = y
+  | Top, (Const _ | Bottom) | Const _, Bottom -> false
+
+let is_const = function Const _ -> true | Top | Bottom -> false
+
+let const_value = function Const c -> Some c | Top | Bottom -> None
+
+let of_option = function Some c -> Const c | None -> Bottom
+
+(** Height of an element: number of times it can still be lowered. *)
+let height = function Top -> 2 | Const _ -> 1 | Bottom -> 0
+
+let pp ppf = function
+  | Top -> Fmt.string ppf "⊤"
+  | Const c -> Fmt.int ppf c
+  | Bottom -> Fmt.string ppf "⊥"

@@ -1,0 +1,26 @@
+(** The constant-propagation lattice of the paper's Figure 1: ⊤, integer
+    constants, and ⊥.  Only integers participate (paper §4, limitation 1). *)
+
+type t = Top | Const of int | Bottom
+
+val equal : t -> t -> bool
+
+(** Meet per Figure 1: ⊤ is the identity, ⊥ absorbs, distinct constants
+    meet to ⊥. *)
+val meet : t -> t -> t
+
+(** Partial order consistent with {!meet}: [le a b] iff [a] ⊑ [b]. *)
+val le : t -> t -> bool
+
+val is_const : t -> bool
+
+val const_value : t -> int option
+
+(** [of_option (Some c) = Const c]; [of_option None = Bottom]. *)
+val of_option : int option -> t
+
+(** How many times the element can still be lowered (⊤ → c → ⊥): the bound
+    behind the propagation-cost argument of §3.1.5. *)
+val height : t -> int
+
+val pp : t Fmt.t

@@ -1,0 +1,211 @@
+(** Dead-code elimination on resolved procedures.
+
+    This implements the DCE used by the paper's *complete propagation*
+    experiment (Table 3): after an interprocedural propagation, branches
+    whose conditions are now known constants are folded, code made
+    unreachable is removed, and side-effect-free assignments to never-read
+    locals are deleted.  The propagation is then re-run from scratch on the
+    smaller program; the paper found one round of DCE always sufficed.
+
+    Removal is conservative around labels: a statement (or a subtree
+    containing a statement) whose label is the target of some [goto] in the
+    procedure is never deleted, so the printed program stays well formed. *)
+
+open Ipcp_frontend
+
+(* Labels targeted by any goto in a body. *)
+let goto_targets stmts =
+  let tbl = Hashtbl.create 8 in
+  Prog.iter_stmts
+    (fun s -> match s.sdesc with Prog.Sgoto l -> Hashtbl.replace tbl l () | _ -> ())
+    stmts;
+  tbl
+
+(* Does a subtree contain a statement labelled with a targeted label? *)
+let contains_targeted_label targets stmts =
+  let found = ref false in
+  Prog.iter_stmts
+    (fun s ->
+      match s.slabel with
+      | Some l when Hashtbl.mem targets l -> found := true
+      | _ -> ())
+    stmts;
+  !found
+
+(* Scalar variable names read anywhere in a body (including subscripts,
+   call arguments — the callee may read any by-ref actual — conditions and
+   loop bounds). *)
+let read_names stmts =
+  let tbl = Hashtbl.create 32 in
+  let rec expr (e : Prog.expr) =
+    match e.edesc with
+    | Prog.Cint _ | Prog.Creal _ | Prog.Cbool _ | Prog.Cstr _ -> ()
+    | Prog.Evar v -> Hashtbl.replace tbl v.vname ()
+    | Prog.Earr (v, idx) ->
+      Hashtbl.replace tbl v.vname ();
+      List.iter expr idx
+    | Prog.Ecall (_, args) | Prog.Eintr (_, args) -> List.iter expr args
+    | Prog.Eun (_, a) -> expr a
+    | Prog.Ebin (_, a, b) ->
+      expr a;
+      expr b
+  in
+  Prog.iter_stmts
+    (fun s ->
+      match s.sdesc with
+      | Prog.Sassign (lhs, e) ->
+        (match lhs with
+        | Prog.Lvar _ -> ()
+        | Prog.Larr (v, idx) ->
+          Hashtbl.replace tbl v.vname ();
+          List.iter expr idx);
+        expr e
+      | Prog.Scall (_, args) -> List.iter expr args
+      | Prog.Sif (arms, _) -> List.iter (fun (c, _) -> expr c) arms
+      | Prog.Sdo (_, lo, hi, step, _) ->
+        expr lo;
+        expr hi;
+        Option.iter expr step
+      | Prog.Sdowhile (c, _) -> expr c
+      | Prog.Sprint es -> List.iter expr es
+      | Prog.Sread _ | Prog.Sgoto _ | Prog.Scontinue | Prog.Sreturn
+      | Prog.Sstop ->
+        ())
+    stmts;
+  tbl
+
+let rec expr_has_call (e : Prog.expr) =
+  match e.edesc with
+  | Prog.Ecall _ -> true
+  | Prog.Cint _ | Prog.Creal _ | Prog.Cbool _ | Prog.Cstr _ | Prog.Evar _ ->
+    false
+  | Prog.Earr (_, idx) -> List.exists expr_has_call idx
+  | Prog.Eintr (_, args) -> List.exists expr_has_call args
+  | Prog.Eun (_, a) -> expr_has_call a
+  | Prog.Ebin (_, a, b) -> expr_has_call a || expr_has_call b
+
+(* Does control definitely not fall through this statement? *)
+let rec terminates (s : Prog.stmt) =
+  match s.sdesc with
+  | Prog.Sreturn | Prog.Sstop | Prog.Sgoto _ -> true
+  | Prog.Sif (arms, els) ->
+    els <> []
+    && List.for_all (fun (_, body) -> body_terminates body) arms
+    && body_terminates els
+  | Prog.Sassign _ | Prog.Scall _ | Prog.Sdo _ | Prog.Sdowhile _
+  | Prog.Scontinue | Prog.Sprint _ | Prog.Sread _ ->
+    false
+
+and body_terminates = function
+  | [] -> false
+  | [ s ] -> terminates s
+  | _ :: rest -> body_terminates rest
+
+(** One DCE pass over a procedure using branch conditions known constant
+    ([cond_consts]: expression id → truth value).  Returns the rewritten
+    procedure and whether anything changed. *)
+let run ~(cond_consts : (int, bool) Hashtbl.t) (proc : Prog.proc) :
+    Prog.proc * bool =
+  let changed = ref false in
+  let targets = goto_targets proc.pbody in
+  let protected stmts = contains_targeted_label targets stmts in
+  let protected_stmt s = protected [ s ] in
+  (* ---- pass 1: fold constant branches and drop unreachable tails ---- *)
+  let rec fold_stmts stmts =
+    let stmts = List.concat_map fold_stmt stmts in
+    (* drop statements after a terminating one (unless labelled) *)
+    let rec cut = function
+      | [] -> []
+      | s :: rest ->
+        if terminates s then begin
+          let dead, kept = List.partition (fun r -> not (protected_stmt r)) rest in
+          if dead <> [] then changed := true;
+          s :: cut kept
+        end
+        else s :: cut rest
+    in
+    cut stmts
+  and fold_stmt (s : Prog.stmt) : Prog.stmt list =
+    match s.sdesc with
+    | Prog.Sif (arms, els) -> (
+      let rec fold_arms acc = function
+        | [] -> (List.rev acc, fold_stmts els, false)
+        | (cond, body) :: rest -> (
+          match Hashtbl.find_opt cond_consts cond.Prog.eid with
+          | Some false when not (protected body) ->
+            changed := true;
+            fold_arms acc rest
+          | Some true
+            when not (List.exists (fun (_, b) -> protected b) rest)
+                 && not (protected els) ->
+            changed := true;
+            (List.rev acc, fold_stmts body, true)
+          | _ -> fold_arms ((cond, fold_stmts body) :: acc) rest)
+      in
+      let arms', els', collapsed = fold_arms [] arms in
+      ignore collapsed;
+      match arms' with
+      | [] ->
+        (* all arms dead: splice the else branch, preserving the label *)
+        (match (s.slabel, els') with
+        | Some _, _ ->
+          [ { s with sdesc = Prog.Scontinue } ] @ els'
+        | None, _ -> els')
+      | _ -> [ { s with sdesc = Prog.Sif (arms', els') } ])
+    | Prog.Sdowhile (cond, body) -> (
+      match Hashtbl.find_opt cond_consts cond.Prog.eid with
+      | Some false when not (protected body) ->
+        changed := true;
+        (match s.slabel with
+        | Some _ -> [ { s with sdesc = Prog.Scontinue } ]
+        | None -> [])
+      | _ -> [ { s with sdesc = Prog.Sdowhile (cond, fold_stmts body) } ])
+    | Prog.Sdo (v, lo, hi, step, body) ->
+      [ { s with sdesc = Prog.Sdo (v, lo, hi, step, fold_stmts body) } ]
+    | Prog.Sassign _ | Prog.Scall _ | Prog.Sgoto _ | Prog.Scontinue
+    | Prog.Sreturn | Prog.Sstop | Prog.Sprint _ | Prog.Sread _ ->
+      [ s ]
+  in
+  let body = fold_stmts proc.pbody in
+  (* ---- pass 2: delete assignments to never-read locals ---- *)
+  let rec sweep body =
+    let reads = read_names body in
+    let removable (s : Prog.stmt) =
+      match (s.slabel, s.sdesc) with
+      | None, Prog.Sassign (Prog.Lvar v, e) ->
+        v.vkind = Prog.Klocal && Prog.is_scalar v
+        && (not (Hashtbl.mem reads v.vname))
+        && not (expr_has_call e)
+      | _ -> false
+    in
+    let deleted = ref false in
+    let rec walk stmts =
+      List.filter_map
+        (fun (s : Prog.stmt) ->
+          if removable s then begin
+            deleted := true;
+            changed := true;
+            None
+          end
+          else
+            match s.sdesc with
+            | Prog.Sif (arms, els) ->
+              Some
+                {
+                  s with
+                  sdesc =
+                    Prog.Sif
+                      (List.map (fun (c, b) -> (c, walk b)) arms, walk els);
+                }
+            | Prog.Sdo (v, lo, hi, step, b) ->
+              Some { s with sdesc = Prog.Sdo (v, lo, hi, step, walk b) }
+            | Prog.Sdowhile (c, b) ->
+              Some { s with sdesc = Prog.Sdowhile (c, walk b) }
+            | _ -> Some s)
+        stmts
+    in
+    let body' = walk body in
+    if !deleted then sweep body' else body'
+  in
+  let body = sweep body in
+  ({ proc with pbody = body }, !changed)

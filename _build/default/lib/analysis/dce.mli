@@ -1,0 +1,12 @@
+(** Dead-code elimination on resolved procedures, as used by the paper's
+    "complete propagation" experiment (Table 3): fold branches whose
+    conditions SCCP proved constant, drop unreachable statement tails, and
+    delete side-effect-free assignments to never-read locals.  Statements
+    carrying goto-targeted labels are never deleted. *)
+
+open Ipcp_frontend
+
+(** One pass.  [cond_consts] maps branch-condition expression ids to their
+    known truth values (from {!Sccp.result}).  Returns the rewritten
+    procedure and whether anything changed. *)
+val run : cond_consts:(int, bool) Hashtbl.t -> Prog.proc -> Prog.proc * bool

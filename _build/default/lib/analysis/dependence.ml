@@ -1,0 +1,203 @@
+(** A miniature data-dependence tester over do-loops.
+
+    This reproduces the paper's first motivating application (§1, after
+    Shen, Li & Yew): many array subscripts look *nonlinear* to a dependence
+    analyzer only because the symbolic terms in them are actually
+    interprocedural constants.  Shen et al. found that about half of the
+    "nonlinear" subscripts in FORTRAN libraries became linear once
+    interprocedural constants were substituted.
+
+    The tester handles the classic single-loop case: for each do-loop with
+    a unit-ish step, it collects the array accesses in the body whose
+    subscript is *affine in the loop variable* ([a*i + b] with [a], [b]
+    compile-time constants under a given environment) and applies the GCD
+    test to write/write and write/read pairs on the same array.  Subscripts
+    it cannot bring to affine form are classified as [Nonlinear] — exactly
+    the class whose size shrinks when CONSTANTS facts are supplied. *)
+
+open Ipcp_frontend
+
+(** [a * i + b] — affine in the loop variable. *)
+type affine = { coeff : int; offset : int }
+
+type subscript_class =
+  | Affine of affine
+  | Nonlinear  (** could not be reduced to affine form *)
+
+type access = {
+  acc_array : string;
+  acc_is_write : bool;
+  acc_subscript : subscript_class;
+  acc_loc : Loc.t;
+}
+
+type loop_report = {
+  lr_proc : string;
+  lr_var : string;  (** loop variable *)
+  lr_loc : Loc.t;
+  lr_accesses : access list;
+  lr_dependent_pairs : int;  (** pairs the GCD test could not rule out *)
+  lr_independent_pairs : int;  (** pairs proven independent *)
+  lr_unknown_pairs : int;  (** pairs with a nonlinear member: assumed dependent *)
+}
+
+(* Try to view an expression as affine in [var], consulting [const_of] for
+   other variables (the hook where interprocedural constants enter). *)
+let rec affine_of ~var ~const_of (e : Prog.expr) : affine option =
+  match e.edesc with
+  | Prog.Cint n -> Some { coeff = 0; offset = n }
+  | Prog.Evar v when v.vname = var -> Some { coeff = 1; offset = 0 }
+  | Prog.Evar v -> (
+    match const_of v with Some c -> Some { coeff = 0; offset = c } | None -> None)
+  | Prog.Eun (Ast.Neg, a) ->
+    Option.map
+      (fun { coeff; offset } -> { coeff = -coeff; offset = -offset })
+      (affine_of ~var ~const_of a)
+  | Prog.Ebin (Ast.Add, a, b) -> (
+    match (affine_of ~var ~const_of a, affine_of ~var ~const_of b) with
+    | Some x, Some y -> Some { coeff = x.coeff + y.coeff; offset = x.offset + y.offset }
+    | _ -> None)
+  | Prog.Ebin (Ast.Sub, a, b) -> (
+    match (affine_of ~var ~const_of a, affine_of ~var ~const_of b) with
+    | Some x, Some y -> Some { coeff = x.coeff - y.coeff; offset = x.offset - y.offset }
+    | _ -> None)
+  | Prog.Ebin (Ast.Mul, a, b) -> (
+    match (affine_of ~var ~const_of a, affine_of ~var ~const_of b) with
+    | Some x, Some y when x.coeff = 0 ->
+      Some { coeff = x.offset * y.coeff; offset = x.offset * y.offset }
+    | Some x, Some y when y.coeff = 0 ->
+      Some { coeff = y.offset * x.coeff; offset = y.offset * x.offset }
+    | _ -> None (* i * i: not affine *))
+  | _ -> None
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(** The GCD test: can [a1*i + b1 = a2*j + b2] have an integer solution?
+    A dependence requires [gcd(a1, a2) | (b2 - b1)]. *)
+let gcd_test (x : affine) (y : affine) : [ `Independent | `Possible ] =
+  let g = gcd x.coeff y.coeff in
+  if g = 0 then if x.offset = y.offset then `Possible else `Independent
+  else if (y.offset - x.offset) mod g = 0 then `Possible
+  else `Independent
+
+(* Collect array accesses in a loop body (ignoring nested loops' own
+   accesses is deliberate: this is a single-loop tester). *)
+let accesses_in ~var ~const_of (body : Prog.stmt list) : access list =
+  let out = ref [] in
+  let classify (e : Prog.expr) =
+    match affine_of ~var ~const_of e with
+    | Some a -> Affine a
+    | None -> Nonlinear
+  in
+  let add arr is_write subscript loc =
+    out :=
+      { acc_array = arr; acc_is_write = is_write; acc_subscript = subscript; acc_loc = loc }
+      :: !out
+  in
+  let rec expr (e : Prog.expr) =
+    match e.edesc with
+    | Prog.Earr (v, [ idx ]) ->
+      add v.vname false (classify idx) e.eloc;
+      expr idx
+    | Prog.Earr (v, idx) ->
+      (* multi-dimensional: treat as nonlinear for this mini-tester *)
+      add v.vname false Nonlinear e.eloc;
+      List.iter expr idx
+    | Prog.Ecall (_, args) | Prog.Eintr (_, args) -> List.iter expr args
+    | Prog.Eun (_, a) -> expr a
+    | Prog.Ebin (_, a, b) ->
+      expr a;
+      expr b
+    | Prog.Cint _ | Prog.Creal _ | Prog.Cbool _ | Prog.Cstr _ | Prog.Evar _ ->
+      ()
+  in
+  Prog.iter_stmts
+    (fun s ->
+      match s.sdesc with
+      | Prog.Sassign (Prog.Larr (v, [ idx ]), rhs) ->
+        add v.vname true (classify idx) s.sloc;
+        expr idx;
+        expr rhs
+      | Prog.Sassign (Prog.Larr (v, idx), rhs) ->
+        add v.vname true Nonlinear s.sloc;
+        List.iter expr idx;
+        expr rhs
+      | Prog.Sassign (Prog.Lvar _, rhs) -> expr rhs
+      | Prog.Scall (_, args) -> List.iter expr args
+      | Prog.Sif (arms, _) -> List.iter (fun (c, _) -> expr c) arms
+      | Prog.Sdo (_, lo, hi, step, _) ->
+        expr lo;
+        expr hi;
+        Option.iter expr step
+      | Prog.Sdowhile (c, _) -> expr c
+      | Prog.Sprint es -> List.iter expr es
+      | Prog.Sread _ | Prog.Sgoto _ | Prog.Scontinue | Prog.Sreturn
+      | Prog.Sstop ->
+        ())
+    body;
+  List.rev !out
+
+(* Analyze one loop: pair up writes with other accesses to the same array. *)
+let analyze_loop ~proc_name ~var ~loc ~const_of body : loop_report =
+  let accesses = accesses_in ~var ~const_of body in
+  let dependent = ref 0 and independent = ref 0 and unknown = ref 0 in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      List.iter
+        (fun b ->
+          if a.acc_array = b.acc_array && (a.acc_is_write || b.acc_is_write)
+          then
+            match (a.acc_subscript, b.acc_subscript) with
+            | Affine x, Affine y -> (
+              match gcd_test x y with
+              | `Independent -> incr independent
+              | `Possible -> incr dependent)
+            | Nonlinear, _ | _, Nonlinear -> incr unknown)
+        rest;
+      pairs rest
+  in
+  pairs accesses;
+  {
+    lr_proc = proc_name;
+    lr_var = var;
+    lr_loc = loc;
+    lr_accesses = accesses;
+    lr_dependent_pairs = !dependent;
+    lr_independent_pairs = !independent;
+    lr_unknown_pairs = !unknown;
+  }
+
+(** Analyze every do-loop of every procedure.  [const_of proc var] supplies
+    the known constant value of a scalar variable in that procedure — pass
+    the analyzer's findings to see the Shen–Li–Yew effect, or a function
+    returning [None] for the no-information baseline. *)
+let analyze_program ~(const_of : Prog.proc -> Prog.var -> int option)
+    (prog : Prog.t) : loop_report list =
+  List.concat_map
+    (fun (p : Prog.proc) ->
+      let reports = ref [] in
+      Prog.iter_stmts
+        (fun s ->
+          match s.sdesc with
+          | Prog.Sdo (v, _, _, _, body) ->
+            reports :=
+              analyze_loop ~proc_name:p.pname ~var:v.vname ~loc:s.sloc
+                ~const_of:(const_of p) body
+              :: !reports
+          | _ -> ())
+        p.pbody;
+      List.rev !reports)
+    prog.procs
+
+(** Count subscripts by class across a whole program. *)
+let subscript_totals reports =
+  List.fold_left
+    (fun (affine, nonlinear) r ->
+      List.fold_left
+        (fun (a, n) acc ->
+          match acc.acc_subscript with
+          | Affine _ -> (a + 1, n)
+          | Nonlinear -> (a, n + 1))
+        (affine, nonlinear) r.lr_accesses)
+    (0, 0) reports

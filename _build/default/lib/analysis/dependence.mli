@@ -1,0 +1,41 @@
+(** A miniature single-loop data-dependence tester (GCD test over affine
+    subscripts) — the paper's §1 motivation after Shen, Li & Yew:
+    subscripts that look nonlinear often become affine once interprocedural
+    constants are known. *)
+
+open Ipcp_frontend
+
+(** [coeff * i + offset], affine in the loop variable. *)
+type affine = { coeff : int; offset : int }
+
+type subscript_class = Affine of affine | Nonlinear
+
+type access = {
+  acc_array : string;
+  acc_is_write : bool;
+  acc_subscript : subscript_class;
+  acc_loc : Loc.t;
+}
+
+type loop_report = {
+  lr_proc : string;
+  lr_var : string;
+  lr_loc : Loc.t;
+  lr_accesses : access list;
+  lr_dependent_pairs : int;  (** GCD test could not rule these out *)
+  lr_independent_pairs : int;  (** proven independent *)
+  lr_unknown_pairs : int;  (** a nonlinear member: assumed dependent *)
+}
+
+(** The GCD test on two affine subscripts of the same array: a dependence
+    requires gcd of the coefficients to divide the offset difference. *)
+val gcd_test : affine -> affine -> [ `Independent | `Possible ]
+
+(** Analyze every do-loop.  [const_of proc v] supplies known constant
+    values of scalar variables — plug in the analyzer's CONSTANTS facts to
+    measure the Shen–Li–Yew effect, or return [None] for the baseline. *)
+val analyze_program :
+  const_of:(Prog.proc -> Prog.var -> int option) -> Prog.t -> loop_report list
+
+(** Total (affine, nonlinear) subscript counts across reports. *)
+val subscript_totals : loop_report list -> int * int

@@ -1,0 +1,35 @@
+(** Sparse conditional constant propagation (Wegman–Zadeck) over the SSA
+    tables.
+
+    Seeded with CONSTANTS entry facts it justifies the paper's substitution
+    counts; seeded with nothing it is the Table 3 intraprocedural baseline.
+    Integers and booleans are tracked (booleans enable branch folding for
+    DCE); reals are ⊥. *)
+
+open Ipcp_frontend
+open Ipcp_ir
+
+type value = Vtop | Vint of int | Vbool of bool | Vbot
+
+val pp_value : value Fmt.t
+val equal_value : value -> value -> bool
+val meet : value -> value -> value
+
+type result = {
+  values : value array;  (** lattice value per SSA name *)
+  executable : bool array;  (** per block *)
+  expr_consts : (int, int) Hashtbl.t;
+      (** source [Evar] expression id → constant value at that use; only
+          uses in executable blocks are recorded *)
+  cond_consts : (int, bool) Hashtbl.t;
+      (** branch-condition expression id → known truth value *)
+}
+
+(** Run to fixpoint.  [entry_env] gives the known constant entry value of
+    formals and globals ([None] = ⊥; locals always start ⊥); [oracle]
+    resolves call-defined values through return jump functions. *)
+val run :
+  ?oracle:Ssa_value.oracle ->
+  entry_env:(Prog.var -> int option) ->
+  Ssa.t ->
+  result

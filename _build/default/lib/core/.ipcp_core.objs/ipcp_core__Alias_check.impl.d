@@ -1,0 +1,1 @@
+lib/core/alias_check.ml: Callgraph Fmt Ipcp_frontend List Modref Prog

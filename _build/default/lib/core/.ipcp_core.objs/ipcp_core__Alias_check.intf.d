@@ -1,0 +1,1 @@
+lib/core/alias_check.mli: Fmt Ipcp_frontend Prog

@@ -1,0 +1,1 @@
+lib/core/binding_solver.ml: Array Callgraph Const_lattice Hashtbl Ipcp_analysis Ipcp_frontend Ipcp_support Jump_function List Option Prog Solver Symbolic

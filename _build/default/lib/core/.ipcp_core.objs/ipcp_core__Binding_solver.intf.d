@@ -1,0 +1,1 @@
+lib/core/binding_solver.mli: Callgraph Jump_function Solver

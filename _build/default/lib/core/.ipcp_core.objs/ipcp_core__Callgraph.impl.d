@@ -1,0 +1,1 @@
+lib/core/callgraph.ml: Fmt Hashtbl Ipcp_frontend List Option Prog

@@ -1,0 +1,1 @@
+lib/core/cloning.ml: Array Config Const_lattice Driver Hashtbl Ipcp_analysis Ipcp_frontend Ipcp_ir Jump_function List Option Printf Prog Solver

@@ -1,0 +1,1 @@
+lib/core/complete.ml: Config Driver Ipcp_analysis Ipcp_frontend List Prog Substitute

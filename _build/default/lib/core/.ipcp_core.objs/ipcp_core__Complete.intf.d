@@ -1,0 +1,1 @@
+lib/core/complete.mli: Config Driver Ipcp_frontend Prog

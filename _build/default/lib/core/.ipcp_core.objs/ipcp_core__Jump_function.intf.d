@@ -1,0 +1,1 @@
+lib/core/jump_function.mli: Fmt Hashtbl Ipcp_analysis Ipcp_frontend Ipcp_ir Map Modref Prog Ssa_value Symbolic

@@ -1,0 +1,1 @@
+lib/core/modref.ml: Callgraph Fmt Hashtbl Int Ipcp_frontend Ipcp_support List Option Prog Set String

@@ -1,0 +1,1 @@
+lib/core/modref.mli: Callgraph Fmt Set

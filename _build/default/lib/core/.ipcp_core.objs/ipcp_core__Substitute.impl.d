@@ -1,0 +1,1 @@
+lib/core/substitute.ml: Config Driver Hashtbl Ipcp_analysis Ipcp_frontend List Modref Option Prog

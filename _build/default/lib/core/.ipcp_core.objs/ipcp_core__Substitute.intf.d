@@ -1,0 +1,1 @@
+lib/core/substitute.mli: Config Driver Ipcp_analysis Ipcp_frontend Prog

@@ -1,0 +1,18 @@
+(** Static detection of FORTRAN argument-aliasing violations: call sites
+    where modified storage is reachable under two names in the callee.
+    The analyzer (like the paper's) is sound only for conforming programs;
+    this checker finds the non-conforming sites. *)
+
+open Ipcp_frontend
+
+type violation = {
+  v_caller : string;
+  v_callee : string;
+  v_site : int;  (** call-site id *)
+  v_reason : string;
+}
+
+val pp_violation : violation Fmt.t
+
+(** All aliasing violations in the program. *)
+val check : Prog.t -> violation list

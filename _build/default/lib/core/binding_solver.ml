@@ -1,0 +1,124 @@
+(** Interprocedural propagation over the *binding multi-graph*.
+
+    The paper (§2) notes that "alternative formulations based on the binding
+    multi-graph are possible [Cooper & Kennedy]" and that Callahan et al.'s
+    method "essentially models the binding graph computation on the call
+    graph".  This module implements that alternative: nodes are
+    (procedure, parameter) pairs; for every forward jump function J_y^s at a
+    site s in p, an edge runs from each (p, x) with x ∈ support(J_y^s) to
+    (callee, y).  When a node's value lowers, only the jump functions that
+    actually depend on it are re-evaluated — the sparse formulation behind
+    the O(Σ cost(J)) bound of §3.1.5 for pass-through jump functions.
+
+    The result is bit-for-bit the same VAL maps as {!Solver.run} (a property
+    test asserts this); the benchmark harness compares their running
+    times. *)
+
+open Ipcp_frontend
+open Ipcp_analysis
+
+type node = string * Prog.param
+
+(* A dependency: when the source node changes, re-evaluate [jf] and meet the
+   result into [target] of [callee]. *)
+type dep = { d_caller : string; d_callee : string; d_target : Prog.param; d_jf : Symbolic.t }
+
+let param_of_leaf = function
+  | Symbolic.Lformal i -> Prog.Pformal i
+  | Symbolic.Lglobal k -> Prog.Pglob k
+
+(** Solve; same inputs and output type as {!Solver.run}. *)
+let run (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
+    ~(global_keys : string list) : Solver.result =
+  let prog = cg.Callgraph.prog in
+  let vals : (string, Solver.val_map) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Prog.proc) ->
+      let is_main = p.pname = prog.main in
+      let initial = if is_main then Const_lattice.Bottom else Const_lattice.Top in
+      let m =
+        List.fold_left
+          (fun m (v : Prog.var) ->
+            match v.vkind with
+            | Prog.Kformal i -> Prog.Param_map.add (Prog.Pformal i) initial m
+            | _ -> m)
+          Prog.Param_map.empty p.pformals
+      in
+      let m =
+        List.fold_left
+          (fun m key ->
+            let v =
+              if is_main then
+                match Prog.data_value_of_global prog key with
+                | Some c -> Const_lattice.Const c
+                | None -> Const_lattice.Bottom
+              else initial
+            in
+            Prog.Param_map.add (Prog.Pglob key) v m)
+          m global_keys
+      in
+      Hashtbl.replace vals p.pname m)
+    prog.procs;
+  let stats = { Solver.iterations = 0; jf_evaluations = 0; meets = 0 } in
+  (* ---- build the binding multi-graph ---- *)
+  let deps : (node, dep list) Hashtbl.t = Hashtbl.create 64 in
+  let add_dep node dep =
+    let old = Hashtbl.find_opt deps node |> Option.value ~default:[] in
+    Hashtbl.replace deps node (dep :: old)
+  in
+  let initial_deps = ref [] in
+  let register caller callee target jf =
+    let dep = { d_caller = caller; d_callee = callee; d_target = target; d_jf = jf } in
+    (* every jump function is evaluated once up front; thereafter only when
+       a support member changes *)
+    initial_deps := dep :: !initial_deps;
+    match Symbolic.support jf with
+    | None -> () (* ⊥ jump function: its one initial evaluation suffices *)
+    | Some leaves ->
+      List.iter (fun l -> add_dep (caller, param_of_leaf l) dep) leaves
+  in
+  List.iter
+    (fun (sjf : Jump_function.site_jf) ->
+      Array.iteri
+        (fun pos jf -> register sjf.sf_caller sjf.sf_callee (Prog.Pformal pos) jf)
+        sjf.sf_formals;
+      List.iter
+        (fun (key, jf) -> register sjf.sf_caller sjf.sf_callee (Prog.Pglob key) jf)
+        sjf.sf_globals)
+    site_jfs;
+  (* ---- propagate ---- *)
+  let work : node Ipcp_support.Worklist.t = Ipcp_support.Worklist.create () in
+  let value_of proc param =
+    match Hashtbl.find_opt vals proc with
+    | None -> Const_lattice.Bottom
+    | Some m ->
+      Prog.Param_map.find_opt param m |> Option.value ~default:Const_lattice.Top
+  in
+  let lower proc param incoming =
+    stats.meets <- stats.meets + 1;
+    let old = value_of proc param in
+    let nv = Const_lattice.meet old incoming in
+    if not (Const_lattice.equal old nv) then begin
+      (match Hashtbl.find_opt vals proc with
+      | Some m -> Hashtbl.replace vals proc (Prog.Param_map.add param nv m)
+      | None ->
+        Hashtbl.replace vals proc (Prog.Param_map.singleton param nv));
+      Ipcp_support.Worklist.push work (proc, param)
+    end
+  in
+  let evaluate (dep : dep) =
+    let caller_vals =
+      Hashtbl.find_opt vals dep.d_caller
+      |> Option.value ~default:Prog.Param_map.empty
+    in
+    let incoming = Solver.eval_jf stats caller_vals dep.d_jf in
+    lower dep.d_callee dep.d_target incoming
+  in
+  (* seed: main's parameters are already ⊥; its dependents must see that,
+     and support-free jump functions contribute their constants *)
+  List.iter evaluate (List.rev !initial_deps);
+  Ipcp_support.Worklist.drain work (fun node ->
+      stats.iterations <- stats.iterations + 1;
+      List.iter evaluate
+        (Hashtbl.find_opt deps node |> Option.value ~default:[]));
+  { Solver.vals; stats }

@@ -1,0 +1,12 @@
+(** Propagation over the binding multi-graph — the sparse alternative
+    formulation the paper's §2 cites (Cooper & Kennedy).  Nodes are
+    (procedure, parameter) pairs; when a node's value lowers, only the jump
+    functions whose support contains it are re-evaluated.
+
+    Produces exactly the same VAL maps as {!Solver.run} (property-tested). *)
+
+val run :
+  Callgraph.t ->
+  site_jfs:Jump_function.site_jf list ->
+  global_keys:string list ->
+  Solver.result

@@ -1,0 +1,20 @@
+(** Procedure cloning guided by interprocedural constants (the
+    Metzger–Stroud application the paper cites): when call sites pass
+    different constants to the same procedure, duplicate it per constant
+    signature so the meet no longer destroys them.  Clones are real
+    procedures with fresh ids; only [call] statements are retargeted. *)
+
+open Ipcp_frontend
+
+type result = {
+  cloned : Prog.t;
+  clones_made : int;
+  renamings : (int * string) list;  (** call-site id → new callee name *)
+}
+
+val clone :
+  ?config:Config.t -> ?max_clones_per_proc:int -> Prog.t -> result
+
+(** Iterate cloning (new constants can expose new opportunities), bounded
+    by [rounds].  Returns the final program and total clones made. *)
+val clone_to_fixpoint : ?config:Config.t -> ?rounds:int -> Prog.t -> Prog.t * int

@@ -1,0 +1,13 @@
+(** "Complete propagation" (paper Table 3, column 3): iterate
+    interprocedural constant propagation with dead-code elimination until no
+    more code dies, resetting all CONSTANTS to ⊤ between rounds. *)
+
+open Ipcp_frontend
+
+type outcome = {
+  final : Driver.t;  (** analysis of the final, DCE-stable program *)
+  substituted : int;  (** substitution count on the final program *)
+  dce_rounds : int;  (** rounds that actually removed code *)
+}
+
+val run : ?config:Config.t -> ?max_rounds:int -> Prog.t -> outcome

@@ -1,0 +1,50 @@
+(** Analyzer configuration: the experimental axes of the paper.
+
+    Table 2 varies [kind] × [return_jfs]; Table 3 varies [use_mod] and
+    compares against the purely intraprocedural baseline
+    ([interprocedural = false], which still uses MOD information, as the
+    paper does "for fair comparison"). *)
+
+type t = {
+  kind : Jump_function.kind;  (** which forward jump function to build *)
+  return_jfs : bool;  (** build and use return jump functions *)
+  use_mod : bool;  (** use MOD summaries (vs. worst-case call kills) *)
+  interprocedural : bool;
+      (** when false, skip interprocedural propagation entirely: the
+          Table 3 "intraprocedural propagation" baseline *)
+}
+
+let default =
+  { kind = Jump_function.Passthrough; return_jfs = true; use_mod = true; interprocedural = true }
+
+(** The six configurations of Table 2, paired with their column labels. *)
+let table2_configs =
+  [
+    ("polynomial+ret", { default with kind = Jump_function.Polynomial });
+    ("passthrough+ret", { default with kind = Jump_function.Passthrough });
+    ("intraconst+ret", { default with kind = Jump_function.Intraconst });
+    ("literal+ret", { default with kind = Jump_function.Literal });
+    ( "polynomial-ret",
+      { default with kind = Jump_function.Polynomial; return_jfs = false } );
+    ( "passthrough-ret",
+      { default with kind = Jump_function.Passthrough; return_jfs = false } );
+  ]
+
+(** The four configurations of Table 3 (complete propagation is driven by
+    {!Complete} on top of [polynomial_with_mod]). *)
+let polynomial_no_mod =
+  { default with kind = Jump_function.Polynomial; use_mod = false }
+
+let polynomial_with_mod = { default with kind = Jump_function.Polynomial }
+
+let intraprocedural_only =
+  (* return jump functions are an interprocedural mechanism; the baseline
+     keeps only MOD information, as the paper specifies *)
+  { default with interprocedural = false; return_jfs = false }
+
+let pp ppf t =
+  Fmt.pf ppf "%s%s%s%s"
+    (Jump_function.kind_name t.kind)
+    (if t.return_jfs then "+ret" else "-ret")
+    (if t.use_mod then "+mod" else "-mod")
+    (if t.interprocedural then "" else " (intra only)")

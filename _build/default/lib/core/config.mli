@@ -1,0 +1,21 @@
+(** Analyzer configuration — the experimental axes of the paper's Tables 2
+    and 3. *)
+
+type t = {
+  kind : Jump_function.kind;  (** which forward jump function to build *)
+  return_jfs : bool;
+  use_mod : bool;  (** MOD summaries vs. worst-case call kills *)
+  interprocedural : bool;  (** [false]: the intraprocedural baseline *)
+}
+
+(** Pass-through + return JFs + MOD: the paper's recommended setup. *)
+val default : t
+
+(** The six configurations of Table 2, with column labels. *)
+val table2_configs : (string * t) list
+
+val polynomial_no_mod : t
+val polynomial_with_mod : t
+val intraprocedural_only : t
+
+val pp : t Fmt.t

@@ -1,0 +1,146 @@
+(** The four-stage analyzer pipeline (paper §4.1):
+
+    1. generation of return jump functions (bottom-up over the call graph);
+    2. generation of forward jump functions (top-down, using the return
+       jump functions);
+    3. interprocedural propagation of constants;
+    4. recording the results (CONSTANTS sets; substitution is in
+       {!Substitute}).
+
+    The configuration selects the forward jump-function implementation,
+    whether return jump functions participate, and whether MOD summaries are
+    available (paper Tables 2 and 3). *)
+
+open Ipcp_frontend
+open Ipcp_analysis
+
+type t = {
+  config : Config.t;
+  prog : Prog.t;
+  cg : Callgraph.t;
+  modref : Modref.t;
+  ret_jfs : (string, Jump_function.ret_jf) Hashtbl.t;
+  irs : (string, Jump_function.proc_ir) Hashtbl.t;
+      (** phase-2 IR (full oracle), reused by the substitution pass *)
+  site_jfs : Jump_function.site_jf list;
+  solution : Solver.result;
+}
+
+(** Run the full pipeline on a resolved program. *)
+let analyze (config : Config.t) (prog : Prog.t) : t =
+  let cg = Callgraph.build prog in
+  let modref =
+    if config.use_mod then Modref.compute cg else Modref.worst_case cg
+  in
+  (* ---- stage 1: return jump functions, bottom-up ---- *)
+  let ret_jfs : (string, Jump_function.ret_jf) Hashtbl.t = Hashtbl.create 16 in
+  if config.return_jfs then begin
+    let oracle = Jump_function.oracle_of_table ret_jfs in
+    List.iter
+      (fun name ->
+        let proc = Prog.find_proc_exn prog name in
+        let ir = Jump_function.build_ir ~oracle ~modref prog proc in
+        Hashtbl.replace ret_jfs name (Jump_function.build_ret_jf ~modref ir))
+      (Callgraph.bottom_up cg)
+  end;
+  (* ---- stage 2: forward jump functions, top-down ---- *)
+  let oracle =
+    if config.return_jfs then Some (Jump_function.oracle_of_table ret_jfs)
+    else None
+  in
+  let irs : (string, Jump_function.proc_ir) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun name ->
+      let proc = Prog.find_proc_exn prog name in
+      let ir = Jump_function.build_ir ?oracle ~modref prog proc in
+      Hashtbl.replace irs name ir)
+    (Callgraph.top_down cg);
+  let site_jfs =
+    if not config.interprocedural then []
+    else
+      List.concat_map
+        (fun name ->
+          Jump_function.build_site_jfs ~kind:config.kind (Hashtbl.find irs name))
+        (Callgraph.top_down cg)
+  in
+  (* ---- stage 3: interprocedural propagation ---- *)
+  let global_keys = List.map Prog.global_key (Prog.all_globals prog) in
+  let solution =
+    if config.interprocedural then Solver.run cg ~site_jfs ~global_keys
+    else begin
+      (* baseline: no propagation; every parameter of every procedure is ⊥
+         so that only locally derived constants survive *)
+      let vals = Hashtbl.create 16 in
+      List.iter
+        (fun (p : Prog.proc) ->
+          let m =
+            List.fold_left
+              (fun m (v : Prog.var) ->
+                match v.vkind with
+                | Prog.Kformal i ->
+                  Prog.Param_map.add (Prog.Pformal i) Const_lattice.Bottom m
+                | _ -> m)
+              Prog.Param_map.empty p.pformals
+          in
+          let m =
+            List.fold_left
+              (fun m key -> Prog.Param_map.add (Prog.Pglob key) Const_lattice.Bottom m)
+              m global_keys
+          in
+          Hashtbl.replace vals p.pname m)
+        prog.procs;
+      { Solver.vals; stats = { iterations = 0; jf_evaluations = 0; meets = 0 } }
+    end
+  in
+  { config; prog; cg; modref; ret_jfs; irs; site_jfs; solution }
+
+(** CONSTANTS(p) for every procedure, in program order. *)
+let constants (t : t) : (string * (Prog.param * int) list) list =
+  List.map
+    (fun (p : Prog.proc) -> (p.pname, Solver.constants_of t.solution p.pname))
+    t.prog.procs
+
+(** Total number of (procedure, parameter) constant facts. *)
+let constants_count (t : t) =
+  List.fold_left (fun acc (_, cs) -> acc + List.length cs) 0 (constants t)
+
+(** Entry-value environment for a procedure, as consumed by SCCP: the
+    constant (if any) each formal/global holds on entry. *)
+let entry_env (t : t) (proc : Prog.proc) : Prog.var -> int option =
+ fun v ->
+  if v.vty <> Prog.Tint || Prog.is_array v then None
+  else
+    match v.vkind with
+    | Prog.Kformal i ->
+      Const_lattice.const_value (Solver.lookup t.solution proc.pname (Prog.Pformal i))
+    | Prog.Kglobal g ->
+      Const_lattice.const_value
+        (Solver.lookup t.solution proc.pname (Prog.Pglob (Prog.global_key g)))
+    | Prog.Klocal when proc.pkind = Prog.Pmain ->
+      (* data-initialized locals of the main program hold their load-time
+         values on entry *)
+      Prog.data_value_in_main t.prog v
+    | Prog.Klocal | Prog.Kresult -> None
+
+(** The return-jump-function oracle of this analysis (if enabled). *)
+let oracle (t : t) : Ssa_value.oracle option =
+  if t.config.return_jfs then Some (Jump_function.oracle_of_table t.ret_jfs)
+  else None
+
+(** Run SCCP for one procedure, seeded with the discovered entry facts. *)
+let sccp_for (t : t) (name : string) : Sccp.result =
+  let ir = Hashtbl.find t.irs name in
+  let proc = ir.Jump_function.pi_proc in
+  Sccp.run ?oracle:(oracle t) ~entry_env:(entry_env t proc) ir.Jump_function.pi_ssa
+
+let pp_constants ppf (t : t) =
+  List.iter
+    (fun (name, cs) ->
+      if cs <> [] then begin
+        let proc = Prog.find_proc_exn t.prog name in
+        Fmt.pf ppf "%s: %a@." name
+          (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (param, c) ->
+               Fmt.pf ppf "%s=%d" (Prog.param_name t.prog proc param) c))
+          cs
+      end)
+    (constants t)

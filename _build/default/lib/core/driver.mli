@@ -1,0 +1,38 @@
+(** The four-stage analyzer pipeline of the paper's §4.1: return jump
+    functions (bottom-up) → forward jump functions (top-down) →
+    interprocedural propagation → results. *)
+
+open Ipcp_frontend
+open Ipcp_analysis
+
+type t = {
+  config : Config.t;
+  prog : Prog.t;
+  cg : Callgraph.t;
+  modref : Modref.t;
+  ret_jfs : (string, Jump_function.ret_jf) Hashtbl.t;
+  irs : (string, Jump_function.proc_ir) Hashtbl.t;
+      (** per-procedure IR (CFG/SSA/symbolic values), reused downstream *)
+  site_jfs : Jump_function.site_jf list;
+  solution : Solver.result;
+}
+
+(** Run the full pipeline on a resolved program. *)
+val analyze : Config.t -> Prog.t -> t
+
+(** CONSTANTS(p) for every procedure, in program order. *)
+val constants : t -> (string * (Prog.param * int) list) list
+
+(** Total number of (procedure, parameter) constant facts. *)
+val constants_count : t -> int
+
+(** Entry-value environment of a procedure, as consumed by SCCP. *)
+val entry_env : t -> Prog.proc -> Prog.var -> int option
+
+(** The return-jump-function oracle of this analysis, if enabled. *)
+val oracle : t -> Ssa_value.oracle option
+
+(** SCCP for one procedure, seeded with the discovered entry facts. *)
+val sccp_for : t -> string -> Sccp.result
+
+val pp_constants : t Fmt.t

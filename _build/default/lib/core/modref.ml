@@ -1,0 +1,175 @@
+(** Interprocedural MOD/REF summary information.
+
+    For every procedure we compute flow-insensitive side-effect summaries in
+    the style of Cooper–Kennedy:
+    - [mod_formals]: formal positions whose (by-reference) actual may be
+      modified by a call to the procedure;
+    - [mod_globals] / [ref_globals]: common globals the procedure may write /
+      read, directly or through calls.
+
+    Direct effects are collected from assignments, [read] statements and
+    [do]-loop variables; the interprocedural closure translates callee
+    effects through the formal↔actual binding at each call site and iterates
+    to a fixpoint over the call graph (handling recursion).
+
+    The paper found MOD information decisive: without it, value numbering
+    must kill every by-reference actual and every global at every call site
+    (Table 3, column 1). *)
+
+open Ipcp_frontend
+module Int_set = Set.Make (Int)
+module Str_set = Set.Make (String)
+
+type summary = {
+  mod_formals : Int_set.t;
+  mod_globals : Str_set.t;
+  ref_globals : Str_set.t;
+}
+
+let empty_summary =
+  {
+    mod_formals = Int_set.empty;
+    mod_globals = Str_set.empty;
+    ref_globals = Str_set.empty;
+  }
+
+type t = {
+  summaries : (string, summary) Hashtbl.t;
+  worst_case : bool;  (** true when built by {!worst_case} *)
+}
+
+let summary t name =
+  Hashtbl.find_opt t.summaries name |> Option.value ~default:empty_summary
+
+let is_worst_case t = t.worst_case
+
+(** Does a call to [callee] possibly modify its [i]-th formal? *)
+let modifies_formal t callee i =
+  t.worst_case || Int_set.mem i (summary t callee).mod_formals
+
+(** Does a call to [callee] possibly modify global [key]? *)
+let modifies_global t callee key =
+  t.worst_case || Str_set.mem key (summary t callee).mod_globals
+
+(* ------------------------------------------------------------------ *)
+(* Direct effects.                                                     *)
+
+let direct_effects (proc : Prog.proc) : summary =
+  let mod_formals = ref Int_set.empty in
+  let mod_globals = ref Str_set.empty in
+  let ref_globals = ref Str_set.empty in
+  let write (v : Prog.var) =
+    match v.vkind with
+    | Prog.Kformal i -> mod_formals := Int_set.add i !mod_formals
+    | Prog.Kglobal g -> mod_globals := Str_set.add (Prog.global_key g) !mod_globals
+    | Prog.Klocal | Prog.Kresult -> ()
+  in
+  let read (v : Prog.var) =
+    match v.vkind with
+    | Prog.Kglobal g -> ref_globals := Str_set.add (Prog.global_key g) !ref_globals
+    | Prog.Kformal _ | Prog.Klocal | Prog.Kresult -> ()
+  in
+  let lhs = function
+    | Prog.Lvar v -> write v
+    | Prog.Larr (v, _) -> write v
+  in
+  Prog.iter_exprs
+    (fun e ->
+      match e.edesc with
+      | Prog.Evar v | Prog.Earr (v, _) -> read v
+      | _ -> ())
+    proc.pbody;
+  Prog.iter_stmts
+    (fun s ->
+      match s.sdesc with
+      | Prog.Sassign (l, _) -> lhs l
+      | Prog.Sread ls -> List.iter lhs ls
+      | Prog.Sdo (v, _, _, _, _) -> write v
+      | Prog.Scall _ | Prog.Sif _ | Prog.Sdowhile _ | Prog.Sgoto _
+      | Prog.Scontinue | Prog.Sreturn | Prog.Sstop | Prog.Sprint _ ->
+        ())
+    proc.pbody;
+  { mod_formals = !mod_formals; mod_globals = !mod_globals; ref_globals = !ref_globals }
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural closure.                                            *)
+
+(** Compute full MOD/REF summaries for every procedure of the program. *)
+let compute (cg : Callgraph.t) : t =
+  let summaries = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Prog.proc) -> Hashtbl.replace summaries p.pname (direct_effects p))
+    cg.Callgraph.prog.procs;
+  (* Translate callee effects through call-site bindings until stable. *)
+  let work = Ipcp_support.Worklist.of_list (Callgraph.bottom_up cg) in
+  Ipcp_support.Worklist.drain work (fun name ->
+      let current = Hashtbl.find summaries name in
+      let updated =
+        List.fold_left
+          (fun (acc : summary) (e : Callgraph.edge) ->
+            let callee_sum = Hashtbl.find summaries e.e_callee in
+            (* globals flow through unchanged *)
+            let acc =
+              {
+                acc with
+                mod_globals = Str_set.union acc.mod_globals callee_sum.mod_globals;
+                ref_globals = Str_set.union acc.ref_globals callee_sum.ref_globals;
+              }
+            in
+            (* formal effects translate through the actual bindings *)
+            List.fold_left
+              (fun (acc : summary) (pos, (arg : Prog.expr)) ->
+                if not (Int_set.mem pos callee_sum.mod_formals) then acc
+                else
+                  match arg.edesc with
+                  | Prog.Evar v | Prog.Earr (v, _) -> (
+                    match v.vkind with
+                    | Prog.Kformal i ->
+                      { acc with mod_formals = Int_set.add i acc.mod_formals }
+                    | Prog.Kglobal g ->
+                      {
+                        acc with
+                        mod_globals =
+                          Str_set.add (Prog.global_key g) acc.mod_globals;
+                      }
+                    | Prog.Klocal | Prog.Kresult -> acc)
+                  | _ -> acc (* expression actual: callee writes a temp *))
+              acc
+              (List.mapi (fun i a -> (i, a)) e.e_site.cs_args))
+          current
+          (Callgraph.callees_of cg name)
+      in
+      let changed =
+        not
+          (Int_set.equal current.mod_formals updated.mod_formals
+          && Str_set.equal current.mod_globals updated.mod_globals
+          && Str_set.equal current.ref_globals updated.ref_globals)
+      in
+      if changed then begin
+        Hashtbl.replace summaries name updated;
+        List.iter
+          (fun (e : Callgraph.edge) -> Ipcp_support.Worklist.push work e.e_caller)
+          (Callgraph.callers_of cg name)
+      end);
+  { summaries; worst_case = false }
+
+(** The "no MOD information" configuration: every call is assumed to modify
+    every by-reference actual and every global (paper Table 3, column 1). *)
+let worst_case (cg : Callgraph.t) : t =
+  ignore cg;
+  { summaries = Hashtbl.create 1; worst_case = true }
+
+let pp ppf (t : t) =
+  if t.worst_case then Fmt.string ppf "<worst case: everything modified>"
+  else
+    Hashtbl.iter
+      (fun name s ->
+        Fmt.pf ppf "%s: mod-formals={%a} mod-globals={%a} ref-globals={%a}@."
+          name
+          (Fmt.list ~sep:(Fmt.any ",") Fmt.int)
+          (Int_set.elements s.mod_formals)
+          (Fmt.list ~sep:(Fmt.any ",") Fmt.string)
+          (Str_set.elements s.mod_globals)
+          (Fmt.list ~sep:(Fmt.any ",") Fmt.string)
+          (Str_set.elements s.ref_globals))
+      t.summaries

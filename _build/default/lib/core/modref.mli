@@ -1,0 +1,32 @@
+(** Interprocedural MOD/REF side-effect summaries (Cooper–Kennedy style):
+    which formals and globals each procedure may modify or reference,
+    directly or through calls.  The paper's Table 3 shows these are
+    decisive for constant propagation. *)
+
+module Int_set : Set.S with type elt = int
+module Str_set : Set.S with type elt = string
+
+type summary = {
+  mod_formals : Int_set.t;  (** positions whose by-ref actual may change *)
+  mod_globals : Str_set.t;  (** by {!Ipcp_frontend.Prog.global_key} *)
+  ref_globals : Str_set.t;
+}
+
+type t
+
+val summary : t -> string -> summary
+
+(** True when built by {!worst_case}: every query answers "modified". *)
+val is_worst_case : t -> bool
+
+val modifies_formal : t -> string -> int -> bool
+val modifies_global : t -> string -> string -> bool
+
+(** Direct effects + fixpoint closure over the call graph (handles
+    recursion). *)
+val compute : Callgraph.t -> t
+
+(** The "no MOD information" configuration (Table 3, column 1). *)
+val worst_case : Callgraph.t -> t
+
+val pp : t Fmt.t

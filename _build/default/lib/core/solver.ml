@@ -1,0 +1,191 @@
+(** Interprocedural propagation of VAL sets over the call graph (paper §2,
+    §4.1).
+
+    Every procedure gets a VAL map from its interprocedural parameters
+    (positional formals and common globals) to lattice values.  All entries
+    start at ⊤ except the main program's, which start at ⊥ (nothing is known
+    about initial memory, and main has no formals).  A worklist iteration
+    evaluates forward jump functions along call-graph edges and meets the
+    results into callee VAL maps until stable; the shallow lattice bounds
+    each entry to at most two lowerings, so termination is immediate.
+
+    A parameter that still holds ⊤ when the solver stops belongs to a
+    procedure that is never called; such parameters are not reported as
+    constants. *)
+
+open Ipcp_frontend
+open Ipcp_analysis
+
+type val_map = Const_lattice.t Prog.Param_map.t
+
+type stats = {
+  mutable iterations : int;  (** procedures popped from the worklist *)
+  mutable jf_evaluations : int;
+  mutable meets : int;
+}
+
+type result = {
+  vals : (string, val_map) Hashtbl.t;
+  stats : stats;
+}
+
+let lookup (r : result) proc param : Const_lattice.t =
+  match Hashtbl.find_opt r.vals proc with
+  | None -> Const_lattice.Bottom
+  | Some m ->
+    Prog.Param_map.find_opt param m |> Option.value ~default:Const_lattice.Top
+
+(** Constants discovered for one procedure: parameters whose VAL is a
+    constant — the CONSTANTS(p) set. *)
+let constants_of (r : result) proc : (Prog.param * int) list =
+  match Hashtbl.find_opt r.vals proc with
+  | None -> []
+  | Some m ->
+    Prog.Param_map.fold
+      (fun param v acc ->
+        match v with
+        | Const_lattice.Const c -> (param, c) :: acc
+        | Const_lattice.Top | Const_lattice.Bottom -> acc)
+      m []
+    |> List.rev
+
+(* Evaluate a jump function under a caller's VAL map.  Result is ⊤ while any
+   needed input is still ⊤ (optimistic), ⊥ if any input is ⊥ or evaluation
+   fails, otherwise the folded constant. *)
+let eval_jf (stats : stats) (caller_vals : val_map) (jf : Symbolic.t) :
+    Const_lattice.t =
+  stats.jf_evaluations <- stats.jf_evaluations + 1;
+  match Symbolic.support jf with
+  | None -> Const_lattice.Bottom
+  | Some leaves ->
+    let param_of_leaf = function
+      | Symbolic.Lformal i -> Prog.Pformal i
+      | Symbolic.Lglobal k -> Prog.Pglob k
+    in
+    let values =
+      List.map
+        (fun l ->
+          ( l,
+            Prog.Param_map.find_opt (param_of_leaf l) caller_vals
+            |> Option.value ~default:Const_lattice.Top ))
+        leaves
+    in
+    if List.exists (fun (_, v) -> v = Const_lattice.Bottom) values then
+      Const_lattice.Bottom
+    else if List.exists (fun (_, v) -> v = Const_lattice.Top) values then
+      Const_lattice.Top
+    else
+      let env l =
+        match List.assoc_opt l values with
+        | Some (Const_lattice.Const c) -> Some c
+        | _ -> None
+      in
+      Const_lattice.of_option (Symbolic.eval ~env jf)
+
+(** Solve.  [site_jfs] are the forward jump functions of every call site;
+    [global_keys] the keys of every common global in the program. *)
+let run (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
+    ~(global_keys : string list) : result =
+  let prog = cg.Callgraph.prog in
+  let vals : (string, val_map) Hashtbl.t = Hashtbl.create 16 in
+  let init_proc (p : Prog.proc) =
+    let is_main = p.pname = prog.main in
+    let initial = if is_main then Const_lattice.Bottom else Const_lattice.Top in
+    let m =
+      List.fold_left
+        (fun m (v : Prog.var) ->
+          match v.vkind with
+          | Prog.Kformal i -> Prog.Param_map.add (Prog.Pformal i) initial m
+          | _ -> m)
+        Prog.Param_map.empty p.pformals
+    in
+    let m =
+      List.fold_left
+        (fun m key ->
+          (* on entry to main, a data-initialized global still holds its
+             load-time value; all other initial memory is unknown *)
+          let v =
+            if is_main then
+              match Prog.data_value_of_global prog key with
+              | Some c -> Const_lattice.Const c
+              | None -> Const_lattice.Bottom
+            else initial
+          in
+          Prog.Param_map.add (Prog.Pglob key) v m)
+        m global_keys
+    in
+    Hashtbl.replace vals p.pname m
+  in
+  List.iter init_proc prog.procs;
+  let stats = { iterations = 0; jf_evaluations = 0; meets = 0 } in
+  (* index site jump functions by caller *)
+  let by_caller : (string, Jump_function.site_jf list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (s : Jump_function.site_jf) ->
+      let existing =
+        Hashtbl.find_opt by_caller s.sf_caller |> Option.value ~default:[]
+      in
+      Hashtbl.replace by_caller s.sf_caller (s :: existing))
+    site_jfs;
+  let work = Ipcp_support.Worklist.of_list (Callgraph.top_down cg) in
+  Ipcp_support.Worklist.drain work (fun caller ->
+      stats.iterations <- stats.iterations + 1;
+      let caller_vals =
+        Hashtbl.find_opt vals caller |> Option.value ~default:Prog.Param_map.empty
+      in
+      (* A procedure that is itself still entirely ⊤ has not been shown to
+         execute… but jump-function inputs at ⊤ already keep outputs ⊤, so
+         no special case is needed. *)
+      List.iter
+        (fun (s : Jump_function.site_jf) ->
+          let callee = s.sf_callee in
+          let callee_vals =
+            Hashtbl.find_opt vals callee |> Option.value ~default:Prog.Param_map.empty
+          in
+          let changed = ref false in
+          let meet_param m param incoming =
+            stats.meets <- stats.meets + 1;
+            let old =
+              Prog.Param_map.find_opt param m |> Option.value ~default:Const_lattice.Top
+            in
+            let nv = Const_lattice.meet old incoming in
+            if not (Const_lattice.equal old nv) then begin
+              changed := true;
+              Prog.Param_map.add param nv m
+            end
+            else m
+          in
+          let m = ref callee_vals in
+          Array.iteri
+            (fun pos jf ->
+              let incoming = eval_jf stats caller_vals jf in
+              m := meet_param !m (Prog.Pformal pos) incoming)
+            s.sf_formals;
+          List.iter
+            (fun (key, jf) ->
+              let incoming = eval_jf stats caller_vals jf in
+              m := meet_param !m (Prog.Pglob key) incoming)
+            s.sf_globals;
+          if !changed then begin
+            Hashtbl.replace vals callee !m;
+            Ipcp_support.Worklist.push work callee
+          end)
+        (Hashtbl.find_opt by_caller caller |> Option.value ~default:[]))
+  ;
+  { vals; stats }
+
+let pp_result prog ppf (r : result) =
+  Hashtbl.iter
+    (fun name m ->
+      match Prog.find_proc prog name with
+      | None -> ()
+      | Some proc ->
+        Fmt.pf ppf "%s:@." name;
+        Prog.Param_map.iter
+          (fun param v ->
+            Fmt.pf ppf "  %s = %a@." (Prog.param_name prog proc param)
+              Const_lattice.pp v)
+          m)
+    r.vals

@@ -1,0 +1,40 @@
+(** Interprocedural propagation of VAL sets over the call graph (paper §2,
+    §4.1): a worklist iteration that evaluates forward jump functions along
+    edges and meets the results into callee VAL maps.  All entries start at
+    ⊤ except the main program's (⊥); the shallow lattice bounds every entry
+    to two lowerings. *)
+
+open Ipcp_frontend
+open Ipcp_analysis
+
+type val_map = Const_lattice.t Prog.Param_map.t
+
+type stats = {
+  mutable iterations : int;  (** worklist pops *)
+  mutable jf_evaluations : int;
+  mutable meets : int;
+}
+
+type result = {
+  vals : (string, val_map) Hashtbl.t;  (** per procedure *)
+  stats : stats;
+}
+
+(** The VAL of one parameter; ⊤ for parameters never touched. *)
+val lookup : result -> string -> Prog.param -> Const_lattice.t
+
+(** CONSTANTS(p): the parameters of [p] with constant VAL. *)
+val constants_of : result -> string -> (Prog.param * int) list
+
+(** Evaluate a jump function under a caller's VAL map: ⊥ in ⇒ ⊥ out,
+    any ⊤ in ⇒ ⊤ out (optimistic), all constants ⇒ folded result.
+    Exposed for the binding-graph solver and cloning. *)
+val eval_jf : stats -> val_map -> Symbolic.t -> Const_lattice.t
+
+val run :
+  Callgraph.t ->
+  site_jfs:Jump_function.site_jf list ->
+  global_keys:string list ->
+  result
+
+val pp_result : Prog.t -> result Fmt.t

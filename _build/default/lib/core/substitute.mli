@@ -1,0 +1,23 @@
+(** Textual constant substitution — the paper's effectiveness metric
+    (Metzger–Stroud): the number of scalar-variable uses replaced by their
+    compile-time constant values, justified by SCCP seeded with the
+    discovered CONSTANTS entry facts.
+
+    Definition contexts (assignment targets, [read] targets, do-variables)
+    and by-reference actuals whose storage the callee may modify are never
+    substituted. *)
+
+open Ipcp_frontend
+
+type stats = { total : int; by_proc : (string * int) list }
+
+(** Substitute into one procedure given its seeded SCCP result. *)
+val apply_proc :
+  Driver.t -> Prog.proc -> Ipcp_analysis.Sccp.result -> Prog.proc * int
+
+(** Substitute over the whole program of an analysis. *)
+val apply : Driver.t -> Prog.t * stats
+
+(** [count config prog]: analyze then substitute, returning the count —
+    one cell of Tables 2/3. *)
+val count : Config.t -> Prog.t -> int

@@ -1,0 +1,1 @@
+lib/frontend/implicit.ml: Ast String

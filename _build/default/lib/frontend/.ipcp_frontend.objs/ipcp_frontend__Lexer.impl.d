@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Buffer Char List Loc String Token

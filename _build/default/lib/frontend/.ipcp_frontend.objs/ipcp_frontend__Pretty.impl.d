@@ -1,0 +1,1 @@
+lib/frontend/pretty.ml: Ast Fmt Implicit List Option Printf Prog String

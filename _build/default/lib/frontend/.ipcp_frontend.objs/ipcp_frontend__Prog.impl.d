@@ -1,0 +1,1 @@
+lib/frontend/prog.ml: Ast Hashtbl List Loc Map Option Printf Set

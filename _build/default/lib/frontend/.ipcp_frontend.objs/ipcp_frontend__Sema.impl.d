@@ -1,0 +1,1 @@
+lib/frontend/sema.ml: Ast Hashtbl Implicit List Loc Option Parser Printf Prog

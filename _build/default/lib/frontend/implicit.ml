@@ -1,0 +1,7 @@
+(** FORTRAN implicit typing: names beginning with i..n are integers, all
+    others are reals.  Shared by {!Sema} (typing undeclared names) and
+    {!Pretty} (deciding which declarations must be printed). *)
+
+let ty_of_name name : Ast.ty =
+  if name = "" then Ast.Treal
+  else match name.[0] with 'i' .. 'n' -> Ast.Tint | _ -> Ast.Treal

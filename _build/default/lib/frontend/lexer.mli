@@ -1,0 +1,13 @@
+(** Hand-written lexer for MiniFort source text. *)
+
+type t
+
+(** Create a lexer over a whole source string. *)
+val create : ?file:string -> string -> t
+
+(** Next token with its starting location.  After the end of input, returns
+    [EOF] forever.  Raises {!Loc.Error} on malformed input. *)
+val next : t -> Token.t * Loc.t
+
+(** Tokenize an entire source string; the result ends with [EOF]. *)
+val tokenize : ?file:string -> string -> (Token.t * Loc.t) list

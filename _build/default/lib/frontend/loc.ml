@@ -1,0 +1,23 @@
+(** Source locations and located diagnostics for the MiniFort frontend. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+}
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let pp ppf { file; line; col } = Fmt.pf ppf "%s:%d:%d" file line col
+
+let to_string t = Fmt.str "%a" pp t
+
+(** A frontend diagnostic: every lexer/parser/sema failure is reported as a
+    located [Error] so drivers can print uniform messages. *)
+exception Error of t * string
+
+let error loc fmt = Fmt.kstr (fun msg -> raise (Error (loc, msg))) fmt
+
+let pp_error ppf (loc, msg) = Fmt.pf ppf "%a: error: %s" pp loc msg

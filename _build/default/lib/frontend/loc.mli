@@ -1,0 +1,16 @@
+(** Source locations and located diagnostics. *)
+
+type t = { file : string; line : int; col : int }
+
+val dummy : t
+val make : file:string -> line:int -> col:int -> t
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** Raised by the lexer, parser and semantic analysis on malformed input. *)
+exception Error of t * string
+
+(** [error loc fmt ...] raises {!Error} with a formatted message. *)
+val error : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val pp_error : (t * string) Fmt.t

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for MiniFort. *)
+
+(** Parse a whole source file into raw program units.
+    Raises {!Loc.Error} on syntax errors. *)
+val parse_program : ?file:string -> string -> Ast.program
+
+(** Parse a single expression (testing / workload-generation helper). *)
+val parse_expression : ?file:string -> string -> Ast.expr

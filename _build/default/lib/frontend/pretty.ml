@@ -1,0 +1,393 @@
+(** Printing MiniFort back to parseable source.
+
+    Two printers:
+    - {!pp_ast_program} prints the raw parser AST; [parse (print ast)] is
+      structurally equal to [ast] (the round-trip property test).
+    - {!pp_program} prints a resolved {!Prog.t}; used to emit the transformed
+      source after constant substitution. *)
+
+open Ast
+
+let op_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Pow -> "**"
+  | Lt -> ".lt."
+  | Le -> ".le."
+  | Gt -> ".gt."
+  | Ge -> ".ge."
+  | Eq -> ".eq."
+  | Ne -> ".ne."
+  | And -> ".and."
+  | Or -> ".or."
+
+(* Precedence: higher binds tighter. *)
+let prec = function
+  | Or -> 1
+  | And -> 2
+  | Lt | Le | Gt | Ge | Eq | Ne -> 4
+  | Add | Sub -> 5
+  | Mul | Div -> 6
+  | Pow -> 8
+
+let prec_neg = 7
+let prec_not = 3
+let prec_atom = 9
+
+(* Print a float so that it re-lexes as a REAL token (always with a point). *)
+let real_string f =
+  let s = Printf.sprintf "%.17g" f in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+     (* nan/inf *)
+  then s
+  else s ^ ".0"
+
+(* ------------------------------------------------------------------ *)
+(* Raw AST printer.                                                     *)
+
+let rec ast_expr_prec ppf (p, e) =
+  let atom fmt = Fmt.pf ppf fmt in
+  let self = prec_of_ast e in
+  let wrap body = if self < p then Fmt.pf ppf "(%t)" body else body ppf in
+  match e.edesc with
+  | Eint n ->
+    if n < 0 then wrap (fun ppf -> Fmt.pf ppf "-%d" (-n)) else atom "%d" n
+  | Ereal f -> atom "%s" (real_string f)
+  | Ebool true -> atom ".true."
+  | Ebool false -> atom ".false."
+  | Estring s -> atom "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+  | Ename n -> atom "%s" n
+  | Eapply (f, args) ->
+    Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:(Fmt.any ", ") ast_expr_top) args
+  | Eunop (Neg, a) ->
+    wrap (fun ppf -> Fmt.pf ppf "-%a" ast_expr_prec (prec_neg + 1, a))
+  | Eunop (Not, a) ->
+    wrap (fun ppf -> Fmt.pf ppf ".not. %a" ast_expr_prec (prec_not, a))
+  | Ebinop (op, a, b) ->
+    let pr = prec op in
+    let left = if op = Pow then pr + 1 else pr in
+    let right =
+      match op with
+      | Sub | Div -> pr + 1 (* left-assoc, non-commutative *)
+      | Pow -> pr - 1 (* right-assoc; also admits unary minus on the right *)
+      | Lt | Le | Gt | Ge | Eq | Ne -> pr + 1 (* non-assoc *)
+      | Add | Mul | And | Or -> pr
+    in
+    wrap (fun ppf ->
+        Fmt.pf ppf "%a %s %a" ast_expr_prec (left, a) (op_string op)
+          ast_expr_prec (right, b))
+
+and prec_of_ast (e : Ast.expr) =
+  match e.edesc with
+  | Eint n when n < 0 -> prec_neg
+  | Eint _ | Ereal _ | Ebool _ | Estring _ | Ename _ | Eapply _ -> prec_atom
+  | Eunop (Neg, _) -> prec_neg
+  | Eunop (Not, _) -> prec_not
+  | Ebinop (op, _, _) -> prec op
+
+and ast_expr_top ppf e = ast_expr_prec ppf (0, e)
+
+let pp_ast_expr = ast_expr_top
+
+let ast_lhs ppf (l : Ast.lhs) =
+  match l.lindex with
+  | [] -> Fmt.string ppf l.lname
+  | idx -> Fmt.pf ppf "%s(%a)" l.lname (Fmt.list ~sep:(Fmt.any ", ") ast_expr_top) idx
+
+let indent ppf n = Fmt.string ppf (String.make n ' ')
+
+let label_prefix ppf = function
+  | Some n -> Fmt.pf ppf "%d " n
+  | None -> ()
+
+let rec ast_stmt ind ppf (s : Ast.stmt) =
+  indent ppf ind;
+  label_prefix ppf s.label;
+  match s.sdesc with
+  | Sassign (l, e) -> Fmt.pf ppf "%a = %a@." ast_lhs l ast_expr_top e
+  | Scall (f, []) -> Fmt.pf ppf "call %s@." f
+  | Scall (f, args) ->
+    Fmt.pf ppf "call %s(%a)@." f (Fmt.list ~sep:(Fmt.any ", ") ast_expr_top) args
+  | Sif (arms, els) ->
+    (match arms with
+    | [] -> assert false
+    | (c0, b0) :: rest ->
+      Fmt.pf ppf "if (%a) then@." ast_expr_top c0;
+      List.iter (ast_stmt (ind + 2) ppf) b0;
+      List.iter
+        (fun (c, b) ->
+          Fmt.pf ppf "%aelse if (%a) then@." indent ind ast_expr_top c;
+          List.iter (ast_stmt (ind + 2) ppf) b)
+        rest;
+      if els <> [] then begin
+        Fmt.pf ppf "%aelse@." indent ind;
+        List.iter (ast_stmt (ind + 2) ppf) els
+      end;
+      Fmt.pf ppf "%aend if@." indent ind)
+  | Sdo (v, lo, hi, step, body) ->
+    (match step with
+    | None -> Fmt.pf ppf "do %s = %a, %a@." v ast_expr_top lo ast_expr_top hi
+    | Some st ->
+      Fmt.pf ppf "do %s = %a, %a, %a@." v ast_expr_top lo ast_expr_top hi
+        ast_expr_top st);
+    List.iter (ast_stmt (ind + 2) ppf) body;
+    Fmt.pf ppf "%aend do@." indent ind
+  | Sdowhile (c, body) ->
+    Fmt.pf ppf "do while (%a)@." ast_expr_top c;
+    List.iter (ast_stmt (ind + 2) ppf) body;
+    Fmt.pf ppf "%aend do@." indent ind
+  | Sgoto n -> Fmt.pf ppf "goto %d@." n
+  | Scontinue -> Fmt.pf ppf "continue@."
+  | Sreturn -> Fmt.pf ppf "return@."
+  | Sstop -> Fmt.pf ppf "stop@."
+  | Sprint [] -> Fmt.pf ppf "print *@."
+  | Sprint args ->
+    Fmt.pf ppf "print *, %a@." (Fmt.list ~sep:(Fmt.any ", ") ast_expr_top) args
+  | Sread ls -> Fmt.pf ppf "read *, %a@." (Fmt.list ~sep:(Fmt.any ", ") ast_lhs) ls
+
+let ast_decl ppf = function
+  | Dtype (ty, items) ->
+    let item ppf (name, dims) =
+      match dims with
+      | [] -> Fmt.string ppf name
+      | ds -> Fmt.pf ppf "%s(%a)" name (Fmt.list ~sep:(Fmt.any ", ") Fmt.int) ds
+    in
+    Fmt.pf ppf "  %a %a@." Ast.pp_ty ty (Fmt.list ~sep:(Fmt.any ", ") item) items
+  | Dcommon (block, members) ->
+    Fmt.pf ppf "  common /%s/ %a@." block
+      (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+      members
+  | Dparameter ps ->
+    let pair ppf (n, e) = Fmt.pf ppf "%s = %a" n ast_expr_top e in
+    Fmt.pf ppf "  parameter (%a)@." (Fmt.list ~sep:(Fmt.any ", ") pair) ps
+  | Ddata items ->
+    let value ppf (dv : Ast.data_value) =
+      if dv.dv_repeat <> 1 then Fmt.pf ppf "%d*" dv.dv_repeat;
+      match dv.dv_lit with
+      | Ast.Dlit_int n -> Fmt.int ppf n
+      | Ast.Dlit_real f -> Fmt.string ppf (real_string f)
+      | Ast.Dlit_bool true -> Fmt.string ppf ".true."
+      | Ast.Dlit_bool false -> Fmt.string ppf ".false."
+    in
+    let item ppf (name, vs) =
+      Fmt.pf ppf "%s /%a/" name (Fmt.list ~sep:(Fmt.any ", ") value) vs
+    in
+    Fmt.pf ppf "  data %a@." (Fmt.list ~sep:(Fmt.any ", ") item) items
+
+let pp_ast_unit ppf (u : Ast.punit) =
+  (match u.ukind with
+  | Uprogram -> Fmt.pf ppf "program %s@." u.uname
+  | Usubroutine ->
+    if u.uformals = [] then Fmt.pf ppf "subroutine %s@." u.uname
+    else
+      Fmt.pf ppf "subroutine %s(%a)@." u.uname
+        (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+        u.uformals
+  | Ufunction ->
+    Fmt.pf ppf "function %s(%a)@." u.uname
+      (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+      u.uformals);
+  List.iter (ast_decl ppf) u.udecls;
+  List.iter (ast_stmt 2 ppf) u.ubody;
+  Fmt.pf ppf "end@."
+
+let pp_ast_program ppf (units : Ast.program) =
+  List.iteri
+    (fun i u ->
+      if i > 0 then Fmt.pf ppf "@.";
+      pp_ast_unit ppf u)
+    units
+
+let ast_program_to_string units = Fmt.str "%a" pp_ast_program units
+
+(* ------------------------------------------------------------------ *)
+(* Resolved program printer.                                            *)
+
+let rec prog_expr_prec ppf (p, (e : Prog.expr)) =
+  let self = prec_of_prog e in
+  let wrap body = if self < p then Fmt.pf ppf "(%t)" body else body ppf in
+  match e.edesc with
+  | Cint n -> if n < 0 then wrap (fun ppf -> Fmt.pf ppf "-%d" (-n)) else Fmt.int ppf n
+  | Creal f -> Fmt.string ppf (real_string f)
+  | Cbool true -> Fmt.string ppf ".true."
+  | Cbool false -> Fmt.string ppf ".false."
+  | Cstr s -> Fmt.pf ppf "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+  | Evar v -> Fmt.string ppf v.vname
+  | Earr (v, idx) ->
+    Fmt.pf ppf "%s(%a)" v.vname (Fmt.list ~sep:(Fmt.any ", ") prog_expr_top) idx
+  | Ecall (f, args) ->
+    Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:(Fmt.any ", ") prog_expr_top) args
+  | Eintr (intr, args) ->
+    Fmt.pf ppf "%s(%a)" (Prog.intrinsic_name intr)
+      (Fmt.list ~sep:(Fmt.any ", ") prog_expr_top)
+      args
+  | Eun (Neg, a) -> wrap (fun ppf -> Fmt.pf ppf "-%a" prog_expr_prec (prec_neg + 1, a))
+  | Eun (Not, a) -> wrap (fun ppf -> Fmt.pf ppf ".not. %a" prog_expr_prec (prec_not, a))
+  | Ebin (op, a, b) ->
+    let pr = prec op in
+    let left = if op = Pow then pr + 1 else pr in
+    let right =
+      match op with
+      | Sub | Div -> pr + 1
+      | Pow -> pr - 1
+      | Lt | Le | Gt | Ge | Eq | Ne -> pr + 1
+      | Add | Mul | And | Or -> pr
+    in
+    wrap (fun ppf ->
+        Fmt.pf ppf "%a %s %a" prog_expr_prec (left, a) (op_string op)
+          prog_expr_prec (right, b))
+
+and prec_of_prog (e : Prog.expr) =
+  match e.edesc with
+  | Cint n when n < 0 -> prec_neg
+  | Cint _ | Creal _ | Cbool _ | Cstr _ | Evar _ | Earr _ | Ecall _ | Eintr _
+    ->
+    prec_atom
+  | Eun (Neg, _) -> prec_neg
+  | Eun (Not, _) -> prec_not
+  | Ebin (op, _, _) -> prec op
+
+and prog_expr_top ppf e = prog_expr_prec ppf (0, e)
+
+let pp_expr = prog_expr_top
+
+let prog_lhs ppf = function
+  | Prog.Lvar v -> Fmt.string ppf v.Prog.vname
+  | Prog.Larr (v, idx) ->
+    Fmt.pf ppf "%s(%a)" v.Prog.vname (Fmt.list ~sep:(Fmt.any ", ") prog_expr_top) idx
+
+let rec prog_stmt ind ppf (s : Prog.stmt) =
+  indent ppf ind;
+  label_prefix ppf s.slabel;
+  match s.sdesc with
+  | Sassign (l, e) -> Fmt.pf ppf "%a = %a@." prog_lhs l prog_expr_top e
+  | Scall (f, []) -> Fmt.pf ppf "call %s@." f
+  | Scall (f, args) ->
+    Fmt.pf ppf "call %s(%a)@." f (Fmt.list ~sep:(Fmt.any ", ") prog_expr_top) args
+  | Sif (arms, els) ->
+    (match arms with
+    | [] ->
+      (* an if with no arms can only arise from DCE; print its else inline *)
+      Fmt.pf ppf "continue@.";
+      List.iter (prog_stmt ind ppf) els
+    | (c0, b0) :: rest ->
+      Fmt.pf ppf "if (%a) then@." prog_expr_top c0;
+      List.iter (prog_stmt (ind + 2) ppf) b0;
+      List.iter
+        (fun (c, b) ->
+          Fmt.pf ppf "%aelse if (%a) then@." indent ind prog_expr_top c;
+          List.iter (prog_stmt (ind + 2) ppf) b)
+        rest;
+      if els <> [] then begin
+        Fmt.pf ppf "%aelse@." indent ind;
+        List.iter (prog_stmt (ind + 2) ppf) els
+      end;
+      Fmt.pf ppf "%aend if@." indent ind)
+  | Sdo (v, lo, hi, step, body) ->
+    (match step with
+    | None ->
+      Fmt.pf ppf "do %s = %a, %a@." v.vname prog_expr_top lo prog_expr_top hi
+    | Some st ->
+      Fmt.pf ppf "do %s = %a, %a, %a@." v.vname prog_expr_top lo prog_expr_top hi
+        prog_expr_top st);
+    List.iter (prog_stmt (ind + 2) ppf) body;
+    Fmt.pf ppf "%aend do@." indent ind
+  | Sdowhile (c, body) ->
+    Fmt.pf ppf "do while (%a)@." prog_expr_top c;
+    List.iter (prog_stmt (ind + 2) ppf) body;
+    Fmt.pf ppf "%aend do@." indent ind
+  | Sgoto n -> Fmt.pf ppf "goto %d@." n
+  | Scontinue -> Fmt.pf ppf "continue@."
+  | Sreturn -> Fmt.pf ppf "return@."
+  | Sstop -> Fmt.pf ppf "stop@."
+  | Sprint [] -> Fmt.pf ppf "print *@."
+  | Sprint args ->
+    Fmt.pf ppf "print *, %a@." (Fmt.list ~sep:(Fmt.any ", ") prog_expr_top) args
+  | Sread ls -> Fmt.pf ppf "read *, %a@." (Fmt.list ~sep:(Fmt.any ", ") prog_lhs) ls
+
+(* Declarations reconstructed from the resolved symbol information. *)
+let prog_decls ppf (p : Prog.proc) =
+  let needs_decl (v : Prog.var) =
+    v.vdims <> [] || v.vty <> Implicit.ty_of_name v.vname
+  in
+  let decl_of ppf (v : Prog.var) =
+    match v.vdims with
+    | [] -> Fmt.pf ppf "  %a %s@." Ast.pp_ty v.vty v.vname
+    | ds ->
+      Fmt.pf ppf "  %a %s(%a)@." Ast.pp_ty v.vty v.vname
+        (Fmt.list ~sep:(Fmt.any ", ") Fmt.int)
+        ds
+  in
+  let declare_if_needed v = if needs_decl v then decl_of ppf v in
+  List.iter declare_if_needed p.pformals;
+  Option.iter declare_if_needed p.presult;
+  (* common members: group consecutive same-block entries *)
+  let rec group = function
+    | [] -> []
+    | (alias, (g : Prog.global)) :: rest ->
+      let block = g.gblock in
+      let same, others =
+        let rec split acc = function
+          | (a, (g' : Prog.global)) :: tl when g'.gblock = block ->
+            split ((a, g') :: acc) tl
+          | tl -> (List.rev acc, tl)
+        in
+        split [ (alias, g) ] rest
+      in
+      (block, same) :: group others
+  in
+  List.iter
+    (fun (block, members) ->
+      Fmt.pf ppf "  common /%s/ %a@." block
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (a, _) -> Fmt.string ppf a))
+        members;
+      List.iter
+        (fun (alias, (g : Prog.global)) ->
+          declare_if_needed
+            { Prog.vname = alias; vty = g.gty; vdims = g.gdims; vkind = Kglobal g })
+        members)
+    (group p.pglobals);
+  List.iter declare_if_needed p.plocals;
+  (* data statements *)
+  let data_value ppf (repeat, (c : Prog.data_const)) =
+    if repeat <> 1 then Fmt.pf ppf "%d*" repeat;
+    match c with
+    | Prog.Dc_int n -> Fmt.int ppf n
+    | Prog.Dc_real f -> Fmt.string ppf (real_string f)
+    | Prog.Dc_bool true -> Fmt.string ppf ".true."
+    | Prog.Dc_bool false -> Fmt.string ppf ".false."
+  in
+  List.iter
+    (fun (d : Prog.data_init) ->
+      Fmt.pf ppf "  data %s /%a/@." d.di_var.vname
+        (Fmt.list ~sep:(Fmt.any ", ") data_value)
+        d.di_values)
+    p.pdata
+
+let pp_proc ppf (p : Prog.proc) =
+  (match p.pkind with
+  | Pmain -> Fmt.pf ppf "program %s@." p.pname
+  | Psubroutine ->
+    if p.pformals = [] then Fmt.pf ppf "subroutine %s@." p.pname
+    else
+      Fmt.pf ppf "subroutine %s(%a)@." p.pname
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (v : Prog.var) -> Fmt.string ppf v.vname))
+        p.pformals
+  | Pfunction ->
+    Fmt.pf ppf "function %s(%a)@." p.pname
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (v : Prog.var) -> Fmt.string ppf v.vname))
+      p.pformals);
+  prog_decls ppf p;
+  List.iter (prog_stmt 2 ppf) p.pbody;
+  Fmt.pf ppf "end@."
+
+let pp_program ppf (t : Prog.t) =
+  List.iteri
+    (fun i p ->
+      if i > 0 then Fmt.pf ppf "@.";
+      pp_proc ppf p)
+    t.procs
+
+let program_to_string t = Fmt.str "%a" pp_program t

@@ -1,0 +1,11 @@
+(** Semantic analysis: raw AST → resolved program.
+
+    Raises {!Loc.Error} on any semantic violation (unknown names, arity or
+    type mismatches, inconsistent common blocks, duplicate units or labels,
+    missing or multiple main programs, bad goto targets, ...). *)
+
+(** Resolve a parsed program. *)
+val resolve : Ast.program -> Prog.t
+
+(** Parse and resolve a source string in one step. *)
+val parse_and_resolve : ?file:string -> string -> Prog.t

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Ast Float Fmt Hashtbl Ipcp_frontend List Prog String

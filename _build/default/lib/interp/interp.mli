@@ -1,0 +1,42 @@
+(** Reference interpreter for resolved MiniFort programs: FORTRAN-77
+    semantics (by-reference arguments, common storage, column-major arrays,
+    truncating integer arithmetic, DO bounds evaluated once).
+
+    It serves as the test suite's soundness oracle: procedure-entry
+    snapshots record the values of scalar formals and globals so every
+    CONSTANTS fact can be checked against actual executions, and printed
+    output lets transformed programs be compared to their originals. *)
+
+open Ipcp_frontend
+
+type value = Vint of int | Vreal of float | Vbool of bool
+
+val pp_value : value Fmt.t
+val equal_value : value -> value -> bool
+
+(** Values of scalar formals (by position) and scalar globals (by
+    {!Prog.global_key}) at one procedure entry; [None] = still
+    uninitialized. *)
+type entry_snapshot = {
+  es_proc : string;
+  es_formals : (int * value option) list;
+  es_globals : (string * value option) list;
+}
+
+type outcome =
+  | Finished
+  | Out_of_fuel
+  | Failed of string  (** runtime error (uninitialized read, bounds, ...) *)
+
+type result = {
+  outputs : string list;  (** printed lines, in order *)
+  entries : entry_snapshot list;  (** procedure entries, in order *)
+  steps : int;
+  outcome : outcome;
+}
+
+(** Run the main program.  [fuel] bounds interpreter steps; [input] feeds
+    [read] statements (exhausted input reads 0); [trace_entries] controls
+    whether entry snapshots are recorded. *)
+val run :
+  ?fuel:int -> ?input:int list -> ?trace_entries:bool -> Prog.t -> result

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Fmt Ipcp_frontend List Loc Option Pretty Prog

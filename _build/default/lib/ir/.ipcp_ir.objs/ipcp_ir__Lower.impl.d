@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Ast Cfg Hashtbl Ipcp_frontend List Loc Option Printf Prog

@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Cfg Ipcp_frontend Prog

@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Array Cfg Dom Fmt Hashtbl Ipcp_frontend Ipcp_support List Option Prog

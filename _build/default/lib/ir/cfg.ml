@@ -1,0 +1,176 @@
+(** Control-flow graph for one MiniFort procedure.
+
+    The CFG is produced by {!Lower} from a resolved {!Prog.proc}.  Its
+    instructions reference {!Prog.expr} values that are guaranteed
+    *call-free*: function calls have been hoisted into explicit {!Icall}
+    instructions assigning compiler temporaries, so data-flow analyses can
+    treat every rvalue as a pure expression. *)
+
+open Ipcp_frontend
+
+(** A call instruction.  [c_site] is the program-wide unique call-site id
+    (the statement id for [call] statements, the expression id for function
+    calls), matching {!Prog.call_sites}. *)
+type call = {
+  c_site : int;
+  c_callee : string;
+  c_args : Prog.expr list;  (** call-free; lvalue actuals kept intact *)
+  c_result : Prog.var option;  (** temp receiving a function result *)
+  c_loc : Loc.t;
+}
+
+type instr =
+  | Iassign of Prog.var * Prog.expr  (** scalar := pure expr *)
+  | Iastore of Prog.var * Prog.expr list * Prog.expr  (** array(idx) := expr *)
+  | Icall of call
+  | Iread_scalar of Prog.var
+  | Iread_elem of Prog.var * Prog.expr list
+  | Iprint of Prog.expr list
+
+type terminator =
+  | Tgoto of int
+  | Tbranch of Prog.expr * int * int  (** condition, then-target, else-target *)
+  | Treturn
+  | Tstop
+
+type block = {
+  b_id : int;
+  mutable b_instrs : instr list;
+  mutable b_term : terminator;
+}
+
+type t = {
+  proc_name : string;
+  entry : int;
+  blocks : block array;  (** indexed by block id *)
+}
+
+let block t id = t.blocks.(id)
+
+let num_blocks t = Array.length t.blocks
+
+let successors_of_term = function
+  | Tgoto b -> [ b ]
+  | Tbranch (_, b1, b2) -> if b1 = b2 then [ b1 ] else [ b1; b2 ]
+  | Treturn | Tstop -> []
+
+let successors t id = successors_of_term t.blocks.(id).b_term
+
+(** Predecessor lists for every block (unique, ascending). *)
+let predecessors t : int list array =
+  let preds = Array.make (num_blocks t) [] in
+  Array.iter
+    (fun b ->
+      List.iter (fun s -> preds.(s) <- b.b_id :: preds.(s)) (successors t b.b_id))
+    t.blocks;
+  Array.map (fun l -> List.sort_uniq compare l) preds
+
+(** Blocks reachable from the entry, as a boolean array. *)
+let reachable t : bool array =
+  let seen = Array.make (num_blocks t) false in
+  let rec dfs id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter dfs (successors t id)
+    end
+  in
+  dfs t.entry;
+  seen
+
+(** Reverse postorder of the reachable blocks, starting at the entry. *)
+let reverse_postorder t : int list =
+  let seen = Array.make (num_blocks t) false in
+  let order = ref [] in
+  let rec dfs id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter dfs (successors t id);
+      order := id :: !order
+    end
+  in
+  dfs t.entry;
+  !order
+
+(* ------------------------------------------------------------------ *)
+(* Uses and defs of instructions (scalar variables only).               *)
+
+(* Scalar variables read by a pure expression, in evaluation order. *)
+let rec expr_uses (e : Prog.expr) acc =
+  match e.edesc with
+  | Prog.Cint _ | Prog.Creal _ | Prog.Cbool _ | Prog.Cstr _ -> acc
+  | Prog.Evar v -> if Prog.is_scalar v then v :: acc else acc
+  | Prog.Earr (_, idx) -> List.fold_left (fun acc i -> expr_uses i acc) acc idx
+  | Prog.Ecall (_, args) ->
+    (* does not occur in lowered CFGs, but stay total *)
+    List.fold_left (fun acc a -> expr_uses a acc) acc args
+  | Prog.Eintr (_, args) ->
+    List.fold_left (fun acc a -> expr_uses a acc) acc args
+  | Prog.Eun (_, a) -> expr_uses a acc
+  | Prog.Ebin (_, a, b) -> expr_uses b (expr_uses a acc)
+
+let exprs_uses es = List.fold_left (fun acc e -> expr_uses e acc) [] es
+
+(** Scalar variables an instruction may read.  For calls this covers scalar
+    variables appearing in argument expressions (including by-ref scalar
+    actuals, which the callee may read). *)
+let instr_uses = function
+  | Iassign (_, e) -> List.rev (expr_uses e [])
+  | Iastore (_, idx, e) -> List.rev (expr_uses e (exprs_uses idx))
+  | Icall c -> List.rev (exprs_uses c.c_args)
+  | Iread_scalar _ -> []
+  | Iread_elem (_, idx) -> List.rev (exprs_uses idx)
+  | Iprint es -> List.rev (exprs_uses es)
+
+(** Scalar variables an instruction certainly or potentially defines,
+    *excluding* call effects (those depend on MOD information and are
+    supplied separately to the SSA construction). *)
+let instr_direct_defs = function
+  | Iassign (v, _) -> [ v ]
+  | Iastore _ -> []
+  | Icall c -> Option.to_list c.c_result
+  | Iread_scalar v -> [ v ]
+  | Iread_elem _ -> []
+  | Iprint _ -> []
+
+let term_uses = function
+  | Tbranch (c, _, _) -> List.rev (expr_uses c [])
+  | Tgoto _ | Treturn | Tstop -> []
+
+(* ------------------------------------------------------------------ *)
+(* Printing (for debugging and golden tests).                           *)
+
+let pp_instr ppf = function
+  | Iassign (v, e) -> Fmt.pf ppf "%s := %a" v.Prog.vname Pretty.pp_expr e
+  | Iastore (v, idx, e) ->
+    Fmt.pf ppf "%s(%a) := %a" v.Prog.vname
+      (Fmt.list ~sep:(Fmt.any ", ") Pretty.pp_expr)
+      idx Pretty.pp_expr e
+  | Icall c ->
+    (match c.c_result with
+    | Some r -> Fmt.pf ppf "%s := call %s(%a)" r.Prog.vname c.c_callee
+    | None -> Fmt.pf ppf "call %s(%a)" c.c_callee)
+      (Fmt.list ~sep:(Fmt.any ", ") Pretty.pp_expr)
+      c.c_args
+  | Iread_scalar v -> Fmt.pf ppf "read %s" v.Prog.vname
+  | Iread_elem (v, idx) ->
+    Fmt.pf ppf "read %s(%a)" v.Prog.vname
+      (Fmt.list ~sep:(Fmt.any ", ") Pretty.pp_expr)
+      idx
+  | Iprint es ->
+    Fmt.pf ppf "print %a" (Fmt.list ~sep:(Fmt.any ", ") Pretty.pp_expr) es
+
+let pp_terminator ppf = function
+  | Tgoto b -> Fmt.pf ppf "goto B%d" b
+  | Tbranch (c, b1, b2) ->
+    Fmt.pf ppf "branch %a ? B%d : B%d" Pretty.pp_expr c b1 b2
+  | Treturn -> Fmt.string ppf "return"
+  | Tstop -> Fmt.string ppf "stop"
+
+let pp ppf t =
+  Fmt.pf ppf "cfg %s (entry B%d)@." t.proc_name t.entry;
+  Array.iter
+    (fun b ->
+      Fmt.pf ppf "B%d:@." b.b_id;
+      List.iter (fun i -> Fmt.pf ppf "  %a@." pp_instr i) b.b_instrs;
+      Fmt.pf ppf "  %a@." pp_terminator b.b_term)
+    t.blocks

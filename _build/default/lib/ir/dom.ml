@@ -1,0 +1,89 @@
+(** Dominator tree and dominance frontiers.
+
+    Implements the iterative algorithm of Cooper, Harvey & Kennedy ("A
+    Simple, Fast Dominance Algorithm"): intersect dominator paths over the
+    reverse-postorder until fixpoint, then derive dominance frontiers per
+    Cytron et al.  Only blocks reachable from the entry participate;
+    unreachable blocks report no dominators and empty frontiers. *)
+
+type t = {
+  cfg : Cfg.t;
+  idom : int array;  (** immediate dominator; [idom.(entry) = entry];
+                         [-1] for unreachable blocks *)
+  rpo_index : int array;  (** position in reverse postorder; [-1] unreachable *)
+  rpo : int list;
+  children : int list array;  (** dominator-tree children *)
+  frontier : int list array;  (** dominance frontier per block *)
+}
+
+let compute (cfg : Cfg.t) : t =
+  let n = Cfg.num_blocks cfg in
+  let rpo = Cfg.reverse_postorder cfg in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let preds = Cfg.predecessors cfg in
+  let idom = Array.make n (-1) in
+  idom.(cfg.entry) <- cfg.entry;
+  let rec intersect b1 b2 =
+    if b1 = b2 then b1
+    else if rpo_index.(b1) > rpo_index.(b2) then intersect idom.(b1) b2
+    else intersect b1 idom.(b2)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> cfg.entry then begin
+          let processed_preds =
+            List.filter
+              (fun p -> idom.(p) <> -1 && rpo_index.(p) <> -1)
+              preds.(b)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(b) <> new_idom then begin
+              idom.(b) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  let children = Array.make n [] in
+  List.iter
+    (fun b ->
+      if b <> cfg.entry && idom.(b) <> -1 then
+        children.(idom.(b)) <- b :: children.(idom.(b)))
+    rpo;
+  (* Dominance frontiers (Cytron et al. figure 10). *)
+  let frontier = Array.make n [] in
+  List.iter
+    (fun b ->
+      let ps = List.filter (fun p -> rpo_index.(p) <> -1) preds.(b) in
+      if List.length ps >= 2 then
+        List.iter
+          (fun p ->
+            let rec runner r =
+              if r <> idom.(b) then begin
+                if not (List.mem b frontier.(r)) then
+                  frontier.(r) <- b :: frontier.(r);
+                runner idom.(r)
+              end
+            in
+            runner p)
+          ps)
+    rpo;
+  { cfg; idom; rpo_index; rpo; children; frontier }
+
+(** [dominates t a b]: does [a] dominate [b]?  (Reflexive.)  False if either
+    block is unreachable. *)
+let dominates t a b =
+  if t.rpo_index.(a) = -1 || t.rpo_index.(b) = -1 then false
+  else begin
+    let rec up b = if b = a then true else if b = t.cfg.entry then false else up t.idom.(b) in
+    up b
+  end
+
+let is_reachable t b = t.rpo_index.(b) <> -1

@@ -1,0 +1,20 @@
+(** Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy iterative
+    algorithm; frontiers per Cytron et al.).  Unreachable blocks have no
+    dominators and empty frontiers. *)
+
+type t = {
+  cfg : Cfg.t;
+  idom : int array;  (** immediate dominator; entry points to itself; [-1]
+                         for unreachable blocks *)
+  rpo_index : int array;  (** reverse-postorder position; [-1] unreachable *)
+  rpo : int list;
+  children : int list array;  (** dominator-tree children *)
+  frontier : int list array;  (** dominance frontier per block *)
+}
+
+val compute : Cfg.t -> t
+
+(** Reflexive dominance; false if either block is unreachable. *)
+val dominates : t -> int -> int -> bool
+
+val is_reachable : t -> int -> bool

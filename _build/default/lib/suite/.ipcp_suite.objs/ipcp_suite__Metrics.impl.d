@@ -1,0 +1,1 @@
+lib/suite/metrics.ml: Fmt Ipcp_frontend Ipcp_support List Prog Registry String

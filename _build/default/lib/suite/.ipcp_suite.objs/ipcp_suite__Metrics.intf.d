@@ -1,0 +1,1 @@
+lib/suite/metrics.mli: Fmt Registry

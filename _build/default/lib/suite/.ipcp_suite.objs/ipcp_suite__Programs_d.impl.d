@@ -1,0 +1,1 @@
+lib/suite/programs_d.ml:

@@ -1,0 +1,1 @@
+lib/suite/registry.ml: Hashtbl Ipcp_frontend List Prog Programs_a Programs_b Programs_c Programs_d Sema

@@ -1,0 +1,1 @@
+lib/suite/tables.ml: Complete Config Fmt Ipcp_core Jump_function List Metrics Registry Substitute

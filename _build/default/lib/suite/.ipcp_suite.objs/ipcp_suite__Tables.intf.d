@@ -1,0 +1,1 @@
+lib/suite/tables.mli: Fmt Registry

@@ -1,0 +1,1 @@
+lib/suite/workload.ml: Array Buffer Ipcp_frontend Ipcp_support List Option Printf Prng String

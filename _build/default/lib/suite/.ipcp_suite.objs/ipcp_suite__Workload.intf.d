@@ -1,0 +1,1 @@
+lib/suite/workload.mli: Ipcp_frontend

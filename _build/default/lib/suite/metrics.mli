@@ -1,0 +1,14 @@
+(** Program characteristics — the paper's Table 1. *)
+
+type characteristics = {
+  name : string;
+  lines : int;  (** non-blank, non-comment source lines *)
+  procedures : int;
+  call_sites : int;
+  mean_lines : float;  (** per procedure *)
+  median_lines : int;
+}
+
+val characteristics : Registry.entry -> characteristics
+val table1 : unit -> characteristics list
+val pp_table1 : unit Fmt.t

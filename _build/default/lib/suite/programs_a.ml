@@ -1,0 +1,500 @@
+(** Synthetic benchmark programs [adm], [doduc] and [fpppp].
+
+    Each program mirrors the *structural causes* the paper names for its
+    namesake's behaviour in Tables 2 and 3 (see DESIGN.md).  The absolute
+    substitution counts differ from the paper's — these are synthetic
+    programs, not the SPEC/PERFECT sources — but the orderings between
+    configurations are engineered to match. *)
+
+(** [adm] — MOD information is decisive; all four jump functions tie.
+
+    Paper shape: 110 constants under every jump function; only 25 without
+    MOD; 105 with intraprocedural propagation alone.
+
+    Construction: procedures hold many *local* integer constants whose
+    definitions and uses are separated by calls to harmless service
+    routines.  With MOD summaries the calls kill nothing and nearly every
+    constant is already visible intraprocedurally; without MOD each call is
+    a barrier and almost everything dies.  The few interprocedural constants
+    arrive as literals at call sites, so even the literal jump function
+    catches them. *)
+let adm =
+  {|
+program adm
+  integer nx, hours, i
+  real flux
+  call clkini
+  nx = 16
+  hours = 24
+  flux = 0.0
+  call emit(24, 6)
+  do i = 1, hours
+    call advect(16, 16, 4)
+    call diffuse(16, 16, 4)
+    call chem(6, 12)
+    call settle(16, 16)
+  end do
+  call wetdep(16, 16, 4)
+  call drydep(16, 16)
+  print *, nx
+  call report
+end
+
+subroutine clkini
+  common /clock/ nticks
+  integer nticks
+  nticks = 0
+end
+
+subroutine emit(nsrc, nspec)
+  integer nsrc, nspec, i, j, base, scale
+  real q
+  common /srcs/ sq
+  real sq(64)
+  base = 100
+  call tick(base)
+  scale = base / 4
+  call tick(scale)
+  q = 0.0
+  do i = 1, nsrc
+    do j = 1, nspec
+      q = q + scale
+    end do
+    sq(i) = q
+  end do
+  call tick(base)
+  i = base + scale
+  print *, 'emit', i, base - scale, nsrc, nspec
+end
+
+subroutine advect(nx, ny, nl)
+  integer nx, ny, nl, i, j, k, cfl, istep
+  real u, v
+  common /wind/ wu, wv
+  real wu, wv
+  cfl = 2
+  call tick(cfl)
+  istep = cfl * 3
+  call tick(istep)
+  wu = 1.5
+  wv = 0.5
+  u = wu
+  v = wv
+  do k = 1, nl
+    do j = 1, ny
+      do i = 1, nx
+        u = u + v / istep
+      end do
+    end do
+  end do
+  call tick(istep)
+  print *, 'advect', istep + cfl, istep - cfl, istep * cfl, nx, ny
+end
+
+subroutine diffuse(nx, ny, nl)
+  integer nx, ny, nl, i, k, order, niter, half
+  real kh
+  order = 4
+  call tick(order)
+  niter = order - 1
+  call tick(niter)
+  half = order / 2
+  call tick(half)
+  kh = 0.1
+  do k = 1, nl
+    do i = 1, nx * ny
+      kh = kh + niter
+    end do
+  end do
+  call tick(order)
+  print *, 'diffuse', order * niter, order + half, niter - half, nx, nl
+end
+
+subroutine chem(nspec, nreact)
+  integer nspec, nreact, i, j, nfast, nslow, nph
+  real conc
+  nfast = 8
+  call tick(nfast)
+  nslow = nfast / 2
+  call tick(nslow)
+  nph = nfast + nslow
+  call tick(nph)
+  conc = 0.0
+  do i = 1, nspec
+    do j = 1, nreact
+      conc = conc + nfast * 0.01
+    end do
+  end do
+  call tick(nph)
+  print *, 'chem', nfast, nslow, nph, nfast - nslow, nspec, nreact
+  print *, 'chem2', nph * 2, nslow + 1, nspec * nreact
+end
+
+subroutine settle(nx, ny)
+  integer nx, ny, i, nsize, nbin
+  real vel
+  nsize = 12
+  call tick(nsize)
+  nbin = nsize / 3
+  call tick(nbin)
+  vel = 0.0
+  do i = 1, nx
+    vel = vel + nbin * 0.1
+  end do
+  call tick(nsize)
+  print *, 'settle', nsize, nbin, nsize - nbin, nsize + nbin, nx, ny
+end
+
+subroutine wetdep(nx, ny, nl)
+  integer nx, ny, nl, k, nrain, nhail
+  real scav
+  nrain = 7
+  call tick(nrain)
+  nhail = nrain - 5
+  call tick(nhail)
+  scav = 0.0
+  do k = 1, nl
+    scav = scav + nrain
+  end do
+  call tick(nrain)
+  print *, 'wetdep', nrain, nhail, nrain * nhail, nx + ny, nl
+  print *, 'wetdp2', nrain + 2, nhail * 3
+end
+
+subroutine drydep(nx, ny)
+  integer nx, ny, nveg, nsoil
+  nveg = 5
+  call tick(nveg)
+  nsoil = nveg * 2
+  call tick(nsoil)
+  print *, 'drydep', nveg, nsoil, nveg + nsoil, nsoil - nveg, nx * ny
+end
+
+subroutine tick(nval)
+  integer nval
+  common /clock/ nticks
+  integer nticks
+  nticks = nticks + nval - nval + 1
+end
+
+subroutine report
+  common /clock/ nt
+  integer nt
+  print *, 'ticks', nt
+end
+|}
+
+(** [doduc] — nearly everything is a literal constant at some call site.
+
+    Paper shape: literal 288 vs. 289 for the other jump functions; losing
+    return jump functions costs 2; losing MOD barely matters; the
+    intraprocedural baseline finds almost nothing (3).
+
+    Construction: a tree of small routines, each invoked from exactly one
+    site with literal actuals that are then used many times (no conflicting
+    sites, few interfering calls, almost no local integer constants).  One
+    argument is a locally computed constant (intraconst gains 1 over
+    literal) and one out-parameter needs a return jump function (2 uses). *)
+let doduc =
+  {|
+program doduc
+  integer nret, nloc
+  call pipe1(8, 3)
+  call pipe2(12, 5)
+  call pipe3(6, 2)
+  nloc = 14 / 2
+  call pipe4(nloc)
+  call pipe5(9, 4)
+  call pipe6(20, 10)
+  call pipe7(15, 3)
+  call pipe8(18, 6)
+  call pipe9(28, 7)
+  call probe(nret)
+  call consume(nret)
+end
+
+subroutine pipe1(n, m)
+  integer n, m, i
+  real acc
+  acc = 0.0
+  do i = 1, n
+    acc = acc + m * i + n
+  end do
+  print *, 'p1', n + m, n - m, n * m, n / m
+  call stage1a(8, 3)
+end
+
+subroutine stage1a(n, m)
+  integer n, m
+  print *, 's1a', n / m, n + 2 * m, n - m
+  call stage2a(8, 3)
+end
+
+subroutine stage2a(n, q)
+  integer n, q
+  print *, 's2a', n * q, q - n, q + q, n + n
+end
+
+subroutine pipe2(n, m)
+  integer n, m, i
+  real acc
+  acc = 1.0
+  do i = 1, m
+    acc = acc * n
+  end do
+  print *, 'p2', n + m, n * 2, m * 3, n - m
+  call stage1b(12, 5)
+end
+
+subroutine stage1b(n, m)
+  integer n, m
+  print *, 's1b', n * m, n / m, n + m
+end
+
+subroutine pipe3(n, m)
+  integer n, m
+  print *, 'p3', n - m, n + m, n * m, n / m
+  call stage3(6, 2)
+end
+
+subroutine stage3(a, b)
+  integer a, b
+  print *, 's3', a + b, a - b, a * b, a / b, a + 2 * b, a - 2 * b
+end
+
+subroutine pipe4(k)
+  integer k
+  print *, 'p4', k + 1, k * 2, k - 3, k / 7
+end
+
+subroutine pipe5(n, m)
+  integer n, m
+  print *, 'p5', n + m, n - m, n * m, n / m, n + 2 * m
+  call stage5a(9, 4)
+  call stage5b(9, 4)
+end
+
+subroutine stage5a(n, m)
+  integer n, m
+  print *, 's5a', n * m, n + m, n - m, n / m
+end
+
+subroutine stage5b(n, m)
+  integer n, m
+  print *, 's5b', n + 3 * m, n * 2 - m, n + n + m
+end
+
+subroutine pipe6(n, m)
+  integer n, m
+  print *, 'p6', n / m, n - m, n + m, n * m, n - 2 * m
+  call stage6a(20, 10)
+end
+
+subroutine stage6a(n, m)
+  integer n, m
+  print *, 's6a', n - m, n + m, n / m, n * m, m * 3, n * 2
+  call stage6b(20, 10)
+end
+
+subroutine stage6b(n, m)
+  integer n, m
+  print *, 's6b', n + m + 1, n - m - 1, n * m / 4
+end
+
+subroutine pipe7(n, m)
+  integer n, m, i
+  real heat
+  heat = 0.0
+  do i = 1, m
+    heat = heat + n * 0.5
+  end do
+  print *, 'p7', n + m, n - m, n * m, n / m, n + 2 * m, n - 2 * m
+  call stage7a(15, 3)
+  call stage7b(15, 3)
+end
+
+subroutine stage7a(n, m)
+  integer n, m
+  print *, 's7a', n * m, n + m, n / m, n - m, m * m
+end
+
+subroutine stage7b(n, m)
+  integer n, m
+  print *, 's7b', n + m + 1, n * 2, m * 5, n - m - 2
+  call stage7c(15, 3)
+end
+
+subroutine stage7c(n, m)
+  integer n, m
+  print *, 's7c', n / m - 1, n * m + 2, n + 4 * m
+end
+
+subroutine pipe8(n, m)
+  integer n, m
+  print *, 'p8', n / m, n * m, n + m, n - m, n + n, m + m
+  call stage8a(18, 6)
+end
+
+subroutine stage8a(n, m)
+  integer n, m
+  print *, 's8a', n - 2 * m, n + 3 * m, n * 2 - m, n / m + 1
+  call stage8b(18, 6)
+end
+
+subroutine stage8b(n, m)
+  integer n, m
+  print *, 's8b', n * m / 9, n + m - 4, m * 7 - n
+end
+
+subroutine pipe9(n, m)
+  integer n, m, i
+  real cool
+  cool = 1.0
+  do i = 1, m
+    cool = cool * 0.9
+  end do
+  print *, 'p9', n + m, n - m, n * m, n / m, n * 3, m * 4
+  call stage9a(28, 7)
+end
+
+subroutine stage9a(n, m)
+  integer n, m
+  print *, 's9a', n / m, n - m, n + m, n * 2 + m, n - 3 * m
+end
+
+subroutine probe(out)
+  integer out
+  out = 17
+end
+
+subroutine consume(v)
+  integer v
+  print *, 'c', v + 1, v * 2
+end
+|}
+
+(** [fpppp] — a single huge routine dominates; modest spread between jump
+    functions.
+
+    Paper shape: literal 49 < intraconst 54 < pass-through = polynomial 60;
+    without return jump functions 56; without MOD 34; intraprocedural 38.
+
+    Construction: one long routine ([twoel]) with many local constants
+    (giving the intraprocedural baseline a decent score), some literal call
+    arguments, locally-computed constant arguments (intraconst > literal),
+    formals forwarded to helpers (pass-through > intraconst), and two
+    out-parameters whose values only return jump functions recover. *)
+let fpppp =
+  {|
+program fpppp
+  integer nbasis, nshell
+  nbasis = 30
+  nshell = 10
+  call twoel(nbasis, nshell)
+  call final(6)
+end
+
+subroutine twoel(nb, ns)
+  integer nb, ns, i, j, k, l
+  integer mmax, kount, nij, nkl, lim1, lim2
+  real gout, val, t1, t2
+  common /pk/ pkx, pky
+  integer pkx, pky
+  mmax = 8
+  kount = 0
+  gout = 0.0
+  nij = mmax * 2
+  call setpk
+  lim1 = 5
+  nkl = lim1 + 3
+  val = 0.0
+  do i = 1, nb
+    do j = 1, ns
+      val = val + nij
+      kount = kount + 1
+    end do
+  end do
+  t1 = val
+  lim2 = lim1 * 2
+  do k = 1, nkl
+    do l = 1, lim2
+      gout = gout + t1 / nkl
+    end do
+  end do
+  t2 = gout
+  print *, 'twoel', mmax, nij, nkl, lim1, lim2, kount
+  print *, 'pk', pkx, pky, pkx + pky
+  print *, 'tw2', mmax * 2, nij + nkl, lim1 + lim2, mmax - lim1
+  print *, 'tw3', nij / mmax, lim2 - lim1, nkl * lim1
+  call shellq(nij, mmax)
+  call xyzint(lim1, lim2, nkl)
+  call basis(nb, ns)
+  call norms(nb, ns)
+  call fmgen(4)
+  call dgemmq(16, 8)
+  print *, t2
+end
+
+subroutine setpk
+  common /pk/ px, py
+  integer px, py
+  px = 3
+  py = 9
+end
+
+subroutine shellq(n, m)
+  integer n, m, i
+  real s
+  s = 0.0
+  do i = 1, n
+    s = s + m
+  end do
+  print *, 'shellq', n + m, n - m
+end
+
+subroutine xyzint(l1, l2, nk)
+  integer l1, l2, nk
+  print *, 'xyzint', l1 * l2, nk + l1, l2 - l1
+end
+
+subroutine basis(n, m)
+  integer n, m
+  print *, 'basis', n + m, n - m, n / m
+end
+
+subroutine fmgen(npts)
+  integer npts, i
+  real f
+  f = 1.0
+  do i = 1, npts
+    f = f * 0.5
+  end do
+  print *, 'fmgen', npts * 2
+end
+
+subroutine norms(n, m)
+  integer n, m, i
+  real z
+  z = 0.0
+  do i = 1, m
+    z = z + n
+  end do
+  print *, 'norms', n * 2, n + m, n - m, n / m
+end
+
+subroutine dgemmq(n, m)
+  integer n, m, i, nblk
+  real acc
+  nblk = 4
+  acc = 0.0
+  do i = 1, n
+    acc = acc + m * nblk
+  end do
+  print *, 'dgemmq', n, m, nblk, n / nblk, m * nblk, n - m
+end
+
+subroutine final(n)
+  integer n
+  print *, 'final', n * n
+end
+|}

@@ -1,0 +1,361 @@
+(** Synthetic benchmark programs [linpackd], [matrix300] and [mdg]. *)
+
+(** [linpackd] — a large gap between the literal and intraprocedural
+    constant jump functions; pass-through adds nothing.
+
+    Paper shape: literal 94 < intraconst = pass-through = polynomial 170;
+    without MOD 33; intraprocedural baseline 74.
+
+    Construction: the driver computes its problem sizes into locals and
+    passes the *variables* (invisible to the literal jump function, visible
+    to intraconst); inner call sites pass locally recomputed constants
+    rather than forwarding formals (so pass-through gains nothing).  Local
+    constants inside the solvers keep the intraprocedural baseline healthy,
+    and harmless bookkeeping calls between their defs and uses make MOD
+    information essential. *)
+let linpackd =
+  {|
+program linpackd
+  integer n, lda, ntimes, i
+  call statz
+  n = 100
+  lda = 201
+  ntimes = 4
+  call dgefa(n, lda)
+  do i = 1, ntimes
+    call dgesl(n, lda)
+  end do
+  call dmxpy(n)
+  call dtrsl(n, lda)
+  call dpodi(n)
+  call epslon(lda)
+  print *, 'done', n, lda
+end
+
+subroutine statz
+  common /stats/ nops, nswaps
+  integer nops, nswaps
+  nops = 0
+  nswaps = 0
+end
+
+subroutine dgefa(n, lda)
+  integer n, lda, j, k, kb, nm1, info
+  real t, pivot
+  nm1 = 100 - 1
+  call countop(nm1)
+  info = 0
+  pivot = 1.0
+  t = 0.0
+  do k = 1, nm1
+    call countop(info)
+    do j = k, n
+      t = t + pivot / lda
+    end do
+  end do
+  kb = 100
+  call countop(kb)
+  call idamax(kb)
+  call dscal(99)
+  print *, 'dgefa', nm1, kb, info, n + lda
+end
+
+subroutine dgesl(n, lda)
+  integer n, lda, k, nm1, job
+  real t
+  job = 0
+  call countop(job)
+  nm1 = 100 - 1
+  call countop(nm1)
+  t = 0.0
+  do k = 1, nm1
+    t = t + k * 1.0 / lda
+  end do
+  call daxpy(100)
+  call ddot(99)
+  print *, 'dgesl', job, nm1, n - lda
+end
+
+subroutine daxpy(n)
+  integer n, i, incx
+  real dy
+  incx = 1
+  call countop(incx)
+  dy = 0.0
+  do i = 1, n
+    dy = dy + incx
+  end do
+  print *, 'daxpy', incx, n
+end
+
+subroutine ddot(n)
+  integer n, i, incy
+  real s
+  incy = 1
+  call countop(incy)
+  s = 0.0
+  do i = 1, n
+    s = s + incy
+  end do
+  print *, 'ddot', incy + 1, n
+end
+
+subroutine dscal(n)
+  integer n, i, mfive
+  real da
+  mfive = 5
+  call countop(mfive)
+  da = 2.0
+  do i = 1, n
+    da = da * 0.99
+  end do
+  print *, 'dscal', mfive * 4, n
+end
+
+subroutine idamax(n)
+  integer n, itemp
+  itemp = 1
+  call countop(itemp)
+  print *, 'idamax', itemp, n / 2
+end
+
+subroutine dmxpy(n)
+  integer n, jmin
+  jmin = 2
+  call countop(jmin)
+  print *, 'dmxpy', jmin * 8, jmin + 1, n
+end
+
+subroutine dtrsl(n, lda)
+  integer n, lda, j, job, ncase
+  real temp
+  job = 10
+  call countop(job)
+  ncase = job / 2
+  call countop(ncase)
+  temp = 0.0
+  do j = 1, ncase
+    temp = temp + n * 1.0 / lda
+  end do
+  call countop(job)
+  print *, 'dtrsl', job, ncase, job - ncase, job + ncase, n - lda
+end
+
+subroutine dpodi(n)
+  integer n, k, jobdet, nupper
+  real det
+  jobdet = 11
+  call countop(jobdet)
+  nupper = jobdet - 4
+  call countop(nupper)
+  det = 1.0
+  do k = 1, nupper
+    det = det * 0.5
+  end do
+  call countop(jobdet)
+  print *, 'dpodi', jobdet, nupper, jobdet * nupper, jobdet / nupper, n
+end
+
+subroutine epslon(lda)
+  integer lda, nbase, ndigit
+  nbase = 2
+  call countop(nbase)
+  ndigit = nbase * 26
+  call countop(ndigit)
+  print *, 'epslon', nbase, ndigit, ndigit / nbase, ndigit - nbase, lda
+end
+
+subroutine countop(nval)
+  integer nval
+  common /stats/ nops, nswaps
+  integer nops, nswaps
+  nops = nops + nval - nval + 1
+end
+|}
+
+(** [matrix300] — pass-through chains beat the intraprocedural constant
+    jump function.
+
+    Paper shape: literal 71 < intraconst 122 < pass-through = polynomial
+    138; without MOD 18; intraprocedural baseline 69.
+
+    Construction: the driver computes the matrix order into a local and
+    passes the variable down a chain sgemm → sgemv → saxpy that forwards its
+    formal; intraconst only reaches the first hop, pass-through reaches all
+    of them.  Locals with interleaved harmless calls make MOD decisive. *)
+let matrix300 =
+  {|
+program matrix300
+  integer n, i, reps
+  call prof0
+  n = 300
+  reps = 2
+  do i = 1, reps
+    call sgemm(n, 1)
+  end do
+  print *, 'order', n, reps
+end
+
+subroutine prof0
+  common /prof/ ncalls
+  integer ncalls
+  ncalls = 0
+end
+
+subroutine profup(nval)
+  integer nval
+  common /prof/ ncalls
+  integer ncalls
+  ncalls = ncalls + nval - nval + 1
+end
+
+subroutine sgemm(n, job)
+  integer n, job, j, lead, blk
+  real alpha
+  lead = 301
+  call profup(lead)
+  blk = lead - 1
+  call profup(blk)
+  alpha = 1.0
+  do j = 1, n
+    alpha = alpha + job
+  end do
+  print *, 'sgemm', lead, blk, job, blk / 3
+  call sgemv(n, job)
+end
+
+subroutine sgemv(m, job)
+  integer m, job, i, unit
+  real beta
+  unit = 1
+  call profup(unit)
+  beta = 0.0
+  do i = 1, m
+    beta = beta + unit
+  end do
+  print *, 'sgemv', unit, unit + job, m - 1
+  call saxpy(m)
+end
+
+subroutine saxpy(n)
+  integer n, inc
+  inc = 1
+  call profup(inc)
+  print *, 'saxpy', inc, n + inc, n * 2, n - inc
+  call sdot(n)
+end
+
+subroutine sdot(n)
+  integer n, istep
+  istep = 2
+  call profup(istep)
+  print *, 'sdot', istep, n / istep, n + istep, n - istep
+  call sscal(n)
+end
+
+subroutine sscal(n)
+  integer n, nfact
+  nfact = 3
+  call profup(nfact)
+  print *, 'sscal', nfact, n * nfact, n + nfact
+end
+|}
+
+(** [mdg] — small spread between jump functions; one constant needs a
+    return jump function.
+
+    Paper shape: literal 31 < intraconst 40 < pass-through = polynomial 41;
+    without return jump functions 40; without MOD ≈ literal;
+    intraprocedural ≈ literal.
+
+    Construction: molecular-dynamics-flavoured driver passing a mix of
+    literals and locally-computed constants; one forwarding chain gives
+    pass-through its single extra substitution; one out-parameter
+    initialization needs a return jump function. *)
+let mdg =
+  {|
+program mdg
+  integer nmol, nstep
+  common /cnst/ natmo
+  integer natmo
+  call mdinit
+  nmol = 8 * 43
+  nstep = 10
+  call predic(nmol, 3)
+  call correc(nmol, nstep)
+  call interf(nmol)
+  call poteng(nstep, 3)
+  call kineti(natmo)
+end
+
+subroutine mdinit
+  common /cnst/ nat
+  integer nat
+  nat = 3
+end
+
+subroutine predic(n, ord)
+  integer n, ord, i, nvar
+  real x
+  nvar = 9
+  call bound
+  x = 0.0
+  do i = 1, n
+    x = x + ord * nvar
+  end do
+  print *, 'predic', nvar, nvar + ord, ord * 2, n
+end
+
+subroutine correc(n, nsteps)
+  integer n, nsteps, i, k
+  real e
+  k = 4
+  call bound
+  e = 0.0
+  do i = 1, nsteps
+    e = e + k
+  end do
+  print *, 'correc', k, k + 1, n / 2, nsteps
+  call intraf(n)
+end
+
+subroutine intraf(nm)
+  integer nm
+  print *, 'intraf', nm + 1, nm - 1
+end
+
+subroutine kineti(nat)
+  integer nat
+  print *, 'kineti', nat * 2, nat + 1
+end
+
+subroutine interf(n)
+  integer n, i, ncut
+  real f
+  ncut = 6
+  call bound
+  f = 0.0
+  do i = 1, ncut
+    f = f + n * 0.001
+  end do
+  print *, 'interf', ncut, ncut * 2, n / ncut
+end
+
+subroutine poteng(nsteps, nterm)
+  integer nsteps, nterm, k, nquad
+  real e
+  nquad = 5
+  call bound
+  e = 0.0
+  do k = 1, nterm
+    e = e + nquad
+  end do
+  print *, 'poteng', nquad, nquad + nterm, nterm * 2, nsteps
+end
+
+subroutine bound
+  common /box/ side
+  real side
+  side = 13.8
+end
+|}

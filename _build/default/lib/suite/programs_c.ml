@@ -1,0 +1,436 @@
+(** Synthetic benchmark programs [ocean], [qcd] and [simple]. *)
+
+(** [ocean] — the return-jump-function showcase.
+
+    Paper shape: an initialization routine assigns constant values to many
+    common variables; recognizing this lets the analyzer propagate constants
+    everywhere.  With return jump functions 194 constants; without them only
+    62 (more than a 3× drop).  The literal jump function (57) misses the
+    implicitly-passed globals entirely.  Complete propagation adds ten more
+    (204): folding branches on the constant configuration globals removes
+    call sites whose arguments polluted the solution.  Without MOD 79;
+    intraprocedural baseline 56.
+
+    Construction: [ocinit] sets eight configuration globals; the main
+    program then calls the solver phases *directly* (a flat call structure,
+    so the intraprocedural-constant jump function performs as well as the
+    pass-through one, as in the paper); every phase uses the globals
+    heavily.  A debug branch guarded by a constant global contains a call
+    site with conflicting arguments — dead, but only complete propagation
+    can tell. *)
+let ocean =
+  {|
+program ocean
+  common /cfg/ nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  integer nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  integer it
+  call ocinit
+  do it = 1, 3
+    call baro(64, 2)
+    call clinic
+    call tracer
+  end do
+  if (debug .eq. 1) then
+    call relax(999, 7)
+  end if
+  call relax(50, 2)
+  call halo(16, 4)
+  call filter(8, 3)
+  call state
+  call energy
+  call wind(12, 3)
+  call vort
+  call output
+end
+
+subroutine ocinit
+  common /cfg/ nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  integer nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  common /scr/ wrk
+  real wrk(32)
+  integer i
+  nx = 64
+  ny = 64
+  nlev = 8
+  dt = 30
+  mode = 0
+  debug = 0
+  kshal = 2
+  kdeep = 5
+  do i = 1, 32
+    wrk(i) = 0.0
+  end do
+end
+
+subroutine baro(n, half)
+  integer n, half, i, j, nisle
+  real psi
+  common /cfg/ nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  integer nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  nisle = 3
+  psi = 0.0
+  do j = 1, ny
+    do i = 1, nx
+      psi = psi + dt
+    end do
+  end do
+  print *, 'baro', nx, ny, dt, n / half, nx * ny, dt * 2
+  print *, 'isle', nisle, nisle * 2, n - half
+end
+
+subroutine clinic
+  common /cfg/ nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  integer nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  integer k, nmix, nvis
+  real u
+  nmix = 3
+  nvis = nmix * 2
+  u = 0.0
+  do k = 1, nlev
+    u = u + dt * k
+  end do
+  print *, 'clinic', nlev, dt, nlev * dt, nx - ny, kshal, kdeep
+  print *, 'mix', nmix, nvis, nvis - nmix
+end
+
+subroutine tracer
+  common /cfg/ nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  integer nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  integer k, nsalt, ntemp
+  real s, t
+  nsalt = 1
+  ntemp = nsalt + 1
+  s = 34.7
+  t = 0.0
+  do k = 1, nlev
+    t = t + s / nlev
+  end do
+  print *, 'tracer', nlev, kshal + kdeep, mode, nx + ny, nlev - kshal
+  print *, 'trc', nsalt, ntemp, nsalt * ntemp
+end
+
+subroutine relax(niter, nsub)
+  integer niter, nsub, i, ntol
+  real resid
+  ntol = 6
+  resid = 1.0
+  do i = 1, niter
+    resid = resid * 0.5
+  end do
+  print *, 'relax', niter, nsub, niter / nsub, niter - nsub
+  print *, 'tol', ntol, ntol + 1
+end
+
+subroutine halo(nw, nh)
+  integer nw, nh, npad
+  npad = 1
+  print *, 'halo', nw, nh, nw * nh, nw - nh, npad, npad + nw
+end
+
+subroutine filter(np, nq)
+  integer np, nq, nwgt
+  nwgt = 5
+  print *, 'filt', np, nq, np + nq, np * nq, nwgt, nwgt - nq
+end
+
+subroutine state
+  common /cfg/ nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  integer nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  integer k
+  real rho
+  rho = 0.0
+  do k = 1, nlev
+    rho = rho + dt * 0.001
+  end do
+  print *, 'state', nlev, dt, nx, ny, kshal * kdeep, nlev + dt
+end
+
+subroutine energy
+  common /cfg/ nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  integer nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  print *, 'energy', nx * ny, nlev * dt, mode, debug + 1, kdeep * 2, nx / nlev
+end
+
+subroutine wind(ntau, ncomp)
+  integer ntau, ncomp, nwk
+  nwk = 4
+  print *, 'wind', ntau, ncomp, ntau / ncomp, ntau - ncomp, nwk, nwk + ntau
+end
+
+subroutine vort
+  common /cfg/ nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  integer nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  print *, 'vort', nx * 2, ny / 2, dt + nlev, mode + 1, debug, kdeep - kshal
+end
+
+subroutine output
+  common /cfg/ nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  integer nx, ny, nlev, dt, mode, debug, kshal, kdeep
+  print *, 'out', nx, ny, nlev, dt, mode, debug, kshal, kdeep
+end
+|}
+
+(** [qcd] — almost everything is locally constant; every configuration
+    nearly ties.
+
+    Paper shape: 180 constants under all six Table-2 configurations; the
+    intraprocedural baseline alone finds 179; losing MOD costs 11.
+
+    Construction: lattice-QCD-flavoured routines full of local integer
+    constants used immediately (immune to every configuration axis), a
+    small number of constants used after harmless calls (the MOD delta),
+    and a single literal argument providing the one interprocedural
+    constant. *)
+let qcd =
+  {|
+program qcd
+  integer isweep, nswp
+  data nswp /2/
+  call mstats
+  do isweep = 1, nswp
+    call update
+    call measure
+  end do
+  call gauge
+  call plaqet
+  call ferm
+  call hmcstp
+  call wrapup(4)
+end
+
+subroutine mstats
+  common /acc/ nacc, nrej
+  integer nacc, nrej
+  nacc = 0
+  nrej = 0
+end
+
+subroutine bump
+  common /acc/ nacc, nrej
+  integer nacc, nrej
+  nacc = nacc + 1
+end
+
+subroutine update
+  integer nsite, ncol, beta2, i, j
+  real act
+  nsite = 16
+  ncol = 3
+  beta2 = 12
+  act = 0.0
+  do i = 1, nsite
+    do j = 1, ncol
+      act = act + beta2
+    end do
+  end do
+  print *, 'upd', nsite, ncol, beta2, nsite * ncol, beta2 / ncol, nsite + 1
+  call bump
+  print *, 'upd2', nsite - ncol
+end
+
+subroutine measure
+  integer nmeas, nskip, nbin, k
+  real plaq
+  nmeas = 10
+  nskip = 5
+  nbin = 2
+  plaq = 0.0
+  do k = 1, nmeas
+    plaq = plaq + nbin
+  end do
+  print *, 'meas', nmeas, nskip, nbin, nmeas / nskip, nbin * 3, nmeas + nskip
+  call bump
+  print *, 'meas2', nskip - nbin
+end
+
+subroutine gauge
+  integer nlink, ndir, ncb, k
+  real u
+  nlink = 24
+  ndir = 4
+  ncb = 2
+  u = 0.0
+  do k = 1, ndir
+    u = u + nlink
+  end do
+  print *, 'gauge', nlink, ndir, ncb, nlink / ndir, ndir * ncb, nlink - ncb
+  print *, 'gaug2', nlink + ndir, ncb + 1
+end
+
+subroutine plaqet
+  integer nplaq, nspace, ntime, k
+  real p
+  nplaq = 6
+  nspace = 3
+  ntime = 3
+  p = 0.0
+  do k = 1, nplaq
+    p = p + nspace
+  end do
+  print *, 'plaq', nplaq, nspace, ntime, nplaq * nspace, nplaq - ntime
+  print *, 'plq2', nspace + ntime, nplaq / nspace, ntime * 2, nplaq + 1
+  call bump
+  print *, 'plq3', nplaq - nspace
+end
+
+subroutine ferm
+  integer niter, nmass, neo, i
+  real r
+  niter = 20
+  nmass = 2
+  neo = 2
+  r = 1.0
+  do i = 1, nmass
+    r = r * 0.5
+  end do
+  print *, 'ferm', niter, nmass, neo, niter / nmass, nmass * neo, niter - neo
+  print *, 'frm2', niter + nmass, neo + 1, niter * 2, nmass - 1
+  call bump
+  print *, 'frm3', niter / neo
+end
+
+subroutine hmcstp
+  integer nmd, ntraj, nacc0, k
+  real dt
+  nmd = 12
+  ntraj = 5
+  nacc0 = 0
+  dt = 0.0
+  do k = 1, ntraj
+    dt = dt + nmd * 0.01
+  end do
+  print *, 'hmc', nmd, ntraj, nacc0, nmd / ntraj, nmd * ntraj, nmd - ntraj
+  print *, 'hmc2', nmd + ntraj, ntraj * 3, nmd - 1, nacc0 + 1
+  call bump
+  print *, 'hmc3', nmd * 2 - ntraj
+end
+
+subroutine wrapup(nf)
+  integer nf
+  common /acc/ nacc, nrej
+  integer nacc, nrej
+  print *, 'wrap', nf, nf * 2, nacc, nrej
+end
+|}
+
+(** [simple] — one huge routine; catastrophic without MOD.
+
+    Paper shape: literal 174 < intraconst 179 < pass-through = polynomial
+    183; only 2 constants survive without MOD; intraprocedural 174.
+
+    Construction: a dominant hydrodynamics routine whose many local
+    constants all have a harmless bookkeeping call between definition and
+    use — with MOD they are all visible, without MOD nearly everything
+    dies (only uses before the first call survive).  A few
+    locally-computed constant arguments separate intraconst from literal,
+    and two formals forwarded to an inner kernel separate pass-through from
+    intraconst. *)
+let simple =
+  {|
+program simple
+  integer ncycle
+  call logini
+  ncycle = 2
+  call hydro(48, 48, ncycle)
+  call conserv(48, 48)
+end
+
+subroutine logini
+  common /log/ nlog
+  integer nlog
+  nlog = 0
+end
+
+subroutine logit(nval)
+  integer nval
+  common /log/ nlog
+  integer nlog
+  nlog = nlog + nval - nval + 1
+end
+
+subroutine hydro(jmax, kmax, ncyc)
+  integer jmax, kmax, ncyc
+  integer j, k, n
+  integer nzone, nghost, nstride, nband, nedit, nsub, ncells, nface
+  real rho, p, e, q, courant
+  nzone = 46
+  call logit(nzone)
+  nghost = 2
+  call logit(nghost)
+  nstride = nzone + nghost
+  call logit(nstride)
+  nband = 4
+  call logit(nband)
+  nedit = 10
+  call logit(nedit)
+  nsub = 3
+  call logit(nsub)
+  ncells = 46 * 46
+  call logit(ncells)
+  nface = 4
+  call logit(nface)
+  rho = 1.0
+  p = 0.0
+  e = 0.0
+  q = 0.0
+  courant = 0.25
+  do n = 1, ncyc
+    do k = 1, kmax
+      do j = 1, jmax
+        p = p + rho * courant
+      end do
+    end do
+    e = e + p / ncells
+    q = q + courant * nband
+  end do
+  print *, 'hyd1', nzone, nghost, nstride, nband
+  call logit(nzone)
+  print *, 'hyd2', nedit, nsub, ncells, nface
+  call logit(nedit)
+  print *, 'hyd3', nzone + nghost, nstride * nband, nedit / nsub
+  call logit(nsub)
+  print *, 'hyd4', ncells / nzone, nface * nband, nsub + nedit
+  call logit(nface)
+  print *, 'hyd5', nzone - nghost, nband - nsub, nface + nghost
+  print *, 'hyd6', nzone * 2, nghost * nband, nstride + nedit
+  call logit(nstride)
+  print *, 'hyd7', nsub * nface, nedit - nsub, nzone / nghost
+  call logit(ncells)
+  print *, 'hyd8', ncells - nface, nband + nedit, nstride - nsub
+  call eos(nstride, nband)
+  call kernel(jmax, kmax)
+  call tstep(ncyc)
+  print *, e, q
+end
+
+subroutine eos(n, m)
+  integer n, m, i
+  real gamma
+  gamma = 1.4
+  do i = 1, n
+    gamma = gamma + m
+  end do
+  print *, 'eos', n, m, n * m, n - m
+end
+
+subroutine kernel(j, k)
+  integer j, k
+  print *, 'kern', j + k, j - k, j * 2, k / 2
+end
+
+subroutine tstep(n)
+  integer n, ndtmin, ndtmax
+  ndtmin = 1
+  call logit(ndtmin)
+  ndtmax = ndtmin * 64
+  call logit(ndtmax)
+  print *, 'tstep', ndtmin, ndtmax, ndtmax / ndtmin, ndtmax - ndtmin, n
+end
+
+subroutine conserv(jmax, kmax)
+  integer jmax, kmax, ntot
+  ntot = 9
+  call logit(ntot)
+  print *, 'cons', ntot, ntot * 2, jmax, kmax, jmax * kmax
+end
+|}

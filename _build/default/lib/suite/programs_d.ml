@@ -1,0 +1,339 @@
+(** Synthetic benchmark programs [snasa7], [spec77] and [trfd]. *)
+
+(** [snasa7] — seven kernels; the literal jump function and the
+    intraprocedural baseline tie well below the others.
+
+    Paper shape: literal 254 < intraconst = pass-through = polynomial 336;
+    intraprocedural baseline 254.
+
+    Construction: the driver computes every kernel size into a local
+    variable and passes the *variable* — there are no literal actuals at
+    all, so the literal jump function gains nothing over the purely local
+    constants, which are plentiful inside the kernels. *)
+let snasa7 =
+  {|
+program snasa7
+  integer n1, n2, n3, n4, n5, n6, n7
+  n1 = 128
+  n2 = 64
+  n3 = 32
+  n4 = 256
+  n5 = 16
+  n6 = 96
+  n7 = 50
+  n8 = 40
+  n9 = 72
+  n10 = 90
+  n11 = 60
+  call mxm(n1)
+  call cfft2d(n2)
+  call cholsky(n3)
+  call btrix(n4)
+  call gmtry(n5)
+  call emit(n6)
+  call vpenta(n7)
+  call glrhs(n8)
+  call vortex(n9)
+  call fftsyn(n10)
+  call smooth7(n11)
+end
+
+subroutine mxm(n)
+  integer n, i, nb, nu
+  real c
+  nb = 4
+  nu = 2
+  c = 0.0
+  do i = 1, n
+    c = c + nb * nu
+  end do
+  print *, 'mxm', n, nb, nu, nb + nu, n / nb, n - nu
+end
+
+subroutine cfft2d(n)
+  integer n, i, m, isign
+  real tr
+  m = 6
+  isign = 1
+  tr = 0.0
+  do i = 1, n
+    tr = tr + m
+  end do
+  print *, 'fft', n, m, isign, m * 2, n / 2, n + m
+end
+
+subroutine cholsky(n)
+  integer n, j, nmat, nrhs
+  real sum
+  nmat = 250
+  nrhs = 3
+  sum = 0.0
+  do j = 1, n
+    sum = sum + nrhs
+  end do
+  print *, 'chol', n, nmat, nrhs, nmat / nrhs, n * nrhs, nmat - n
+end
+
+subroutine btrix(n)
+  integer n, k, jd, kd, ld
+  real b
+  jd = 30
+  kd = 30
+  ld = 30
+  b = 0.0
+  do k = 1, n
+    b = b + jd
+  end do
+  print *, 'btri', n, jd, kd, ld, jd + kd + ld, n - jd
+end
+
+subroutine gmtry(n)
+  integer n, i, nbody, nwall
+  real geo
+  nbody = 2
+  nwall = 12
+  geo = 0.0
+  do i = 1, n
+    geo = geo + nwall
+  end do
+  print *, 'gmtr', n, nbody, nwall, nwall / nbody, n * nbody, n + nwall
+end
+
+subroutine emit(n)
+  integer n, i, nvort
+  real gam
+  nvort = 40
+  gam = 0.0
+  do i = 1, n
+    gam = gam + nvort
+  end do
+  print *, 'emit', n, nvort, nvort * 2, n / 4, n - nvort, nvort + 1
+end
+
+subroutine vpenta(n)
+  integer n, j, nja, njb
+  real f
+  nja = 10
+  njb = 20
+  f = 0.0
+  do j = 1, n
+    f = f + nja + njb
+  end do
+  print *, 'vpen', n, nja, njb, nja * njb, njb / nja, n + nja
+end
+
+subroutine fftsyn(n)
+  integer n, i, mlog, nseg
+  real acc
+  mlog = 7
+  nseg = 14
+  acc = 0.0
+  do i = 1, mlog
+    acc = acc + n
+  end do
+  print *, 'ffts', n, mlog, nseg, nseg / mlog, n / 2, n - nseg, mlog * 4
+end
+
+subroutine smooth7(n)
+  integer n, k, npass, nhalf
+  real w
+  npass = 4
+  nhalf = npass / 2
+  w = 0.0
+  do k = 1, npass
+    w = w + n * 0.25
+  end do
+  print *, 'smth', n, npass, nhalf, npass * nhalf, n + npass, n - nhalf
+end
+
+subroutine glrhs(n)
+  integer n, k, nc, nd
+  real g
+  nc = 5
+  nd = 15
+  g = 0.0
+  do k = 1, n
+    g = g + nc
+  end do
+  print *, 'glrh', n, nc, nd, nd / nc, nc * nd, n - nd
+end
+
+subroutine vortex(n)
+  integer n, i, nvor, ncore
+  real w
+  nvor = 25
+  ncore = 5
+  w = 0.0
+  do i = 1, n
+    w = w + ncore
+  end do
+  print *, 'vort', n, nvor, ncore, nvor / ncore, nvor - ncore, n + nvor
+end
+|}
+
+(** [spec77] — a weather-code mix: literals, computed constants, and a bit
+    of dead code that complete propagation exposes.
+
+    Paper shape: literal 104 < intraconst = pass-through = polynomial 137;
+    without MOD 76; complete propagation 141 (+4); intraprocedural 83.
+
+    Construction: a spectral-model driver passing both literal and
+    computed-constant arguments; some local constants span harmless calls
+    (MOD delta); a branch on a constant configuration flag hides a call
+    site with conflicting arguments, so only propagation iterated with
+    dead-code elimination gets the callee's constants. *)
+let spec77 =
+  {|
+program spec77
+  integer mwave, kdim
+  common /flags/ ihemi
+  integer ihemi
+  call setflg
+  mwave = 31
+  kdim = 12
+  call gloop(mwave, kdim)
+  call gwater(mwave)
+  if (ihemi .eq. 1) then
+    call sicdkp(77, 9)
+  end if
+  call sicdkp(24, 6)
+  call gsidco(31, 12)
+  call lnsout(62)
+end
+
+subroutine setflg
+  common /flags/ ihemi
+  integer ihemi
+  common /tim/ ncalls
+  integer ncalls
+  ihemi = 0
+  ncalls = 0
+end
+
+subroutine gloop(mw, kd)
+  integer mw, kd, lat, nlats, ntrunc
+  real zg
+  nlats = 38
+  call clock
+  ntrunc = nlats - 7
+  call clock
+  zg = 0.0
+  do lat = 1, nlats
+    zg = zg + mw * kd
+  end do
+  print *, 'gloop', mw, kd, nlats, ntrunc, mw + kd, nlats - ntrunc
+  call fft991(ntrunc)
+end
+
+subroutine fft991(n)
+  integer n, i, nfax
+  real work
+  nfax = 5
+  call clock
+  work = 0.0
+  do i = 1, n
+    work = work + nfax
+  end do
+  print *, 'fft991', n, nfax, n + nfax, n - nfax
+end
+
+subroutine gwater(mw)
+  integer mw, ilev, nclds
+  real qsat
+  nclds = 3
+  call clock
+  qsat = 0.0
+  do ilev = 1, nclds
+    qsat = qsat + mw
+  end do
+  print *, 'gwater', mw, nclds, mw * nclds, mw / nclds
+end
+
+subroutine sicdkp(n, m)
+  integer n, m, k
+  real del
+  del = 0.0
+  do k = 1, m
+    del = del + n
+  end do
+  print *, 'sicdkp', n, m, n / m, n - m
+end
+
+subroutine gsidco(mw, kd)
+  integer mw, kd, ncof, lat
+  real p
+  ncof = 18
+  call clock
+  p = 0.0
+  do lat = 1, kd
+    p = p + mw
+  end do
+  print *, 'gsidco', mw, kd, ncof, ncof / kd, mw - ncof, ncof + 1
+end
+
+subroutine lnsout(n)
+  integer n, nrec
+  nrec = 7
+  call clock
+  print *, 'lnsout', n, nrec, n + nrec, n / nrec
+end
+
+subroutine clock
+  common /tim/ ncalls
+  integer ncalls
+  ncalls = ncalls + 1
+end
+|}
+
+(** [trfd] — the smallest member of the suite.
+
+    Paper shape: 16 constants under every jump function; the
+    intraprocedural baseline finds 15.
+
+    Construction: two tiny integral-transformation routines with local
+    constants and a single literal argument providing the one
+    interprocedural constant. *)
+let trfd =
+  {|
+program trfd
+  call intgrl(10)
+  call trnfor
+end
+
+subroutine trfblk
+  common /tm/ nticks
+  integer nticks
+  data nticks /0/
+end
+
+subroutine tstamp(nval)
+  integer nval
+  common /tm/ nticks
+  integer nticks
+  nticks = nticks + nval - nval + 1
+end
+
+subroutine intgrl(norb)
+  integer norb, i, npass
+  real v
+  npass = 2
+  v = 0.0
+  do i = 1, npass
+    v = v + norb
+  end do
+  print *, 'intgrl', norb, npass, norb * npass, norb + npass, norb - 1
+end
+
+subroutine trnfor
+  integer morb, nrec, j
+  real x
+  morb = 8
+  call tstamp(morb)
+  nrec = 4
+  x = 0.0
+  do j = 1, nrec
+    x = x + morb
+  end do
+  print *, 'trnfor', morb, nrec, morb / nrec, morb + nrec, nrec * 2, morb - nrec
+end
+|}

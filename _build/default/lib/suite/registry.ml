@@ -1,0 +1,92 @@
+(** The benchmark suite: one synthetic MiniFort program per benchmark of the
+    paper's test suite (Table 1), in the paper's order. *)
+
+open Ipcp_frontend
+
+type entry = {
+  name : string;
+  source : string;
+  description : string;  (** the paper shape this program is engineered for *)
+}
+
+let entries : entry list =
+  [
+    {
+      name = "adm";
+      source = Programs_a.adm;
+      description = "MOD decisive; all jump functions tie; intra-only close";
+    };
+    {
+      name = "doduc";
+      source = Programs_a.doduc;
+      description = "literal-rich call sites; intra-only starves; MOD irrelevant";
+    };
+    {
+      name = "fpppp";
+      source = Programs_a.fpppp;
+      description = "one huge routine; lit < intra < pass = poly; return JFs help";
+    };
+    {
+      name = "linpackd";
+      source = Programs_b.linpackd;
+      description = "big literal→intraconst gap; pass = intra; MOD matters";
+    };
+    {
+      name = "matrix300";
+      source = Programs_b.matrix300;
+      description = "lit < intra < pass; pass-through chains; MOD matters";
+    };
+    {
+      name = "mdg";
+      source = Programs_b.mdg;
+      description = "small spread; return JFs add one; no-MOD ≈ literal";
+    };
+    {
+      name = "ocean";
+      source = Programs_c.ocean;
+      description =
+        "init routine assigns constant globals: return JFs triple the count; \
+         complete propagation adds more";
+    };
+    {
+      name = "qcd";
+      source = Programs_c.qcd;
+      description = "almost everything local: all configurations nearly tie";
+    };
+    {
+      name = "simple";
+      source = Programs_c.simple;
+      description = "one huge routine; no-MOD catastrophic (local consts span calls)";
+    };
+    {
+      name = "snasa7";
+      source = Programs_d.snasa7;
+      description = "literal < rest; intra-only ≈ literal";
+    };
+    {
+      name = "spec77";
+      source = Programs_d.spec77;
+      description = "literal < rest; complete propagation exposes a few more";
+    };
+    {
+      name = "trfd";
+      source = Programs_d.trfd;
+      description = "tiny; all configurations nearly equal";
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) entries
+
+let names = List.map (fun e -> e.name) entries
+
+(** Parse and resolve a suite program (memoized — resolution allocates fresh
+    ids each call, so memoization also keeps ids stable across uses). *)
+let resolved : (string, Prog.t) Hashtbl.t = Hashtbl.create 16
+
+let program (e : entry) : Prog.t =
+  match Hashtbl.find_opt resolved e.name with
+  | Some p -> p
+  | None ->
+    let p = Sema.parse_and_resolve ~file:e.name e.source in
+    Hashtbl.replace resolved e.name p;
+    p

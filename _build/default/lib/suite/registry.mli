@@ -1,0 +1,15 @@
+(** The benchmark suite: one synthetic MiniFort program per benchmark of
+    the paper's Table 1, in the paper's order (adm … trfd). *)
+
+type entry = {
+  name : string;
+  source : string;
+  description : string;  (** the paper shape the program is engineered for *)
+}
+
+val entries : entry list
+val find : string -> entry option
+val names : string list
+
+(** Parse and resolve (memoized, so expression ids stay stable). *)
+val program : entry -> Ipcp_frontend.Prog.t

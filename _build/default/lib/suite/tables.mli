@@ -1,0 +1,31 @@
+(** Regeneration harness for the paper's Tables 2 and 3: the substitution
+    counts of every analyzer configuration on every suite program. *)
+
+type table2_row = {
+  t2_name : string;
+  ret_poly : int;
+  ret_pass : int;
+  ret_intra : int;
+  ret_lit : int;
+  noret_poly : int;
+  noret_pass : int;
+}
+
+type table3_row = {
+  t3_name : string;
+  poly_no_mod : int;
+  poly_mod : int;
+  complete : int;
+  intra_only : int;
+}
+
+val table2_row : Registry.entry -> table2_row
+val table3_row : Registry.entry -> table3_row
+val table2 : unit -> table2_row list
+val table3 : unit -> table3_row list
+
+val pp_table2 : table2_row list Fmt.t
+val pp_table3 : table3_row list Fmt.t
+
+(** Tables 1, 2 and 3, formatted like the paper's evaluation section. *)
+val pp_all : unit Fmt.t

@@ -1,0 +1,303 @@
+(** Random MiniFort program generator.
+
+    Used by the property-based tests (jump-function hierarchy, soundness
+    against the interpreter, substitution behaviour-preservation) and by the
+    benchmark sweeps (solver cost vs. program size).
+
+    Generated programs are, by construction:
+    - *valid*: they resolve without errors;
+    - *terminating*: the call graph is acyclic (a procedure only calls
+      higher-numbered procedures) and all loops have small literal-ish
+      bounds;
+    - *initialized*: every variable is assigned before any use, and the
+      main program initializes every common global first — so the reference
+      interpreter never faults on them.
+
+    The [spec] knobs control how constants flow to call sites: literal
+    arguments, locally-computed constants, forwarded formals
+    (pass-through), polynomials of formals, and globals. *)
+
+open Ipcp_support
+
+type spec = {
+  seed : int;
+  num_procs : int;  (** callable procedures besides the main program *)
+  num_globals : int;  (** scalar integer commons in one block *)
+  max_formals : int;
+  max_locals : int;
+  stmts_per_proc : int;
+  p_call : float;  (** probability a statement slot becomes a call *)
+  p_branch : float;
+  p_loop : float;
+  p_literal_arg : float;  (** literal constant actual *)
+  p_const_arg : float;  (** locally-computed constant variable actual *)
+  p_passthrough_arg : float;  (** forwarded formal actual *)
+  p_poly_arg : float;  (** formal-plus-constant polynomial actual *)
+  p_global_write : float;  (** probability a procedure writes a global *)
+  p_out_param : float;  (** probability a procedure sets its last formal *)
+}
+
+let default_spec =
+  {
+    seed = 1;
+    num_procs = 6;
+    num_globals = 3;
+    max_formals = 3;
+    max_locals = 4;
+    stmts_per_proc = 8;
+    p_call = 0.5;
+    p_branch = 0.25;
+    p_loop = 0.25;
+    p_literal_arg = 0.4;
+    p_const_arg = 0.25;
+    p_passthrough_arg = 0.2;
+    p_poly_arg = 0.15;
+    p_global_write = 0.3;
+    p_out_param = 0.3;
+  }
+
+type proc_shape = {
+  ps_name : string;
+  ps_formals : string list;
+  ps_out_param : bool;  (** last formal is written *)
+}
+
+let global_name i = Printf.sprintf "ng%d" (i + 1)
+
+let buf_add = Buffer.add_string
+
+(* An integer expression over the given readable variables; never divides
+   (avoiding divide-by-zero in generated programs). *)
+let rec gen_expr rng depth vars : string =
+  if depth <= 0 || vars = [] || Prng.chance rng 0.4 then
+    if vars <> [] && Prng.chance rng 0.6 then Prng.choose rng vars
+    else string_of_int (Prng.range rng 0 20)
+  else
+    let a = gen_expr rng (depth - 1) vars in
+    let b = gen_expr rng (depth - 1) vars in
+    let op = Prng.choose rng [ " + "; " - "; " * " ] in
+    Printf.sprintf "(%s%s%s)" a op b
+
+let gen_cond rng vars : string =
+  let a = gen_expr rng 1 vars in
+  let b = gen_expr rng 1 vars in
+  let op = Prng.choose rng [ " .lt. "; " .le. "; " .gt. "; " .ge. "; " .eq. "; " .ne. " ] in
+  a ^ op ^ b
+
+(* Choose an actual argument for a call, mixing the spec's categories. *)
+let gen_arg rng spec ~formals ~const_locals ~vars : string =
+  let pick =
+    let r = Prng.chance rng in
+    if r spec.p_literal_arg then `Literal
+    else if const_locals <> [] && r spec.p_const_arg then `Const
+    else if formals <> [] && r spec.p_passthrough_arg then `Pass
+    else if formals <> [] && r spec.p_poly_arg then `Poly
+    else `Any
+  in
+  match pick with
+  | `Literal -> string_of_int (Prng.range rng 0 30)
+  | `Const -> Prng.choose rng const_locals
+  | `Pass -> Prng.choose rng formals
+  | `Poly ->
+    Printf.sprintf "%s + %d" (Prng.choose rng formals) (Prng.range rng 1 5)
+  | `Any ->
+    if vars <> [] && Prng.chance rng 0.5 then Prng.choose rng vars
+    else string_of_int (Prng.range rng 0 30)
+
+(* Emit the body of one procedure. *)
+let gen_body buf rng spec ~self_index ~(shapes : proc_shape array)
+    ~(formals : string list) ~out_param =
+  let n_locals = Prng.range rng 1 (max 1 spec.max_locals) in
+  let locals = List.init n_locals (fun i -> Printf.sprintf "lv%d" (i + 1)) in
+  (* implicit typing makes lv* real; declare them integer *)
+  buf_add buf
+    (Printf.sprintf "  integer %s\n" (String.concat ", " locals));
+  let globals = List.init spec.num_globals global_name in
+  if spec.num_globals > 0 then
+    buf_add buf
+      (Printf.sprintf "  common /gc/ %s\n" (String.concat ", " globals));
+  (* initialize all locals up front so every later use is defined *)
+  let const_locals = ref [] in
+  List.iteri
+    (fun i lv ->
+      if i < 2 && Prng.chance rng 0.7 then begin
+        (* a locally-computed constant *)
+        buf_add buf (Printf.sprintf "  %s = %d\n" lv (Prng.range rng 1 50));
+        const_locals := lv :: !const_locals
+      end
+      else
+        buf_add buf
+          (Printf.sprintf "  %s = %s\n" lv
+             (gen_expr rng 1 (formals @ globals))))
+    locals;
+  let vars = formals @ locals @ globals in
+  let callees =
+    Array.to_list shapes
+    |> List.filteri (fun i _ -> i > self_index)
+  in
+  let emit_call indent =
+    match callees with
+    | [] ->
+      buf_add buf
+        (Printf.sprintf "%sprint *, %s\n" indent (gen_expr rng 1 vars))
+    | _ ->
+      let callee = Prng.choose rng callees in
+      (* FORTRAN's anti-aliasing rule: the storage behind a modified actual
+         must not be reachable through another argument or a common block.
+         So the out-parameter is always a local, is chosen up front, and is
+         excluded from every other argument position; globals are never
+         passed as bare by-reference actuals. *)
+      let out_var =
+        if callee.ps_out_param then Some (Prng.choose rng locals) else None
+      in
+      let safe_locals =
+        List.filter (fun l -> Some l <> out_var) locals
+      in
+      let arg_vars = formals @ safe_locals in
+      let args =
+        List.mapi
+          (fun i _ ->
+            if callee.ps_out_param && i = List.length callee.ps_formals - 1
+            then Option.get out_var
+            else
+              gen_arg rng spec ~formals ~const_locals:
+                (List.filter (fun l -> Some l <> out_var) !const_locals)
+                ~vars:arg_vars)
+          callee.ps_formals
+      in
+      if args = [] then
+        buf_add buf (Printf.sprintf "%scall %s\n" indent callee.ps_name)
+      else
+        buf_add buf
+          (Printf.sprintf "%scall %s(%s)\n" indent callee.ps_name
+             (String.concat ", " args))
+  in
+  (* [banned] holds active do-variables: FORTRAN forbids redefining them *)
+  let emit_simple ?(banned = []) indent =
+    let assignable = List.filter (fun l -> not (List.mem l banned)) locals in
+    let r = Prng.int rng 3 in
+    if r = 0 || assignable = [] then
+      buf_add buf
+        (Printf.sprintf "%sprint *, %s\n" indent (gen_expr rng 1 vars))
+    else if r = 1 && spec.num_globals > 0 && Prng.chance rng spec.p_global_write
+    then
+      buf_add buf
+        (Printf.sprintf "%s%s = %s\n" indent (Prng.choose rng globals)
+           (gen_expr rng 1 vars))
+    else
+      buf_add buf
+        (Printf.sprintf "%s%s = %s\n" indent (Prng.choose rng assignable)
+           (gen_expr rng 1 vars))
+  in
+  for _ = 1 to spec.stmts_per_proc do
+    if Prng.chance rng spec.p_call then emit_call "  "
+    else if Prng.chance rng spec.p_branch then begin
+      buf_add buf (Printf.sprintf "  if (%s) then\n" (gen_cond rng vars));
+      emit_simple "    ";
+      if Prng.bool rng then emit_call "    ";
+      if Prng.bool rng then begin
+        buf_add buf "  else\n";
+        emit_simple "    "
+      end;
+      buf_add buf "  end if\n"
+    end
+    else if Prng.chance rng spec.p_loop then begin
+      let lv = Prng.choose rng locals in
+      buf_add buf
+        (Printf.sprintf "  do %s = 1, %d\n" lv (Prng.range rng 1 4));
+      emit_simple ~banned:[ lv ] "    ";
+      buf_add buf "  end do\n"
+    end
+    else emit_simple "  "
+  done;
+  if out_param then begin
+    let last = List.nth formals (List.length formals - 1) in
+    buf_add buf
+      (Printf.sprintf "  %s = %s\n" last
+         (if Prng.chance rng 0.6 then string_of_int (Prng.range rng 1 40)
+          else gen_expr rng 1 (formals @ !const_locals)))
+  end;
+  buf_add buf (Printf.sprintf "  print *, %s\n" (gen_expr rng 1 vars))
+
+(** Generate a complete MiniFort program (as source text). *)
+let generate (spec : spec) : string =
+  let rng = Prng.create spec.seed in
+  let shapes =
+    Array.init spec.num_procs (fun i ->
+        let n_formals =
+          (* the last procedures are leaves and take at least one formal so
+             constants have somewhere to land *)
+          Prng.range rng 1 (max 1 spec.max_formals)
+        in
+        let formals = List.init n_formals (fun j -> Printf.sprintf "ka%d" (j + 1)) in
+        {
+          ps_name = Printf.sprintf "proc%d" (i + 1);
+          ps_formals = formals;
+          ps_out_param = Prng.chance rng spec.p_out_param;
+        })
+  in
+  let buf = Buffer.create 4096 in
+  (* main program: initialize globals, then call into the tree *)
+  buf_add buf "program genmain\n";
+  let globals = List.init spec.num_globals global_name in
+  if spec.num_globals > 0 then
+    buf_add buf (Printf.sprintf "  common /gc/ %s\n" (String.concat ", " globals));
+  buf_add buf "  integer lv1, lv2\n";
+  (* globals are initialized either by assignment or by a load-time data
+     statement — both paths must hold up under analysis *)
+  let assigned, data_initialized =
+    List.partition (fun _ -> Prng.chance rng 0.7) globals
+  in
+  List.iter
+    (fun g ->
+      buf_add buf
+        (Printf.sprintf "  data %s /%d/\n" g (Prng.range rng 0 9)))
+    data_initialized;
+  List.iter
+    (fun g -> buf_add buf (Printf.sprintf "  %s = %d\n" g (Prng.range rng 0 9)))
+    assigned;
+  buf_add buf "  lv1 = 7\n";
+  buf_add buf "  lv2 = 3\n";
+  let main_calls = max 1 (spec.num_procs / 2) in
+  for _ = 1 to main_calls do
+    if Array.length shapes > 0 then begin
+      let callee = shapes.(Prng.int rng (Array.length shapes)) in
+      let out_var =
+        if callee.ps_out_param then
+          Some (if Prng.bool rng then "lv1" else "lv2")
+        else None
+      in
+      let safe = List.filter (fun v -> Some v <> out_var) [ "lv1"; "lv2" ] in
+      let args =
+        List.mapi
+          (fun i _ ->
+            if callee.ps_out_param && i = List.length callee.ps_formals - 1
+            then Option.get out_var
+            else gen_arg rng spec ~formals:[] ~const_locals:safe ~vars:safe)
+          callee.ps_formals
+      in
+      if args = [] then buf_add buf (Printf.sprintf "  call %s\n" callee.ps_name)
+      else
+        buf_add buf
+          (Printf.sprintf "  call %s(%s)\n" callee.ps_name
+             (String.concat ", " args))
+    end
+  done;
+  buf_add buf "  print *, lv1, lv2\n";
+  buf_add buf "end\n\n";
+  Array.iteri
+    (fun i shape ->
+      buf_add buf
+        (Printf.sprintf "subroutine %s(%s)\n" shape.ps_name
+           (String.concat ", " shape.ps_formals));
+      buf_add buf
+        (Printf.sprintf "  integer %s\n" (String.concat ", " shape.ps_formals));
+      gen_body buf rng spec ~self_index:i ~shapes ~formals:shape.ps_formals
+        ~out_param:shape.ps_out_param;
+      buf_add buf "end\n\n")
+    shapes;
+  Buffer.contents buf
+
+(** Generate and resolve; exposed for tests and benches. *)
+let generate_resolved (spec : spec) : Ipcp_frontend.Prog.t =
+  Ipcp_frontend.Sema.parse_and_resolve ~file:"<generated>" (generate spec)

@@ -1,0 +1,1 @@
+lib/support/worklist.ml: Hashtbl List Queue

@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The workload generator and the property tests need reproducible random
+    streams that do not depend on OCaml's global [Random] state; a tiny
+    self-contained splitmix64 keeps runs stable across OCaml versions. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [int t bound] returns a uniform value in [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  assert (bound > 0);
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+(** [range t lo hi] returns a uniform value in [lo, hi] inclusive. *)
+let range t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let bool t = int t 2 = 0
+
+(** [chance t p] is true with probability [p] (clamped to [0,1]). *)
+let chance t p =
+  let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+  float_of_int (int t 1_000_000) < p *. 1_000_000.0
+
+(** Pick a uniformly random element of a non-empty list. *)
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(** Shuffle a list (Fisher-Yates on an intermediate array). *)
+let shuffle t xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

@@ -1,0 +1,24 @@
+(** Deterministic splitmix64 pseudo-random number generator. *)
+
+type t
+
+(** Create a generator from an integer seed; equal seeds give equal streams. *)
+val create : int -> t
+
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** [chance t p] is true with probability [p]. *)
+val chance : t -> float -> bool
+
+(** Uniform choice from a non-empty list. *)
+val choose : t -> 'a list -> 'a
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,22 @@
+(** Small numeric summaries used by the Table 1 characteristics report. *)
+
+let mean = function
+  | [] -> 0.0
+  | xs ->
+    let sum = List.fold_left ( + ) 0 xs in
+    float_of_int sum /. float_of_int (List.length xs)
+
+(** Median of an integer list; the lower middle element for even lengths
+    (matching how whole-line counts are usually reported). *)
+let median = function
+  | [] -> 0
+  | xs ->
+    let sorted = List.sort compare xs in
+    let n = List.length sorted in
+    List.nth sorted ((n - 1) / 2)
+
+let sum = List.fold_left ( + ) 0
+
+let max_opt = function [] -> None | x :: xs -> Some (List.fold_left max x xs)
+
+let min_opt = function [] -> None | x :: xs -> Some (List.fold_left min x xs)

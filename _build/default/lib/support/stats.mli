@@ -1,0 +1,10 @@
+(** Small numeric summaries for characteristics reports. *)
+
+val mean : int list -> float
+
+(** Lower-median of an integer list; 0 for the empty list. *)
+val median : int list -> int
+
+val sum : int list -> int
+val max_opt : int list -> int option
+val min_opt : int list -> int option

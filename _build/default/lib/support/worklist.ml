@@ -1,0 +1,49 @@
+(** FIFO worklist with a membership set, so an item is present at most once.
+
+    Iterative data-flow solvers in this repository (the MOD/REF fixpoint, the
+    interprocedural constant propagation solver, SCCP) all share this shape:
+    pull an item, process it, push its affected neighbours.  Keeping a
+    membership set bounds the queue size by the number of distinct items. *)
+
+type 'a t = {
+  queue : 'a Queue.t;
+  mutable members : ('a, unit) Hashtbl.t;
+}
+
+let create () = { queue = Queue.create (); members = Hashtbl.create 64 }
+
+let is_empty t = Queue.is_empty t.queue
+
+let length t = Queue.length t.queue
+
+let push t x =
+  if not (Hashtbl.mem t.members x) then begin
+    Hashtbl.replace t.members x ();
+    Queue.push x t.queue
+  end
+
+let push_list t xs = List.iter (push t) xs
+
+let pop t =
+  match Queue.pop t.queue with
+  | x ->
+    Hashtbl.remove t.members x;
+    Some x
+  | exception Queue.Empty -> None
+
+(** [drain t f] repeatedly pops items and applies [f] until the worklist is
+    empty.  [f] may push new items. *)
+let drain t f =
+  let rec loop () =
+    match pop t with
+    | None -> ()
+    | Some x ->
+      f x;
+      loop ()
+  in
+  loop ()
+
+let of_list xs =
+  let t = create () in
+  push_list t xs;
+  t

@@ -1,0 +1,24 @@
+(** FIFO worklist with a membership set: an item is queued at most once. *)
+
+type 'a t
+
+(** Create an empty worklist. *)
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+(** Number of items currently queued. *)
+val length : 'a t -> int
+
+(** Enqueue an item unless it is already queued. *)
+val push : 'a t -> 'a -> unit
+
+val push_list : 'a t -> 'a list -> unit
+
+(** Dequeue the oldest item, or [None] if empty. *)
+val pop : 'a t -> 'a option
+
+(** [drain t f] pops items and applies [f] until empty; [f] may push. *)
+val drain : 'a t -> ('a -> unit) -> unit
+
+val of_list : 'a list -> 'a t

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Const_lattice Dce Dom Fmt Hashtbl Ipcp_analysis Ipcp_frontend Ipcp_ir List Lower Prog QCheck2 QCheck_alcotest Sccp Sema Ssa Symbolic

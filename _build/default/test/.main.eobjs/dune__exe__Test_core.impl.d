@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Callgraph Complete Config Driver Fmt Ipcp_core Ipcp_frontend Ipcp_interp Jump_function List Loc Modref Pretty Prog Sema Solver String Substitute

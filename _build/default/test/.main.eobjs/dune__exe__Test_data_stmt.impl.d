@@ -1,0 +1,1 @@
+test/test_data_stmt.ml: Alcotest Config Driver Fmt Ipcp_core Ipcp_frontend Ipcp_interp List Loc Pretty Prog Sema Solver Substitute

@@ -1,0 +1,1 @@
+test/test_dependence.ml: Alcotest Config Const_lattice Dependence Driver Fmt Ipcp_analysis Ipcp_core Ipcp_frontend List Prog Sema Solver

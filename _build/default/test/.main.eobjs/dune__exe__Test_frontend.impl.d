@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Fmt Ipcp_frontend Lexer List Loc Parser Pretty Prog Sema Token

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Buffer Ipcp_frontend Ipcp_interp Ipcp_support Lexer List Loc Parser Prng QCheck2 QCheck_alcotest Sema

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Ipcp_suite List Tables

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Fmt Interp Ipcp_frontend Ipcp_interp List Sema String

@@ -1,0 +1,1 @@
+test/test_intrinsics.ml: Alcotest Config Driver Fmt Ipcp_analysis Ipcp_core Ipcp_frontend Ipcp_interp List Loc Prog QCheck2 QCheck_alcotest Sema Solver String Substitute

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Cfg Dom Fmt Ipcp_frontend Ipcp_ir Ipcp_suite List Lower Prog QCheck2 QCheck_alcotest Sema Ssa Workload

@@ -1,0 +1,1 @@
+test/test_props.ml: Ast Complete Config Driver Fmt Ipcp_core Ipcp_frontend Ipcp_interp Ipcp_suite Jump_function List Loc Parser Pretty Prog QCheck2 QCheck_alcotest Sema Substitute Workload

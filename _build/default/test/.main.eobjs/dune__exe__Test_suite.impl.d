@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Config Driver Fmt Ipcp_core Ipcp_frontend Ipcp_interp Ipcp_suite Jump_function List Metrics Prog Registry Substitute Tables

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Fun Hashtbl Ipcp_support List Option Prng QCheck2 QCheck_alcotest Stats Worklist

@@ -1,0 +1,21 @@
+(* Test runner: every suite in the repository registers here. *)
+
+let () =
+  Alcotest.run "ipcp"
+    [
+      ("support", Test_support.suite);
+      ("frontend", Test_frontend.suite);
+      ("interp", Test_interp.suite);
+      ("data", Test_data_stmt.suite);
+      ("intrinsics", Test_intrinsics.suite);
+      ("ir", Test_ir.suite);
+      ("analysis", Test_analysis.suite);
+      ("dependence", Test_dependence.suite);
+      ("core", Test_core.suite);
+      ("suite", Test_suite.suite);
+      ("extensions", Test_extensions.suite);
+      ("golden", Test_golden.suite);
+      ("cli", Test_cli.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,359 @@
+(* Unit and property tests for the analysis layer: the constant lattice of
+   Figure 1, symbolic (polynomial) expressions, SCCP and DCE. *)
+
+open Ipcp_frontend
+open Ipcp_ir
+open Ipcp_analysis
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: the constant propagation lattice *)
+
+let gen_lattice =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Const_lattice.Top;
+        return Const_lattice.Bottom;
+        map (fun n -> Const_lattice.Const n) (int_range (-5) 5);
+      ])
+
+let prop_meet_commutative =
+  QCheck2.Test.make ~name:"meet commutative" ~count:200
+    QCheck2.Gen.(pair gen_lattice gen_lattice)
+    (fun (a, b) ->
+      Const_lattice.equal (Const_lattice.meet a b) (Const_lattice.meet b a))
+
+let prop_meet_associative =
+  QCheck2.Test.make ~name:"meet associative" ~count:200
+    QCheck2.Gen.(triple gen_lattice gen_lattice gen_lattice)
+    (fun (a, b, c) ->
+      Const_lattice.equal
+        (Const_lattice.meet a (Const_lattice.meet b c))
+        (Const_lattice.meet (Const_lattice.meet a b) c))
+
+let prop_meet_idempotent =
+  QCheck2.Test.make ~name:"meet idempotent" ~count:100 gen_lattice (fun a ->
+      Const_lattice.equal (Const_lattice.meet a a) a)
+
+let prop_top_identity =
+  QCheck2.Test.make ~name:"top is identity" ~count:100 gen_lattice (fun a ->
+      Const_lattice.equal (Const_lattice.meet Const_lattice.Top a) a)
+
+let prop_bottom_absorbing =
+  QCheck2.Test.make ~name:"bottom absorbs" ~count:100 gen_lattice (fun a ->
+      Const_lattice.equal
+        (Const_lattice.meet Const_lattice.Bottom a)
+        Const_lattice.Bottom)
+
+let prop_meet_is_glb =
+  QCheck2.Test.make ~name:"meet is the greatest lower bound" ~count:200
+    QCheck2.Gen.(pair gen_lattice gen_lattice)
+    (fun (a, b) ->
+      let m = Const_lattice.meet a b in
+      Const_lattice.le m a && Const_lattice.le m b)
+
+let test_lattice_meet_table () =
+  (* the exact rules of Figure 1 *)
+  let top = Const_lattice.Top
+  and bot = Const_lattice.Bottom
+  and c1 = Const_lattice.Const 1
+  and c2 = Const_lattice.Const 2 in
+  let eq = Const_lattice.equal in
+  check Alcotest.bool "T ^ T" true (eq (Const_lattice.meet top top) top);
+  check Alcotest.bool "T ^ c" true (eq (Const_lattice.meet top c1) c1);
+  check Alcotest.bool "c ^ c" true (eq (Const_lattice.meet c1 c1) c1);
+  check Alcotest.bool "c1 ^ c2" true (eq (Const_lattice.meet c1 c2) bot);
+  check Alcotest.bool "bot ^ any" true (eq (Const_lattice.meet bot c1) bot);
+  check Alcotest.bool "heights" true
+    (Const_lattice.height top = 2
+    && Const_lattice.height c1 = 1
+    && Const_lattice.height bot = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic expressions *)
+
+let gen_sym =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then
+           oneof
+             [
+               map Symbolic.const (int_range (-10) 10);
+               map (fun i -> Symbolic.leaf (Symbolic.Lformal i)) (int_range 0 3);
+               return Symbolic.unknown;
+             ]
+         else
+           oneof
+             [
+               map Symbolic.const (int_range (-10) 10);
+               map (fun i -> Symbolic.leaf (Symbolic.Lformal i)) (int_range 0 3);
+               map Symbolic.neg (self (n / 2));
+               map2 Symbolic.add (self (n / 2)) (self (n / 2));
+               map2 Symbolic.sub (self (n / 2)) (self (n / 2));
+               map2 Symbolic.mul (self (n / 2)) (self (n / 2));
+             ])
+
+(* naive evaluation without smart-constructor simplification, for
+   cross-checking; only generated ops appear *)
+let env_of_array arr = function
+  | Symbolic.Lformal i -> if i < Array.length arr then Some arr.(i) else None
+  | Symbolic.Lglobal _ -> None
+
+let prop_eval_matches_substitute =
+  QCheck2.Test.make ~name:"symbolic eval agrees with substitute-to-const"
+    ~count:300
+    QCheck2.Gen.(pair gen_sym (array_size (return 4) (int_range (-5) 5)))
+    (fun (sym, arr) ->
+      let env = env_of_array arr in
+      let direct = Symbolic.eval ~env sym in
+      let via_subst = Symbolic.const_value (Symbolic.substitute ~env sym) in
+      direct = via_subst)
+
+let prop_support_covers_eval =
+  QCheck2.Test.make
+    ~name:"evaluation succeeds whenever all support leaves are known"
+    ~count:300
+    QCheck2.Gen.(pair gen_sym (array_size (return 4) (int_range (-5) 5)))
+    (fun (sym, arr) ->
+      match Symbolic.support sym with
+      | None -> Symbolic.eval ~env:(env_of_array arr) sym = None
+      | Some _ ->
+        (* all leaves 0..3 are bound, so eval may only fail on arithmetic
+           faults (division by zero / 0**negative) — none are generated *)
+        Symbolic.eval ~env:(env_of_array arr) sym <> None)
+
+let test_symbolic_folding () =
+  let open Symbolic in
+  check Alcotest.bool "2+3" true (equal (add (const 2) (const 3)) (const 5));
+  check Alcotest.bool "x+0" true
+    (equal (add (leaf (Lformal 0)) (const 0)) (leaf (Lformal 0)));
+  check Alcotest.bool "x*1" true
+    (equal (mul (leaf (Lformal 0)) (const 1)) (leaf (Lformal 0)));
+  check Alcotest.bool "x*0" true
+    (equal (mul (leaf (Lformal 0)) (const 0)) (const 0));
+  check Alcotest.bool "x/1" true
+    (equal (div (leaf (Lformal 0)) (const 1)) (leaf (Lformal 0)));
+  check Alcotest.bool "x**0" true
+    (equal (pow (leaf (Lformal 0)) (const 0)) (const 1));
+  check Alcotest.bool "1/0 unknown" true (is_unknown (div (const 1) (const 0)));
+  check Alcotest.bool "neg neg" true
+    (equal (neg (neg (leaf (Lformal 1)))) (leaf (Lformal 1)));
+  check Alcotest.bool "unknown poisons" true
+    (is_unknown (add unknown (const 1)))
+
+let test_symbolic_support () =
+  let open Symbolic in
+  let s =
+    add (mul (leaf (Lformal 0)) (leaf (Lformal 1))) (leaf (Lglobal "c:0"))
+  in
+  match support s with
+  | Some [ Lformal 0; Lformal 1; Lglobal "c:0" ] -> ()
+  | Some other ->
+    fail
+      (Fmt.str "unexpected support: %a" (Fmt.list ~sep:Fmt.comma pp_leaf) other)
+  | None -> fail "support should exist"
+
+let test_symbolic_as_leaf () =
+  let open Symbolic in
+  check Alcotest.bool "leaf is pass-through" true
+    (as_leaf (leaf (Lformal 2)) = Some (Lformal 2));
+  check Alcotest.bool "sum is not" true (as_leaf (add (leaf (Lformal 2)) (const 1)) = None)
+
+(* ------------------------------------------------------------------ *)
+(* SCCP *)
+
+let sccp_of src name ~entry_env =
+  let prog = Sema.parse_and_resolve src in
+  let proc = Prog.find_proc_exn prog name in
+  let cfg = Lower.lower_proc ~next_expr_id:(Lower.expr_id_ceiling prog) proc in
+  let dom = Dom.compute cfg in
+  let ssa = Ssa.build proc cfg dom in
+  (prog, proc, Sccp.run ~entry_env ssa)
+
+let no_entry (_ : Prog.var) = None
+
+(* count of constant uses found, via the harvested expr table *)
+let const_uses (r : Sccp.result) = Hashtbl.length r.expr_consts
+
+let test_sccp_straightline () =
+  let _, _, r =
+    sccp_of "program t\nn = 2\nm = n * 3\nprint *, m + n\nend\n" "t"
+      ~entry_env:no_entry
+  in
+  (* uses: n in "n * 3", m and n in the print *)
+  check Alcotest.int "three constant uses" 3 (const_uses r)
+
+let test_sccp_branch_both_sides_agree () =
+  let _, _, r =
+    sccp_of
+      "program t\ninteger n, m\nread *, m\nif (m .gt. 0) then\nn = 4\nelse\nn \
+       = 4\nend if\nprint *, n\nend\n"
+      "t" ~entry_env:no_entry
+  in
+  check Alcotest.int "agreeing phi is constant" 1 (const_uses r)
+
+let test_sccp_branch_disagree () =
+  let _, _, r =
+    sccp_of
+      "program t\ninteger n, m\nread *, m\nif (m .gt. 0) then\nn = 4\nelse\nn \
+       = 5\nend if\nprint *, n\nend\n"
+      "t" ~entry_env:no_entry
+  in
+  check Alcotest.int "conflicting phi not constant" 0 (const_uses r)
+
+let test_sccp_dead_branch_ignored () =
+  (* conditional constants: the false branch must not pollute n *)
+  let _, _, r =
+    sccp_of
+      "program t\ninteger n, m\nm = 1\nif (m .gt. 0) then\nn = 4\nelse\nn = \
+       5\nend if\nprint *, n\nend\n"
+      "t" ~entry_env:no_entry
+  in
+  (* constant uses: m in the condition, n in the print *)
+  check Alcotest.int "dead branch ignored" 2 (const_uses r);
+  let cond_known = Hashtbl.length r.cond_consts in
+  check Alcotest.int "branch condition known" 1 cond_known
+
+let test_sccp_loop_invariant () =
+  let _, _, r =
+    sccp_of
+      "program t\ninteger k, i, s\nk = 7\ns = 0\ndo i = 1, 3\ns = s + k\nend \
+       do\nprint *, s, k\nend\n"
+      "t" ~entry_env:no_entry
+  in
+  (* k constant at both uses; s and i vary *)
+  check Alcotest.int "loop-invariant constant" 2 (const_uses r)
+
+let test_sccp_seeded_entry () =
+  let prog_src =
+    "subroutine s(x)\ninteger x\nprint *, x + 1\nend\nprogram t\ncall \
+     s(3)\nend\n"
+  in
+  let _, _, r_unseeded = sccp_of prog_src "s" ~entry_env:no_entry in
+  check Alcotest.int "unseeded finds nothing" 0 (const_uses r_unseeded);
+  let entry_env (v : Prog.var) =
+    match v.vkind with Prog.Kformal 0 -> Some 3 | _ -> None
+  in
+  let _, _, r_seeded = sccp_of prog_src "s" ~entry_env in
+  check Alcotest.int "seeded finds the use" 1 (const_uses r_seeded)
+
+let test_sccp_executable_blocks () =
+  let _, _, r =
+    sccp_of
+      "program t\ninteger m\nm = 0\nif (m .eq. 1) then\nprint *, 'dead'\nend \
+       if\nprint *, 'live'\nend\n"
+      "t" ~entry_env:no_entry
+  in
+  let executable_count =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 r.executable
+  in
+  let total = Array.length r.executable in
+  check Alcotest.bool "some block is dead" true (executable_count < total)
+
+(* ------------------------------------------------------------------ *)
+(* DCE *)
+
+let dce_proc src name ~cond_consts_of =
+  let prog = Sema.parse_and_resolve src in
+  let proc = Prog.find_proc_exn prog name in
+  let cfg = Lower.lower_proc ~next_expr_id:(Lower.expr_id_ceiling prog) proc in
+  let dom = Dom.compute cfg in
+  let ssa = Ssa.build proc cfg dom in
+  let sccp = Sccp.run ~entry_env:no_entry ssa in
+  ignore cond_consts_of;
+  Dce.run ~cond_consts:sccp.cond_consts proc
+
+let count_stmts stmts =
+  let n = ref 0 in
+  Prog.iter_stmts (fun _ -> incr n) stmts;
+  !n
+
+let test_dce_folds_constant_branch () =
+  let proc', changed =
+    dce_proc
+      "program t\ninteger m, n\nm = 0\nif (m .eq. 1) then\nn = 1\nprint *, \
+       n\nelse\nn = 2\nend if\nprint *, n\nend\n"
+      "t" ~cond_consts_of:()
+  in
+  check Alcotest.bool "changed" true changed;
+  (* the then-branch disappears *)
+  let has_print_n_eq_1 = ref false in
+  Prog.iter_stmts
+    (fun s ->
+      match s.sdesc with
+      | Prog.Sif (arms, _) -> if List.length arms > 0 then has_print_n_eq_1 := true
+      | _ -> ())
+    proc'.pbody;
+  check Alcotest.bool "if with live arms gone" false !has_print_n_eq_1
+
+let test_dce_removes_dead_assignment () =
+  let proc', changed =
+    dce_proc "program t\ninteger n, m\nn = 1\nm = 99\nprint *, n\nend\n" "t"
+      ~cond_consts_of:()
+  in
+  check Alcotest.bool "changed" true changed;
+  let stmts = count_stmts proc'.pbody in
+  (* m = 99 removed *)
+  check Alcotest.int "two statements left" 2 stmts
+
+let test_dce_keeps_labelled_target () =
+  let proc', _ =
+    dce_proc
+      "program t\ninteger n\nn = 0\ngoto 20\nn = 5\n20 print *, n\nend\n" "t"
+      ~cond_consts_of:()
+  in
+  (* the labelled print must survive; the dead n = 5 may go *)
+  let has_label = ref false in
+  Prog.iter_stmts
+    (fun s -> if s.slabel = Some 20 then has_label := true)
+    proc'.pbody;
+  check Alcotest.bool "label kept" true !has_label
+
+let test_dce_drops_code_after_stop () =
+  let proc', changed =
+    dce_proc "program t\nprint *, 1\nstop\nprint *, 2\nprint *, 3\nend\n" "t"
+      ~cond_consts_of:()
+  in
+  check Alcotest.bool "changed" true changed;
+  check Alcotest.int "two statements" 2 (count_stmts proc'.pbody)
+
+let test_dce_noop_on_live_code () =
+  let _, changed =
+    dce_proc
+      "program t\ninteger n, m\nread *, m\nif (m .gt. 0) then\nn = 1\nelse\nn \
+       = 2\nend if\nprint *, n\nend\n"
+      "t" ~cond_consts_of:()
+  in
+  check Alcotest.bool "nothing to remove" false changed
+
+let suite =
+  [
+    ("lattice meet table (Figure 1)", `Quick, test_lattice_meet_table);
+    QCheck_alcotest.to_alcotest prop_meet_commutative;
+    QCheck_alcotest.to_alcotest prop_meet_associative;
+    QCheck_alcotest.to_alcotest prop_meet_idempotent;
+    QCheck_alcotest.to_alcotest prop_top_identity;
+    QCheck_alcotest.to_alcotest prop_bottom_absorbing;
+    QCheck_alcotest.to_alcotest prop_meet_is_glb;
+    ("symbolic folding", `Quick, test_symbolic_folding);
+    ("symbolic support", `Quick, test_symbolic_support);
+    ("symbolic pass-through detection", `Quick, test_symbolic_as_leaf);
+    QCheck_alcotest.to_alcotest prop_eval_matches_substitute;
+    QCheck_alcotest.to_alcotest prop_support_covers_eval;
+    ("sccp straight line", `Quick, test_sccp_straightline);
+    ("sccp agreeing phi", `Quick, test_sccp_branch_both_sides_agree);
+    ("sccp conflicting phi", `Quick, test_sccp_branch_disagree);
+    ("sccp conditional constants", `Quick, test_sccp_dead_branch_ignored);
+    ("sccp loop invariant", `Quick, test_sccp_loop_invariant);
+    ("sccp seeded entry facts", `Quick, test_sccp_seeded_entry);
+    ("sccp executable blocks", `Quick, test_sccp_executable_blocks);
+    ("dce folds constant branch", `Quick, test_dce_folds_constant_branch);
+    ("dce removes dead assignment", `Quick, test_dce_removes_dead_assignment);
+    ("dce keeps labelled targets", `Quick, test_dce_keeps_labelled_target);
+    ("dce drops code after stop", `Quick, test_dce_drops_code_after_stop);
+    ("dce noop on live code", `Quick, test_dce_noop_on_live_code);
+  ]

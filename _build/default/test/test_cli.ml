@@ -1,0 +1,143 @@
+(* Integration tests that drive the real ipcp binary end to end: generate a
+   program, run it, analyze it, substitute, lint, and print the tables.
+
+   The binary path arrives via the IPCP_BIN environment variable, set in
+   test/dune so dune builds the executable and sandboxes it with the test. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let bin () =
+  match Sys.getenv_opt "IPCP_BIN" with
+  | Some p when Sys.file_exists p -> p
+  | _ -> fail "IPCP_BIN not set; run via dune"
+
+(* Run the binary; return (exit code, stdout lines). *)
+let run_cli args =
+  let out = Filename.temp_file "ipcp_test" ".out" in
+  let cmd =
+    Fmt.str "%s %s > %s 2>&1" (Filename.quote (bin ()))
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove out;
+  (code, List.rev !lines)
+
+let write_temp src =
+  let path = Filename.temp_file "ipcp_test" ".f" in
+  let oc = open_out path in
+  output_string oc src;
+  close_out oc;
+  path
+
+let sample =
+  "program main\n\
+   integer n\n\
+   n = 6\n\
+   call work(n)\n\
+   end\n\
+   subroutine work(k)\n\
+   integer k\n\
+   print *, k, k * 7\n\
+   end\n"
+
+let contains needle haystack =
+  List.exists
+    (fun line ->
+      let n = String.length needle in
+      let rec go i =
+        i + n <= String.length line && (String.sub line i n = needle || go (i + 1))
+      in
+      n = 0 || go 0)
+    haystack
+
+let test_run () =
+  let f = write_temp sample in
+  let code, out = run_cli [ "run"; f ] in
+  Sys.remove f;
+  check Alcotest.int "exit 0" 0 code;
+  check (Alcotest.list Alcotest.string) "output" [ "6 42" ] out
+
+let test_analyze_reports_constants () =
+  let f = write_temp sample in
+  let code, out = run_cli [ "analyze"; f; "-j"; "passthrough" ] in
+  Sys.remove f;
+  check Alcotest.int "exit 0" 0 code;
+  check Alcotest.bool "reports work.k" true (contains "work: k=6" out)
+
+let test_analyze_substitute_roundtrip () =
+  let f = write_temp sample in
+  let out_f = Filename.temp_file "ipcp_test" ".f" in
+  let code, _ = run_cli [ "analyze"; f; "--substitute"; out_f ] in
+  check Alcotest.int "exit 0" 0 code;
+  (* the substituted file must run and print the same output *)
+  let code2, out2 = run_cli [ "run"; out_f ] in
+  Sys.remove f;
+  Sys.remove out_f;
+  check Alcotest.int "substituted runs" 0 code2;
+  check (Alcotest.list Alcotest.string) "same output" [ "6 42" ] out2
+
+let test_lint_clean_and_dirty () =
+  let clean = write_temp sample in
+  let code, _ = run_cli [ "lint"; clean ] in
+  Sys.remove clean;
+  check Alcotest.int "clean exits 0" 0 code;
+  let dirty =
+    write_temp
+      "program main\ninteger n\nn = 1\ncall s(n, n)\nend\nsubroutine s(a, \
+       b)\ninteger a, b\na = b + 1\nend\n"
+  in
+  let code2, out2 = run_cli [ "lint"; dirty ] in
+  Sys.remove dirty;
+  check Alcotest.int "dirty exits 3" 3 code2;
+  check Alcotest.bool "names the violation" true (contains "positions" out2)
+
+let test_generate_then_run () =
+  let code, out = run_cli [ "generate"; "--seed"; "11"; "--procs"; "4" ] in
+  check Alcotest.int "generate exits 0" 0 code;
+  let f = write_temp (String.concat "\n" out ^ "\n") in
+  let code2, _ = run_cli [ "run"; f ] in
+  Sys.remove f;
+  check Alcotest.int "generated program runs" 0 code2
+
+let test_tables () =
+  let code, out = run_cli [ "tables" ] in
+  check Alcotest.int "exit 0" 0 code;
+  check Alcotest.bool "table 2 header" true
+    (contains "Table 2: constants found through use of jump functions" out);
+  check Alcotest.bool "all programs present" true
+    (List.for_all (fun p -> contains p out) Ipcp_suite.Registry.names)
+
+let test_syntax_error_exit_code () =
+  let f = write_temp "program main\nif (x then\nend\n" in
+  let code, out = run_cli [ "analyze"; f ] in
+  Sys.remove f;
+  check Alcotest.int "exit 1" 1 code;
+  ignore out
+
+let test_runtime_error_exit_code () =
+  let f = write_temp "program main\ninteger n\nn = 0\nprint *, 1 / n\nend\n" in
+  let code, _ = run_cli [ "run"; f ] in
+  Sys.remove f;
+  check Alcotest.int "exit 2" 2 code
+
+let suite =
+  [
+    ("cli run", `Quick, test_run);
+    ("cli analyze reports constants", `Quick, test_analyze_reports_constants);
+    ("cli substitute round-trip", `Quick, test_analyze_substitute_roundtrip);
+    ("cli lint clean and dirty", `Quick, test_lint_clean_and_dirty);
+    ("cli generate then run", `Quick, test_generate_then_run);
+    ("cli tables", `Quick, test_tables);
+    ("cli syntax error exit code", `Quick, test_syntax_error_exit_code);
+    ("cli runtime error exit code", `Quick, test_runtime_error_exit_code);
+  ]

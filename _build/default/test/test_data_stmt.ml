@@ -1,0 +1,198 @@
+(* Tests for FORTRAN [data] statements: parsing, semantic restrictions,
+   load-time initialization in the interpreter, and — the interesting part —
+   how the analyzer exploits load-time values as initial-memory facts. *)
+
+open Ipcp_frontend
+open Ipcp_core
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let resolve = Sema.parse_and_resolve
+
+let expect_sema_error src =
+  match resolve src with
+  | exception Loc.Error _ -> ()
+  | _ -> fail "expected a semantic error"
+
+let outputs src = (Ipcp_interp.Interp.run (resolve src)).Ipcp_interp.Interp.outputs
+
+let const_of (t : Driver.t) proc_name param_name : int option =
+  let proc = Prog.find_proc_exn t.prog proc_name in
+  Solver.constants_of t.solution proc_name
+  |> List.find_map (fun (param, c) ->
+         if Prog.param_name t.prog proc param = param_name then Some c else None)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and semantic checks *)
+
+let test_parse_shapes () =
+  let p =
+    resolve
+      "program t\ninteger n, a(4)\ncommon /c/ g\ninteger g\ndata n /5/, g \
+       /7/\ndata a /4*0/\nprint *, n\nend\n"
+  in
+  let main = Prog.find_proc_exn p "t" in
+  check Alcotest.int "three data inits" 3 (List.length main.pdata)
+
+let test_parse_negative_and_mixed () =
+  let p =
+    resolve
+      "program t\ninteger n\nreal x\nlogical q\ndata n /-3/, x /2.5/, q \
+       /.true./\nprint *, n\nend\n"
+  in
+  let main = Prog.find_proc_exn p "t" in
+  check Alcotest.int "three inits" 3 (List.length main.pdata)
+
+let test_sema_rejects_formal () =
+  expect_sema_error
+    "program t\ncall s(1)\nend\nsubroutine s(x)\ninteger x\ndata x \
+     /5/\nprint *, x\nend\n"
+
+let test_sema_rejects_nonmain_local () =
+  expect_sema_error
+    "program t\ncall s\nend\nsubroutine s\ninteger k\ndata k /5/\nprint *, \
+     k\nend\n"
+
+let test_sema_rejects_double_init () =
+  expect_sema_error "program t\ninteger n\ndata n /1/\ndata n /2/\nend\n"
+
+let test_sema_rejects_double_init_across_units () =
+  expect_sema_error
+    "program t\ncommon /c/ g\ninteger g\ndata g /1/\nend\nsubroutine \
+     s\ncommon /c/ h\ninteger h\ndata h /2/\nend\n"
+
+let test_sema_rejects_wrong_count () =
+  expect_sema_error "program t\ninteger a(3)\ndata a /2*0/\nend\n"
+
+let test_sema_rejects_type_mismatch () =
+  expect_sema_error "program t\ninteger n\ndata n /.true./\nend\n"
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter semantics *)
+
+let test_interp_scalar_init () =
+  check (Alcotest.list Alcotest.string) "scalar data"
+    [ "5 7" ]
+    (outputs
+       "program t\ninteger n\ncommon /c/ g\ninteger g\ndata n /5/, g \
+        /7/\nprint *, n, g\nend\n")
+
+let test_interp_array_fill () =
+  check (Alcotest.list Alcotest.string) "array data"
+    [ "9 9 0 4" ]
+    (outputs
+       "program t\ninteger a(4)\ndata a /2*9, 0, 4/\nprint *, a(1), a(2), \
+        a(3), a(4)\nend\n")
+
+let test_interp_global_visible_in_callee () =
+  check (Alcotest.list Alcotest.string) "callee sees data value"
+    [ "12" ]
+    (outputs
+       "program t\ncommon /c/ g\ninteger g\ndata g /12/\ncall s\nend\n\
+        subroutine s\ncommon /c/ h\ninteger h\nprint *, h\nend\n")
+
+let test_interp_data_in_subunit_applies () =
+  (* a data statement on a common in a subroutine still initializes at load
+     time, even if the subroutine never runs *)
+  check (Alcotest.list Alcotest.string) "block-data style init"
+    [ "3" ]
+    (outputs
+       "program t\ncommon /c/ g\ninteger g\nprint *, g\nend\n\
+        subroutine blockd\ncommon /c/ h\ninteger h\ndata h /3/\nend\n")
+
+(* ------------------------------------------------------------------ *)
+(* Analysis: load-time values as initial-memory facts *)
+
+let test_analysis_data_global_propagates () =
+  (* no init routine at all: the global's constancy comes purely from data *)
+  let t =
+    Driver.analyze Config.default
+      (resolve
+         "program t\ncommon /c/ g\ninteger g\ndata g /64/\ncall use\nend\n\
+          subroutine use\ncommon /c/ h\ninteger h\nprint *, h, h * 2\nend\n")
+  in
+  match const_of t "use" "h" with
+  | Some 64 -> ()
+  | other -> fail (Fmt.str "expected use.h = 64, got %a" Fmt.(option int) other)
+
+let test_analysis_data_overwritten_is_bottom () =
+  (* main overwrites the data value with unknown input before the call *)
+  let t =
+    Driver.analyze Config.default
+      (resolve
+         "program t\ncommon /c/ g\ninteger g\ndata g /64/\nread *, g\ncall \
+          use\nend\n\
+          subroutine use\ncommon /c/ h\ninteger h\nprint *, h\nend\n")
+  in
+  match const_of t "use" "h" with
+  | None -> ()
+  | Some c -> fail (Fmt.str "use.h should be unknown, got %d" c)
+
+let test_analysis_data_local_flows_to_callee () =
+  let t =
+    Driver.analyze Config.default
+      (resolve
+         "program t\ninteger nsize\ndata nsize /48/\ncall work(nsize)\nend\n\
+          subroutine work(n)\ninteger n\nprint *, n, n / 2\nend\n")
+  in
+  match const_of t "work" "n" with
+  | Some 48 -> ()
+  | other -> fail (Fmt.str "expected work.n = 48, got %a" Fmt.(option int) other)
+
+let test_analysis_data_substitution_sound () =
+  let prog =
+    resolve
+      "program t\ninteger nsize\ncommon /c/ g\ninteger g\ndata nsize /48/, g \
+       /6/\ncall work(nsize)\nprint *, g + nsize\nend\n\
+       subroutine work(n)\ninteger n\ncommon /c/ h\ninteger h\nprint *, n + \
+       h, n - h\nend\n"
+  in
+  let t = Driver.analyze Config.default prog in
+  let prog', stats = Substitute.apply t in
+  check Alcotest.bool "substitutions happened" true (stats.Substitute.total > 0);
+  let r1 = Ipcp_interp.Interp.run ~trace_entries:false prog in
+  let r2 = Ipcp_interp.Interp.run ~trace_entries:false prog' in
+  check (Alcotest.list Alcotest.string) "behaviour preserved" r1.outputs r2.outputs
+
+let test_data_roundtrip_through_printer () =
+  let prog =
+    resolve
+      "program t\ninteger n, a(3)\ndata n /5/\ndata a /1, 2*7/\nprint *, n, \
+       a(1), a(2), a(3)\nend\n"
+  in
+  let printed = Pretty.program_to_string prog in
+  let prog2 =
+    try resolve printed
+    with Loc.Error (l, m) ->
+      fail (Fmt.str "re-resolve failed at %a: %s@.%s" Loc.pp l m printed)
+  in
+  let r1 = Ipcp_interp.Interp.run ~trace_entries:false prog in
+  let r2 = Ipcp_interp.Interp.run ~trace_entries:false prog2 in
+  check (Alcotest.list Alcotest.string) "same output" r1.outputs r2.outputs
+
+let suite =
+  [
+    ("parse shapes", `Quick, test_parse_shapes);
+    ("parse negative and mixed types", `Quick, test_parse_negative_and_mixed);
+    ("sema rejects formals", `Quick, test_sema_rejects_formal);
+    ("sema rejects non-main locals", `Quick, test_sema_rejects_nonmain_local);
+    ("sema rejects double init", `Quick, test_sema_rejects_double_init);
+    ("sema rejects double init across units", `Quick,
+      test_sema_rejects_double_init_across_units);
+    ("sema rejects wrong count", `Quick, test_sema_rejects_wrong_count);
+    ("sema rejects type mismatch", `Quick, test_sema_rejects_type_mismatch);
+    ("interp scalar init", `Quick, test_interp_scalar_init);
+    ("interp array fill", `Quick, test_interp_array_fill);
+    ("interp global visible in callee", `Quick, test_interp_global_visible_in_callee);
+    ("interp block-data style init", `Quick, test_interp_data_in_subunit_applies);
+    ("analysis: data global propagates", `Quick,
+      test_analysis_data_global_propagates);
+    ("analysis: overwritten data is bottom", `Quick,
+      test_analysis_data_overwritten_is_bottom);
+    ("analysis: data local flows to callee", `Quick,
+      test_analysis_data_local_flows_to_callee);
+    ("analysis: substitution stays sound", `Quick,
+      test_analysis_data_substitution_sound);
+    ("printer round-trips data", `Quick, test_data_roundtrip_through_printer);
+  ]

@@ -1,0 +1,87 @@
+(* Robustness fuzzing: the frontend must never crash — every malformed
+   input is rejected with a located {!Loc.Error}, and every accepted input
+   goes on to behave deterministically. *)
+
+open Ipcp_frontend
+open Ipcp_support
+
+(* random printable-ish strings biased toward MiniFort's alphabet *)
+let fuzz_string rng len =
+  let pieces =
+    [
+      "program"; "subroutine"; "function"; "end"; "do"; "if"; "then"; "else";
+      "call"; "goto"; "integer"; "real"; "common"; "print"; "read"; "x"; "y";
+      "n"; "i"; "("; ")"; ","; "="; "+"; "-"; "*"; "/"; "**"; ".lt."; ".and.";
+      ".true."; "'str'"; "1"; "42"; "3.14"; "\n"; " "; "!"; "&"; "/blk/";
+      "10"; "."; ".."; "'"; "e"; "d1";
+    ]
+  in
+  let buf = Buffer.create 64 in
+  for _ = 1 to len do
+    Buffer.add_string buf (Prng.choose rng pieces);
+    if Prng.chance rng 0.3 then Buffer.add_char buf ' '
+  done;
+  Buffer.contents buf
+
+let prop_lexer_total =
+  QCheck2.Test.make ~name:"lexer never crashes on fuzz input" ~count:500
+    (QCheck2.Gen.int_range 1 100_000) (fun seed ->
+      let rng = Prng.create seed in
+      let src = fuzz_string rng (Prng.range rng 1 80) in
+      match Lexer.tokenize src with
+      | _ -> true
+      | exception Loc.Error _ -> true)
+
+let prop_parser_total =
+  QCheck2.Test.make ~name:"parser never crashes on fuzz input" ~count:500
+    (QCheck2.Gen.int_range 1 100_000) (fun seed ->
+      let rng = Prng.create seed in
+      let src = fuzz_string rng (Prng.range rng 1 120) in
+      match Parser.parse_program src with
+      | _ -> true
+      | exception Loc.Error _ -> true)
+
+let prop_sema_total =
+  QCheck2.Test.make ~name:"sema never crashes on fuzz input" ~count:500
+    (QCheck2.Gen.int_range 1 100_000) (fun seed ->
+      let rng = Prng.create seed in
+      let src =
+        "program t\n" ^ fuzz_string rng (Prng.range rng 1 60) ^ "\nend\n"
+      in
+      match Sema.parse_and_resolve src with
+      | _ -> true
+      | exception Loc.Error _ -> true)
+
+(* byte-level garbage, including control characters *)
+let prop_lexer_binary_garbage =
+  QCheck2.Test.make ~name:"lexer survives raw bytes" ~count:300
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 60))
+    (fun src ->
+      match Lexer.tokenize src with
+      | _ -> true
+      | exception Loc.Error _ -> true)
+
+(* accepted fuzz programs interpret deterministically and within fuel *)
+let prop_accepted_fuzz_runs =
+  QCheck2.Test.make ~name:"accepted fuzz programs run deterministically"
+    ~count:200 (QCheck2.Gen.int_range 1 100_000) (fun seed ->
+      let rng = Prng.create seed in
+      let src =
+        "program t\n" ^ fuzz_string rng (Prng.range rng 1 40) ^ "\nend\n"
+      in
+      match Sema.parse_and_resolve src with
+      | exception Loc.Error _ -> true
+      | prog ->
+        let r1 = Ipcp_interp.Interp.run ~fuel:50_000 prog in
+        let r2 = Ipcp_interp.Interp.run ~fuel:50_000 prog in
+        r1.outputs = r2.outputs && r1.outcome = r2.outcome)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_lexer_total;
+      prop_parser_total;
+      prop_sema_total;
+      prop_lexer_binary_garbage;
+      prop_accepted_fuzz_runs;
+    ]

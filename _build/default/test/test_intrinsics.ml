@@ -1,0 +1,183 @@
+(* Tests for the FORTRAN intrinsics (abs/min/max/mod) across the pipeline:
+   sema typing, interpreter evaluation, symbolic constant folding, SCCP, and
+   interprocedural propagation through intrinsic-valued arguments. *)
+
+open Ipcp_frontend
+open Ipcp_core
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let resolve = Sema.parse_and_resolve
+
+let outputs src = (Ipcp_interp.Interp.run (resolve src)).Ipcp_interp.Interp.outputs
+
+let expect_sema_error src =
+  match resolve src with
+  | exception Loc.Error _ -> ()
+  | _ -> fail "expected a semantic error"
+
+let const_of (t : Driver.t) proc_name param_name : int option =
+  let proc = Prog.find_proc_exn t.prog proc_name in
+  Solver.constants_of t.solution proc_name
+  |> List.find_map (fun (param, c) ->
+         if Prog.param_name t.prog proc param = param_name then Some c else None)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter semantics *)
+
+let test_interp_integer_intrinsics () =
+  check (Alcotest.list Alcotest.string) "ints"
+    [ "5 2 9 1" ]
+    (outputs
+       "program t\ninteger a, b\na = -5\nb = 9\nprint *, abs(a), min(2, b), \
+        max(a, b), mod(b, 4)\nend\n")
+
+let test_interp_real_intrinsics () =
+  check (Alcotest.list Alcotest.string) "reals"
+    [ "2.5 1.5 2.5" ]
+    (outputs
+       "program t\nreal x, y\nx = -2.5\ny = 1.5\nprint *, abs(x), min(2.5, \
+        y), max(abs(x), y)\nend\n")
+
+let test_interp_mod_negative () =
+  (* OCaml's mod truncates toward zero, matching FORTRAN's MOD *)
+  check (Alcotest.list Alcotest.string) "mod signs"
+    [ "1 -1 1 -1" ]
+    (outputs
+       "program t\nprint *, mod(7, 3), mod(-7, 3), mod(7, -3), mod(-7, \
+        -3)\nend\n")
+
+let test_interp_mod_zero_fails () =
+  let r = Ipcp_interp.Interp.run (resolve "program t\ninteger n\nn = 0\nprint *, mod(5, n)\nend\n") in
+  match r.outcome with
+  | Ipcp_interp.Interp.Failed _ -> ()
+  | _ -> fail "mod by zero must fail"
+
+let test_interp_nested_intrinsics () =
+  check (Alcotest.list Alcotest.string) "nested"
+    [ "4" ]
+    (outputs "program t\nprint *, max(min(4, 9), abs(-2))\nend\n")
+
+(* ------------------------------------------------------------------ *)
+(* Sema *)
+
+let test_sema_arity () =
+  expect_sema_error "program t\nprint *, abs(1, 2)\nend\n";
+  expect_sema_error "program t\nprint *, min(1)\nend\n"
+
+let test_sema_mixed_types_rejected () =
+  expect_sema_error "program t\nprint *, min(1, 2.5)\nend\n"
+
+let test_sema_mod_requires_integers () =
+  expect_sema_error "program t\nprint *, mod(1.5, 2.0)\nend\n"
+
+let test_sema_logical_rejected () =
+  expect_sema_error "program t\nprint *, abs(.true.)\nend\n"
+
+let test_sema_array_shadows_intrinsic () =
+  (* a declared array named mod makes mod(i) an array reference *)
+  let p =
+    resolve
+      "program t\ninteger mod(3), i\ndo i = 1, 3\nmod(i) = i * 10\nend \
+       do\nprint *, mod(2)\nend\n"
+  in
+  check Alcotest.int "resolved" 1 (List.length p.procs);
+  check (Alcotest.list Alcotest.string) "array wins" [ "20" ]
+    (Ipcp_interp.Interp.run p).outputs
+
+let test_sema_user_function_shadows_intrinsic () =
+  let p =
+    resolve
+      "program t\nprint *, abs(5)\nend\nfunction abs(x)\ninteger abs, \
+       x\nabs = x + 100\nend\n"
+  in
+  check (Alcotest.list Alcotest.string) "user function wins" [ "105" ]
+    (Ipcp_interp.Interp.run p).outputs
+
+(* ------------------------------------------------------------------ *)
+(* Analysis: intrinsics fold over constants *)
+
+let test_analysis_intrinsic_folds_in_jf () =
+  (* the actual is mod(n, 4) with constant n: polynomial jump functions
+     fold it *)
+  let t =
+    Driver.analyze Config.polynomial_with_mod
+      (resolve
+         "program t\ninteger n\nn = 10\ncall s(mod(n, 4), max(n, 3))\nend\n\
+          subroutine s(a, b)\ninteger a, b\nprint *, a, b\nend\n")
+  in
+  check (Alcotest.option Alcotest.int) "mod folded" (Some 2) (const_of t "s" "a");
+  check (Alcotest.option Alcotest.int) "max folded" (Some 10) (const_of t "s" "b")
+
+let test_analysis_intrinsic_unknown_arg_is_bottom () =
+  let t =
+    Driver.analyze Config.polynomial_with_mod
+      (resolve
+         "program t\ninteger n\nread *, n\ncall s(abs(n))\nend\n\
+          subroutine s(a)\ninteger a\nprint *, a\nend\n")
+  in
+  check (Alcotest.option Alcotest.int) "not constant" None (const_of t "s" "a")
+
+let test_analysis_substitution_through_intrinsic () =
+  let prog =
+    resolve
+      "program t\ninteger n, m\nn = 12\nm = mod(n, 5)\ncall s(m)\nprint *, \
+       m\nend\nsubroutine s(a)\ninteger a\nprint *, a + abs(a)\nend\n"
+  in
+  let t = Driver.analyze Config.polynomial_with_mod prog in
+  let prog', stats = Substitute.apply t in
+  check Alcotest.bool "substituted" true (stats.Substitute.total > 0);
+  let r1 = Ipcp_interp.Interp.run ~trace_entries:false prog in
+  let r2 = Ipcp_interp.Interp.run ~trace_entries:false prog' in
+  check (Alcotest.list Alcotest.string) "behaviour preserved" r1.outputs r2.outputs
+
+(* symbolic folding mirrors the interpreter exactly *)
+let prop_fold_matches_interp =
+  QCheck2.Test.make ~name:"intrinsic folding matches interpreter" ~count:200
+    QCheck2.Gen.(pair (int_range (-30) 30) (int_range (-30) 30))
+    (fun (a, b) ->
+      let run_src intr args =
+        let src =
+          Fmt.str "program t\nprint *, %s(%s)\nend\n" intr
+            (String.concat ", " (List.map string_of_int args))
+        in
+        match (Ipcp_interp.Interp.run (resolve src)).outputs with
+        | [ line ] -> Some (int_of_string (String.trim line))
+        | _ -> None
+      in
+      let check_one intr prog_intr args =
+        let via_interp =
+          match run_src intr args with v -> v | exception _ -> None
+        in
+        let via_fold = Ipcp_analysis.Symbolic.fold_intrinsic prog_intr args in
+        (* the interpreter faults exactly when folding declines (mod 0) *)
+        via_interp = via_fold
+      in
+      check_one "abs" Prog.Iabs [ a ]
+      && check_one "min" Prog.Imin [ a; b ]
+      && check_one "max" Prog.Imax [ a; b ]
+      && check_one "mod" Prog.Imod [ a; b ])
+
+let suite =
+  [
+    ("interp integer intrinsics", `Quick, test_interp_integer_intrinsics);
+    ("interp real intrinsics", `Quick, test_interp_real_intrinsics);
+    ("interp mod sign behaviour", `Quick, test_interp_mod_negative);
+    ("interp mod by zero fails", `Quick, test_interp_mod_zero_fails);
+    ("interp nested intrinsics", `Quick, test_interp_nested_intrinsics);
+    ("sema arity", `Quick, test_sema_arity);
+    ("sema mixed types rejected", `Quick, test_sema_mixed_types_rejected);
+    ("sema mod requires integers", `Quick, test_sema_mod_requires_integers);
+    ("sema logical rejected", `Quick, test_sema_logical_rejected);
+    ("sema array shadows intrinsic", `Quick, test_sema_array_shadows_intrinsic);
+    ("sema user function shadows intrinsic", `Quick,
+      test_sema_user_function_shadows_intrinsic);
+    ("analysis folds intrinsics in jump functions", `Quick,
+      test_analysis_intrinsic_folds_in_jf);
+    ("analysis unknown intrinsic arg is bottom", `Quick,
+      test_analysis_intrinsic_unknown_arg_is_bottom);
+    ("substitution through intrinsics", `Quick,
+      test_analysis_substitution_through_intrinsic);
+    QCheck_alcotest.to_alcotest prop_fold_matches_interp;
+  ]

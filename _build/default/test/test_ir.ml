@@ -1,0 +1,348 @@
+(* Unit and property tests for the IR layer: CFG lowering, dominators and
+   SSA construction. *)
+
+open Ipcp_frontend
+open Ipcp_ir
+open Ipcp_suite
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let lower_named src name =
+  let prog = Sema.parse_and_resolve src in
+  let proc = Prog.find_proc_exn prog name in
+  Lower.lower_proc ~next_expr_id:(Lower.expr_id_ceiling prog) proc
+
+(* ------------------------------------------------------------------ *)
+(* Lowering *)
+
+let test_lower_straightline () =
+  let cfg = lower_named "program t\nx = 1\ny = 2.0\nprint *, x\nend\n" "t" in
+  check Alcotest.int "one block" 1 (Cfg.num_blocks cfg);
+  check Alcotest.int "three instrs" 3
+    (List.length (Cfg.block cfg cfg.entry).b_instrs);
+  match (Cfg.block cfg cfg.entry).b_term with
+  | Cfg.Tstop -> () (* main falls off the end: stop *)
+  | _ -> fail "main must end in stop"
+
+let test_lower_if_shape () =
+  let cfg =
+    lower_named
+      "program t\nn = 1\nif (n .gt. 0) then\nn = 2\nelse\nn = 3\nend \
+       if\nprint *, n\nend\n"
+      "t"
+  in
+  (* entry + then + else + join (+ possibly an empty arm block) *)
+  check Alcotest.bool "at least 4 blocks" true (Cfg.num_blocks cfg >= 4);
+  let branches =
+    Array.to_list cfg.blocks
+    |> List.filter (fun (b : Cfg.block) ->
+           match b.b_term with Cfg.Tbranch _ -> true | _ -> false)
+  in
+  check Alcotest.int "one branch" 1 (List.length branches)
+
+let test_lower_do_loop_back_edge () =
+  let cfg =
+    lower_named "program t\ns = 0\ndo i = 1, 10\ns = s + i\nend do\nprint *, \
+                 s\nend\n" "t"
+  in
+  (* some block must jump backwards (the loop latch) *)
+  let has_back_edge =
+    Array.exists
+      (fun (b : Cfg.block) ->
+        List.exists (fun s -> s < b.b_id) (Cfg.successors cfg b.b_id))
+      cfg.blocks
+  in
+  check Alcotest.bool "loop back edge" true has_back_edge
+
+let test_lower_call_in_expr_hoisted () =
+  let cfg =
+    lower_named
+      "program t\ni = f(1) + f(2)\nend\nfunction f(x)\ninteger f, x\nf = \
+       x\nend\n"
+      "t"
+  in
+  let calls = ref 0 in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      List.iter
+        (fun instr ->
+          match instr with
+          | Cfg.Icall c ->
+            incr calls;
+            check Alcotest.bool "call has result temp" true
+              (c.c_result <> None)
+          | Cfg.Iassign (_, e) ->
+            (* the remaining assignment must be call-free *)
+            let rec pure (e : Prog.expr) =
+              match e.edesc with
+              | Prog.Ecall _ -> false
+              | Prog.Cint _ | Prog.Creal _ | Prog.Cbool _ | Prog.Cstr _
+              | Prog.Evar _ ->
+                true
+              | Prog.Earr (_, idx) -> List.for_all pure idx
+              | Prog.Eintr (_, args) -> List.for_all pure args
+              | Prog.Eun (_, a) -> pure a
+              | Prog.Ebin (_, a, b) -> pure a && pure b
+            in
+            check Alcotest.bool "assign is pure" true (pure e)
+          | _ -> ())
+        b.b_instrs)
+    cfg.blocks;
+  check Alcotest.int "two hoisted calls" 2 !calls
+
+let test_lower_goto_targets () =
+  let cfg =
+    lower_named
+      "program t\nn = 0\n10 n = n + 1\nif (n .lt. 3) goto 10\nprint *, \
+       n\nend\n"
+      "t"
+  in
+  (* must be a cycle: reachable blocks include a back edge *)
+  let reach = Cfg.reachable cfg in
+  let has_cycle =
+    Array.exists
+      (fun (b : Cfg.block) ->
+        reach.(b.b_id)
+        && List.exists
+             (fun s -> s <= b.b_id && reach.(s))
+             (Cfg.successors cfg b.b_id))
+      cfg.blocks
+  in
+  check Alcotest.bool "goto loop forms cycle" true has_cycle
+
+let test_lower_unreachable_after_return () =
+  let cfg =
+    lower_named "subroutine s\nreturn\nprint *, 1\nend\nprogram t\ncall s\nend\n" "s"
+  in
+  let reach = Cfg.reachable cfg in
+  let unreachable_print =
+    Array.exists
+      (fun (b : Cfg.block) ->
+        (not reach.(b.b_id))
+        && List.exists
+             (fun i -> match i with Cfg.Iprint _ -> true | _ -> false)
+             b.b_instrs)
+      cfg.blocks
+  in
+  check Alcotest.bool "print after return unreachable" true unreachable_print
+
+(* ------------------------------------------------------------------ *)
+(* Dominators *)
+
+(* naive dominator computation by dataflow for cross-checking *)
+let naive_dominators (cfg : Cfg.t) : bool array array =
+  let n = Cfg.num_blocks cfg in
+  let reach = Cfg.reachable cfg in
+  let preds = Cfg.predecessors cfg in
+  let dom = Array.init n (fun _ -> Array.make n true) in
+  Array.iteri (fun i _ -> if not reach.(i) then dom.(i) <- Array.make n false) dom;
+  dom.(cfg.entry) <- Array.make n false;
+  dom.(cfg.entry).(cfg.entry) <- true;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to n - 1 do
+      if reach.(b) && b <> cfg.entry then begin
+        let inter = Array.make n true in
+        let got_pred = ref false in
+        List.iter
+          (fun p ->
+            if reach.(p) then begin
+              got_pred := true;
+              for k = 0 to n - 1 do
+                inter.(k) <- inter.(k) && dom.(p).(k)
+              done
+            end)
+          preds.(b);
+        if not !got_pred then Array.fill inter 0 n false;
+        inter.(b) <- true;
+        if inter <> dom.(b) then begin
+          dom.(b) <- inter;
+          changed := true
+        end
+      end
+    done
+  done;
+  dom
+
+let check_dominators_against_naive cfg =
+  let dom = Dom.compute cfg in
+  let naive = naive_dominators cfg in
+  let n = Cfg.num_blocks cfg in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      let fast = Dom.dominates dom a b in
+      let slow = naive.(b).(a) in
+      if fast <> slow then
+        fail
+          (Fmt.str "dominates %d %d: fast=%b naive=%b in@.%a" a b fast slow
+             Cfg.pp cfg)
+    done
+  done
+
+let test_dom_simple_diamond () =
+  let cfg =
+    lower_named
+      "program t\nn = 1\nif (n .gt. 0) then\nn = 2\nelse\nn = 3\nend \
+       if\nprint *, n\nend\n"
+      "t"
+  in
+  check_dominators_against_naive cfg
+
+let test_dom_loop () =
+  let cfg =
+    lower_named
+      "program t\ns = 0\ndo i = 1, 3\nif (s .gt. 1) then\ns = s - 1\nend \
+       if\ns = s + i\nend do\nprint *, s\nend\n"
+      "t"
+  in
+  check_dominators_against_naive cfg
+
+let prop_dom_matches_naive =
+  QCheck2.Test.make ~name:"fast dominators match naive dataflow" ~count:60
+    (QCheck2.Gen.int_range 1 5_000) (fun seed ->
+      let prog =
+        Workload.generate_resolved { Workload.default_spec with seed }
+      in
+      List.iter
+        (fun (p : Prog.proc) ->
+          let cfg =
+            Lower.lower_proc ~next_expr_id:(Lower.expr_id_ceiling prog) p
+          in
+          check_dominators_against_naive cfg)
+        prog.procs;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* SSA invariants *)
+
+let build_ssa_for prog (p : Prog.proc) =
+  let cfg = Lower.lower_proc ~next_expr_id:(Lower.expr_id_ceiling prog) p in
+  let dom = Dom.compute cfg in
+  (cfg, dom, Ssa.build p cfg dom)
+
+(* Every instruction use refers to a definition that dominates it. *)
+let check_ssa_dominance (cfg : Cfg.t) (dom : Dom.t) (ssa : Ssa.t) =
+  let def_location n =
+    match (Ssa.def ssa n).d_site with
+    | Ssa.Dentry -> `Entry
+    | Ssa.Dphi b -> `Block (b, -1)
+    | Ssa.Dinstr (b, i) -> `Block (b, i)
+  in
+  let dominates_use ~def_loc ~use_block ~use_index =
+    match def_loc with
+    | `Entry -> true
+    | `Block (db, di) ->
+      if db = use_block then di < use_index
+      else Dom.dominates dom db use_block
+  in
+  Array.iteri
+    (fun b instrs ->
+      if Dom.is_reachable dom b then
+        Array.iteri
+          (fun i _ ->
+            List.iter
+              (fun (_, n) ->
+                if
+                  not
+                    (dominates_use ~def_loc:(def_location n) ~use_block:b
+                       ~use_index:i)
+                then
+                  fail
+                    (Fmt.str "use of %d in B%d/%d not dominated by def" n b i))
+              (Ssa.info_at ssa b i).ii_uses)
+          instrs)
+    ssa.Ssa.instrs;
+  (* phi args: the def must dominate the end of the corresponding pred *)
+  Array.iteri
+    (fun b phis ->
+      List.iter
+        (fun (p : Ssa.phi) ->
+          List.iter
+            (fun (pred, arg) ->
+              match def_location arg with
+              | `Entry -> ()
+              | `Block (db, _) ->
+                if not (db = pred || Dom.dominates dom db pred) then
+                  fail
+                    (Fmt.str "phi arg %d in B%d from B%d not dominated" arg b
+                       pred))
+            p.p_args)
+        phis)
+    ssa.Ssa.phis;
+  ignore cfg
+
+(* Each phi has exactly one argument per reachable predecessor. *)
+let check_phi_arity (cfg : Cfg.t) (dom : Dom.t) (ssa : Ssa.t) =
+  let preds = Cfg.predecessors cfg in
+  Array.iteri
+    (fun b phis ->
+      if Dom.is_reachable dom b then
+        let reachable_preds =
+          List.filter (Dom.is_reachable dom) preds.(b)
+        in
+        List.iter
+          (fun (p : Ssa.phi) ->
+            check Alcotest.int
+              (Fmt.str "phi %s arity in B%d" p.p_var b)
+              (List.length reachable_preds)
+              (List.length p.p_args))
+          phis)
+    ssa.Ssa.phis
+
+let prop_ssa_invariants =
+  QCheck2.Test.make ~name:"SSA dominance and phi-arity invariants" ~count:60
+    (QCheck2.Gen.int_range 1 5_000) (fun seed ->
+      let prog =
+        Workload.generate_resolved { Workload.default_spec with seed }
+      in
+      List.iter
+        (fun (p : Prog.proc) ->
+          let cfg, dom, ssa = build_ssa_for prog p in
+          check_ssa_dominance cfg dom ssa;
+          check_phi_arity cfg dom ssa)
+        prog.procs;
+      true)
+
+let test_ssa_loop_phi () =
+  let prog =
+    Sema.parse_and_resolve
+      "program t\ns = 0\ndo i = 1, 3\ns = s + i\nend do\nprint *, s\nend\n"
+  in
+  let p = Prog.find_proc_exn prog "t" in
+  let _, _, ssa = build_ssa_for prog p in
+  (* s and i need phis in the loop header *)
+  let phi_vars =
+    Array.to_list ssa.Ssa.phis
+    |> List.concat_map (fun phis -> List.map (fun (p : Ssa.phi) -> p.p_var) phis)
+  in
+  check Alcotest.bool "phi for s" true (List.mem "s" phi_vars);
+  check Alcotest.bool "phi for i" true (List.mem "i" phi_vars)
+
+let test_ssa_exit_versions () =
+  let prog =
+    Sema.parse_and_resolve
+      "subroutine s(x)\ninteger x\nif (x .gt. 0) then\nreturn\nend if\nx = \
+       1\nend\nprogram t\ninteger v\nv = 0\ncall s(v)\nend\n"
+  in
+  let p = Prog.find_proc_exn prog "s" in
+  let _, _, ssa = build_ssa_for prog p in
+  (* two reachable exits: the early return and the implicit end *)
+  check Alcotest.int "two exits" 2 (List.length (Ssa.exits ssa))
+
+let suite =
+  [
+    ("lower straight line", `Quick, test_lower_straightline);
+    ("lower if shape", `Quick, test_lower_if_shape);
+    ("lower do loop back edge", `Quick, test_lower_do_loop_back_edge);
+    ("lower hoists calls from exprs", `Quick, test_lower_call_in_expr_hoisted);
+    ("lower goto cycle", `Quick, test_lower_goto_targets);
+    ("lower unreachable after return", `Quick, test_lower_unreachable_after_return);
+    ("dominators diamond", `Quick, test_dom_simple_diamond);
+    ("dominators loop", `Quick, test_dom_loop);
+    ("ssa loop phis", `Quick, test_ssa_loop_phi);
+    ("ssa exit versions", `Quick, test_ssa_exit_versions);
+    QCheck_alcotest.to_alcotest prop_dom_matches_naive;
+    QCheck_alcotest.to_alcotest prop_ssa_invariants;
+  ]
