@@ -17,6 +17,22 @@ open Bechamel
 open Toolkit
 open Ipcp_core
 open Ipcp_suite
+open Ipcp_telemetry
+
+(* All timings flow through the telemetry subsystem: every bechamel
+   estimate is recorded as a `bench.<name>` distribution observation (ns)
+   in [collector], and the whole document — including the analysis-internal
+   counters accumulated while the tables were regenerated under the same
+   collector — is appended to IPCP_BENCH_PROFILE (default
+   BENCH_profile.jsonl, one JSON document per line), so BENCH_*.json
+   artifacts come from the same code path as `ipcp --profile-json`. *)
+let collector = Telemetry.create ()
+
+let profile_path () =
+  match Sys.getenv_opt "IPCP_BENCH_PROFILE" with
+  | Some p when p <> "" -> Some p
+  | Some _ -> None
+  | None -> Some "BENCH_profile.jsonl"
 
 (* ------------------------------------------------------------------ *)
 (* Timing infrastructure *)
@@ -56,9 +72,13 @@ let print_results label results =
     List.iter
       (fun (name, ns) ->
         if Float.is_nan ns then Fmt.pr "  %-44s (no estimate)@." name
-        else if ns > 1_000_000.0 then
-          Fmt.pr "  %-44s %10.3f ms/run@." name (ns /. 1_000_000.0)
-        else Fmt.pr "  %-44s %10.3f us/run@." name (ns /. 1_000.0))
+        else begin
+          Telemetry.with_reporter collector (fun () ->
+              Telemetry.observe ("bench." ^ name) (int_of_float ns));
+          if ns > 1_000_000.0 then
+            Fmt.pr "  %-44s %10.3f ms/run@." name (ns /. 1_000_000.0)
+          else Fmt.pr "  %-44s %10.3f us/run@." name (ns /. 1_000.0)
+        end)
       rows
 
 (* ------------------------------------------------------------------ *)
@@ -196,10 +216,12 @@ let cloning_ablation () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  (* the paper's tables *)
-  Fmt.pr "%a@." Tables.pp_all ();
-  jf_statistics ();
-  cloning_ablation ();
+  (* the paper's tables, under the collector: the bench profile document
+     also carries the analysis-internal counters of a full suite run *)
+  Telemetry.with_reporter collector (fun () ->
+      Telemetry.span "bench:tables" (fun () -> Fmt.pr "%a@." Tables.pp_all ());
+      Telemetry.span "bench:jf_statistics" jf_statistics;
+      Telemetry.span "bench:cloning_ablation" cloning_ablation);
   (* the timing benches *)
   print_results "jump-function construction time (§3.1.5)"
     (run_benchmarks (Test.make_grouped ~name:"" construction_tests));
@@ -210,4 +232,9 @@ let () =
   print_results "end-to-end analysis time"
     (run_benchmarks (Test.make_grouped ~name:"" end_to_end_tests));
   print_results "solver scaling with program size"
-    (run_benchmarks (Test.make_grouped ~name:"" scaling_tests))
+    (run_benchmarks (Test.make_grouped ~name:"" scaling_tests));
+  match profile_path () with
+  | None -> ()
+  | Some path ->
+    Telemetry.append_json path collector;
+    Fmt.pr "@.--- profile document appended to %s@." path

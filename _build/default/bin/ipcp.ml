@@ -11,13 +11,15 @@
 open Cmdliner
 open Ipcp_frontend
 open Ipcp_core
+open Ipcp_telemetry
 
+(* Close the channel even when reading aborts (a parse error downstream is
+   recoverable in batch use; a leaked descriptor is not). *)
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let load path =
   try Ok (Sema.parse_and_resolve ~file:path (read_file path)) with
@@ -76,6 +78,45 @@ let file_arg =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"MiniFort source file.")
 
+(* ---------------- profiling options ---------------- *)
+
+let profile_flag =
+  let doc =
+    "Collect pipeline telemetry (phase timings, solver counters, \
+     jump-function evaluation counts) and print a summary to stderr.  \
+     Standard output is unaffected."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let profile_json_arg =
+  let doc =
+    "Collect pipeline telemetry and write the machine-readable JSON profile \
+     document (schema $(b,ipcp.profile/1)) to $(docv)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-json" ] ~docv:"FILE" ~doc)
+
+(* Run [f] under a telemetry collector when profiling was requested; emit
+   the human summary on stderr and/or the JSON document afterwards. *)
+let with_profiling profile profile_json f =
+  if (not profile) && profile_json = None then f ()
+  else begin
+    let t = Telemetry.create () in
+    let r = Telemetry.with_reporter t f in
+    if profile then Fmt.epr "%a@?" Telemetry.pp_summary t;
+    match profile_json with
+    | None -> r
+    | Some path -> (
+      try
+        Telemetry.write_json path t;
+        r
+      with Sys_error m ->
+        Fmt.epr "error: cannot write profile document: %s@." m;
+        1)
+  end
+
 (* ---------------- analyze ---------------- *)
 
 let analyze_cmd =
@@ -91,7 +132,9 @@ let analyze_cmd =
     let doc = "Also dump MOD/REF summaries and the call graph." in
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
   in
-  let run file kind no_ret no_mod intra substitute_out complete verbose =
+  let run file kind no_ret no_mod intra substitute_out complete verbose profile
+      profile_json =
+    with_profiling profile profile_json @@ fun () ->
     match load file with
     | Error m ->
       Fmt.epr "%s@." m;
@@ -127,7 +170,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc)
     Term.(
       const run $ file_arg $ jf_kind $ no_return_jfs $ no_mod $ intra_only
-      $ substitute_out $ complete $ verbose)
+      $ substitute_out $ complete $ verbose $ profile_flag $ profile_json_arg)
 
 (* ---------------- run ---------------- *)
 
@@ -189,20 +232,26 @@ let lint_cmd =
 (* ---------------- tables / characteristics ---------------- *)
 
 let tables_cmd =
-  let run () =
+  let run profile profile_json =
+    with_profiling profile profile_json @@ fun () ->
     Fmt.pr "%a@." Ipcp_suite.Tables.pp_all ();
     0
   in
   let doc = "Regenerate the paper's Tables 1, 2 and 3 on the bundled suite." in
-  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ const ())
+  Cmd.v
+    (Cmd.info "tables" ~doc)
+    Term.(const run $ profile_flag $ profile_json_arg)
 
 let characteristics_cmd =
-  let run () =
+  let run profile profile_json =
+    with_profiling profile profile_json @@ fun () ->
     Fmt.pr "%a@." Ipcp_suite.Metrics.pp_table1 ();
     0
   in
   let doc = "Print the suite characteristics (Table 1)." in
-  Cmd.v (Cmd.info "characteristics" ~doc) Term.(const run $ const ())
+  Cmd.v
+    (Cmd.info "characteristics" ~doc)
+    Term.(const run $ profile_flag $ profile_json_arg)
 
 (* ---------------- generate ---------------- *)
 

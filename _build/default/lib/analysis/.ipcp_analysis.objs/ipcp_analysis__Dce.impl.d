@@ -1,1 +1,1 @@
-lib/analysis/dce.ml: Hashtbl Ipcp_frontend List Option Prog
+lib/analysis/dce.ml: Hashtbl Ipcp_frontend Ipcp_telemetry List Option Prog

@@ -1,1 +1,1 @@
-lib/analysis/sccp.ml: Array Ast Cfg Fmt Hashtbl Ipcp_frontend Ipcp_ir Ipcp_support List Prog Ssa Ssa_value Symbolic
+lib/analysis/sccp.ml: Array Ast Cfg Fmt Hashtbl Ipcp_frontend Ipcp_ir Ipcp_support Ipcp_telemetry List Prog Ssa Ssa_value Symbolic

@@ -382,4 +382,13 @@ let run ?(oracle : Ssa_value.oracle option)
         | Cfg.Tgoto _ | Cfg.Treturn | Cfg.Tstop -> ()
       end)
     ssa.Ssa.instrs;
+  if Ipcp_telemetry.Telemetry.enabled () then begin
+    let fw = Ipcp_support.Worklist.stats flow_work in
+    let sw = Ipcp_support.Worklist.stats ssa_work in
+    Ipcp_telemetry.Telemetry.incr "sccp.runs";
+    Ipcp_telemetry.Telemetry.add "sccp.flow_edge_visits" fw.pops;
+    Ipcp_telemetry.Telemetry.add "sccp.ssa_visits" sw.pops;
+    Ipcp_telemetry.Telemetry.add "sccp.executable_blocks"
+      (Array.fold_left (fun acc e -> if e then acc + 1 else acc) 0 executable)
+  end;
   { values; executable; expr_consts; cond_consts }

@@ -1,1 +1,1 @@
-lib/core/jump_function.ml: Array Cfg Dom Fmt Hashtbl Int Ipcp_analysis Ipcp_frontend Ipcp_ir List Lower Map Modref Option Prog Ssa Ssa_value String Symbolic
+lib/core/jump_function.ml: Array Cfg Dom Fmt Hashtbl Int Ipcp_analysis Ipcp_frontend Ipcp_ir Ipcp_telemetry List Lower Map Modref Option Prog Ssa Ssa_value String Symbolic

@@ -1,1 +1,1 @@
-lib/core/modref.ml: Callgraph Fmt Hashtbl Int Ipcp_frontend Ipcp_support List Option Prog Set String
+lib/core/modref.ml: Callgraph Fmt Hashtbl Int Ipcp_frontend Ipcp_support Ipcp_telemetry List Option Prog Set String

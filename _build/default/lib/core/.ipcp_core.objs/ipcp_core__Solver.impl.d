@@ -1,1 +1,1 @@
-lib/core/solver.ml: Array Callgraph Const_lattice Fmt Hashtbl Ipcp_analysis Ipcp_frontend Ipcp_support Jump_function List Option Prog Symbolic
+lib/core/solver.ml: Array Callgraph Const_lattice Fmt Hashtbl Ipcp_analysis Ipcp_frontend Ipcp_support Ipcp_telemetry Jump_function List Option Prog Symbolic Telemetry

@@ -17,25 +17,32 @@ type outcome = {
 
 let run ?(config = Config.polynomial_with_mod) ?(max_rounds = 10)
     (prog : Prog.t) : outcome =
+  let module Telemetry = Ipcp_telemetry.Telemetry in
   let rec loop prog rounds =
-    let t = Driver.analyze config prog in
-    (* fold constant branches per procedure using the seeded SCCP *)
-    let changed = ref false in
-    let procs =
-      List.map
-        (fun (proc : Prog.proc) ->
-          let sccp = Driver.sccp_for t proc.pname in
-          let proc', ch =
-            Ipcp_analysis.Dce.run ~cond_consts:sccp.cond_consts proc
+    Telemetry.incr "complete.rounds";
+    let t, changed, procs =
+      Telemetry.span "complete:round" (fun () ->
+          let t = Driver.analyze config prog in
+          (* fold constant branches per procedure using the seeded SCCP *)
+          let changed = ref false in
+          let procs =
+            List.map
+              (fun (proc : Prog.proc) ->
+                let sccp = Driver.sccp_for t proc.pname in
+                let proc', ch =
+                  Ipcp_analysis.Dce.run ~cond_consts:sccp.cond_consts proc
+                in
+                if ch then changed := true;
+                proc')
+              prog.Prog.procs
           in
-          if ch then changed := true;
-          proc')
-        prog.Prog.procs
+          (t, !changed, procs))
     in
-    if !changed && rounds < max_rounds then
+    if changed && rounds < max_rounds then
       loop { prog with Prog.procs } (rounds + 1)
     else begin
       let _, stats = Substitute.apply t in
+      Telemetry.add "complete.dce_rounds" rounds;
       { final = t; substituted = stats.total; dce_rounds = rounds }
     end
   in

@@ -13,6 +13,7 @@
 
 open Ipcp_frontend
 open Ipcp_analysis
+module Telemetry = Ipcp_telemetry.Telemetry
 
 type t = {
   config : Config.t;
@@ -27,46 +28,70 @@ type t = {
 }
 
 (** Run the full pipeline on a resolved program. *)
-let analyze (config : Config.t) (prog : Prog.t) : t =
+let rec analyze (config : Config.t) (prog : Prog.t) : t =
+  Telemetry.span "analyze" (fun () -> analyze_spanned config prog)
+
+and analyze_spanned (config : Config.t) (prog : Prog.t) : t =
   let cg = Callgraph.build prog in
   let modref =
     if config.use_mod then Modref.compute cg else Modref.worst_case cg
   in
   (* ---- stage 1: return jump functions, bottom-up ---- *)
   let ret_jfs : (string, Jump_function.ret_jf) Hashtbl.t = Hashtbl.create 16 in
-  if config.return_jfs then begin
-    let oracle = Jump_function.oracle_of_table ret_jfs in
-    List.iter
-      (fun name ->
-        let proc = Prog.find_proc_exn prog name in
-        let ir = Jump_function.build_ir ~oracle ~modref prog proc in
-        Hashtbl.replace ret_jfs name (Jump_function.build_ret_jf ~modref ir))
-      (Callgraph.bottom_up cg)
-  end;
+  Telemetry.span "stage1:return_jfs" (fun () ->
+      if config.return_jfs then begin
+        let oracle = Jump_function.oracle_of_table ret_jfs in
+        List.iter
+          (fun name ->
+            let proc = Prog.find_proc_exn prog name in
+            let ir = Jump_function.build_ir ~oracle ~modref prog proc in
+            Hashtbl.replace ret_jfs name (Jump_function.build_ret_jf ~modref ir))
+          (Callgraph.bottom_up cg)
+      end);
   (* ---- stage 2: forward jump functions, top-down ---- *)
   let oracle =
     if config.return_jfs then Some (Jump_function.oracle_of_table ret_jfs)
     else None
   in
   let irs : (string, Jump_function.proc_ir) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun name ->
-      let proc = Prog.find_proc_exn prog name in
-      let ir = Jump_function.build_ir ?oracle ~modref prog proc in
-      Hashtbl.replace irs name ir)
-    (Callgraph.top_down cg);
   let site_jfs =
-    if not config.interprocedural then []
-    else
-      List.concat_map
-        (fun name ->
-          Jump_function.build_site_jfs ~kind:config.kind (Hashtbl.find irs name))
-        (Callgraph.top_down cg)
+    Telemetry.span "stage2:forward_jfs" (fun () ->
+        List.iter
+          (fun name ->
+            let proc = Prog.find_proc_exn prog name in
+            let ir = Jump_function.build_ir ?oracle ~modref prog proc in
+            Hashtbl.replace irs name ir)
+          (Callgraph.top_down cg);
+        if not config.interprocedural then []
+        else
+          List.concat_map
+            (fun name ->
+              Jump_function.build_site_jfs ~kind:config.kind
+                (Hashtbl.find irs name))
+            (Callgraph.top_down cg))
   in
   (* ---- stage 3: interprocedural propagation ---- *)
   let global_keys = List.map Prog.global_key (Prog.all_globals prog) in
   let solution =
-    if config.interprocedural then Solver.run cg ~site_jfs ~global_keys
+    Telemetry.span "stage3:propagate" (fun () -> solve config cg ~site_jfs ~global_keys)
+  in
+  (* ---- stage 4: recording the results ---- *)
+  Telemetry.span "stage4:record" (fun () ->
+      let t = { config; prog; cg; modref; ret_jfs; irs; site_jfs; solution } in
+      if Telemetry.enabled () then begin
+        Telemetry.add ("jf.eval." ^ Jump_function.kind_name config.kind)
+          solution.Solver.stats.jf_evaluations;
+        Telemetry.add "driver.constants_found"
+          (List.fold_left
+             (fun acc (p : Prog.proc) ->
+               acc + List.length (Solver.constants_of solution p.pname))
+             0 prog.procs)
+      end;
+      t)
+
+and solve (config : Config.t) cg ~site_jfs ~global_keys : Solver.result =
+  let prog = cg.Callgraph.prog in
+  if config.interprocedural then Solver.run cg ~site_jfs ~global_keys
     else begin
       (* baseline: no propagation; every parameter of every procedure is ⊥
          so that only locally derived constants survive *)
@@ -91,8 +116,6 @@ let analyze (config : Config.t) (prog : Prog.t) : t =
         prog.procs;
       { Solver.vals; stats = { iterations = 0; jf_evaluations = 0; meets = 0 } }
     end
-  in
-  { config; prog; cg; modref; ret_jfs; irs; site_jfs; solution }
 
 (** CONSTANTS(p) for every procedure, in program order. *)
 let constants (t : t) : (string * (Prog.param * int) list) list =

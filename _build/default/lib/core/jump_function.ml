@@ -106,8 +106,14 @@ let global_vars_for (prog : Prog.t) (proc : Prog.proc) : (string * Prog.var) lis
     by-reference actuals bound to modified formals and the modified scalar
     globals.  [oracle] plugs return-jump-function evaluation into the
     symbolic interpretation of call definitions. *)
-let build_ir ?oracle ~(modref : Modref.t) (prog : Prog.t) (proc : Prog.proc) :
-    proc_ir =
+let rec build_ir ?oracle ~(modref : Modref.t) (prog : Prog.t)
+    (proc : Prog.proc) : proc_ir =
+  Ipcp_telemetry.Telemetry.span ("build_ir:" ^ proc.pname) (fun () ->
+      Ipcp_telemetry.Telemetry.incr "jf.build_ir";
+      build_ir_timed ?oracle ~modref prog proc)
+
+and build_ir_timed ?oracle ~(modref : Modref.t) (prog : Prog.t)
+    (proc : Prog.proc) : proc_ir =
   (* data-initialized storage holds its load-time value on entry to the
      main program (and nothing has run before main) *)
   let entry_const (v : Prog.var) =
@@ -149,6 +155,7 @@ let build_ir ?oracle ~(modref : Modref.t) (prog : Prog.t) (proc : Prog.proc) :
     Only constant entry values participate (paper §3.2). *)
 let oracle_of_table (table : (string, ret_jf) Hashtbl.t) : Ssa_value.oracle =
  fun call target lookup ->
+  Ipcp_telemetry.Telemetry.incr "jf.ret_oracle.evals";
   match Hashtbl.find_opt table call.Cfg.c_callee with
   | None -> None
   | Some rj ->
@@ -187,6 +194,7 @@ let meet_exit_syms (pi : proc_ir) name : Symbolic.t =
     the paper's no-MOD configuration loses values across every call site;
     only the function-result jump function survives in that mode. *)
 let build_ret_jf ~(modref : Modref.t) (pi : proc_ir) : ret_jf =
+  Ipcp_telemetry.Telemetry.incr "jf.ret_jf.built";
   let proc = pi.pi_proc in
   let result =
     match proc.presult with
@@ -217,6 +225,24 @@ let build_ret_jf ~(modref : Modref.t) (pi : proc_ir) : ret_jf =
       Str_map.empty pi.pi_global_vars
   in
   { rj_result = result; rj_formals = formals; rj_globals = globals }
+
+(* ------------------------------------------------------------------ *)
+(* Cost metrics (paper §3.1.5).                                         *)
+
+(** Total size of all jump-function expressions at a site (construction /
+    evaluation cost proxy). *)
+let site_cost (s : site_jf) =
+  Array.fold_left (fun acc jf -> acc + Symbolic.size jf) 0 s.sf_formals
+  + List.fold_left (fun acc (_, jf) -> acc + Symbolic.size jf) 0 s.sf_globals
+
+(** Total support size (the polynomial propagation bound involves
+    |support(J)|). *)
+let site_support (s : site_jf) =
+  let leaf_count jf =
+    match Symbolic.support jf with Some ls -> List.length ls | None -> 0
+  in
+  Array.fold_left (fun acc jf -> acc + leaf_count jf) 0 s.sf_formals
+  + List.fold_left (fun acc (_, jf) -> acc + leaf_count jf) 0 s.sf_globals
 
 (* ------------------------------------------------------------------ *)
 (* Forward jump function construction.                                  *)
@@ -288,25 +314,16 @@ let build_site_jfs ~kind (pi : proc_ir) : site_jf list =
               ())
           arr)
     pi.pi_ssa.Ssa.instrs;
-  List.rev !sites
-
-(* ------------------------------------------------------------------ *)
-(* Cost metrics (paper §3.1.5).                                         *)
-
-(** Total size of all jump-function expressions at a site (construction /
-    evaluation cost proxy). *)
-let site_cost (s : site_jf) =
-  Array.fold_left (fun acc jf -> acc + Symbolic.size jf) 0 s.sf_formals
-  + List.fold_left (fun acc (_, jf) -> acc + Symbolic.size jf) 0 s.sf_globals
-
-(** Total support size (the polynomial propagation bound involves
-    |support(J)|). *)
-let site_support (s : site_jf) =
-  let leaf_count jf =
-    match Symbolic.support jf with Some ls -> List.length ls | None -> 0
-  in
-  Array.fold_left (fun acc jf -> acc + leaf_count jf) 0 s.sf_formals
-  + List.fold_left (fun acc (_, jf) -> acc + leaf_count jf) 0 s.sf_globals
+  let sites = List.rev !sites in
+  if Ipcp_telemetry.Telemetry.enabled () then begin
+    Ipcp_telemetry.Telemetry.add
+      ("jf.sites." ^ kind_name kind)
+      (List.length sites);
+    List.iter
+      (fun s -> Ipcp_telemetry.Telemetry.observe "jf.site_cost" (site_cost s))
+      sites
+  end;
+  sites
 
 let pp_site ppf (s : site_jf) =
   Fmt.pf ppf "%s -> %s @@%d: formals=[%a]" s.sf_caller s.sf_callee s.sf_site

@@ -174,6 +174,17 @@ let run (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
           end)
         (Hashtbl.find_opt by_caller caller |> Option.value ~default:[]))
   ;
+  if Ipcp_telemetry.Telemetry.enabled () then begin
+    let open Ipcp_telemetry in
+    let w = Ipcp_support.Worklist.stats work in
+    Telemetry.add "solver.iterations" stats.iterations;
+    Telemetry.add "solver.jf_evaluations" stats.jf_evaluations;
+    Telemetry.add "solver.meets" stats.meets;
+    Telemetry.add "solver.worklist.pushes" w.pushes;
+    Telemetry.add "solver.worklist.pops" w.pops;
+    Telemetry.add "solver.worklist.dedup_skips" w.dedup_skips;
+    Telemetry.observe "solver.worklist.max_length" w.max_length
+  end;
   { vals; stats }
 
 let pp_result prog ppf (r : result) =

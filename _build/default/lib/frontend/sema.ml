@@ -694,4 +694,9 @@ let resolve (units : Ast.program) : Prog.t =
 
 (** Convenience: parse and resolve a source string in one step. *)
 let parse_and_resolve ?(file = "<input>") src : Prog.t =
-  resolve (Parser.parse_program ~file src)
+  Ipcp_telemetry.Telemetry.span "frontend" (fun () ->
+      let ast =
+        Ipcp_telemetry.Telemetry.span "parse" (fun () ->
+            Parser.parse_program ~file src)
+      in
+      Ipcp_telemetry.Telemetry.span "sema" (fun () -> resolve ast))

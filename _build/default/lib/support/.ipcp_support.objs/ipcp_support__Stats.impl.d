@@ -1,1 +1,1 @@
-lib/support/stats.ml: List
+lib/support/stats.ml: Float Int List

@@ -17,6 +17,33 @@ let median = function
 
 let sum = List.fold_left ( + ) 0
 
+(** Population standard deviation; 0.0 for empty and singleton lists. *)
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let sq_sum =
+      List.fold_left
+        (fun acc x ->
+          let d = float_of_int x -. m in
+          acc +. (d *. d))
+        0.0 xs
+    in
+    sqrt (sq_sum /. float_of_int (List.length xs))
+
+(** [percentile xs p] for [p] in [0..100], by the nearest-rank method
+    (ceil(p/100 · n), so [percentile xs 50.0 = median xs]); 0 for the
+    empty list. *)
+let percentile xs p =
+  match xs with
+  | [] -> 0
+  | xs ->
+    let sorted = List.sort compare xs in
+    let n = List.length sorted in
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+    List.nth sorted (Int.max 0 (rank - 1))
+
 let max_opt = function [] -> None | x :: xs -> Some (List.fold_left max x xs)
 
 let min_opt = function [] -> None | x :: xs -> Some (List.fold_left min x xs)

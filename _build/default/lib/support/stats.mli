@@ -6,5 +6,12 @@ val mean : int list -> float
 val median : int list -> int
 
 val sum : int list -> int
+
+(** Population standard deviation; 0.0 for empty and singleton lists. *)
+val stddev : int list -> float
+
+(** [percentile xs p] for [p] in [0..100], nearest-rank; 0 for the empty
+    list.  [percentile xs 50.0] agrees with {!median}. *)
+val percentile : int list -> float -> int
 val max_opt : int list -> int option
 val min_opt : int list -> int option

@@ -5,21 +5,54 @@
     pull an item, process it, push its affected neighbours.  Keeping a
     membership set bounds the queue size by the number of distinct items. *)
 
+(** Lifetime counters of one worklist, for the telemetry layer: solvers
+    report them after draining, which keeps this module dependency-free. *)
+type stats = {
+  pushes : int;  (** items actually enqueued *)
+  dedup_skips : int;  (** pushes absorbed by the membership set *)
+  pops : int;
+  max_length : int;  (** high-water mark of the queue *)
+}
+
 type 'a t = {
   queue : 'a Queue.t;
   mutable members : ('a, unit) Hashtbl.t;
+  mutable st_pushes : int;
+  mutable st_dedup_skips : int;
+  mutable st_pops : int;
+  mutable st_max_length : int;
 }
 
-let create () = { queue = Queue.create (); members = Hashtbl.create 64 }
+let create () =
+  {
+    queue = Queue.create ();
+    members = Hashtbl.create 64;
+    st_pushes = 0;
+    st_dedup_skips = 0;
+    st_pops = 0;
+    st_max_length = 0;
+  }
 
 let is_empty t = Queue.is_empty t.queue
 
 let length t = Queue.length t.queue
 
+let stats t =
+  {
+    pushes = t.st_pushes;
+    dedup_skips = t.st_dedup_skips;
+    pops = t.st_pops;
+    max_length = t.st_max_length;
+  }
+
 let push t x =
-  if not (Hashtbl.mem t.members x) then begin
+  if Hashtbl.mem t.members x then t.st_dedup_skips <- t.st_dedup_skips + 1
+  else begin
     Hashtbl.replace t.members x ();
-    Queue.push x t.queue
+    Queue.push x t.queue;
+    t.st_pushes <- t.st_pushes + 1;
+    let len = Queue.length t.queue in
+    if len > t.st_max_length then t.st_max_length <- len
   end
 
 let push_list t xs = List.iter (push t) xs
@@ -28,6 +61,7 @@ let pop t =
   match Queue.pop t.queue with
   | x ->
     Hashtbl.remove t.members x;
+    t.st_pops <- t.st_pops + 1;
     Some x
   | exception Queue.Empty -> None
 

@@ -2,6 +2,18 @@
 
 type 'a t
 
+(** Lifetime counters of one worklist; solvers report these to the
+    telemetry layer after draining. *)
+type stats = {
+  pushes : int;  (** items actually enqueued *)
+  dedup_skips : int;  (** pushes absorbed by the membership set *)
+  pops : int;
+  max_length : int;  (** high-water mark of the queue *)
+}
+
+(** Counters accumulated so far (cheap snapshot). *)
+val stats : 'a t -> stats
+
 (** Create an empty worklist. *)
 val create : unit -> 'a t
 

@@ -1,0 +1,1 @@
+lib/telemetry/json.ml: Buffer Char Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/telemetry/json.mli: Format

@@ -1,0 +1,41 @@
+(** Minimal JSON values for profile documents.
+
+    The profile exporter needs a stable machine-readable format and the test
+    suite / smoke target need to read it back; the toolchain ships no JSON
+    library, so this module carries a small emitter and a recursive-descent
+    parser sufficient for the documents {!Telemetry} produces. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val equal : t -> t -> bool
+
+(** Compact (single-line) rendering. *)
+val to_string : t -> string
+
+(** Indented rendering, for files meant to be diffed across PRs. *)
+val to_string_pretty : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Parse a complete document; trailing whitespace is allowed, trailing
+    garbage is an error. *)
+val of_string : string -> (t, string) result
+
+(* ---- accessors used by tests and the profile linter ---- *)
+
+(** Field of an object, if present. *)
+val member : string -> t -> t option
+
+(** [path [a; b] doc] is nested member access. *)
+val path : string list -> t -> t option
+
+val to_int_opt : t -> int option
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option

@@ -1,1 +1,1 @@
-test/test_cli.ml: Alcotest Filename Fmt Ipcp_suite List String Sys
+test/test_cli.ml: Alcotest Filename Fmt Ipcp_suite Ipcp_telemetry Json List Option String Sys Telemetry

@@ -1,0 +1,1 @@
+test/test_telemetry.ml: Alcotest Filename Ipcp_core Ipcp_frontend Ipcp_telemetry Json List Option Sys Telemetry

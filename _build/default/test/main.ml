@@ -4,6 +4,7 @@ let () =
   Alcotest.run "ipcp"
     [
       ("support", Test_support.suite);
+      ("telemetry", Test_telemetry.suite);
       ("frontend", Test_frontend.suite);
       ("interp", Test_interp.suite);
       ("data", Test_data_stmt.suite);

@@ -117,6 +117,72 @@ let test_tables () =
   check Alcotest.bool "all programs present" true
     (List.for_all (fun p -> contains p out) Ipcp_suite.Registry.names)
 
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_profile_json () =
+  let open Ipcp_telemetry in
+  let f = write_temp sample in
+  let json_f = Filename.temp_file "ipcp_test" ".json" in
+  let code, out = run_cli [ "analyze"; f; "--profile-json"; json_f ] in
+  Sys.remove f;
+  check Alcotest.int "exit 0" 0 code;
+  check Alcotest.bool "analysis output still present" true
+    (contains "work: k=6" out);
+  let doc =
+    match Json.of_string (read_file json_f) with
+    | Ok doc -> doc
+    | Error m -> fail ("profile document does not parse: " ^ m)
+  in
+  Sys.remove json_f;
+  check
+    (Alcotest.option Alcotest.string)
+    "schema tag" (Some Telemetry.schema_version)
+    (Option.bind (Json.member "schema" doc) Json.to_string_opt);
+  (* the four pipeline stages all appear in the span tree *)
+  let rec span_names j =
+    match j with
+    | Json.Obj _ ->
+      let name =
+        Option.bind (Json.member "name" j) Json.to_string_opt
+        |> Option.to_list
+      in
+      let children =
+        Option.bind (Json.member "children" j) Json.to_list_opt
+        |> Option.value ~default:[]
+      in
+      name @ List.concat_map span_names children
+    | _ -> []
+  in
+  let names =
+    Option.bind (Json.member "spans" doc) Json.to_list_opt
+    |> Option.value ~default:[]
+    |> List.concat_map span_names
+  in
+  List.iter
+    (fun stage ->
+      check Alcotest.bool (stage ^ " span present") true (List.mem stage names))
+    [
+      "stage1:return_jfs"; "stage2:forward_jfs"; "stage3:propagate";
+      "stage4:record";
+    ];
+  check Alcotest.bool "solver counters present" true
+    (Json.path [ "counters"; "solver.worklist.pops" ] doc <> None)
+
+let test_tables_profile_stdout_identical () =
+  let code, plain = run_cli [ "characteristics" ] in
+  check Alcotest.int "exit 0" 0 code;
+  (* --profile reports on stderr only: stdout must stay byte-identical
+     (run_cli merges stderr, so route it away with --profile-json too) *)
+  let json_f = Filename.temp_file "ipcp_test" ".json" in
+  let code2, profiled = run_cli [ "characteristics"; "--profile-json"; json_f ] in
+  Sys.remove json_f;
+  check Alcotest.int "exit 0 with profile" 0 code2;
+  check (Alcotest.list Alcotest.string) "stdout identical" plain profiled
+
 let test_syntax_error_exit_code () =
   let f = write_temp "program main\nif (x then\nend\n" in
   let code, out = run_cli [ "analyze"; f ] in
@@ -138,6 +204,8 @@ let suite =
     ("cli lint clean and dirty", `Quick, test_lint_clean_and_dirty);
     ("cli generate then run", `Quick, test_generate_then_run);
     ("cli tables", `Quick, test_tables);
+    ("cli profile json", `Quick, test_profile_json);
+    ("cli profile stdout identical", `Quick, test_tables_profile_stdout_identical);
     ("cli syntax error exit code", `Quick, test_syntax_error_exit_code);
     ("cli runtime error exit code", `Quick, test_runtime_error_exit_code);
   ]

@@ -1,0 +1,103 @@
+(* Validate machine-readable profile documents (schema ipcp.profile/1).
+
+   Usage: profile_lint [--stages] FILE...
+
+   Accepts both layouts the telemetry subsystem emits: a single indented
+   document (--profile-json) and append-mode files with one compact
+   document per line (the bench harness).  Every document must parse,
+   carry the expected schema tag, and have a non-empty span tree and a
+   counters object; with --stages, the four driver pipeline stages must
+   all appear in the span tree (the CI smoke target runs the analyzer on
+   the bundled suite, so their absence means the wiring regressed). *)
+
+open Ipcp_telemetry
+
+let required_stages =
+  [ "stage1:return_jfs"; "stage2:forward_jfs"; "stage3:propagate";
+    "stage4:record" ]
+
+let rec span_names (j : Json.t) =
+  let name =
+    Option.bind (Json.member "name" j) Json.to_string_opt |> Option.to_list
+  in
+  let children =
+    Option.bind (Json.member "children" j) Json.to_list_opt
+    |> Option.value ~default:[]
+  in
+  name @ List.concat_map span_names children
+
+let check_doc ~stages ~where (doc : Json.t) : string list =
+  let problems = ref [] in
+  let problem fmt = Fmt.kstr (fun m -> problems := (where ^ ": " ^ m) :: !problems) fmt in
+  (match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+  | Some s when s = Telemetry.schema_version -> ()
+  | Some s -> problem "unexpected schema %S (want %S)" s Telemetry.schema_version
+  | None -> problem "missing schema tag");
+  let names =
+    match Option.bind (Json.member "spans" doc) Json.to_list_opt with
+    | Some [] | None ->
+      problem "missing or empty span list";
+      []
+    | Some spans -> List.concat_map span_names spans
+  in
+  (match Json.member "counters" doc with
+  | Some (Json.Obj (_ :: _)) -> ()
+  | Some (Json.Obj []) -> problem "counters object is empty"
+  | Some _ -> problem "counters is not an object"
+  | None -> problem "missing counters object");
+  if stages then
+    List.iter
+      (fun stage ->
+        if not (List.mem stage names) then
+          problem "pipeline stage %S missing from span tree" stage)
+      required_stages;
+  List.rev !problems
+
+(* A file is either one (possibly multi-line) document or one document per
+   line; try the whole file first. *)
+let docs_of_file path : (string * Json.t) list =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.of_string (String.trim content) with
+  | Ok doc -> [ (path, doc) ]
+  | Error whole_err ->
+    String.split_on_char '\n' content
+    |> List.mapi (fun i line -> (i + 1, String.trim line))
+    |> List.filter (fun (_, line) -> line <> "")
+    |> List.map (fun (lineno, line) ->
+           let where = Fmt.str "%s:%d" path lineno in
+           match Json.of_string line with
+           | Ok doc -> (where, doc)
+           | Error line_err ->
+             Fmt.epr "%s: unparseable as document (%s) or line (%s)@." path
+               whole_err line_err;
+             exit 1)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let stages = List.mem "--stages" args in
+  let files = List.filter (fun a -> a <> "--stages") args in
+  if files = [] then begin
+    Fmt.epr "usage: profile_lint [--stages] FILE...@.";
+    exit 2
+  end;
+  let problems =
+    List.concat_map
+      (fun path ->
+        if not (Sys.file_exists path) then [ path ^ ": no such file" ]
+        else
+          docs_of_file path
+          |> List.concat_map (fun (where, doc) -> check_doc ~stages ~where doc))
+      files
+  in
+  match problems with
+  | [] ->
+    Fmt.pr "profile_lint: %d file(s) ok@." (List.length files);
+    exit 0
+  | ps ->
+    List.iter (Fmt.epr "profile_lint: %s@.") ps;
+    exit 1

@@ -1,0 +1,31 @@
+#!/bin/sh
+# CI entry point: formatting, build, tier-1 tests, profile smoke.
+#
+# Stays green on containers without ocamlformat: the @fmt check only runs
+# when the tool is installed; a portable whitespace lint always runs.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== fmt"
+# Portable lint: no tabs, no trailing whitespace in OCaml sources.
+if grep -rlP '\t| +$' --include='*.ml' --include='*.mli' lib bin bench test tools; then
+  echo "fmt: tabs or trailing whitespace found in the files above" >&2
+  exit 1
+fi
+if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
+  dune build @fmt
+else
+  echo "fmt: ocamlformat check skipped (tool not installed)"
+fi
+
+echo "== build"
+dune build
+
+echo "== tier-1 tests"
+dune runtest
+
+echo "== profile smoke"
+dune build @smoke
+
+echo "ci: ok"

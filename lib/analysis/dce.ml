@@ -106,6 +106,7 @@ and body_terminates = function
     procedure and whether anything changed. *)
 let run ~(cond_consts : (int, bool) Hashtbl.t) (proc : Prog.proc) :
     Prog.proc * bool =
+  Ipcp_telemetry.Telemetry.incr "dce.passes";
   let changed = ref false in
   let targets = goto_targets proc.pbody in
   let protected stmts = contains_targeted_label targets stmts in
@@ -208,4 +209,5 @@ let run ~(cond_consts : (int, bool) Hashtbl.t) (proc : Prog.proc) :
     if !deleted then sweep body' else body'
   in
   let body = sweep body in
+  if !changed then Ipcp_telemetry.Telemetry.incr "dce.passes_changed";
   ({ proc with pbody = body }, !changed)

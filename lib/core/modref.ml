@@ -95,7 +95,10 @@ let direct_effects (proc : Prog.proc) : summary =
 (* Interprocedural closure.                                            *)
 
 (** Compute full MOD/REF summaries for every procedure of the program. *)
-let compute (cg : Callgraph.t) : t =
+let rec compute (cg : Callgraph.t) : t =
+  Ipcp_telemetry.Telemetry.span "modref" (fun () -> compute_timed cg)
+
+and compute_timed (cg : Callgraph.t) : t =
   let summaries = Hashtbl.create 16 in
   List.iter
     (fun (p : Prog.proc) -> Hashtbl.replace summaries p.pname (direct_effects p))
@@ -151,6 +154,11 @@ let compute (cg : Callgraph.t) : t =
           (fun (e : Callgraph.edge) -> Ipcp_support.Worklist.push work e.e_caller)
           (Callgraph.callers_of cg name)
       end);
+  if Ipcp_telemetry.Telemetry.enabled () then begin
+    let w = Ipcp_support.Worklist.stats work in
+    Ipcp_telemetry.Telemetry.add "modref.worklist.pops" w.pops;
+    Ipcp_telemetry.Telemetry.add "modref.worklist.pushes" w.pushes
+  end;
   { summaries; worst_case = false }
 
 (** The "no MOD information" configuration: every call is assumed to modify

@@ -118,6 +118,31 @@ let test_stats_median () =
   check Alcotest.int "even (lower)" 2 (Stats.median [ 4; 1; 2; 3 ]);
   check Alcotest.int "empty" 0 (Stats.median [])
 
+let test_stats_stddev () =
+  check (Alcotest.float 1e-9) "empty" 0.0 (Stats.stddev []);
+  check (Alcotest.float 1e-9) "singleton" 0.0 (Stats.stddev [ 7 ]);
+  check (Alcotest.float 1e-9) "constant list" 0.0 (Stats.stddev [ 4; 4; 4 ]);
+  (* population stddev of [2;4;4;4;5;5;7;9] is exactly 2 *)
+  check (Alcotest.float 1e-9) "known value" 2.0
+    (Stats.stddev [ 2; 4; 4; 4; 5; 5; 7; 9 ])
+
+let test_stats_percentile () =
+  check Alcotest.int "empty" 0 (Stats.percentile [] 50.0);
+  check Alcotest.int "singleton p0" 7 (Stats.percentile [ 7 ] 0.0);
+  check Alcotest.int "singleton p100" 7 (Stats.percentile [ 7 ] 100.0);
+  let evens = [ 4; 1; 2; 3 ] in
+  check Alcotest.int "even-length p50 = lower middle" 2
+    (Stats.percentile evens 50.0);
+  check Alcotest.int "even-length p50 agrees with median" (Stats.median evens)
+    (Stats.percentile evens 50.0);
+  check Alcotest.int "p100 is max" 4 (Stats.percentile evens 100.0);
+  check Alcotest.int "p25 of 1..4" 1 (Stats.percentile evens 25.0);
+  check Alcotest.int "odd-length p50 agrees with median" 3
+    (Stats.percentile [ 5; 1; 3 ] 50.0);
+  (* out-of-range p is clamped, not crashed on *)
+  check Alcotest.int "p>100 clamps" 4 (Stats.percentile evens 250.0);
+  check Alcotest.int "p<0 clamps" 1 (Stats.percentile evens (-10.0))
+
 let test_stats_extremes () =
   check (Alcotest.option Alcotest.int) "max" (Some 9) (Stats.max_opt [ 3; 9; 1 ]);
   check (Alcotest.option Alcotest.int) "min" (Some 1) (Stats.min_opt [ 3; 9; 1 ]);
@@ -139,5 +164,7 @@ let suite =
     ("prng shuffle permutes", `Quick, test_prng_shuffle_permutes);
     ("stats mean", `Quick, test_stats_mean);
     ("stats median", `Quick, test_stats_median);
+    ("stats stddev", `Quick, test_stats_stddev);
+    ("stats percentile", `Quick, test_stats_percentile);
     ("stats extremes", `Quick, test_stats_extremes);
   ]
