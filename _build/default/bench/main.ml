@@ -13,6 +13,10 @@
      dune exec bench/main.exe
 *)
 
+(* the raw ns clock from bechamel.monotonic_clock — aliased before [open
+   Toolkit], which shadows the module name with its measure witness *)
+module Mclock = Monotonic_clock
+
 open Bechamel
 open Toolkit
 open Ipcp_core
@@ -98,9 +102,7 @@ let construction_tests =
       let prog = Registry.program e in
       List.map
         (fun kind ->
-          let config =
-            { Config.default with kind; interprocedural = false; return_jfs = true }
-          in
+          let config = Config.make ~kind ~interprocedural:false () in
           Test.make
             ~name:(Fmt.str "construct/%s/%s" (kind_label kind) e.name)
             (Staged.stage (fun () -> ignore (Driver.analyze config prog))))
@@ -117,7 +119,7 @@ let propagation_tests =
       in
       List.map
         (fun kind ->
-          let t = Driver.analyze { Config.default with kind } prog in
+          let t = Driver.analyze (Config.make ~kind ()) prog in
           let cg = t.Driver.cg and site_jfs = t.Driver.site_jfs in
           Test.make
             ~name:(Fmt.str "propagate/%s/%s" (kind_label kind) e.name)
@@ -170,7 +172,7 @@ let scaling_tests =
         (Staged.stage (fun () ->
              ignore
                (Substitute.count
-                  { Config.default with kind = Jump_function.Polynomial }
+                  (Config.make ~kind:Jump_function.Polynomial ())
                   prog))))
     [ 4; 8; 16; 32 ]
 
@@ -186,7 +188,7 @@ let jf_statistics () =
       let sites, size, support =
         List.fold_left
           (fun (ns, sz, sp) (e : Registry.entry) ->
-            let t = Driver.analyze { Config.default with kind } (Registry.program e) in
+            let t = Driver.analyze (Config.make ~kind ()) (Registry.program e) in
             List.fold_left
               (fun (ns, sz, sp) sjf ->
                 ( ns + 1,
@@ -197,6 +199,91 @@ let jf_statistics () =
       in
       Fmt.pr "  %-14s %10d %10d %14d@." (kind_label kind) sites size support)
     Jump_function.all_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Tables 2-3 regeneration: legacy one-shot API vs the staged API
+   (shared per-program artifacts) vs the staged API fanned across worker
+   domains.  Wall-clock, best of [reps]; each variant's time lands in the
+   profile document as a bench.tables_regen/<variant> observation. *)
+
+let time_best_ns ~reps f =
+  let best = ref max_int in
+  for _ = 1 to reps do
+    let t0 = Mclock.now () in
+    f ();
+    let t1 = Mclock.now () in
+    best := min !best (Int64.to_int (Int64.sub t1 t0))
+  done;
+  !best
+
+let tables_regen_comparison () =
+  Fmt.pr "@.--- Tables 2-3 regeneration wall-clock (staged API)@.";
+  let reps = 3 in
+  (* legacy: every table cell re-runs the full pipeline (parse artifacts
+     are still shared via the registry, but call graph, MOD and IR are
+     rebuilt per configuration) *)
+  let legacy () =
+    List.iter
+      (fun (e : Registry.entry) ->
+        let prog = Registry.program e in
+        let cnt ?return_jfs ?use_mod ?interprocedural kind =
+          ignore
+            (Substitute.count
+               (Config.make ~kind ?return_jfs ?use_mod ?interprocedural ())
+               prog)
+        in
+        (* Table 2: six configurations *)
+        cnt Jump_function.Polynomial;
+        cnt Jump_function.Passthrough;
+        cnt Jump_function.Intraconst;
+        cnt Jump_function.Literal;
+        cnt ~return_jfs:false Jump_function.Polynomial;
+        cnt ~return_jfs:false Jump_function.Passthrough;
+        (* Table 3: the three non-iterated columns plus complete *)
+        cnt ~use_mod:false Jump_function.Polynomial;
+        cnt Jump_function.Polynomial;
+        ignore (Complete.run prog);
+        cnt ~return_jfs:false ~interprocedural:false Jump_function.Passthrough)
+      Registry.entries
+  in
+  (* staged: one prepare per program, shared by the Table 2 and Table 3
+     rows (and, inside, one stage-1/2 build per (use_mod × return_jfs)
+     variant instead of one per configuration) *)
+  let staged ~jobs () =
+    Ipcp_engine.Engine.iter ~jobs
+      (fun (e : Registry.entry) ->
+        let artifacts = Driver.prepare (Registry.program e) in
+        ignore (Tables.table2_row ~artifacts e);
+        ignore (Tables.table3_row ~artifacts e))
+      Registry.entries
+  in
+  let jobs_n = max 4 (Ipcp_engine.Engine.default_jobs ()) in
+  let variants =
+    [
+      ("legacy", legacy);
+      ("staged_jobs1", staged ~jobs:1);
+      (Fmt.str "staged_jobs%d" jobs_n, staged ~jobs:jobs_n);
+    ]
+  in
+  let timed =
+    List.map
+      (fun (name, f) ->
+        let ns = time_best_ns ~reps f in
+        Telemetry.with_reporter collector (fun () ->
+            Telemetry.observe ("bench.tables_regen/" ^ name) ns);
+        Fmt.pr "  %-44s %10.3f ms/run@." ("tables_regen/" ^ name)
+          (float_of_int ns /. 1_000_000.0);
+        (name, ns))
+      variants
+  in
+  match timed with
+  | (_, legacy_ns) :: ((_, jobs1_ns) :: _ as staged_runs) ->
+    let jobs_n_ns = snd (List.nth staged_runs (List.length staged_runs - 1)) in
+    Fmt.pr "  speedup staged jobs=1 vs legacy:   %.2fx@."
+      (float_of_int legacy_ns /. float_of_int jobs1_ns);
+    Fmt.pr "  speedup staged jobs=%d vs jobs=1:   %.2fx@." jobs_n
+      (float_of_int jobs1_ns /. float_of_int jobs_n_ns)
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Cloning ablation *)
@@ -219,9 +306,11 @@ let () =
   (* the paper's tables, under the collector: the bench profile document
      also carries the analysis-internal counters of a full suite run *)
   Telemetry.with_reporter collector (fun () ->
-      Telemetry.span "bench:tables" (fun () -> Fmt.pr "%a@." Tables.pp_all ());
+      Telemetry.span "bench:tables" (fun () ->
+          Fmt.pr "%a@." (Tables.pp_all ~jobs:1) ());
       Telemetry.span "bench:jf_statistics" jf_statistics;
       Telemetry.span "bench:cloning_ablation" cloning_ablation);
+  tables_regen_comparison ();
   (* the timing benches *)
   print_results "jump-function construction time (§3.1.5)"
     (run_benchmarks (Test.make_grouped ~name:"" construction_tests));

@@ -64,13 +64,18 @@ let intra_only =
 
 let config_of kind no_ret no_mod intra =
   if intra then Config.intraprocedural_only
-  else
-    {
-      Config.kind;
-      return_jfs = not no_ret;
-      use_mod = not no_mod;
-      interprocedural = true;
-    }
+  else Config.make ~kind ~return_jfs:(not no_ret) ~use_mod:(not no_mod) ()
+
+let jobs_arg =
+  let doc =
+    "Number of worker domains for parallelizable stages ($(b,1) = fully \
+     sequential).  Results are deterministic: the output is byte-identical \
+     for every $(docv).  Defaults to the machine's recommended domain count."
+  in
+  Arg.(
+    value
+    & opt int (Ipcp_engine.Engine.default_jobs ())
+    & info [ "jobs" ] ~docv:"N" ~doc)
 
 let file_arg =
   Arg.(
@@ -132,8 +137,8 @@ let analyze_cmd =
     let doc = "Also dump MOD/REF summaries and the call graph." in
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
   in
-  let run file kind no_ret no_mod intra substitute_out complete verbose profile
-      profile_json =
+  let run file kind no_ret no_mod intra substitute_out complete verbose jobs
+      profile profile_json =
     with_profiling profile profile_json @@ fun () ->
     match load file with
     | Error m ->
@@ -151,7 +156,7 @@ let analyze_cmd =
       end;
       Fmt.pr "--- configuration: %a@." Config.pp config;
       Fmt.pr "--- CONSTANTS sets@.%a" Driver.pp_constants t;
-      let prog', stats = Substitute.apply t in
+      let prog', stats = Substitute.apply ~jobs t in
       Fmt.pr "--- constants substituted: %d@." stats.total;
       List.iter
         (fun (p, n) -> if n > 0 then Fmt.pr "      %-16s %d@." p n)
@@ -170,7 +175,8 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc)
     Term.(
       const run $ file_arg $ jf_kind $ no_return_jfs $ no_mod $ intra_only
-      $ substitute_out $ complete $ verbose $ profile_flag $ profile_json_arg)
+      $ substitute_out $ complete $ verbose $ jobs_arg $ profile_flag
+      $ profile_json_arg)
 
 (* ---------------- run ---------------- *)
 
@@ -232,15 +238,15 @@ let lint_cmd =
 (* ---------------- tables / characteristics ---------------- *)
 
 let tables_cmd =
-  let run profile profile_json =
+  let run jobs profile profile_json =
     with_profiling profile profile_json @@ fun () ->
-    Fmt.pr "%a@." Ipcp_suite.Tables.pp_all ();
+    Fmt.pr "%a@." (Ipcp_suite.Tables.pp_all ~jobs) ();
     0
   in
   let doc = "Regenerate the paper's Tables 1, 2 and 3 on the bundled suite." in
   Cmd.v
     (Cmd.info "tables" ~doc)
-    Term.(const run $ profile_flag $ profile_json_arg)
+    Term.(const run $ jobs_arg $ profile_flag $ profile_json_arg)
 
 let characteristics_cmd =
   let run profile profile_json =

@@ -1,1 +1,1 @@
-lib/core/cloning.mli: Config Ipcp_frontend Prog
+lib/core/cloning.mli: Config Driver Ipcp_frontend Prog

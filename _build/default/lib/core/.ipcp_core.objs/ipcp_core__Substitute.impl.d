@@ -1,1 +1,1 @@
-lib/core/substitute.ml: Config Driver Hashtbl Ipcp_analysis Ipcp_frontend List Modref Option Prog
+lib/core/substitute.ml: Config Driver Hashtbl Ipcp_analysis Ipcp_engine Ipcp_frontend List Modref Option Prog

@@ -106,8 +106,11 @@ type result = {
     [max_clones_per_proc] caps the number of variants per procedure
     (Metzger–Stroud use a similar goal-directed cap). *)
 let clone ?(config = Config.polynomial_with_mod) ?(max_clones_per_proc = 4)
-    (prog : Prog.t) : result =
-  let t = Driver.analyze config prog in
+    ?artifacts (prog : Prog.t) : result =
+  let artifacts =
+    match artifacts with Some a -> a | None -> Driver.prepare prog
+  in
+  let t = Driver.solve config artifacts in
   let r = { next = Ipcp_ir.Lower.expr_id_ceiling prog } in
   (* group this callee's sites by signature *)
   let by_callee : (string, (Jump_function.site_jf * int option array) list) Hashtbl.t =

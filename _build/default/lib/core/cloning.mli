@@ -12,8 +12,14 @@ type result = {
   renamings : (int * string) list;  (** call-site id → new callee name *)
 }
 
+(** [?artifacts] supplies prepared staged artifacts for [prog] when the
+    caller already holds them (avoids re-running stages 1–2). *)
 val clone :
-  ?config:Config.t -> ?max_clones_per_proc:int -> Prog.t -> result
+  ?config:Config.t ->
+  ?max_clones_per_proc:int ->
+  ?artifacts:Driver.artifacts ->
+  Prog.t ->
+  result
 
 (** Iterate cloning (new constants can expose new opportunities), bounded
     by [rounds].  Returns the final program and total clones made. *)

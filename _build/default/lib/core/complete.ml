@@ -3,9 +3,14 @@
     Iterate interprocedural constant propagation and dead-code elimination:
     run the polynomial analysis, fold the branches SCCP proved constant and
     sweep dead code; if anything was removed, reset all CONSTANTS sets to ⊤
-    and re-run the propagation from scratch on the smaller program.  The
-    paper observed that a single round of dead-code elimination always
-    sufficed; the test suite checks the same on ours. *)
+    and re-run the propagation on the smaller program.  The paper observed
+    that a single round of dead-code elimination always sufficed; the test
+    suite checks the same on ours.
+
+    Re-analysis rounds reuse the staged artifacts ({!Driver.prepare}) of
+    the previous round for every procedure DCE left untouched (and whose
+    transitive callees are untouched too) — only the procedures that
+    actually shrank get their CFG/SSA/symbolic IR rebuilt. *)
 
 open Ipcp_frontend
 
@@ -18,13 +23,13 @@ type outcome = {
 let run ?(config = Config.polynomial_with_mod) ?(max_rounds = 10)
     (prog : Prog.t) : outcome =
   let module Telemetry = Ipcp_telemetry.Telemetry in
-  let rec loop prog rounds =
+  let rec loop artifacts prog rounds =
     Telemetry.incr "complete.rounds";
-    let t, changed, procs =
+    let t, changed_procs, procs =
       Telemetry.span "complete:round" (fun () ->
-          let t = Driver.analyze config prog in
+          let t = Driver.solve config artifacts in
           (* fold constant branches per procedure using the seeded SCCP *)
-          let changed = ref false in
+          let changed = ref [] in
           let procs =
             List.map
               (fun (proc : Prog.proc) ->
@@ -32,18 +37,23 @@ let run ?(config = Config.polynomial_with_mod) ?(max_rounds = 10)
                 let proc', ch =
                   Ipcp_analysis.Dce.run ~cond_consts:sccp.cond_consts proc
                 in
-                if ch then changed := true;
+                if ch then changed := proc.pname :: !changed;
                 proc')
               prog.Prog.procs
           in
           (t, !changed, procs))
     in
-    if changed && rounds < max_rounds then
-      loop { prog with Prog.procs } (rounds + 1)
+    if changed_procs <> [] && rounds < max_rounds then begin
+      let prog' = { prog with Prog.procs } in
+      let unchanged name = not (List.mem name changed_procs) in
+      loop
+        (Driver.prepare_reusing ~prev:artifacts ~unchanged prog')
+        prog' (rounds + 1)
+    end
     else begin
       let _, stats = Substitute.apply t in
       Telemetry.add "complete.dce_rounds" rounds;
       { final = t; substituted = stats.total; dce_rounds = rounds }
     end
   in
-  loop prog 0
+  loop (Driver.prepare prog) prog 0

@@ -1,6 +1,11 @@
 (** "Complete propagation" (paper Table 3, column 3): iterate
     interprocedural constant propagation with dead-code elimination until no
-    more code dies, resetting all CONSTANTS to ⊤ between rounds. *)
+    more code dies, resetting all CONSTANTS to ⊤ between rounds.
+
+    Re-analysis rounds share staged {!Driver} artifacts: procedures DCE
+    left untouched (with untouched transitive callees) keep their
+    CFG/SSA/symbolic IR and return jump functions from the previous
+    round. *)
 
 open Ipcp_frontend
 

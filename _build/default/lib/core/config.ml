@@ -14,33 +14,41 @@ type t = {
           Table 3 "intraprocedural propagation" baseline *)
 }
 
-let default =
-  { kind = Jump_function.Passthrough; return_jfs = true; use_mod = true; interprocedural = true }
+let make ~kind ?(return_jfs = true) ?(use_mod = true)
+    ?(interprocedural = true) () =
+  { kind; return_jfs; use_mod; interprocedural }
+
+let equal a b =
+  a.kind = b.kind
+  && a.return_jfs = b.return_jfs
+  && a.use_mod = b.use_mod
+  && a.interprocedural = b.interprocedural
+
+let default = make ~kind:Jump_function.Passthrough ()
 
 (** The six configurations of Table 2, paired with their column labels. *)
 let table2_configs =
   [
-    ("polynomial+ret", { default with kind = Jump_function.Polynomial });
-    ("passthrough+ret", { default with kind = Jump_function.Passthrough });
-    ("intraconst+ret", { default with kind = Jump_function.Intraconst });
-    ("literal+ret", { default with kind = Jump_function.Literal });
-    ( "polynomial-ret",
-      { default with kind = Jump_function.Polynomial; return_jfs = false } );
+    ("polynomial+ret", make ~kind:Jump_function.Polynomial ());
+    ("passthrough+ret", make ~kind:Jump_function.Passthrough ());
+    ("intraconst+ret", make ~kind:Jump_function.Intraconst ());
+    ("literal+ret", make ~kind:Jump_function.Literal ());
+    ("polynomial-ret", make ~kind:Jump_function.Polynomial ~return_jfs:false ());
     ( "passthrough-ret",
-      { default with kind = Jump_function.Passthrough; return_jfs = false } );
+      make ~kind:Jump_function.Passthrough ~return_jfs:false () );
   ]
 
 (** The four configurations of Table 3 (complete propagation is driven by
     {!Complete} on top of [polynomial_with_mod]). *)
-let polynomial_no_mod =
-  { default with kind = Jump_function.Polynomial; use_mod = false }
+let polynomial_no_mod = make ~kind:Jump_function.Polynomial ~use_mod:false ()
 
-let polynomial_with_mod = { default with kind = Jump_function.Polynomial }
+let polynomial_with_mod = make ~kind:Jump_function.Polynomial ()
 
 let intraprocedural_only =
   (* return jump functions are an interprocedural mechanism; the baseline
      keeps only MOD information, as the paper specifies *)
-  { default with interprocedural = false; return_jfs = false }
+  make ~kind:Jump_function.Passthrough ~return_jfs:false
+    ~interprocedural:false ()
 
 let pp ppf t =
   Fmt.pf ppf "%s%s%s%s"
@@ -48,3 +56,5 @@ let pp ppf t =
     (if t.return_jfs then "+ret" else "-ret")
     (if t.use_mod then "+mod" else "-mod")
     (if t.interprocedural then "" else " (intra only)")
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,12 +1,29 @@
 (** Analyzer configuration — the experimental axes of the paper's Tables 2
     and 3. *)
 
+(** The record type is exposed for pattern matching and pretty-printing
+    but is {b internal} as a constructor: build configurations with
+    {!make} (or the presets below), never with record literals — new axes
+    may be added and [make] keeps call sites stable. *)
 type t = {
   kind : Jump_function.kind;  (** which forward jump function to build *)
   return_jfs : bool;
   use_mod : bool;  (** MOD summaries vs. worst-case call kills *)
   interprocedural : bool;  (** [false]: the intraprocedural baseline *)
 }
+
+(** [make ~kind ()] builds a configuration; the optional axes default to
+    the paper's recommended setup (return jump functions on, MOD
+    summaries on, interprocedural propagation on). *)
+val make :
+  kind:Jump_function.kind ->
+  ?return_jfs:bool ->
+  ?use_mod:bool ->
+  ?interprocedural:bool ->
+  unit ->
+  t
+
+val equal : t -> t -> bool
 
 (** Pass-through + return JFs + MOD: the paper's recommended setup. *)
 val default : t
@@ -19,3 +36,6 @@ val polynomial_with_mod : t
 val intraprocedural_only : t
 
 val pp : t Fmt.t
+
+(** [pp] rendered to a string, e.g. ["polynomial+ret+mod"]. *)
+val to_string : t -> string

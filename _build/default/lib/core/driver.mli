@@ -1,6 +1,21 @@
-(** The four-stage analyzer pipeline of the paper's §4.1: return jump
-    functions (bottom-up) → forward jump functions (top-down) →
-    interprocedural propagation → results. *)
+(** The four-stage analyzer pipeline of the paper's §4.1, staged into a
+    config-independent prefix and a config-dependent suffix:
+
+    {ul
+    {- {!prepare} builds the shared artifacts — call graph, MOD summaries,
+       per-procedure IR (CFG/SSA/symbolic values) and return jump
+       functions.  Stage-1/2 bundles are memoized per
+       (use_mod × return_jfs) variant and built on demand, so repeated
+       solves over the same program share them;}
+    {- {!solve} runs only the configuration-dependent stages on top:
+       forward jump functions of the configured kind, then the
+       interprocedural propagation;}
+    {- {!analyze} is the one-shot compatibility wrapper,
+       [analyze config prog = solve config (prepare prog)].}}
+
+    Artifacts memoize internally and are therefore {b not} safe to share
+    across domains; give each worker domain its own (the engine's
+    program-per-task split does exactly that). *)
 
 open Ipcp_frontend
 open Ipcp_analysis
@@ -17,7 +32,29 @@ type t = {
   solution : Solver.result;
 }
 
-(** Run the full pipeline on a resolved program. *)
+(** Config-independent analysis artifacts of one program. *)
+type artifacts
+
+(** Build the shared artifacts for a resolved program. *)
+val prepare : Prog.t -> artifacts
+
+(** [prepare_reusing ~prev ~unchanged prog] prepares artifacts for a
+    rewritten [prog] (same procedure names), copying the per-procedure
+    stage-1/2 artifacts from [prev] for every procedure whose body is
+    [unchanged] and whose transitive callees are all unchanged too —
+    {!Complete}'s re-analysis loop between dead-code-elimination rounds. *)
+val prepare_reusing :
+  prev:artifacts -> unchanged:(string -> bool) -> Prog.t -> artifacts
+
+val artifacts_prog : artifacts -> Prog.t
+val artifacts_callgraph : artifacts -> Callgraph.t
+
+(** Run the config-dependent stages (forward jump functions +
+    interprocedural propagation) over shared artifacts. *)
+val solve : Config.t -> artifacts -> t
+
+(** Run the full pipeline on a resolved program:
+    [solve config (prepare prog)]. *)
 val analyze : Config.t -> Prog.t -> t
 
 (** CONSTANTS(p) for every procedure, in program order. *)

@@ -100,10 +100,13 @@ let apply_proc (t : Driver.t) (proc : Prog.proc)
   let body = List.map stmt proc.pbody in
   ({ proc with pbody = body }, !count)
 
-(** Substitute over the whole program. *)
-let apply (t : Driver.t) : Prog.t * stats =
+(** Substitute over the whole program.  [jobs > 1] distributes the
+    per-procedure SCCP + rewrite across worker domains (procedures are
+    independent once the analysis is solved); the result is identical to
+    the sequential one — the engine preserves program order. *)
+let apply ?(jobs = 1) (t : Driver.t) : Prog.t * stats =
   let results =
-    List.map
+    Ipcp_engine.Engine.map ~jobs
       (fun (proc : Prog.proc) ->
         let sccp = Driver.sccp_for t proc.pname in
         let proc', n = apply_proc t proc sccp in
@@ -119,3 +122,8 @@ let apply (t : Driver.t) : Prog.t * stats =
 let count (config : Config.t) (prog : Prog.t) : int =
   let t = Driver.analyze config prog in
   (snd (apply t)).total
+
+(** [count_staged artifacts config]: solve over shared artifacts, then
+    substitute — one cell of Tables 2/3 without re-running stages 1–2. *)
+let count_staged (artifacts : Driver.artifacts) (config : Config.t) : int =
+  (snd (apply (Driver.solve config artifacts))).total

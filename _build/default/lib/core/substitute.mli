@@ -15,9 +15,15 @@ type stats = { total : int; by_proc : (string * int) list }
 val apply_proc :
   Driver.t -> Prog.proc -> Ipcp_analysis.Sccp.result -> Prog.proc * int
 
-(** Substitute over the whole program of an analysis. *)
-val apply : Driver.t -> Prog.t * stats
+(** Substitute over the whole program of an analysis.  [jobs > 1]
+    distributes the independent per-procedure passes across worker
+    domains; output is identical to the sequential run. *)
+val apply : ?jobs:int -> Driver.t -> Prog.t * stats
 
 (** [count config prog]: analyze then substitute, returning the count —
     one cell of Tables 2/3. *)
 val count : Config.t -> Prog.t -> int
+
+(** [count_staged artifacts config]: like {!count} but solving over shared
+    {!Driver.prepare} artifacts, skipping the config-independent stages. *)
+val count_staged : Driver.artifacts -> Config.t -> int

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Array Atomic Domain Ipcp_telemetry List Option Printf

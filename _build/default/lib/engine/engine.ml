@@ -1,0 +1,66 @@
+module Telemetry = Ipcp_telemetry.Telemetry
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Sequential reference path: used for jobs <= 1 and for empty inputs.
+   Kept as a literal List.map so `--jobs 1` is exactly the pre-engine
+   behaviour (same evaluation order, same telemetry nesting). *)
+let map_seq f items = List.map f items
+
+let map ?(jobs = default_jobs ()) f items =
+  let tasks = Array.of_list items in
+  let n = Array.length tasks in
+  let jobs = min jobs n in
+  if jobs <= 1 then map_seq f items
+  else begin
+    Telemetry.add "engine.pools" 1;
+    Telemetry.add "engine.domains" jobs;
+    Telemetry.add "engine.tasks" n;
+    let results : 'b option array = Array.make n None in
+    let errors : exn option array = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let parent_profiled = Telemetry.enabled () in
+    (* Each worker drains the cursor; distinct indices mean no two domains
+       ever write the same slot.  A worker's collector exists only when the
+       parent is profiling, and is returned for the post-join merge. *)
+    let worker () =
+      let run_tasks () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n then begin
+            (match f tasks.(i) with
+            | r -> results.(i) <- Some r
+            | exception e -> errors.(i) <- Some e);
+            loop ()
+          end
+        in
+        loop ()
+      in
+      if not parent_profiled then begin
+        run_tasks ();
+        None
+      end
+      else begin
+        let collector = Telemetry.create () in
+        Telemetry.with_reporter collector run_tasks;
+        Some collector
+      end
+    in
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    let collectors = Array.map Domain.join domains in
+    (match Telemetry.current () with
+    | None -> ()
+    | Some sink ->
+      Array.iteri
+        (fun i collector ->
+          match collector with
+          | None -> ()
+          | Some c ->
+            Telemetry.merge ~under:(Printf.sprintf "pool:domain-%d" i)
+              ~into:sink c)
+        collectors);
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.to_list (Array.map Option.get results)
+  end
+
+let iter ?jobs f items = ignore (map ?jobs f items)

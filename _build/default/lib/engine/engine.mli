@@ -1,0 +1,34 @@
+(** A [Domain]-based work pool for independent analysis solves.
+
+    The engine schedules a list of independent tasks — typically one
+    (program × configuration) solve each — across OCaml 5 domains and
+    returns the results {b in input order}, so parallel runs are
+    byte-identical to sequential ones.  Tasks are handed out through an
+    atomic cursor (no per-task locking); each result lands in its own
+    preallocated slot, so workers never contend on shared structures.
+
+    Telemetry composes: the sink is domain-local, so each worker records
+    into its own collector; when the parent domain joins the pool, worker
+    collectors are folded into the parent's sink under [pool:domain-<i>]
+    span nodes and the counters/distributions aggregate.  With no sink
+    installed in the parent, workers record nothing — the engine stays
+    zero-cost unprofiled, like the rest of the pipeline. *)
+
+(** The machine's recommended domain count — the default for [--jobs]. *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f items] applies [f] to every item and returns the results
+    in input order.
+
+    [jobs <= 1] (the default when no pool is wanted) runs sequentially in
+    the calling domain — exactly [List.map f items], today's sequential
+    path, with no domain spawned and no telemetry regrouping.  Otherwise
+    [min jobs (length items)] worker domains are spawned.
+
+    If any task raises, the exception of the {b earliest} failing item is
+    re-raised in the caller after all workers have joined (sequential runs
+    fail at the first raising item, so the surfaced error agrees). *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [iter ~jobs f items] = [ignore (map ~jobs f items)]. *)
+val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit

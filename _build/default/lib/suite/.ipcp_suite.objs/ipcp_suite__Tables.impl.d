@@ -1,1 +1,1 @@
-lib/suite/tables.ml: Complete Config Fmt Ipcp_core Jump_function List Metrics Registry Substitute
+lib/suite/tables.ml: Complete Config Driver Fmt Ipcp_core Ipcp_engine Jump_function List Metrics Registry Substitute

@@ -1,1 +1,1 @@
-lib/suite/tables.mli: Fmt Registry
+lib/suite/tables.mli: Fmt Ipcp_core Registry

@@ -1,5 +1,11 @@
 (** Regeneration harness for the paper's Tables 2 and 3: the substitution
-    counts of every analyzer configuration on every suite program. *)
+    counts of every analyzer configuration on every suite program.
+
+    Rows solve over shared staged artifacts ({!Ipcp_core.Driver.prepare})
+    — the per-program call graph, MOD summaries and IR are built once and
+    reused across all configurations of the row — and [?jobs] fans
+    independent rows across worker domains with deterministic (input-order)
+    results, so the printed tables are byte-identical for every [jobs]. *)
 
 type table2_row = {
   t2_name : string;
@@ -19,13 +25,17 @@ type table3_row = {
   intra_only : int;
 }
 
-val table2_row : Registry.entry -> table2_row
-val table3_row : Registry.entry -> table3_row
-val table2 : unit -> table2_row list
-val table3 : unit -> table3_row list
+(** One row; [?artifacts] supplies already-prepared staged artifacts for
+    the entry's program. *)
+val table2_row : ?artifacts:Ipcp_core.Driver.artifacts -> Registry.entry -> table2_row
+
+val table3_row : ?artifacts:Ipcp_core.Driver.artifacts -> Registry.entry -> table3_row
+
+val table2 : ?jobs:int -> unit -> table2_row list
+val table3 : ?jobs:int -> unit -> table3_row list
 
 val pp_table2 : table2_row list Fmt.t
 val pp_table3 : table3_row list Fmt.t
 
 (** Tables 1, 2 and 3, formatted like the paper's evaluation section. *)
-val pp_all : unit Fmt.t
+val pp_all : ?jobs:int -> unit Fmt.t

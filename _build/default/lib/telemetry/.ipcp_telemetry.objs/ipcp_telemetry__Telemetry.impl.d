@@ -1,1 +1,1 @@
-lib/telemetry/telemetry.ml: Fmt Fun Hashtbl Int64 Ipcp_support Json List Monotonic_clock Option Stats String
+lib/telemetry/telemetry.ml: Domain Fmt Fun Hashtbl Int64 Ipcp_support Json List Monotonic_clock Option Stats String

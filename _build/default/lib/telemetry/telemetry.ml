@@ -34,16 +34,24 @@ let create ?(clock = default_clock) () =
   }
 
 (* ------------------------------------------------------------------ *)
-(* The current sink.                                                   *)
+(* The current sink.
 
-let current : t option ref = ref None
+   Domain-local, not global: a collector installed in one domain must not
+   be visible to (or mutated by) worker domains — each worker installs its
+   own collector and the pool merges them into the parent's after the
+   workers have joined (see {!merge}).  A freshly spawned domain therefore
+   always starts with no sink. *)
 
-let enabled () = Option.is_some !current
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get current_key
+
+let enabled () = Option.is_some (current ())
 
 let with_reporter t f =
-  let saved = !current in
-  current := Some t;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = current () in
+  Domain.DLS.set current_key (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_key saved) f
 
 (* ------------------------------------------------------------------ *)
 (* Recording.                                                          *)
@@ -57,7 +65,7 @@ let child_named parent name =
     c
 
 let span name f =
-  match !current with
+  match current () with
   | None -> f ()
   | Some t ->
     let parent = List.hd t.stack in
@@ -74,7 +82,7 @@ let span name f =
       f
 
 let add name v =
-  match !current with
+  match current () with
   | None -> ()
   | Some t -> (
     match Hashtbl.find_opt t.counters_tbl name with
@@ -84,12 +92,46 @@ let add name v =
 let incr name = add name 1
 
 let observe name v =
-  match !current with
+  match current () with
   | None -> ()
   | Some t -> (
     match Hashtbl.find_opt t.dists_tbl name with
     | Some r -> r := v :: !r
     | None -> Hashtbl.replace t.dists_tbl name (ref [ v ]))
+
+(* ------------------------------------------------------------------ *)
+(* Merging.                                                            *)
+
+(* Fold one collector into another.  The intended discipline makes this
+   race-free without locks: each worker domain records into its own
+   collector, and the pool calls [merge] from the parent domain only after
+   Domain.join — so no collector is ever written concurrently. *)
+let merge ?under ~into src =
+  let target =
+    match under with
+    | None -> into.root
+    | Some name -> child_named into.root name
+  in
+  let rec merge_node parent n =
+    let c = child_named parent n.n_name in
+    c.n_ns <- c.n_ns + n.n_ns;
+    c.n_calls <- c.n_calls + n.n_calls;
+    c.n_durations <- n.n_durations @ c.n_durations;
+    List.iter (merge_node c) (List.rev n.n_children)
+  in
+  List.iter (merge_node target) (List.rev src.root.n_children);
+  Hashtbl.iter
+    (fun name r ->
+      match Hashtbl.find_opt into.counters_tbl name with
+      | Some d -> d := !d + !r
+      | None -> Hashtbl.replace into.counters_tbl name (ref !r))
+    src.counters_tbl;
+  Hashtbl.iter
+    (fun name r ->
+      match Hashtbl.find_opt into.dists_tbl name with
+      | Some d -> d := !r @ !d
+      | None -> Hashtbl.replace into.dists_tbl name (ref !r))
+    src.dists_tbl
 
 (* ------------------------------------------------------------------ *)
 (* Inspection.                                                         *)

@@ -30,11 +30,21 @@ type t
 val create : ?clock:(unit -> int) -> unit -> t
 
 (** Install [t] as the current sink for the duration of the callback
-    (exception-safe; restores the previous sink, so reporters nest). *)
+    (exception-safe; restores the previous sink, so reporters nest).
+
+    The sink is {b domain-local}: installing a reporter in one domain does
+    not make it visible to domains spawned afterwards — a fresh domain
+    always starts with no sink.  Worker domains install their own
+    collectors and the pool folds them into the parent's with {!merge}
+    after the workers have joined. *)
 val with_reporter : t -> (unit -> 'a) -> 'a
 
-(** Is any sink currently installed? *)
+(** Is any sink currently installed in this domain? *)
 val enabled : unit -> bool
+
+(** The sink installed in this domain, if any — the merge target a pool
+    uses when folding worker collectors back into its caller. *)
+val current : unit -> t option
 
 (* ---- recording (no-ops without an installed sink) ---- *)
 
@@ -49,6 +59,15 @@ val incr : string -> unit
 
 (** Record one value into a named distribution. *)
 val observe : string -> int -> unit
+
+(** [merge ?under ~into src] folds everything recorded in [src] into
+    [into]: span subtrees with matching names aggregate (time, call counts,
+    duration samples), counters add, distributions concatenate.  With
+    [?under:name], [src]'s span tree is grafted beneath a top-level node
+    [name] (the pool uses [pool:domain-<i>]), keeping per-domain timings
+    distinguishable.  Call only after the domain that recorded [src] has
+    been joined — the merge itself takes no locks. *)
+val merge : ?under:string -> into:t -> t -> unit
 
 (* ---- inspection (used by tests and exporters) ---- *)
 

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Fmt Fun Ipcp_engine Ipcp_telemetry List String Telemetry

@@ -1,0 +1,1 @@
+test/test_staged.ml: Alcotest Complete Config Driver Fmt Ipcp_core Ipcp_frontend Ipcp_suite Ipcp_telemetry List Registry String Substitute Tables Telemetry

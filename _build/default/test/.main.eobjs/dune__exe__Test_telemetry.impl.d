@@ -1,1 +1,1 @@
-test/test_telemetry.ml: Alcotest Filename Ipcp_core Ipcp_frontend Ipcp_telemetry Json List Option Sys Telemetry
+test/test_telemetry.ml: Alcotest Domain Filename Ipcp_core Ipcp_frontend Ipcp_telemetry Json List Option Printf Sys Telemetry

@@ -5,6 +5,7 @@ let () =
     [
       ("support", Test_support.suite);
       ("telemetry", Test_telemetry.suite);
+      ("engine", Test_engine.suite);
       ("frontend", Test_frontend.suite);
       ("interp", Test_interp.suite);
       ("data", Test_data_stmt.suite);
@@ -13,6 +14,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("dependence", Test_dependence.suite);
       ("core", Test_core.suite);
+      ("staged", Test_staged.suite);
       ("suite", Test_suite.suite);
       ("extensions", Test_extensions.suite);
       ("golden", Test_golden.suite);

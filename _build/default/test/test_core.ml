@@ -186,7 +186,7 @@ let jf_src =
    end\n"
 
 let test_literal_jf () =
-  let t = analyze ~config:{ Config.default with kind = Jump_function.Literal } jf_src in
+  let t = analyze ~config:(Config.make ~kind:Jump_function.Literal ()) jf_src in
   (* only the literal 5 at the main→work site propagates *)
   expect_no_const t "work" "n";
   expect_const t "work" "k" 5;
@@ -198,7 +198,7 @@ let test_literal_jf () =
 
 let test_intraconst_jf () =
   let t =
-    analyze ~config:{ Config.default with kind = Jump_function.Intraconst } jf_src
+    analyze ~config:(Config.make ~kind:Jump_function.Intraconst ()) jf_src
   in
   (* locally derived constants and constant globals propagate one edge *)
   expect_const t "work" "n" 10;
@@ -212,7 +212,7 @@ let test_intraconst_jf () =
 
 let test_passthrough_jf () =
   let t =
-    analyze ~config:{ Config.default with kind = Jump_function.Passthrough } jf_src
+    analyze ~config:(Config.make ~kind:Jump_function.Passthrough ()) jf_src
   in
   expect_const t "work" "n" 10;
   expect_const t "work" "k" 5;
@@ -225,7 +225,7 @@ let test_passthrough_jf () =
 
 let test_polynomial_jf () =
   let t =
-    analyze ~config:{ Config.default with kind = Jump_function.Polynomial } jf_src
+    analyze ~config:(Config.make ~kind:Jump_function.Polynomial ()) jf_src
   in
   expect_const t "leaf" "a" 5;
   expect_const t "leaf" "b" 6;
@@ -234,7 +234,7 @@ let test_polynomial_jf () =
 (* The paper's subset chain on this example. *)
 let test_kind_hierarchy_on_example () =
   let count kind =
-    Substitute.count { Config.default with kind } (resolve jf_src)
+    Substitute.count (Config.make ~kind ()) (resolve jf_src)
   in
   let l = count Jump_function.Literal in
   let i = count Jump_function.Intraconst in
@@ -357,7 +357,11 @@ let test_return_jf_exposes_init_globals () =
   expect_const t "use" "y" 7
 
 let test_no_return_jf_misses_init_globals () =
-  let t = analyze ~config:{ Config.default with return_jfs = false } ocean_like_src in
+  let t =
+    analyze
+      ~config:(Config.make ~kind:Jump_function.Passthrough ~return_jfs:false ())
+      ocean_like_src
+  in
   expect_no_const t "use" "x";
   expect_no_const t "use" "y"
 

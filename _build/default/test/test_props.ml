@@ -31,7 +31,7 @@ let gen_seed = QCheck2.Gen.int_range 1 10_000
 
 let program_of_seed seed = Workload.generate_resolved (spec_of_seed seed)
 
-let count kind prog = Substitute.count { Config.default with kind } prog
+let count kind prog = Substitute.count (Config.make ~kind ()) prog
 
 (* CONSTANTS as a comparable set of (proc, param, value). *)
 let constant_facts (t : Driver.t) =
@@ -55,7 +55,7 @@ let prop_hierarchy_sets =
     ~count:60 gen_seed (fun seed ->
       let prog = program_of_seed seed in
       let facts kind =
-        constant_facts (Driver.analyze { Config.default with kind } prog)
+        constant_facts (Driver.analyze (Config.make ~kind ()) prog)
       in
       let subset a b = List.for_all (fun x -> List.mem x b) a in
       let l = facts Jump_function.Literal in
@@ -174,7 +174,9 @@ let prop_return_jf_monotone =
     gen_seed (fun seed ->
       let prog = program_of_seed seed in
       subset
-        (facts { Config.default with return_jfs = false } prog)
+        (facts
+           (Config.make ~kind:Jump_function.Passthrough ~return_jfs:false ())
+           prog)
         (facts Config.default prog))
 
 let prop_intra_below_inter =

@@ -78,9 +78,9 @@ let test_substitution_preserves name () =
     [
       Config.polynomial_with_mod;
       Config.polynomial_no_mod;
-      { Config.default with kind = Jump_function.Literal };
-      { Config.default with kind = Jump_function.Intraconst };
-      { Config.default with return_jfs = false };
+      Config.make ~kind:Jump_function.Literal ();
+      Config.make ~kind:Jump_function.Intraconst ();
+      Config.make ~kind:Jump_function.Passthrough ~return_jfs:false ();
       Config.intraprocedural_only;
     ]
 

@@ -110,6 +110,99 @@ let test_distribution_order () =
     (Telemetry.distribution t "d")
 
 (* ------------------------------------------------------------------ *)
+(* Domains and merging *)
+
+let test_fresh_domain_has_no_sink () =
+  (* the reporter is domain-local: a spawned domain starts disabled even
+     while the parent is inside with_reporter *)
+  let t = Telemetry.create () in
+  Telemetry.with_reporter t (fun () ->
+      check Alcotest.bool "enabled in parent" true (Telemetry.enabled ());
+      let d = Domain.spawn (fun () -> Telemetry.enabled ()) in
+      check Alcotest.bool "fresh domain disabled" false (Domain.join d));
+  check
+    (Alcotest.option Alcotest.int)
+    "nothing leaked into the parent collector" None
+    (Telemetry.counter t "ghost")
+
+let test_merge_aggregates () =
+  let src = Telemetry.create ~clock:(ticking_clock ()) () in
+  Telemetry.with_reporter src (fun () ->
+      Telemetry.span "work" (fun () -> Telemetry.span "sub" ignore);
+      Telemetry.add "c" 3;
+      Telemetry.observe "d" 7);
+  let into = Telemetry.create ~clock:(ticking_clock ()) () in
+  Telemetry.with_reporter into (fun () ->
+      Telemetry.span "work" ignore;
+      Telemetry.add "c" 1;
+      Telemetry.observe "d" 5);
+  Telemetry.merge ~into src;
+  check (Alcotest.option Alcotest.int) "counters add" (Some 4)
+    (Telemetry.counter into "c");
+  check (Alcotest.list Alcotest.int) "distributions concatenate" [ 5; 7 ]
+    (Telemetry.distribution into "d");
+  match Telemetry.spans into with
+  | [ work ] ->
+    check Alcotest.string "span name" "work" work.sp_name;
+    check Alcotest.int "calls aggregate" 2 work.sp_calls;
+    check (Alcotest.list Alcotest.string) "children grafted" [ "sub" ]
+      (List.map (fun s -> s.Telemetry.sp_name) work.sp_children)
+  | spans ->
+    Alcotest.failf "expected one top-level span, got %d" (List.length spans)
+
+let test_merge_under () =
+  let src = Telemetry.create ~clock:(ticking_clock ()) () in
+  Telemetry.with_reporter src (fun () -> Telemetry.span "task" ignore);
+  let into = Telemetry.create ~clock:(ticking_clock ()) () in
+  Telemetry.merge ~under:"pool:domain-0" ~into src;
+  match Telemetry.spans into with
+  | [ pool ] ->
+    check Alcotest.string "grafted under the named child" "pool:domain-0"
+      pool.sp_name;
+    check (Alcotest.list Alcotest.string) "source spans inside" [ "task" ]
+      (List.map (fun s -> s.Telemetry.sp_name) pool.sp_children)
+  | spans -> Alcotest.failf "expected one span, got %d" (List.length spans)
+
+let test_worker_domains_merge_race_free () =
+  (* the engine's protocol by hand: each worker collects into its own
+     domain-local reporter, and the parent merges after join — every
+     worker's counters and spans must land exactly once *)
+  let parent = Telemetry.create () in
+  Telemetry.with_reporter parent (fun () ->
+      let workers =
+        List.init 4 (fun i ->
+            Domain.spawn (fun () ->
+                let t = Telemetry.create () in
+                Telemetry.with_reporter t (fun () ->
+                    Telemetry.span "stage" ignore;
+                    Telemetry.add "worker.items" (i + 1));
+                t))
+      in
+      List.iteri
+        (fun i d ->
+          Telemetry.merge
+            ~under:(Printf.sprintf "pool:domain-%d" i)
+            ~into:parent (Domain.join d))
+        workers);
+  check
+    (Alcotest.option Alcotest.int)
+    "counters from every domain, once each" (Some 10)
+    (Telemetry.counter parent "worker.items");
+  let pools =
+    List.map (fun s -> s.Telemetry.sp_name) (Telemetry.spans parent)
+  in
+  check (Alcotest.list Alcotest.string) "one span group per domain"
+    [ "pool:domain-0"; "pool:domain-1"; "pool:domain-2"; "pool:domain-3" ]
+    pools;
+  List.iter
+    (fun s ->
+      check (Alcotest.list Alcotest.string)
+        (s.Telemetry.sp_name ^ " carries the worker's spans")
+        [ "stage" ]
+        (List.map (fun c -> c.Telemetry.sp_name) s.Telemetry.sp_children))
+    (Telemetry.spans parent)
+
+(* ------------------------------------------------------------------ *)
 (* JSON *)
 
 let json = Alcotest.testable Json.pp Json.equal
@@ -267,6 +360,12 @@ let suite =
     ("telemetry span ordering", `Quick, test_span_ordering_top_level);
     ("telemetry span survives exception", `Quick, test_span_survives_exception);
     ("telemetry reporter restored", `Quick, test_reporter_restored);
+    ("telemetry fresh domain has no sink", `Quick,
+     test_fresh_domain_has_no_sink);
+    ("telemetry merge aggregates", `Quick, test_merge_aggregates);
+    ("telemetry merge under a named child", `Quick, test_merge_under);
+    ("telemetry worker domains merge race-free", `Quick,
+     test_worker_domains_merge_race_free);
     ("telemetry counter accumulation", `Quick, test_counter_accumulation);
     ("telemetry distribution order", `Quick, test_distribution_order);
     ("telemetry json value round-trip", `Quick, test_json_roundtrip_values);

@@ -8,7 +8,13 @@
    carry the expected schema tag, and have a non-empty span tree and a
    counters object; with --stages, the four driver pipeline stages must
    all appear in the span tree (the CI smoke target runs the analyzer on
-   the bundled suite, so their absence means the wiring regressed). *)
+   the bundled suite, so their absence means the wiring regressed).
+
+   Parallel runs (--jobs N) nest each worker's spans under a
+   pool:domain-<i> node; the stage search is recursive, so the stages are
+   found wherever the engine grafted them.  A document that carries pool
+   spans must also carry the engine.* counters the work pool records —
+   their absence means the per-domain telemetry merge regressed. *)
 
 open Ipcp_telemetry
 
@@ -40,11 +46,28 @@ let check_doc ~stages ~where (doc : Json.t) : string list =
       []
     | Some spans -> List.concat_map span_names spans
   in
-  (match Json.member "counters" doc with
-  | Some (Json.Obj (_ :: _)) -> ()
-  | Some (Json.Obj []) -> problem "counters object is empty"
-  | Some _ -> problem "counters is not an object"
-  | None -> problem "missing counters object");
+  let counters =
+    match Json.member "counters" doc with
+    | Some (Json.Obj (_ :: _ as fields)) -> List.map fst fields
+    | Some (Json.Obj []) ->
+      problem "counters object is empty";
+      []
+    | Some _ ->
+      problem "counters is not an object";
+      []
+    | None ->
+      problem "missing counters object";
+      []
+  in
+  let is_pool_span n =
+    String.length n >= 12 && String.sub n 0 12 = "pool:domain-"
+  in
+  if List.exists is_pool_span names then
+    List.iter
+      (fun c ->
+        if not (List.mem c counters) then
+          problem "per-domain spans present but counter %S missing" c)
+      [ "engine.pools"; "engine.domains"; "engine.tasks" ];
   if stages then
     List.iter
       (fun stage ->

@@ -28,4 +28,17 @@ dune runtest
 echo "== profile smoke"
 dune build @smoke
 
+echo "== parallel determinism"
+# The staged engine guarantees input-order results: the printed tables
+# must be byte-identical no matter how many worker domains run them.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+dune exec --no-build -- ipcp tables --jobs 1 > "$tmpdir/jobs1.out"
+dune exec --no-build -- ipcp tables --jobs 2 > "$tmpdir/jobs2.out"
+if ! cmp -s "$tmpdir/jobs1.out" "$tmpdir/jobs2.out"; then
+  echo "determinism: tables output differs between --jobs 1 and --jobs 2" >&2
+  diff "$tmpdir/jobs1.out" "$tmpdir/jobs2.out" >&2 || true
+  exit 1
+fi
+
 echo "ci: ok"
