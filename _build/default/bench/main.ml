@@ -307,7 +307,7 @@ let () =
      also carries the analysis-internal counters of a full suite run *)
   Telemetry.with_reporter collector (fun () ->
       Telemetry.span "bench:tables" (fun () ->
-          Fmt.pr "%a@." (Tables.pp_all ~jobs:1) ());
+          Fmt.pr "%a@." (fun ppf () -> Tables.pp_all ~jobs:1 ppf ()) ());
       Telemetry.span "bench:jf_statistics" jf_statistics;
       Telemetry.span "bench:cloning_ablation" cloning_ablation);
   tables_regen_comparison ();

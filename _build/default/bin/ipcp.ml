@@ -6,12 +6,23 @@
    - run: execute a program under the reference interpreter;
    - tables: regenerate the paper's Tables 1-3 on the bundled suite;
    - characteristics: Table 1 only;
-   - generate: emit a random workload program. *)
+   - generate: emit a random workload program.
+
+   Exit codes:
+   - 0: success;
+   - 2: usage error (unknown flag, bad argument — cmdliner's own);
+   - 3: input error (unreadable file, diagnostics in the program, runtime
+     failure or fuel exhaustion of the interpreted program, lint
+     violations);
+   - 4: internal error (a bug in ipcp itself). *)
 
 open Cmdliner
 open Ipcp_frontend
 open Ipcp_core
 open Ipcp_telemetry
+
+let exit_input = 3
+let exit_internal = 4
 
 (* Close the channel even when reading aborts (a parse error downstream is
    recoverable in batch use; a leaked descriptor is not). *)
@@ -21,10 +32,22 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Load in recovery mode: every lexical, syntax and semantic problem of the
+   file is collected, not just the first. *)
 let load path =
-  try Ok (Sema.parse_and_resolve ~file:path (read_file path)) with
-  | Loc.Error (l, m) -> Error (Fmt.str "%a" Loc.pp_error (l, m))
-  | Sys_error m -> Error m
+  match read_file path with
+  | exception Sys_error m -> Error (`Sys m)
+  | src -> (
+    match Sema.check ~file:path src with
+    | Ok prog -> Ok prog
+    | Error diags -> Error (`Diags diags))
+
+(* All input-error reporting goes to stderr; stdout carries results only. *)
+let report_load_error = function
+  | `Sys m -> Fmt.epr "error: %s@." m
+  | `Diags diags ->
+    Fmt.epr "%a%a@." Ipcp_support.Diagnostics.pp diags
+      Ipcp_support.Diagnostics.pp_summary diags
 
 (* ---------------- shared options ---------------- *)
 
@@ -62,9 +85,27 @@ let intra_only =
   let doc = "Purely intraprocedural propagation (the paper's baseline)." in
   Arg.(value & flag & info [ "intra-only" ] ~doc)
 
-let config_of kind no_ret no_mod intra =
-  if intra then Config.intraprocedural_only
-  else Config.make ~kind ~return_jfs:(not no_ret) ~use_mod:(not no_mod) ()
+let max_steps_arg =
+  let doc =
+    "Step budget per analysis pass (worklist visits).  An exhausted pass \
+     widens its remaining work to $(b,bottom) and reports itself degraded \
+     — results stay sound but may miss constants."
+  in
+  Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N" ~doc)
+
+let deadline_ms_arg =
+  let doc =
+    "Wall-clock budget per analysis pass, in milliseconds; degradation \
+     behaves as for $(b,--max-steps)."
+  in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let config_of kind no_ret no_mod intra max_steps deadline_ms =
+  let base =
+    if intra then Config.intraprocedural_only
+    else Config.make ~kind ~return_jfs:(not no_ret) ~use_mod:(not no_mod) ()
+  in
+  Config.with_budget ?max_steps ?deadline_ms base
 
 let jobs_arg =
   let doc =
@@ -77,10 +118,12 @@ let jobs_arg =
     & opt int (Ipcp_engine.Engine.default_jobs ())
     & info [ "jobs" ] ~docv:"N" ~doc)
 
+(* A plain string, not [Arg.file]: an unreadable path is an input error
+   (exit 3, reported by [load]), not a usage error. *)
 let file_arg =
   Arg.(
     required
-    & pos 0 (some file) None
+    & pos 0 (some string) None
     & info [] ~docv:"FILE" ~doc:"MiniFort source file.")
 
 (* ---------------- profiling options ---------------- *)
@@ -119,10 +162,19 @@ let with_profiling profile profile_json f =
         r
       with Sys_error m ->
         Fmt.epr "error: cannot write profile document: %s@." m;
-        1)
+        exit_input)
   end
 
 (* ---------------- analyze ---------------- *)
+
+let pp_degraded ppf reasons =
+  List.iter
+    (fun r ->
+      Fmt.pf ppf
+        "--- degraded: %a (results remain sound; raise --max-steps / \
+         --deadline-ms for full precision)@."
+        Ipcp_support.Budget.pp_reason r)
+    reasons
 
 let analyze_cmd =
   let substitute_out =
@@ -137,18 +189,22 @@ let analyze_cmd =
     let doc = "Also dump MOD/REF summaries and the call graph." in
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
   in
-  let run file kind no_ret no_mod intra substitute_out complete verbose jobs
-      profile profile_json =
+  let run file kind no_ret no_mod intra max_steps deadline_ms substitute_out
+      complete verbose jobs profile profile_json =
     with_profiling profile profile_json @@ fun () ->
     match load file with
-    | Error m ->
-      Fmt.epr "%s@." m;
-      1
+    | Error e ->
+      report_load_error e;
+      exit_input
     | Ok prog ->
-      let config = config_of kind no_ret no_mod intra in
-      let t =
-        if complete then (Complete.run ~config prog).final
-        else Driver.analyze config prog
+      let config = config_of kind no_ret no_mod intra max_steps deadline_ms in
+      let t, degraded =
+        if complete then
+          let o = Complete.run ~config prog in
+          (o.final, o.degraded)
+        else
+          let t = Driver.analyze config prog in
+          (t, Driver.degraded t)
       in
       if verbose then begin
         Fmt.pr "--- call graph@.%a@." Callgraph.pp t.cg;
@@ -161,6 +217,12 @@ let analyze_cmd =
       List.iter
         (fun (p, n) -> if n > 0 then Fmt.pr "      %-16s %d@." p n)
         stats.by_proc;
+      pp_degraded Fmt.stdout degraded;
+      if stats.sccp_degraded <> [] then
+        Fmt.pr
+          "--- degraded (sccp budget, no substitutions): %a@."
+          Fmt.(list ~sep:(any " ") string)
+          stats.sccp_degraded;
       (match substitute_out with
       | Some out ->
         let oc = open_out out in
@@ -175,8 +237,8 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc)
     Term.(
       const run $ file_arg $ jf_kind $ no_return_jfs $ no_mod $ intra_only
-      $ substitute_out $ complete $ verbose $ jobs_arg $ profile_flag
-      $ profile_json_arg)
+      $ max_steps_arg $ deadline_ms_arg $ substitute_out $ complete $ verbose
+      $ jobs_arg $ profile_flag $ profile_json_arg)
 
 (* ---------------- run ---------------- *)
 
@@ -186,25 +248,33 @@ let run_cmd =
     Arg.(value & opt (list int) [] & info [ "input" ] ~docv:"INTS" ~doc)
   in
   let fuel =
-    let doc = "Interpreter step budget." in
-    Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~doc)
+    let doc =
+      "Interpreter step budget (default: the interpreter's built-in limit)."
+    in
+    Arg.(
+      value
+      & opt int Ipcp_interp.Interp.default_fuel
+      & info [ "fuel" ] ~docv:"N" ~doc)
   in
   let run file input fuel =
     match load file with
-    | Error m ->
-      Fmt.epr "%s@." m;
-      1
+    | Error e ->
+      report_load_error e;
+      exit_input
     | Ok prog -> (
       let r = Ipcp_interp.Interp.run ~fuel ~input ~trace_entries:false prog in
       List.iter print_endline r.outputs;
       match r.outcome with
       | Ipcp_interp.Interp.Finished -> 0
       | Out_of_fuel ->
-        Fmt.epr "error: out of fuel after %d steps@." r.steps;
-        2
+        Fmt.epr
+          "error: interpreter ran out of fuel after %d steps (the program \
+           may diverge; raise the limit with --fuel)@."
+          r.steps;
+        exit_input
       | Failed m ->
         Fmt.epr "runtime error: %s@." m;
-        2)
+        exit_input)
   in
   let doc = "Execute a program under the reference interpreter." in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ file_arg $ input $ fuel)
@@ -214,9 +284,9 @@ let run_cmd =
 let lint_cmd =
   let run file =
     match load file with
-    | Error m ->
-      Fmt.epr "%s@." m;
-      1
+    | Error e ->
+      report_load_error e;
+      exit_input
     | Ok prog -> (
       match Alias_check.check prog with
       | [] ->
@@ -227,7 +297,7 @@ let lint_cmd =
         Fmt.pr "%d violation(s): interprocedural constant propagation is \
                 only sound for conforming programs@."
           (List.length vs);
-        3)
+        exit_input)
   in
   let doc =
     "Check a program for FORTRAN argument-aliasing violations (the analyzer \
@@ -238,15 +308,20 @@ let lint_cmd =
 (* ---------------- tables / characteristics ---------------- *)
 
 let tables_cmd =
-  let run jobs profile profile_json =
+  let run jobs max_steps deadline_ms profile profile_json =
     with_profiling profile profile_json @@ fun () ->
-    Fmt.pr "%a@." (Ipcp_suite.Tables.pp_all ~jobs) ();
+    Fmt.pr "%a@."
+      (fun ppf () ->
+        Ipcp_suite.Tables.pp_all ~jobs ?max_steps ?deadline_ms ppf ())
+      ();
     0
   in
   let doc = "Regenerate the paper's Tables 1, 2 and 3 on the bundled suite." in
   Cmd.v
     (Cmd.info "tables" ~doc)
-    Term.(const run $ jobs_arg $ profile_flag $ profile_json_arg)
+    Term.(
+      const run $ jobs_arg $ max_steps_arg $ deadline_ms_arg $ profile_flag
+      $ profile_json_arg)
 
 let characteristics_cmd =
   let run profile profile_json =
@@ -303,10 +378,19 @@ let () =
      implementations (Grove & Torczon, PLDI 1993)"
   in
   let info = Cmd.info "ipcp" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        analyze_cmd; run_cmd; lint_cmd; tables_cmd; characteristics_cmd;
+        generate_cmd;
+      ]
+  in
+  (* ~catch:false so an escaped exception is ours to report: anything the
+     subcommands did not turn into an input error is an ipcp bug. *)
   exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            analyze_cmd; run_cmd; lint_cmd; tables_cmd; characteristics_cmd;
-            generate_cmd;
-          ]))
+    (try Cmd.eval' ~catch:false ~term_err:2 group
+     with e ->
+       let bt = Printexc.get_backtrace () in
+       Fmt.epr "internal error: %s@." (Printexc.to_string e);
+       if bt <> "" then Fmt.epr "%s@?" bt;
+       exit_internal)

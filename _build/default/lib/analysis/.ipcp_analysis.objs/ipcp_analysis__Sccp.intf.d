@@ -1,1 +1,1 @@
-lib/analysis/sccp.mli: Fmt Hashtbl Ipcp_frontend Ipcp_ir Prog Ssa Ssa_value
+lib/analysis/sccp.mli: Fmt Hashtbl Ipcp_frontend Ipcp_ir Ipcp_support Prog Ssa Ssa_value

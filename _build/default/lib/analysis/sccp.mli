@@ -23,12 +23,19 @@ type result = {
           uses in executable blocks are recorded *)
   cond_consts : (int, bool) Hashtbl.t;
       (** branch-condition expression id → known truth value *)
+  degraded : Ipcp_support.Budget.reason list;
+      (** non-empty when the budget ran out mid-propagation; the result
+          then carries no facts (every name ⊥, every block executable,
+          no harvested constants) — trivially sound *)
 }
 
 (** Run to fixpoint.  [entry_env] gives the known constant entry value of
     formals and globals ([None] = ⊥; locals always start ⊥); [oracle]
-    resolves call-defined values through return jump functions. *)
+    resolves call-defined values through return jump functions.
+    [budget] (default: unlimited) bounds worklist visits; on exhaustion
+    the fully conservative result is returned and marked degraded. *)
 val run :
+  ?budget:Ipcp_support.Budget.t ->
   ?oracle:Ssa_value.oracle ->
   entry_env:(Prog.var -> int option) ->
   Ssa.t ->

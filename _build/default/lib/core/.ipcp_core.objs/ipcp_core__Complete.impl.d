@@ -1,1 +1,1 @@
-lib/core/complete.ml: Config Driver Ipcp_analysis Ipcp_frontend Ipcp_telemetry List Prog Substitute
+lib/core/complete.ml: Config Driver Ipcp_analysis Ipcp_frontend Ipcp_support Ipcp_telemetry List Prog Substitute

@@ -1,1 +1,1 @@
-lib/core/complete.mli: Config Driver Ipcp_frontend Prog
+lib/core/complete.mli: Config Driver Ipcp_frontend Ipcp_support Prog

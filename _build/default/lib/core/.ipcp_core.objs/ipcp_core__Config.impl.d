@@ -1,1 +1,1 @@
-lib/core/config.ml: Fmt Jump_function
+lib/core/config.ml: Fmt Ipcp_support Jump_function

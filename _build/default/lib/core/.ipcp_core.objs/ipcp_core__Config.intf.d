@@ -1,1 +1,1 @@
-lib/core/config.mli: Fmt Jump_function
+lib/core/config.mli: Fmt Ipcp_support Jump_function

@@ -1,1 +1,1 @@
-lib/core/driver.ml: Callgraph Config Const_lattice Fmt Hashtbl Ipcp_analysis Ipcp_frontend Ipcp_telemetry Jump_function Lazy List Modref Prog Sccp Solver Ssa_value
+lib/core/driver.ml: Callgraph Config Const_lattice Fmt Hashtbl Ipcp_analysis Ipcp_frontend Ipcp_support Ipcp_telemetry Jump_function Lazy List Modref Prog Sccp Solver Ssa_value

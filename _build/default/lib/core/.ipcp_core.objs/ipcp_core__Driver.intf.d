@@ -1,1 +1,1 @@
-lib/core/driver.mli: Callgraph Config Fmt Hashtbl Ipcp_analysis Ipcp_frontend Jump_function Modref Prog Sccp Solver Ssa_value
+lib/core/driver.mli: Callgraph Config Fmt Hashtbl Ipcp_analysis Ipcp_frontend Ipcp_support Jump_function Modref Prog Sccp Solver Ssa_value

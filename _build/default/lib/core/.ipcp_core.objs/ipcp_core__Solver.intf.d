@@ -1,1 +1,1 @@
-lib/core/solver.mli: Callgraph Const_lattice Fmt Hashtbl Ipcp_analysis Ipcp_frontend Jump_function Prog Symbolic
+lib/core/solver.mli: Callgraph Const_lattice Fmt Hashtbl Ipcp_analysis Ipcp_frontend Ipcp_support Jump_function Prog Symbolic

@@ -59,7 +59,7 @@ let run (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
       in
       Hashtbl.replace vals p.pname m)
     prog.procs;
-  let stats = { Solver.iterations = 0; jf_evaluations = 0; meets = 0 } in
+  let stats = { Solver.iterations = 0; jf_evaluations = 0; meets = 0; widened = 0 } in
   (* ---- build the binding multi-graph ---- *)
   let deps : (node, dep list) Hashtbl.t = Hashtbl.create 64 in
   let add_dep node dep =
@@ -121,4 +121,4 @@ let run (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
       stats.iterations <- stats.iterations + 1;
       List.iter evaluate
         (Hashtbl.find_opt deps node |> Option.value ~default:[]));
-  { Solver.vals; stats }
+  { Solver.vals; stats; degraded = [] }

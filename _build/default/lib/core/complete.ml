@@ -18,11 +18,20 @@ type outcome = {
   final : Driver.t;  (** analysis of the final (DCE-stable) program *)
   substituted : int;  (** substitution count on the final program *)
   dce_rounds : int;  (** rounds that actually removed code *)
+  degraded : Ipcp_support.Budget.reason list;
+      (** budget exhaustions hit along the way (iteration budget and the
+          final round's propagation); each round is individually sound,
+          so stopping early only costs precision *)
 }
 
-let run ?(config = Config.polynomial_with_mod) ?(max_rounds = 10)
+let run ?budget ?(config = Config.polynomial_with_mod) ?(max_rounds = 10)
     (prog : Prog.t) : outcome =
   let module Telemetry = Ipcp_telemetry.Telemetry in
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> Config.budget ~label:"complete" config
+  in
   let rec loop artifacts prog rounds =
     Telemetry.incr "complete.rounds";
     let t, changed_procs, procs =
@@ -43,7 +52,10 @@ let run ?(config = Config.polynomial_with_mod) ?(max_rounds = 10)
           in
           (t, !changed, procs))
     in
-    if changed_procs <> [] && rounds < max_rounds then begin
+    if
+      changed_procs <> [] && rounds < max_rounds
+      && Ipcp_support.Budget.tick budget
+    then begin
       let prog' = { prog with Prog.procs } in
       let unchanged name = not (List.mem name changed_procs) in
       loop
@@ -53,7 +65,15 @@ let run ?(config = Config.polynomial_with_mod) ?(max_rounds = 10)
     else begin
       let _, stats = Substitute.apply t in
       Telemetry.add "complete.dce_rounds" rounds;
-      { final = t; substituted = stats.total; dce_rounds = rounds }
+      let degraded =
+        Driver.degraded t
+        @
+        match Ipcp_support.Budget.exhausted budget with
+        | None -> []
+        | Some reason -> [ reason ]
+      in
+      Telemetry.add "complete.degraded" (List.length degraded);
+      { final = t; substituted = stats.total; dce_rounds = rounds; degraded }
     end
   in
   loop (Driver.prepare prog) prog 0

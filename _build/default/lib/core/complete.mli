@@ -13,6 +13,16 @@ type outcome = {
   final : Driver.t;  (** analysis of the final, DCE-stable program *)
   substituted : int;  (** substitution count on the final program *)
   dce_rounds : int;  (** rounds that actually removed code *)
+  degraded : Ipcp_support.Budget.reason list;
+      (** budget exhaustions hit along the way; empty on a precise run *)
 }
 
-val run : ?config:Config.t -> ?max_rounds:int -> Prog.t -> outcome
+(** [budget] (default: built from [config]) bounds the number of
+    re-analysis rounds; on exhaustion the current round's (sound) result
+    is kept and the outcome is marked degraded. *)
+val run :
+  ?budget:Ipcp_support.Budget.t ->
+  ?config:Config.t ->
+  ?max_rounds:int ->
+  Prog.t ->
+  outcome

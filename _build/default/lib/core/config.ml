@@ -3,7 +3,12 @@
     Table 2 varies [kind] × [return_jfs]; Table 3 varies [use_mod] and
     compares against the purely intraprocedural baseline
     ([interprocedural = false], which still uses MOD information, as the
-    paper does "for fair comparison"). *)
+    paper does "for fair comparison").
+
+    The resource axes ([max_steps], [deadline_ms]) bound every analysis
+    pass run under the configuration; an exhausted pass widens its
+    remaining work to ⊥ and reports itself degraded instead of running
+    unbounded. *)
 
 type t = {
   kind : Jump_function.kind;  (** which forward jump function to build *)
@@ -12,17 +17,32 @@ type t = {
   interprocedural : bool;
       (** when false, skip interprocedural propagation entirely: the
           Table 3 "intraprocedural propagation" baseline *)
+  max_steps : int option;  (** per-pass step budget (worklist ticks) *)
+  deadline_ms : int option;  (** per-pass wall-clock budget *)
 }
 
 let make ~kind ?(return_jfs = true) ?(use_mod = true)
-    ?(interprocedural = true) () =
-  { kind; return_jfs; use_mod; interprocedural }
+    ?(interprocedural = true) ?max_steps ?deadline_ms () =
+  { kind; return_jfs; use_mod; interprocedural; max_steps; deadline_ms }
+
+(** [with_budget ?max_steps ?deadline_ms t] replaces the resource axes
+    of [t] (absent arguments clear the corresponding limit). *)
+let with_budget ?max_steps ?deadline_ms t = { t with max_steps; deadline_ms }
+
+(** Fresh per-pass budget for this configuration.  Each pass (solver
+    drain, per-procedure SCCP, complete-propagation round) creates its
+    own so no mutable budget state crosses domain boundaries. *)
+let budget ?label (t : t) : Ipcp_support.Budget.t =
+  Ipcp_support.Budget.create ?label ?max_steps:t.max_steps
+    ?deadline_ms:t.deadline_ms ()
 
 let equal a b =
   a.kind = b.kind
   && a.return_jfs = b.return_jfs
   && a.use_mod = b.use_mod
   && a.interprocedural = b.interprocedural
+  && a.max_steps = b.max_steps
+  && a.deadline_ms = b.deadline_ms
 
 let default = make ~kind:Jump_function.Passthrough ()
 
@@ -55,6 +75,12 @@ let pp ppf t =
     (Jump_function.kind_name t.kind)
     (if t.return_jfs then "+ret" else "-ret")
     (if t.use_mod then "+mod" else "-mod")
-    (if t.interprocedural then "" else " (intra only)")
+    (if t.interprocedural then "" else " (intra only)");
+  (match t.max_steps with
+  | Some n -> Fmt.pf ppf " steps<=%d" n
+  | None -> ());
+  match t.deadline_ms with
+  | Some ms -> Fmt.pf ppf " deadline<=%dms" ms
+  | None -> ()
 
 let to_string t = Fmt.str "%a" pp t

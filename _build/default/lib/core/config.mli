@@ -10,18 +10,31 @@ type t = {
   return_jfs : bool;
   use_mod : bool;  (** MOD summaries vs. worst-case call kills *)
   interprocedural : bool;  (** [false]: the intraprocedural baseline *)
+  max_steps : int option;  (** per-pass step budget (worklist ticks) *)
+  deadline_ms : int option;  (** per-pass wall-clock budget *)
 }
 
 (** [make ~kind ()] builds a configuration; the optional axes default to
     the paper's recommended setup (return jump functions on, MOD
-    summaries on, interprocedural propagation on). *)
+    summaries on, interprocedural propagation on) with no resource
+    limits. *)
 val make :
   kind:Jump_function.kind ->
   ?return_jfs:bool ->
   ?use_mod:bool ->
   ?interprocedural:bool ->
+  ?max_steps:int ->
+  ?deadline_ms:int ->
   unit ->
   t
+
+(** Replace the resource axes (absent arguments clear the limits). *)
+val with_budget : ?max_steps:int -> ?deadline_ms:int -> t -> t
+
+(** Fresh per-pass budget for this configuration.  Every pass creates
+    its own, so budget state never crosses domain boundaries and
+    parallel runs stay deterministic. *)
+val budget : ?label:string -> t -> Ipcp_support.Budget.t
 
 val equal : t -> t -> bool
 

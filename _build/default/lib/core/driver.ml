@@ -181,7 +181,9 @@ let stage12_for (a : artifacts) (config : Config.t) : stage12 =
 
 let propagate (config : Config.t) cg ~site_jfs ~global_keys : Solver.result =
   let prog = cg.Callgraph.prog in
-  if config.interprocedural then Solver.run cg ~site_jfs ~global_keys
+  if config.interprocedural then
+    Solver.run ~budget:(Config.budget ~label:"solver" config) cg ~site_jfs
+      ~global_keys
   else begin
     (* baseline: no propagation; every parameter of every procedure is ⊥
        so that only locally derived constants survive *)
@@ -205,7 +207,9 @@ let propagate (config : Config.t) cg ~site_jfs ~global_keys : Solver.result =
         in
         Hashtbl.replace vals p.pname m)
       prog.procs;
-    { Solver.vals; stats = { iterations = 0; jf_evaluations = 0; meets = 0 } }
+    { Solver.vals;
+      stats = { iterations = 0; jf_evaluations = 0; meets = 0; widened = 0 };
+      degraded = [] }
   end
 
 (** Run the config-dependent stages over shared artifacts. *)
@@ -290,11 +294,19 @@ let oracle (t : t) : Ssa_value.oracle option =
   if t.config.return_jfs then Some (Jump_function.oracle_of_table t.ret_jfs)
   else None
 
-(** Run SCCP for one procedure, seeded with the discovered entry facts. *)
+(** Budget reasons of the propagation stage (empty on a precise run). *)
+let degraded (t : t) : Ipcp_support.Budget.reason list =
+  t.solution.Solver.degraded
+
+(** Run SCCP for one procedure, seeded with the discovered entry facts.
+    Each call creates a fresh budget from the configuration, so parallel
+    per-procedure runs share no mutable budget state. *)
 let sccp_for (t : t) (name : string) : Sccp.result =
   let ir = Hashtbl.find t.irs name in
   let proc = ir.Jump_function.pi_proc in
-  Sccp.run ?oracle:(oracle t) ~entry_env:(entry_env t proc) ir.Jump_function.pi_ssa
+  Sccp.run
+    ~budget:(Config.budget ~label:("sccp:" ^ name) t.config)
+    ?oracle:(oracle t) ~entry_env:(entry_env t proc) ir.Jump_function.pi_ssa
 
 let pp_constants ppf (t : t) =
   List.iter

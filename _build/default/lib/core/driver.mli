@@ -69,7 +69,13 @@ val entry_env : t -> Prog.proc -> Prog.var -> int option
 (** The return-jump-function oracle of this analysis, if enabled. *)
 val oracle : t -> Ssa_value.oracle option
 
-(** SCCP for one procedure, seeded with the discovered entry facts. *)
+(** Budget reasons of the propagation stage; empty on a precise run.
+    A degraded analysis is still sound — pending work was widened to ⊥
+    — but may miss constants. *)
+val degraded : t -> Ipcp_support.Budget.reason list
+
+(** SCCP for one procedure, seeded with the discovered entry facts.
+    Runs under a fresh per-call budget built from the configuration. *)
 val sccp_for : t -> string -> Sccp.result
 
 val pp_constants : t Fmt.t

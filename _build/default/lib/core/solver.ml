@@ -22,11 +22,15 @@ type stats = {
   mutable iterations : int;  (** procedures popped from the worklist *)
   mutable jf_evaluations : int;
   mutable meets : int;
+  mutable widened : int;  (** entries widened to ⊥ on budget exhaustion *)
 }
 
 type result = {
   vals : (string, val_map) Hashtbl.t;
   stats : stats;
+  degraded : Ipcp_support.Budget.reason list;
+      (** non-empty when the budget ran out and pending work was widened
+          to ⊥ — the result is sound but less precise *)
 }
 
 let lookup (r : result) proc param : Const_lattice.t =
@@ -83,9 +87,18 @@ let eval_jf (stats : stats) (caller_vals : val_map) (jf : Symbolic.t) :
       Const_lattice.of_option (Symbolic.eval ~env jf)
 
 (** Solve.  [site_jfs] are the forward jump functions of every call site;
-    [global_keys] the keys of every common global in the program. *)
-let run (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
+    [global_keys] the keys of every common global in the program.  When
+    [budget] runs out mid-drain, every procedure transitively reachable
+    from a still-pending caller is widened to ⊥: those are exactly the
+    maps that unprocessed edges could still lower, so the answer stays a
+    sound (conservative) approximation of the fixed point. *)
+let run ?budget (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
     ~(global_keys : string list) : result =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> Ipcp_support.Budget.create ~label:"solver" ()
+  in
   let prog = cg.Callgraph.prog in
   let vals : (string, val_map) Hashtbl.t = Hashtbl.create 16 in
   let init_proc (p : Prog.proc) =
@@ -117,7 +130,7 @@ let run (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
     Hashtbl.replace vals p.pname m
   in
   List.iter init_proc prog.procs;
-  let stats = { iterations = 0; jf_evaluations = 0; meets = 0 } in
+  let stats = { iterations = 0; jf_evaluations = 0; meets = 0; widened = 0 } in
   (* index site jump functions by caller *)
   let by_caller : (string, Jump_function.site_jf list) Hashtbl.t =
     Hashtbl.create 16
@@ -130,7 +143,7 @@ let run (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
       Hashtbl.replace by_caller s.sf_caller (s :: existing))
     site_jfs;
   let work = Ipcp_support.Worklist.of_list (Callgraph.top_down cg) in
-  Ipcp_support.Worklist.drain work (fun caller ->
+  let process caller =
       stats.iterations <- stats.iterations + 1;
       let caller_vals =
         Hashtbl.find_opt vals caller |> Option.value ~default:Prog.Param_map.empty
@@ -172,8 +185,51 @@ let run (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
             Hashtbl.replace vals callee !m;
             Ipcp_support.Worklist.push work callee
           end)
-        (Hashtbl.find_opt by_caller caller |> Option.value ~default:[]))
-  ;
+        (Hashtbl.find_opt by_caller caller |> Option.value ~default:[])
+  in
+  let rec drain () =
+    if Ipcp_support.Budget.tick budget then
+      match Ipcp_support.Worklist.pop work with
+      | None -> ()
+      | Some caller ->
+        process caller;
+        drain ()
+  in
+  drain ();
+  (* Budget exhausted mid-drain: widen to ⊥ every map an unprocessed edge
+     could still lower — the transitive callee closure of the pending
+     callers (which includes the pending callers themselves). *)
+  let degraded =
+    match Ipcp_support.Budget.exhausted budget with
+    | None -> []
+    | Some reason ->
+      let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+      let rec visit name =
+        if not (Hashtbl.mem seen name) then begin
+          Hashtbl.add seen name ();
+          List.iter
+            (fun (e : Callgraph.edge) -> visit e.e_callee)
+            (Callgraph.callees_of cg name)
+        end
+      in
+      List.iter visit (Ipcp_support.Worklist.elements work);
+      Hashtbl.iter
+        (fun name () ->
+          match Hashtbl.find_opt vals name with
+          | None -> ()
+          | Some m ->
+            let m' =
+              Prog.Param_map.map
+                (fun v ->
+                  if not (Const_lattice.equal v Const_lattice.Bottom) then
+                    stats.widened <- stats.widened + 1;
+                  Const_lattice.Bottom)
+                m
+            in
+            Hashtbl.replace vals name m')
+        seen;
+      [ reason ]
+  in
   if Ipcp_telemetry.Telemetry.enabled () then begin
     let open Ipcp_telemetry in
     let w = Ipcp_support.Worklist.stats work in
@@ -183,9 +239,11 @@ let run (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
     Telemetry.add "solver.worklist.pushes" w.pushes;
     Telemetry.add "solver.worklist.pops" w.pops;
     Telemetry.add "solver.worklist.dedup_skips" w.dedup_skips;
+    Telemetry.add "solver.widened" stats.widened;
+    Telemetry.add "solver.degraded" (List.length degraded);
     Telemetry.observe "solver.worklist.max_length" w.max_length
   end;
-  { vals; stats }
+  { vals; stats; degraded }
 
 let pp_result prog ppf (r : result) =
   Hashtbl.iter

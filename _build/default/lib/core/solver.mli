@@ -13,11 +13,15 @@ type stats = {
   mutable iterations : int;  (** worklist pops *)
   mutable jf_evaluations : int;
   mutable meets : int;
+  mutable widened : int;  (** entries widened to ⊥ on budget exhaustion *)
 }
 
 type result = {
   vals : (string, val_map) Hashtbl.t;  (** per procedure *)
   stats : stats;
+  degraded : Ipcp_support.Budget.reason list;
+      (** non-empty when the budget ran out; the result is still sound
+          (pending work was widened to ⊥) but may miss constants *)
 }
 
 (** The VAL of one parameter; ⊤ for parameters never touched. *)
@@ -31,7 +35,12 @@ val constants_of : result -> string -> (Prog.param * int) list
     Exposed for the binding-graph solver and cloning. *)
 val eval_jf : stats -> val_map -> Symbolic.t -> Const_lattice.t
 
+(** Solve.  [budget] (default: unlimited) bounds the worklist drain; on
+    exhaustion the transitive callee closure of every pending caller is
+    widened to ⊥ and the result is marked degraded — sound, less
+    precise. *)
 val run :
+  ?budget:Ipcp_support.Budget.t ->
   Callgraph.t ->
   site_jfs:Jump_function.site_jf list ->
   global_keys:string list ->

@@ -21,6 +21,9 @@ open Ipcp_frontend
 type stats = {
   total : int;  (** uses substituted, summed over procedures *)
   by_proc : (string * int) list;
+  sccp_degraded : string list;
+      (** procedures whose SCCP pass exhausted its budget (program
+          order); their counts are 0 — no unsound substitution happens *)
 }
 
 (** Substitute constants into one procedure given its SCCP result.
@@ -110,13 +113,17 @@ let apply ?(jobs = 1) (t : Driver.t) : Prog.t * stats =
       (fun (proc : Prog.proc) ->
         let sccp = Driver.sccp_for t proc.pname in
         let proc', n = apply_proc t proc sccp in
-        (proc', (proc.pname, n)))
+        (proc', (proc.pname, n), sccp.Ipcp_analysis.Sccp.degraded <> []))
       t.prog.procs
   in
-  let procs = List.map fst results in
-  let by_proc = List.map snd results in
+  let procs = List.map (fun (p, _, _) -> p) results in
+  let by_proc = List.map (fun (_, pn, _) -> pn) results in
+  let sccp_degraded =
+    List.filter_map (fun (_, (name, _), d) -> if d then Some name else None)
+      results
+  in
   let total = List.fold_left (fun acc (_, n) -> acc + n) 0 by_proc in
-  ({ t.prog with procs }, { total; by_proc })
+  ({ t.prog with procs }, { total; by_proc; sccp_degraded })
 
 (** Convenience: analyze then substitute, returning only the count. *)
 let count (config : Config.t) (prog : Prog.t) : int =

@@ -9,7 +9,13 @@
 
 open Ipcp_frontend
 
-type stats = { total : int; by_proc : (string * int) list }
+type stats = {
+  total : int;
+  by_proc : (string * int) list;
+  sccp_degraded : string list;
+      (** procedures whose SCCP pass exhausted its budget, in program
+          order; they contribute no substitutions *)
+}
 
 (** Substitute into one procedure given its seeded SCCP result. *)
 val apply_proc :

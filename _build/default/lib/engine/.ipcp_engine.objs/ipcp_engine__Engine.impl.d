@@ -1,1 +1,1 @@
-lib/engine/engine.ml: Array Atomic Domain Ipcp_telemetry List Option Printf
+lib/engine/engine.ml: Array Atomic Domain Ipcp_support Ipcp_telemetry List Option Printexc Printf

@@ -1,1 +1,1 @@
-lib/engine/engine.mli:
+lib/engine/engine.mli: Printexc

@@ -17,18 +17,49 @@
 (** The machine's recommended domain count — the default for [--jobs]. *)
 val default_jobs : unit -> int
 
+(** One task's terminal failure: the exception, the backtrace captured
+    at the raise site inside the worker, and how many attempts were
+    made (1 + retries granted). *)
+type task_error = {
+  te_exn : exn;
+  te_backtrace : Printexc.raw_backtrace;
+  te_attempts : int;
+}
+
+(** [map_result ~jobs ~retries f items] applies [f] to every item with
+    per-item fault containment: a raising task yields [Error] for its own
+    slot and every other task still runs to completion.  Results come
+    back in input order, so output is byte-identical at every [jobs]
+    setting.  [retries] (default 0) grants each failing task that many
+    re-runs before its error is recorded.
+
+    Fault-injection probes ({!Ipcp_support.Fault}) fire once per attempt
+    at site ["engine.task:<index>:<attempt>"] — keyed on the item, never
+    on the executing domain, so a seeded fault run hits the same tasks
+    sequentially and in parallel. *)
+val map_result :
+  ?jobs:int ->
+  ?retries:int ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, task_error) result list
+
 (** [map ~jobs f items] applies [f] to every item and returns the results
     in input order.
 
     [jobs <= 1] (the default when no pool is wanted) runs sequentially in
     the calling domain — exactly [List.map f items], today's sequential
-    path, with no domain spawned and no telemetry regrouping.  Otherwise
-    [min jobs (length items)] worker domains are spawned.
+    path, with no domain spawned and no telemetry regrouping (unless
+    retries are requested or fault injection is active, which route
+    through {!map_result}).  Otherwise [min jobs (length items)] worker
+    domains are spawned.
 
-    If any task raises, the exception of the {b earliest} failing item is
-    re-raised in the caller after all workers have joined (sequential runs
-    fail at the first raising item, so the surfaced error agrees). *)
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+    If any task terminally fails, the exception of the {b earliest}
+    failing item is re-raised in the caller with the worker's original
+    backtrace ([Printexc.raise_with_backtrace]) after all workers have
+    joined (sequential runs fail at the first raising item, so the
+    surfaced error agrees). *)
+val map : ?jobs:int -> ?retries:int -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [iter ~jobs f items] = [ignore (map ~jobs f items)]. *)
-val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+val iter : ?jobs:int -> ?retries:int -> ('a -> unit) -> 'a list -> unit

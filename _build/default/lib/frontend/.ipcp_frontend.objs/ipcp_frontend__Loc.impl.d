@@ -1,1 +1,1 @@
-lib/frontend/loc.ml: Fmt
+lib/frontend/loc.ml: Fmt Ipcp_support

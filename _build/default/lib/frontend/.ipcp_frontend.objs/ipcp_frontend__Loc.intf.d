@@ -1,1 +1,1 @@
-lib/frontend/loc.mli: Fmt Format
+lib/frontend/loc.mli: Fmt Format Ipcp_support

@@ -1,1 +1,1 @@
-lib/frontend/parser.ml: Ast Lexer List Loc Token
+lib/frontend/parser.ml: Ast Ipcp_support Lexer List Loc Token

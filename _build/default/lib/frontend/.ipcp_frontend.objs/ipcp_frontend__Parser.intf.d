@@ -1,1 +1,1 @@
-lib/frontend/parser.mli: Ast
+lib/frontend/parser.mli: Ast Ipcp_support

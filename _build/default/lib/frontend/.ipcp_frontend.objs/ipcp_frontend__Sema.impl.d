@@ -1,1 +1,1 @@
-lib/frontend/sema.ml: Ast Hashtbl Implicit Ipcp_telemetry List Loc Option Parser Printf Prog
+lib/frontend/sema.ml: Ast Hashtbl Implicit Ipcp_support Ipcp_telemetry List Loc Option Parser Printf Prog

@@ -1,1 +1,1 @@
-lib/frontend/sema.mli: Ast Prog
+lib/frontend/sema.mli: Ast Ipcp_support Prog

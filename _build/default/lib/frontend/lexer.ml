@@ -248,3 +248,25 @@ let tokenize ?(file = "<input>") src : (Token.t * Loc.t) list =
     match tok with Token.EOF -> List.rev ((tok, l) :: acc) | _ -> go ((tok, l) :: acc)
   in
   go []
+
+(** Like {!tokenize}, but lexical errors are passed to [report] and the
+    lexer resynchronizes at the next end of line instead of aborting, so
+    one bad literal doesn't hide every later diagnostic.  The malformed
+    span contributes no tokens; the statement parser then recovers at
+    the NEWLINE boundary. *)
+let tokenize_collect ?(file = "<input>") ~report src : (Token.t * Loc.t) list =
+  let t = create ~file src in
+  let rec go acc =
+    match next t with
+    | (Token.EOF, _) as tl -> List.rev (tl :: acc)
+    | tl -> go (tl :: acc)
+    | exception Loc.Error (l, m) ->
+      report l m;
+      (* every error path has consumed at least one character, so
+         skipping to the newline guarantees progress *)
+      while (not (at_end t)) && peek_char t <> '\n' do
+        advance t
+      done;
+      go acc
+  in
+  go []

@@ -21,3 +21,12 @@ exception Error of t * string
 let error loc fmt = Fmt.kstr (fun msg -> raise (Error (loc, msg))) fmt
 
 let pp_error ppf (loc, msg) = Fmt.pf ppf "%a: error: %s" pp loc msg
+
+(** Convert a located message into a support-layer diagnostic record
+    (the [Diagnostics] accumulator stores raw coordinates). *)
+let diagnostic ?severity ~code { file; line; col } msg =
+  Ipcp_support.Diagnostics.diagnostic ?severity ~file ~line ~col ~code msg
+
+(** Append a located message to a diagnostics accumulator. *)
+let report diags ~code loc msg =
+  Ipcp_support.Diagnostics.add diags (diagnostic ~code loc msg)

@@ -28,7 +28,17 @@ type ctx = {
       (** unit name → kind, formals, result type *)
   commons : (string, Prog.global list) Hashtbl.t;
       (** block name → canonical member layout *)
+  diags : Ipcp_support.Diagnostics.t option;
+      (** when set, semantic errors accumulate here and resolution
+          recovers at statement / unit granularity *)
 }
+
+let recovering ctx = ctx.diags <> None
+
+let sema_report ctx l m =
+  match ctx.diags with
+  | Some diags -> Loc.report diags ~code:"E-SEMA" l m
+  | None -> ()
 
 let fresh ctx =
   let id = ctx.next_id in
@@ -435,7 +445,17 @@ let resolve_lhs ctx env (l : Ast.lhs) : Prog.lhs =
    redefining a do-variable while its loop is active (§11.10.5), and the
    whole pipeline (lowering, SCCP, the interpreter) relies on that rule. *)
 let rec resolve_stmts ctx env labels active stmts =
-  List.map (resolve_stmt ctx env labels active) stmts
+  (* In recovery mode a statement that fails to resolve is dropped and
+     reported; its siblings still resolve, so one bad statement cannot
+     hide the rest of the unit's problems. *)
+  List.filter_map
+    (fun s ->
+      match resolve_stmt ctx env labels active s with
+      | s' -> Some s'
+      | exception Loc.Error (l, m) when recovering ctx ->
+        sema_report ctx l m;
+        None)
+    stmts
 
 and resolve_stmt ctx env labels active (s : Ast.stmt) : Prog.stmt =
   let mk sdesc = { Prog.sid = fresh ctx; sloc = s.sloc; slabel = s.label; sdesc } in
@@ -618,32 +638,40 @@ let collect_labels (u : Ast.punit) =
 (* ------------------------------------------------------------------ *)
 (* Whole-program resolution.                                            *)
 
-let resolve (units : Ast.program) : Prog.t =
-  let ctx = { next_id = 0; sigs = Hashtbl.create 16; commons = Hashtbl.create 8 } in
-  (* Pass 1: environments + signatures. *)
+let resolve_with ctx (units : Ast.program) : Prog.t =
+  (* Pass 1: environments + signatures.  In recovery mode a unit whose
+     declarations fail to resolve is dropped (callers of its procedures
+     will report unknown-name errors, which is accurate: the unit has no
+     usable signature). *)
   let envs =
-    List.map
+    List.filter_map
       (fun (u : Ast.punit) ->
-        if Hashtbl.mem ctx.sigs u.uname then
-          Loc.error u.uloc "duplicate program unit %s" u.uname;
-        let env, unit_globals = build_env ctx u in
-        let formals =
-          List.map
-            (fun name ->
-              match lookup env name with
-              | Some (Svar v) -> v
-              | _ -> assert false)
-            u.uformals
-        in
-        let result_ty =
-          if u.ukind = Ufunction then
-            match lookup env u.uname with
-            | Some (Svar v) -> Some v.vty
-            | _ -> Some (implicit_ty u.uname)
-          else None
-        in
-        Hashtbl.replace ctx.sigs u.uname (u.ukind, formals, result_ty);
-        (u, env, unit_globals, formals, result_ty))
+        match
+          if Hashtbl.mem ctx.sigs u.uname then
+            Loc.error u.uloc "duplicate program unit %s" u.uname;
+          let env, unit_globals = build_env ctx u in
+          let formals =
+            List.map
+              (fun name ->
+                match lookup env name with
+                | Some (Svar v) -> v
+                | _ -> assert false)
+              u.uformals
+          in
+          let result_ty =
+            if u.ukind = Ufunction then
+              match lookup env u.uname with
+              | Some (Svar v) -> Some v.vty
+              | _ -> Some (implicit_ty u.uname)
+            else None
+          in
+          Hashtbl.replace ctx.sigs u.uname (u.ukind, formals, result_ty);
+          (u, env, unit_globals, formals, result_ty)
+        with
+        | entry -> Some entry
+        | exception Loc.Error (l, m) when recovering ctx ->
+          sema_report ctx l m;
+          None)
       units
   in
   (* Exactly one main program. *)
@@ -653,17 +681,36 @@ let resolve (units : Ast.program) : Prog.t =
   let main_name =
     match mains with
     | [ (u, _, _, _, _) ] -> u.uname
-    | [] -> Loc.error Loc.dummy "no program unit found"
+    | [] ->
+      if recovering ctx then begin
+        sema_report ctx Loc.dummy "no program unit found";
+        ""
+      end
+      else Loc.error Loc.dummy "no program unit found"
     | (u, _, _, _, _) :: _ :: _ ->
-      Loc.error u.uloc "more than one program unit found"
+      if recovering ctx then begin
+        sema_report ctx u.uloc "more than one program unit found";
+        u.uname
+      end
+      else Loc.error u.uloc "more than one program unit found"
   in
   (* Pass 2: bodies and data statements. *)
   let data_seen : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   let procs =
     List.map
       (fun ((u : Ast.punit), env, unit_globals, formals, result_ty) ->
-        let labels = collect_labels u in
-        let pdata = resolve_data env u data_seen in
+        let labels =
+          try collect_labels u
+          with Loc.Error (l, m) when recovering ctx ->
+            sema_report ctx l m;
+            Hashtbl.create 1
+        in
+        let pdata =
+          try resolve_data env u data_seen
+          with Loc.Error (l, m) when recovering ctx ->
+            sema_report ctx l m;
+            []
+        in
         let body = resolve_stmts ctx env labels [] u.ubody in
         let result =
           match (u.ukind, result_ty) with
@@ -692,6 +739,27 @@ let resolve (units : Ast.program) : Prog.t =
   in
   { Prog.procs; main = main_name }
 
+let resolve (units : Ast.program) : Prog.t =
+  resolve_with
+    { next_id = 0; sigs = Hashtbl.create 16; commons = Hashtbl.create 8;
+      diags = None }
+    units
+
+(** Recovery-mode resolution: semantic errors accumulate in [diags]
+    (code [E-SEMA]) instead of aborting; failing statements and units
+    are dropped so their siblings still resolve.  Returns [None] only
+    when resolution cannot produce a program shell at all. *)
+let resolve_collect diags (units : Ast.program) : Prog.t option =
+  let ctx =
+    { next_id = 0; sigs = Hashtbl.create 16; commons = Hashtbl.create 8;
+      diags = Some diags }
+  in
+  match resolve_with ctx units with
+  | prog -> Some prog
+  | exception Loc.Error (l, m) ->
+    Loc.report diags ~code:"E-SEMA" l m;
+    None
+
 (** Convenience: parse and resolve a source string in one step. *)
 let parse_and_resolve ?(file = "<input>") src : Prog.t =
   Ipcp_telemetry.Telemetry.span "frontend" (fun () ->
@@ -700,3 +768,22 @@ let parse_and_resolve ?(file = "<input>") src : Prog.t =
             Parser.parse_program ~file src)
       in
       Ipcp_telemetry.Telemetry.span "sema" (fun () -> resolve ast))
+
+(** Front door for batch diagnosis: parse and resolve in recovery mode.
+    [Ok prog] means a clean frontend run; [Error diags] carries every
+    lexical, syntax and semantic problem found in one pass. *)
+let check ?(file = "<input>") src : (Prog.t, Ipcp_support.Diagnostics.t) result
+    =
+  Ipcp_telemetry.Telemetry.span "frontend" (fun () ->
+      let diags = Ipcp_support.Diagnostics.create () in
+      let ast =
+        Ipcp_telemetry.Telemetry.span "parse" (fun () ->
+            Parser.parse_program_collect ~file diags src)
+      in
+      let prog =
+        Ipcp_telemetry.Telemetry.span "sema" (fun () ->
+            resolve_collect diags ast)
+      in
+      match prog with
+      | Some p when Ipcp_support.Diagnostics.error_count diags = 0 -> Ok p
+      | _ -> Error diags)

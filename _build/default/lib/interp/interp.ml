@@ -484,11 +484,15 @@ and exec_stmt st frame (s : Prog.stmt) : unit =
 (* ------------------------------------------------------------------ *)
 (* Entry point.                                                        *)
 
+(** Default step bound: generous for the suite's programs, small enough
+    that a divergent program still stops promptly. *)
+let default_fuel = 2_000_000
+
 (** Run a program's main unit.  [fuel] bounds the number of interpreter steps
     (expressions + statements); [input] feeds [read] statements (exhausted
     input reads 0); [trace_entries] controls whether procedure-entry
     snapshots are recorded (they cost time and memory). *)
-let run ?(fuel = 2_000_000) ?(input = []) ?(trace_entries = true) (prog : Prog.t) :
+let run ?(fuel = default_fuel) ?(input = []) ?(trace_entries = true) (prog : Prog.t) :
     result =
   let main = Prog.find_proc_exn prog prog.main in
   let st =

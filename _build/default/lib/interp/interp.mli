@@ -35,8 +35,12 @@ type result = {
   outcome : outcome;
 }
 
-(** Run the main program.  [fuel] bounds interpreter steps; [input] feeds
-    [read] statements (exhausted input reads 0); [trace_entries] controls
-    whether entry snapshots are recorded. *)
+(** The default [fuel] of {!run}: 2,000,000 steps. *)
+val default_fuel : int
+
+(** Run the main program.  [fuel] (default {!default_fuel}) bounds
+    interpreter steps; [input] feeds [read] statements (exhausted input
+    reads 0); [trace_entries] controls whether entry snapshots are
+    recorded. *)
 val run :
   ?fuel:int -> ?input:int list -> ?trace_entries:bool -> Prog.t -> result

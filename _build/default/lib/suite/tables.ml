@@ -31,13 +31,15 @@ type table3_row = {
    staged artifacts (stages 1–2 are shared per (use_mod × return_jfs)
    variant), so a six-column Table 2 row builds the per-procedure IR twice,
    not six times. *)
-let table2_row ?artifacts (e : Registry.entry) : table2_row =
+let table2_row ?max_steps ?deadline_ms ?artifacts (e : Registry.entry) :
+    table2_row =
   let prog = Registry.program e in
   let artifacts =
     match artifacts with Some a -> a | None -> Driver.prepare prog
   in
   let with_kind ?return_jfs kind =
-    Substitute.count_staged artifacts (Config.make ~kind ?return_jfs ())
+    Substitute.count_staged artifacts
+      (Config.make ~kind ?return_jfs ?max_steps ?deadline_ms ())
   in
   {
     t2_name = e.name;
@@ -49,18 +51,25 @@ let table2_row ?artifacts (e : Registry.entry) : table2_row =
     noret_pass = with_kind ~return_jfs:false Jump_function.Passthrough;
   }
 
-let table3_row ?artifacts (e : Registry.entry) : table3_row =
+let table3_row ?max_steps ?deadline_ms ?artifacts (e : Registry.entry) :
+    table3_row =
   let prog = Registry.program e in
   let artifacts =
     match artifacts with Some a -> a | None -> Driver.prepare prog
   in
-  let outcome = Complete.run prog in
+  let budgeted c = Config.with_budget ?max_steps ?deadline_ms c in
+  let outcome =
+    Complete.run ~config:(budgeted Config.polynomial_with_mod) prog
+  in
   {
     t3_name = e.name;
-    poly_no_mod = Substitute.count_staged artifacts Config.polynomial_no_mod;
-    poly_mod = Substitute.count_staged artifacts Config.polynomial_with_mod;
+    poly_no_mod =
+      Substitute.count_staged artifacts (budgeted Config.polynomial_no_mod);
+    poly_mod =
+      Substitute.count_staged artifacts (budgeted Config.polynomial_with_mod);
     complete = outcome.substituted;
-    intra_only = Substitute.count_staged artifacts Config.intraprocedural_only;
+    intra_only =
+      Substitute.count_staged artifacts (budgeted Config.intraprocedural_only);
   }
 
 (* Parse-and-resolve every suite program in the calling domain before any
@@ -68,13 +77,17 @@ let table3_row ?artifacts (e : Registry.entry) : table3_row =
    turns the workers' accesses into pure reads. *)
 let prewarm () = List.iter (fun e -> ignore (Registry.program e)) Registry.entries
 
-let table2 ?(jobs = 1) () =
+let table2 ?(jobs = 1) ?max_steps ?deadline_ms () =
   prewarm ();
-  Ipcp_engine.Engine.map ~jobs (fun e -> table2_row e) Registry.entries
+  Ipcp_engine.Engine.map ~jobs
+    (fun e -> table2_row ?max_steps ?deadline_ms e)
+    Registry.entries
 
-let table3 ?(jobs = 1) () =
+let table3 ?(jobs = 1) ?max_steps ?deadline_ms () =
   prewarm ();
-  Ipcp_engine.Engine.map ~jobs (fun e -> table3_row e) Registry.entries
+  Ipcp_engine.Engine.map ~jobs
+    (fun e -> table3_row ?max_steps ?deadline_ms e)
+    Registry.entries
 
 let pp_table2 ppf rows =
   Fmt.pf ppf "%-12s | %10s %12s %14s %8s | %10s %12s@." "Program" "Polynomial"
@@ -99,11 +112,11 @@ let pp_table3 ppf rows =
 (** Print the full paper-evaluation reproduction: Tables 1, 2 and 3.
     [jobs] fans the per-program rows across worker domains; the output is
     byte-identical for every [jobs] value. *)
-let pp_all ?(jobs = 1) ppf () =
+let pp_all ?(jobs = 1) ?max_steps ?deadline_ms ppf () =
   Fmt.pf ppf "Table 1: characteristics of the program test suite@.@.";
   Metrics.pp_table1 ppf ();
   Fmt.pf ppf "@.Table 2: constants found through use of jump functions@.@.";
-  pp_table2 ppf (table2 ~jobs ());
+  pp_table2 ppf (table2 ~jobs ?max_steps ?deadline_ms ());
   Fmt.pf ppf
     "@.Table 3: most precise jump function vs other propagation techniques@.@.";
-  pp_table3 ppf (table3 ~jobs ())
+  pp_table3 ppf (table3 ~jobs ?max_steps ?deadline_ms ())

@@ -26,16 +26,32 @@ type table3_row = {
 }
 
 (** One row; [?artifacts] supplies already-prepared staged artifacts for
-    the entry's program. *)
-val table2_row : ?artifacts:Ipcp_core.Driver.artifacts -> Registry.entry -> table2_row
+    the entry's program.  [?max_steps]/[?deadline_ms] bound every
+    analysis pass of the row (see {!Ipcp_core.Config.with_budget}); an
+    exhausted pass degrades soundly, so a generous budget reproduces the
+    unbudgeted counts exactly. *)
+val table2_row :
+  ?max_steps:int ->
+  ?deadline_ms:int ->
+  ?artifacts:Ipcp_core.Driver.artifacts ->
+  Registry.entry ->
+  table2_row
 
-val table3_row : ?artifacts:Ipcp_core.Driver.artifacts -> Registry.entry -> table3_row
+val table3_row :
+  ?max_steps:int ->
+  ?deadline_ms:int ->
+  ?artifacts:Ipcp_core.Driver.artifacts ->
+  Registry.entry ->
+  table3_row
 
-val table2 : ?jobs:int -> unit -> table2_row list
-val table3 : ?jobs:int -> unit -> table3_row list
+val table2 :
+  ?jobs:int -> ?max_steps:int -> ?deadline_ms:int -> unit -> table2_row list
+
+val table3 :
+  ?jobs:int -> ?max_steps:int -> ?deadline_ms:int -> unit -> table3_row list
 
 val pp_table2 : table2_row list Fmt.t
 val pp_table3 : table3_row list Fmt.t
 
 (** Tables 1, 2 and 3, formatted like the paper's evaluation section. *)
-val pp_all : ?jobs:int -> unit Fmt.t
+val pp_all : ?jobs:int -> ?max_steps:int -> ?deadline_ms:int -> unit Fmt.t

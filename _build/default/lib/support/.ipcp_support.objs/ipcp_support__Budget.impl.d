@@ -1,0 +1,1 @@
+lib/support/budget.ml: Fault Fmt Int64 Monotonic_clock Option

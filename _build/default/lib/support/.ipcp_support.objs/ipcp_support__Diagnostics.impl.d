@@ -1,0 +1,1 @@
+lib/support/diagnostics.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/support/fault.ml: Atomic Char Fun Int64 String Sys

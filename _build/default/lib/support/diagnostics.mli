@@ -1,0 +1,51 @@
+(** Accumulating located diagnostics: the frontend's recovery mode
+    appends every problem it finds here instead of raising on the first,
+    and the CLI prints the batch to stderr.
+
+    Lives below the frontend, so coordinates are raw (file, line, col);
+    [Loc.diagnostic] converts from frontend locations. *)
+
+type severity = Error | Warning
+
+type diagnostic = {
+  d_file : string;
+  d_line : int;  (** 1-based *)
+  d_col : int;  (** 1-based *)
+  d_severity : severity;
+  d_code : string;  (** stable machine-readable code, e.g. ["E-PARSE"] *)
+  d_message : string;
+}
+
+type t
+
+val create : unit -> t
+val add : t -> diagnostic -> unit
+
+(** Build a diagnostic record (defaults to severity {!Error}). *)
+val diagnostic :
+  ?severity:severity ->
+  file:string ->
+  line:int ->
+  col:int ->
+  code:string ->
+  string ->
+  diagnostic
+
+val is_empty : t -> bool
+val count : t -> int
+val error_count : t -> int
+val warning_count : t -> int
+
+(** In report order. *)
+val to_list : t -> diagnostic list
+
+val severity_name : severity -> string
+
+(** ["file:line:col: error[E-PARSE]: message"]. *)
+val pp_diagnostic : diagnostic Fmt.t
+
+(** All diagnostics, one per line, in report order. *)
+val pp : t Fmt.t
+
+(** ["3 error(s)"], plus warnings when present. *)
+val pp_summary : t Fmt.t

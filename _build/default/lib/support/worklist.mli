@@ -33,4 +33,7 @@ val pop : 'a t -> 'a option
 (** [drain t f] pops items and applies [f] until empty; [f] may push. *)
 val drain : 'a t -> ('a -> unit) -> unit
 
+(** Items currently queued, oldest first, without consuming them. *)
+val elements : 'a t -> 'a list
+
 val of_list : 'a list -> 'a t

@@ -1,0 +1,1 @@
+test/test_budget.ml: Alcotest Complete Config Driver Fmt Int64 Ipcp_core Ipcp_frontend Ipcp_suite Ipcp_support List Prog QCheck QCheck_alcotest Sema Substitute

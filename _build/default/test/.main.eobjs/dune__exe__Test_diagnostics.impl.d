@@ -1,0 +1,1 @@
+test/test_diagnostics.ml: Alcotest Fmt Ipcp_frontend Ipcp_support List Prog Sema String

@@ -1,1 +1,1 @@
-test/test_engine.ml: Alcotest Array Fmt Fun Ipcp_engine Ipcp_telemetry List String Telemetry
+test/test_engine.ml: Alcotest Array Atomic Fmt Fun Ipcp_engine Ipcp_telemetry List Printexc String Telemetry

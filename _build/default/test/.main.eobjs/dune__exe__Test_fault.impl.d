@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Config Driver Fmt Fun Ipcp_core Ipcp_engine Ipcp_frontend Ipcp_support List Printexc Sys

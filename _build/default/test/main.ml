@@ -4,6 +4,9 @@ let () =
   Alcotest.run "ipcp"
     [
       ("support", Test_support.suite);
+      ("budget", Test_budget.suite);
+      ("diagnostics", Test_diagnostics.suite);
+      ("fault", Test_fault.suite);
       ("telemetry", Test_telemetry.suite);
       ("engine", Test_engine.suite);
       ("frontend", Test_frontend.suite);

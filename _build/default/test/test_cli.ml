@@ -12,7 +12,34 @@ let bin () =
   | Some p when Sys.file_exists p -> p
   | _ -> fail "IPCP_BIN not set; run via dune"
 
-(* Run the binary; return (exit code, stdout lines). *)
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+(* Run the binary with stdout and stderr captured separately:
+   (exit code, stdout lines, stderr lines). *)
+let run_cli_full args =
+  let out = Filename.temp_file "ipcp_test" ".out" in
+  let err = Filename.temp_file "ipcp_test" ".err" in
+  let cmd =
+    Fmt.str "%s %s > %s 2> %s" (Filename.quote (bin ()))
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let stdout_lines = read_lines out and stderr_lines = read_lines err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, stdout_lines, stderr_lines)
+
+(* Run the binary; return (exit code, merged stdout+stderr lines). *)
 let run_cli args =
   let out = Filename.temp_file "ipcp_test" ".out" in
   let cmd =
@@ -21,16 +48,9 @@ let run_cli args =
       (Filename.quote out)
   in
   let code = Sys.command cmd in
-  let ic = open_in out in
-  let lines = ref [] in
-  (try
-     while true do
-       lines := input_line ic :: !lines
-     done
-   with End_of_file -> ());
-  close_in ic;
+  let lines = read_lines out in
   Sys.remove out;
-  (code, List.rev !lines)
+  (code, lines)
 
 let write_temp src =
   let path = Filename.temp_file "ipcp_test" ".f" in
@@ -183,18 +203,121 @@ let test_tables_profile_stdout_identical () =
   check Alcotest.int "exit 0 with profile" 0 code2;
   check (Alcotest.list Alcotest.string) "stdout identical" plain profiled
 
+(* ---- malformed-input paths: exit codes and stderr content ---- *)
+
 let test_syntax_error_exit_code () =
   let f = write_temp "program main\nif (x then\nend\n" in
-  let code, out = run_cli [ "analyze"; f ] in
+  let code, stdout_l, stderr_l = run_cli_full [ "analyze"; f ] in
   Sys.remove f;
-  check Alcotest.int "exit 1" 1 code;
-  ignore out
+  check Alcotest.int "input error exits 3" 3 code;
+  check (Alcotest.list Alcotest.string) "stdout untouched" [] stdout_l;
+  check Alcotest.bool "diagnostic on stderr" true
+    (contains "error[E-PARSE]" stderr_l);
+  check Alcotest.bool "summary line" true (contains "error(s)" stderr_l)
+
+(* Golden stderr: the parse diagnostic format is file:line:col:
+   severity[CODE]: message, followed by a count summary. *)
+let test_parse_error_stderr_golden () =
+  let f = write_temp "program main\ninteger x\nx = )\nend\n" in
+  let code, _, stderr_l = run_cli_full [ "analyze"; f ] in
+  check Alcotest.int "exit 3" 3 code;
+  check (Alcotest.list Alcotest.string) "golden stderr"
+    [
+      f ^ ":3:5: error[E-PARSE]: expected an expression but found )";
+      "1 error(s)";
+    ]
+    stderr_l;
+  Sys.remove f
+
+(* One run must surface every independent problem, not stop at the
+   first: two expression errors and an unknown callee here. *)
+let test_multi_error_diagnostics () =
+  let f =
+    write_temp
+      "program main\ninteger x\nx = )\nx = 3 +\ncall nosuch(1)\nend\n"
+  in
+  let code, _, stderr_l = run_cli_full [ "analyze"; f ] in
+  Sys.remove f;
+  check Alcotest.int "exit 3" 3 code;
+  let diags =
+    List.filter
+      (fun l ->
+        let has needle =
+          let n = String.length needle in
+          let rec go i =
+            i + n <= String.length l
+            && (String.sub l i n = needle || go (i + 1))
+          in
+          go 0
+        in
+        has "error[E-")
+      stderr_l
+  in
+  check Alcotest.bool "at least 3 independent diagnostics" true
+    (List.length diags >= 3);
+  check Alcotest.bool "parse errors located" true
+    (contains ":3:5: error[E-PARSE]" stderr_l);
+  check Alcotest.bool "semantic error reported too" true
+    (contains "error[E-SEMA]: unknown subroutine nosuch" stderr_l)
+
+let test_unknown_flag_usage_exit_code () =
+  let code, _, stderr_l = run_cli_full [ "analyze"; "--no-such-flag"; "x.f" ] in
+  check Alcotest.int "usage error exits 2" 2 code;
+  check Alcotest.bool "usage hint on stderr" true (contains "Usage" stderr_l)
+
+let test_missing_file_exit_code () =
+  let code, _, stderr_l =
+    run_cli_full [ "analyze"; "definitely-not-here.f" ]
+  in
+  check Alcotest.int "missing file is an input error (3)" 3 code;
+  check Alcotest.bool "names the file" true
+    (contains "definitely-not-here.f" stderr_l)
 
 let test_runtime_error_exit_code () =
   let f = write_temp "program main\ninteger n\nn = 0\nprint *, 1 / n\nend\n" in
-  let code, _ = run_cli [ "run"; f ] in
+  let code, _, stderr_l = run_cli_full [ "run"; f ] in
   Sys.remove f;
-  check Alcotest.int "exit 2" 2 code
+  check Alcotest.int "runtime error exits 3" 3 code;
+  check Alcotest.bool "reported on stderr" true
+    (contains "runtime error" stderr_l)
+
+let test_out_of_fuel_message () =
+  let f =
+    write_temp
+      "program main\ninteger i\ni = 0\ndo while (i .lt. 10)\ni = i - 1\nend \
+       do\nprint *, i\nend\n"
+  in
+  let code, _, stderr_l = run_cli_full [ "run"; "--fuel"; "500"; f ] in
+  Sys.remove f;
+  check Alcotest.int "fuel exhaustion exits 3" 3 code;
+  check Alcotest.bool "distinct out-of-fuel message" true
+    (contains "ran out of fuel" stderr_l);
+  check Alcotest.bool "mentions --fuel" true (contains "--fuel" stderr_l)
+
+(* A generously budgeted analysis prints exactly what an unbudgeted one
+   does — no degradation notes, same constants. *)
+let test_generous_budget_identical () =
+  let f = write_temp sample in
+  let _, plain = run_cli [ "analyze"; f ] in
+  let code, budgeted =
+    run_cli [ "analyze"; "--max-steps"; "1000000"; f ]
+  in
+  Sys.remove f;
+  check Alcotest.int "exit 0" 0 code;
+  (* the configuration banner differs (it names the budget); everything
+     else must be byte-identical *)
+  let strip = List.filter (fun l -> not (contains "configuration" [ l ])) in
+  check (Alcotest.list Alcotest.string) "same analysis output" (strip plain)
+    (strip budgeted)
+
+let test_tiny_budget_degrades_soundly () =
+  let f = write_temp sample in
+  let code, out = run_cli [ "analyze"; "--max-steps"; "1"; f ] in
+  Sys.remove f;
+  check Alcotest.int "degraded analysis still exits 0" 0 code;
+  check Alcotest.bool "degradation reported" true (contains "degraded" out);
+  check Alcotest.bool "no constant claimed for work.k" false
+    (contains "work: k=6" out)
 
 let suite =
   [
@@ -207,5 +330,12 @@ let suite =
     ("cli profile json", `Quick, test_profile_json);
     ("cli profile stdout identical", `Quick, test_tables_profile_stdout_identical);
     ("cli syntax error exit code", `Quick, test_syntax_error_exit_code);
+    ("cli parse error stderr golden", `Quick, test_parse_error_stderr_golden);
+    ("cli multi-error diagnostics", `Quick, test_multi_error_diagnostics);
+    ("cli unknown flag usage exit", `Quick, test_unknown_flag_usage_exit_code);
+    ("cli missing file exit code", `Quick, test_missing_file_exit_code);
     ("cli runtime error exit code", `Quick, test_runtime_error_exit_code);
+    ("cli out of fuel message", `Quick, test_out_of_fuel_message);
+    ("cli generous budget identical", `Quick, test_generous_budget_identical);
+    ("cli tiny budget degrades soundly", `Quick, test_tiny_budget_degrades_soundly);
   ]

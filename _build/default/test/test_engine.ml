@@ -99,6 +99,84 @@ let test_default_jobs_positive () =
   check Alcotest.bool "at least one domain" true
     (Ipcp_engine.Engine.default_jobs () >= 1)
 
+(* ---- fault containment: map_result ---- *)
+
+let test_map_result_contains_failures () =
+  let n = 24 in
+  let f x = if x mod 3 = 0 then failwith ("task " ^ string_of_int x) else x * 2 in
+  List.iter
+    (fun jobs ->
+      let rs = Ipcp_engine.Engine.map_result ~jobs f (List.init n Fun.id) in
+      check Alcotest.int (Fmt.str "jobs=%d: one slot per task" jobs) n
+        (List.length rs);
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v ->
+            check Alcotest.bool (Fmt.str "slot %d healthy" i) true
+              (i mod 3 <> 0);
+            check Alcotest.int (Fmt.str "slot %d value" i) (i * 2) v
+          | Error (te : Ipcp_engine.Engine.task_error) -> (
+            check Alcotest.bool (Fmt.str "slot %d failing" i) true
+              (i mod 3 = 0);
+            check Alcotest.int "single attempt" 1 te.te_attempts;
+            match te.te_exn with
+            | Failure m ->
+              check Alcotest.string "task's own error"
+                ("task " ^ string_of_int i)
+                m
+            | e ->
+              Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e)))
+        rs)
+    [ 1; 2; 4; 8 ]
+
+let test_map_result_retries () =
+  (* flaky tasks: fail on the first attempt, succeed on the second *)
+  let n = 12 in
+  let attempts = Array.init n (fun _ -> Atomic.make 0) in
+  let f x =
+    if Atomic.fetch_and_add attempts.(x) 1 = 0 then failwith "flaky" else x
+  in
+  let rs = Ipcp_engine.Engine.map_result ~jobs:4 ~retries:1 f (List.init n Fun.id) in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> check Alcotest.int (Fmt.str "slot %d recovered" i) i v
+      | Error _ -> Alcotest.fail (Fmt.str "slot %d should have recovered" i))
+    rs;
+  Array.iteri
+    (fun i a ->
+      check Alcotest.int (Fmt.str "task %d attempted twice" i) 2 (Atomic.get a))
+    attempts
+
+(* Regression: the exception surfaced by map must carry the worker's own
+   backtrace (raise_with_backtrace), not a fresh one from the join. *)
+let rec deep_raise n =
+  if n = 0 then failwith "deep boom" else 1 + deep_raise (n - 1)
+
+let test_map_preserves_worker_backtrace () =
+  let was = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect ~finally:(fun () -> Printexc.record_backtrace was) @@ fun () ->
+  match
+    Ipcp_engine.Engine.map ~jobs:2
+      (fun x -> if x = 1 then deep_raise 5 else x)
+      [ 0; 1; 2; 3 ]
+  with
+  | _ -> Alcotest.fail "expected the worker exception to propagate"
+  | exception Failure m ->
+    check Alcotest.string "worker's exception" "deep boom" m;
+    let bt = Printexc.get_backtrace () in
+    let contains needle hay =
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    check Alcotest.bool
+      (Fmt.str "backtrace reaches the worker frames: %s" bt)
+      true
+      (contains "test_engine" bt)
+
 let suite =
   [
     ("engine map preserves order", `Quick, test_map_preserves_order);
@@ -110,4 +188,9 @@ let suite =
     ("engine jobs=1 is the sequential path", `Quick,
      test_sequential_path_no_pool_counters);
     ("engine default jobs positive", `Quick, test_default_jobs_positive);
+    ("engine map_result contains failures", `Quick,
+     test_map_result_contains_failures);
+    ("engine map_result retries", `Quick, test_map_result_retries);
+    ("engine map preserves worker backtrace", `Quick,
+     test_map_preserves_worker_backtrace);
   ]

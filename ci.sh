@@ -41,4 +41,30 @@ if ! cmp -s "$tmpdir/jobs1.out" "$tmpdir/jobs2.out"; then
   exit 1
 fi
 
+echo "== fault injection"
+# The recovery suite under two fixed seeds: seeded faults must be
+# deterministic and contained at either seed.
+for seed in 7 11; do
+  echo "-- seed $seed"
+  IPCP_FAULT_SEED=$seed dune exec --no-build test/main.exe -- test fault
+done
+
+echo "== budget degradation"
+# A generous per-pass budget must not change a single byte of the
+# tables: exhaustion never triggers, so the degradation paths stay cold
+# and the counts equal the unbudgeted run exactly.
+dune exec --no-build -- ipcp tables --jobs 1 --max-steps 1000000 > "$tmpdir/budgeted.out"
+if ! cmp -s "$tmpdir/jobs1.out" "$tmpdir/budgeted.out"; then
+  echo "budget: tables output differs under a generous --max-steps" >&2
+  diff "$tmpdir/jobs1.out" "$tmpdir/budgeted.out" >&2 || true
+  exit 1
+fi
+# A starvation-level budget must degrade, not crash: the tables still
+# render (sound, fewer constants) and the exit code stays 0.
+dune exec --no-build -- ipcp tables --jobs 1 --max-steps 1 > "$tmpdir/starved.out"
+grep -q "Table 3" "$tmpdir/starved.out" || {
+  echo "budget: starved tables run did not render" >&2
+  exit 1
+}
+
 echo "ci: ok"

@@ -45,13 +45,22 @@ type result = {
       (** source [Evar] expression id → its constant value at that use *)
   cond_consts : (int, bool) Hashtbl.t;
       (** branch-condition expression id → known truth value *)
+  degraded : Ipcp_support.Budget.reason list;
+      (** non-empty when the budget ran out; the result then carries no
+          facts at all (every name ⊥, every block live) — trivially
+          sound *)
 }
 
 (* Consumers of an SSA name, for the SSA worklist. *)
 type consumer = Cphi of int  (** block *) | Cinstr of int * int | Cterm of int
 
-let run ?(oracle : Ssa_value.oracle option)
+let run ?budget ?(oracle : Ssa_value.oracle option)
     ~(entry_env : Prog.var -> int option) (ssa : Ssa.t) : result =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> Ipcp_support.Budget.create ~label:"sccp" ()
+  in
   let cfg = ssa.Ssa.cfg in
   let nblocks = Cfg.num_blocks cfg in
   let nnames = Ssa.num_names ssa in
@@ -304,6 +313,8 @@ let run ?(oracle : Ssa_value.oracle option)
   (* ---- main loop ---- *)
   Ipcp_support.Worklist.push flow_work (-1, cfg.entry);
   let rec iterate () =
+    if not (Ipcp_support.Budget.tick budget) then ()
+    else
     match Ipcp_support.Worklist.pop flow_work with
     | Some (src, dst) ->
       let was_edge = src >= 0 && Hashtbl.mem edge_exec (src, dst) in
@@ -332,6 +343,18 @@ let run ?(oracle : Ssa_value.oracle option)
       | None -> ())
   in
   iterate ();
+  (* Budget exhausted: the partial fixed point is unusable (unvisited
+     blocks still look dead, unvisited names still look ⊤ — both
+     optimistic), so fall back to the fully conservative answer:
+     everything ⊥, everything executable, no constants harvested. *)
+  let degraded =
+    match Ipcp_support.Budget.exhausted budget with
+    | None -> []
+    | Some reason ->
+      Array.fill values 0 nnames Vbot;
+      Array.fill executable 0 nblocks true;
+      [ reason ]
+  in
   (* ---- final harvest: constant uses, constant branch conditions ---- *)
   let expr_consts = Hashtbl.create 64 in
   let cond_consts = Hashtbl.create 16 in
@@ -356,6 +379,7 @@ let run ?(oracle : Ssa_value.oracle option)
       record_expr resolve a;
       record_expr resolve b
   in
+  if degraded = [] then
   Array.iteri
     (fun b blk_instrs ->
       if executable.(b) then begin
@@ -389,6 +413,7 @@ let run ?(oracle : Ssa_value.oracle option)
     Ipcp_telemetry.Telemetry.add "sccp.flow_edge_visits" fw.pops;
     Ipcp_telemetry.Telemetry.add "sccp.ssa_visits" sw.pops;
     Ipcp_telemetry.Telemetry.add "sccp.executable_blocks"
-      (Array.fold_left (fun acc e -> if e then acc + 1 else acc) 0 executable)
+      (Array.fold_left (fun acc e -> if e then acc + 1 else acc) 0 executable);
+    Ipcp_telemetry.Telemetry.add "sccp.degraded" (List.length degraded)
   end;
-  { values; executable; expr_consts; cond_consts }
+  { values; executable; expr_consts; cond_consts; degraded }

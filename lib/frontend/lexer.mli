@@ -11,3 +11,12 @@ val next : t -> Token.t * Loc.t
 
 (** Tokenize an entire source string; the result ends with [EOF]. *)
 val tokenize : ?file:string -> string -> (Token.t * Loc.t) list
+
+(** Like {!tokenize}, but lexical errors are passed to [report] and the
+    lexer resynchronizes at the next end of line instead of raising, so
+    every malformed literal in the file is reported. *)
+val tokenize_collect :
+  ?file:string ->
+  report:(Loc.t -> string -> unit) ->
+  string ->
+  (Token.t * Loc.t) list

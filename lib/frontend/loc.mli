@@ -14,3 +14,14 @@ exception Error of t * string
 val error : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 val pp_error : (t * string) Fmt.t
+
+(** Convert a located message into a support-layer diagnostic record. *)
+val diagnostic :
+  ?severity:Ipcp_support.Diagnostics.severity ->
+  code:string ->
+  t ->
+  string ->
+  Ipcp_support.Diagnostics.diagnostic
+
+(** Append a located message to a diagnostics accumulator. *)
+val report : Ipcp_support.Diagnostics.t -> code:string -> t -> string -> unit

@@ -23,7 +23,15 @@ open Ast
 
 type t = {
   mutable toks : (Token.t * Loc.t) list;  (** remaining tokens *)
+  mutable recover : Ipcp_support.Diagnostics.t option;
+      (** when set, syntax errors are accumulated here and parsing
+          resynchronizes at statement / unit boundaries *)
 }
+
+let report p l m =
+  match p.recover with
+  | Some diags -> Loc.report diags ~code:"E-PARSE" l m
+  | None -> ()
 
 let peek p = match p.toks with [] -> (Token.EOF, Loc.dummy) | tl :: _ -> tl
 
@@ -242,8 +250,26 @@ let rec parse_stmts p =
   skip_newlines p;
   if at_block_end p then []
   else
-    let s = parse_stmt p in
-    s :: parse_stmts p
+    match parse_stmt p with
+    | s -> s :: parse_stmts p
+    | exception Loc.Error (l, m) when p.recover <> None ->
+      report p l m;
+      sync_stmt p;
+      parse_stmts p
+
+(* Statement-boundary resynchronization: drop tokens to the end of the
+   current line (or a block-closing keyword, which parse_stmts treats as
+   its stop condition).  A failed parse_stmt either consumed a token or
+   left one this loop consumes, so recovery always makes progress. *)
+and sync_stmt p =
+  match peek_tok p with
+  | Token.NEWLINE -> advance p
+  | Token.EOF | Token.KW_END | Token.KW_ENDIF | Token.KW_ENDDO
+  | Token.KW_ELSE | Token.KW_ELSEIF ->
+    ()
+  | _ ->
+    advance p;
+    sync_stmt p
 
 and parse_stmt p =
   let label =
@@ -634,7 +660,7 @@ let parse_unit p : punit =
 (** Parse a whole source file into a list of program units. *)
 let parse_program ?(file = "<input>") src : program =
   let toks = Lexer.tokenize ~file src in
-  let p = { toks } in
+  let p = { toks; recover = None } in
   let rec go acc =
     skip_newlines p;
     if Token.equal (peek_tok p) Token.EOF then List.rev acc
@@ -642,10 +668,48 @@ let parse_program ?(file = "<input>") src : program =
   in
   go []
 
+(** Parse a whole source file in recovery mode: lexical and syntax
+    errors land in [diags] and parsing resynchronizes — at the next line
+    for statement-level errors, at the next unit keyword for unit-level
+    ones — so a single run reports every independent problem.  The
+    returned units are those that parsed cleanly enough to resolve. *)
+let parse_program_collect ?(file = "<input>") diags src : program =
+  let toks =
+    Lexer.tokenize_collect ~file src ~report:(fun l m ->
+        Loc.report diags ~code:"E-LEX" l m)
+  in
+  let p = { toks; recover = Some diags } in
+  (* Unit-boundary resynchronization: drop tokens until the next unit
+     keyword (or EOF). *)
+  let rec sync_unit () =
+    match peek_tok p with
+    | Token.EOF | Token.KW_PROGRAM | Token.KW_SUBROUTINE | Token.KW_FUNCTION ->
+      ()
+    | _ ->
+      advance p;
+      sync_unit ()
+  in
+  let rec go acc =
+    skip_newlines p;
+    if Token.equal (peek_tok p) Token.EOF then List.rev acc
+    else
+      let before = p.toks in
+      match parse_unit p with
+      | u -> go (u :: acc)
+      | exception Loc.Error (l, m) ->
+        report p l m;
+        (* the error may sit on a unit keyword with nothing consumed;
+           force progress before seeking the next unit *)
+        if p.toks == before then advance p;
+        sync_unit ();
+        go acc
+  in
+  go []
+
 (** Parse a single expression (used by tests and the workload generator). *)
 let parse_expression ?(file = "<expr>") src : expr =
   let toks = Lexer.tokenize ~file src in
-  let p = { toks } in
+  let p = { toks; recover = None } in
   let e = parse_expr p in
   skip_newlines p;
   (match peek p with

@@ -4,5 +4,12 @@
     Raises {!Loc.Error} on syntax errors. *)
 val parse_program : ?file:string -> string -> Ast.program
 
+(** Recovery-mode variant: lexical and syntax errors accumulate in the
+    given diagnostics (code [E-LEX] / [E-PARSE]) and parsing
+    resynchronizes at statement and unit boundaries, so one run reports
+    every independent problem.  Returns the units that parsed. *)
+val parse_program_collect :
+  ?file:string -> Ipcp_support.Diagnostics.t -> string -> Ast.program
+
 (** Parse a single expression (testing / workload-generation helper). *)
 val parse_expression : ?file:string -> string -> Ast.expr

@@ -7,5 +7,18 @@
 (** Resolve a parsed program. *)
 val resolve : Ast.program -> Prog.t
 
+(** Recovery-mode resolution: semantic errors accumulate in the given
+    diagnostics (code [E-SEMA]); failing statements and units are
+    dropped so their siblings still resolve.  [None] only when no
+    program shell could be built at all. *)
+val resolve_collect :
+  Ipcp_support.Diagnostics.t -> Ast.program -> Prog.t option
+
 (** Parse and resolve a source string in one step. *)
 val parse_and_resolve : ?file:string -> string -> Prog.t
+
+(** Parse and resolve in recovery mode: [Ok prog] on a clean run,
+    [Error diags] carrying every lexical ([E-LEX]), syntax ([E-PARSE])
+    and semantic ([E-SEMA]) problem found in one pass. *)
+val check :
+  ?file:string -> string -> (Prog.t, Ipcp_support.Diagnostics.t) result

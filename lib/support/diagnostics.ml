@@ -1,0 +1,71 @@
+(** Accumulating located diagnostics.
+
+    One [t] collects every problem found in a run of the frontend
+    instead of stopping at the first: the lexer, parser and semantic
+    analysis append here when running in recovery mode, and the CLI
+    prints the whole batch to stderr before exiting with the input-error
+    code.
+
+    This module lives in the support layer, below the frontend, so it
+    stores raw (file, line, column) coordinates; [Loc.diagnostic]
+    converts from frontend locations. *)
+
+type severity = Error | Warning
+
+type diagnostic = {
+  d_file : string;
+  d_line : int;  (** 1-based *)
+  d_col : int;  (** 1-based *)
+  d_severity : severity;
+  d_code : string;  (** stable machine-readable code, e.g. ["E-PARSE"] *)
+  d_message : string;
+}
+
+type t = {
+  mutable rev_items : diagnostic list;
+  mutable n_errors : int;
+  mutable n_warnings : int;
+}
+
+let create () = { rev_items = []; n_errors = 0; n_warnings = 0 }
+
+let add t d =
+  t.rev_items <- d :: t.rev_items;
+  match d.d_severity with
+  | Error -> t.n_errors <- t.n_errors + 1
+  | Warning -> t.n_warnings <- t.n_warnings + 1
+
+let diagnostic ?(severity = Error) ~file ~line ~col ~code message =
+  {
+    d_file = file;
+    d_line = line;
+    d_col = col;
+    d_severity = severity;
+    d_code = code;
+    d_message = message;
+  }
+
+let is_empty t = t.rev_items = []
+let count t = List.length t.rev_items
+let error_count t = t.n_errors
+let warning_count t = t.n_warnings
+
+(** Diagnostics in the order they were reported. *)
+let to_list t = List.rev t.rev_items
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+(* Mirrors [Loc.pp_error] ("file:line:col: error: msg") with the stable
+   code slotted in, so single-error and multi-error output line up. *)
+let pp_diagnostic ppf d =
+  Fmt.pf ppf "%s:%d:%d: %s[%s]: %s" d.d_file d.d_line d.d_col
+    (severity_name d.d_severity) d.d_code d.d_message
+
+(** All diagnostics, one per line, in report order. *)
+let pp ppf t =
+  List.iter (fun d -> Fmt.pf ppf "%a@." pp_diagnostic d) (to_list t)
+
+(** ["3 error(s)"] or ["3 error(s), 1 warning(s)"]. *)
+let pp_summary ppf t =
+  if t.n_warnings = 0 then Fmt.pf ppf "%d error(s)" t.n_errors
+  else Fmt.pf ppf "%d error(s), %d warning(s)" t.n_errors t.n_warnings

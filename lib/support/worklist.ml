@@ -77,6 +77,10 @@ let drain t f =
   in
   loop ()
 
+(** Items currently queued, oldest first, without consuming them.  Used
+    by budget-exhausted solvers to widen the pending work to ⊥. *)
+let elements t = List.of_seq (Queue.to_seq t.queue)
+
 let of_list xs =
   let t = create () in
   push_list t xs;

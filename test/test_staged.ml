@@ -60,7 +60,7 @@ let test_analyze_is_prepare_plus_solve () =
     Registry.entries
 
 let test_tables_parallel_determinism () =
-  let render jobs = Fmt.str "%a" (Tables.pp_all ~jobs) () in
+  let render jobs = Fmt.str "%a" (fun ppf () -> Tables.pp_all ~jobs ppf ()) () in
   let sequential = render 1 in
   check Alcotest.string "jobs=4 byte-identical to jobs=1" sequential (render 4);
   check Alcotest.bool "tables render non-empty" true

@@ -20,7 +20,7 @@ let entry name =
 
 let run_entry e =
   let prog = Registry.program e in
-  Ipcp_interp.Interp.run ~fuel:2_000_000 prog
+  Ipcp_interp.Interp.run ~fuel:Ipcp_interp.Interp.default_fuel prog
 
 let test_runs name () =
   match (run_entry (entry name)).outcome with
@@ -71,8 +71,9 @@ let test_substitution_preserves name () =
     (fun config ->
       let t = Driver.analyze config prog in
       let prog', _ = Substitute.apply t in
-      let r1 = Ipcp_interp.Interp.run ~fuel:2_000_000 ~trace_entries:false prog in
-      let r2 = Ipcp_interp.Interp.run ~fuel:2_000_000 ~trace_entries:false prog' in
+      let fuel = Ipcp_interp.Interp.default_fuel in
+      let r1 = Ipcp_interp.Interp.run ~fuel ~trace_entries:false prog in
+      let r2 = Ipcp_interp.Interp.run ~fuel ~trace_entries:false prog' in
       if r1.outputs <> r2.outputs then
         fail (Fmt.str "%s: output changed under %a" name Config.pp config))
     [
