@@ -4,6 +4,8 @@
    - analyze: run the analyzer on a source file and report CONSTANTS sets,
      optionally emitting the constant-substituted source;
    - run: execute a program under the reference interpreter;
+   - certify: independently re-check a solved analysis (and --certify on
+     analyze/tables does the same after their normal work);
    - tables: regenerate the paper's Tables 1-3 on the bundled suite;
    - characteristics: Table 1 only;
    - generate: emit a random workload program.
@@ -14,7 +16,8 @@
    - 3: input error (unreadable file, diagnostics in the program, runtime
      failure or fuel exhaustion of the interpreted program, lint
      violations);
-   - 4: internal error (a bug in ipcp itself). *)
+   - 4: internal error (a bug in ipcp itself, including a certification
+     failure — a published solution the independent checker rejects). *)
 
 open Cmdliner
 open Ipcp_frontend
@@ -165,6 +168,30 @@ let with_profiling profile profile_json f =
         exit_input)
   end
 
+(* ---------------- certification helpers ---------------- *)
+
+let certify_flag =
+  let doc =
+    "After the normal work, independently re-certify the solved analysis \
+     (fixpoint, MOD, SCCP and execution-witness obligations); exits with \
+     status 4 when any obligation fails."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+(* Print one certification outcome; violations go to stderr.  Returns
+   [true] when certified. *)
+let report_certification label (r : Ipcp_certify.Certify.report) =
+  if Ipcp_certify.Certify.ok r then begin
+    Fmt.pr "--- certified [%s]: %a@." label Ipcp_certify.Certify.pp_report r;
+    true
+  end
+  else begin
+    Fmt.epr "certification failed [%s]:@.%a@." label
+      Ipcp_support.Diagnostics.pp
+      (Ipcp_certify.Certify.to_diagnostics r);
+    false
+  end
+
 (* ---------------- analyze ---------------- *)
 
 let pp_degraded ppf reasons =
@@ -190,7 +217,7 @@ let analyze_cmd =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
   in
   let run file kind no_ret no_mod intra max_steps deadline_ms substitute_out
-      complete verbose jobs profile profile_json =
+      complete verbose jobs certify profile profile_json =
     with_profiling profile profile_json @@ fun () ->
     match load file with
     | Error e ->
@@ -230,7 +257,12 @@ let analyze_cmd =
         close_out oc;
         Fmt.pr "--- substituted source written to %s@." out
       | None -> ());
-      0
+      if certify then
+        if report_certification (Config.to_string config)
+             (Ipcp_certify.Certify.check t)
+        then 0
+        else exit_internal
+      else 0
   in
   let doc = "Analyze a program and report its interprocedural constants." in
   Cmd.v
@@ -238,7 +270,151 @@ let analyze_cmd =
     Term.(
       const run $ file_arg $ jf_kind $ no_return_jfs $ no_mod $ intra_only
       $ max_steps_arg $ deadline_ms_arg $ substitute_out $ complete $ verbose
-      $ jobs_arg $ profile_flag $ profile_json_arg)
+      $ jobs_arg $ certify_flag $ profile_flag $ profile_json_arg)
+
+(* ---------------- certify ---------------- *)
+
+let certify_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"MiniFort source file to certify.")
+  in
+  let suite =
+    let doc = "Certify every program of the bundled benchmark suite." in
+    Arg.(value & flag & info [ "suite" ] ~doc)
+  in
+  let all_configs =
+    let doc =
+      "Sweep the full configuration matrix (the six Table 2 configurations, \
+       the polynomial ±MOD presets and the intraprocedural baseline) instead \
+       of the single configuration selected by the flags."
+    in
+    Arg.(value & flag & info [ "all-configs" ] ~doc)
+  in
+  let inject_error =
+    let doc =
+      "Deliberately falsify one solution binding (seeded) before checking; \
+       the run must then FAIL certification — a self-test that the checker \
+       actually rejects bad solutions."
+    in
+    Arg.(value & opt (some int) None & info [ "inject-error" ] ~docv:"SEED" ~doc)
+  in
+  let input =
+    let doc =
+      "Comma-separated integers consumed by $(b,read) statements of the \
+       interpreter witness."
+    in
+    Arg.(value & opt (list int) [] & info [ "input" ] ~docv:"INTS" ~doc)
+  in
+  let fuel =
+    let doc = "Interpreter witness step budget." in
+    Arg.(
+      value
+      & opt int Ipcp_interp.Interp.default_fuel
+      & info [ "fuel" ] ~docv:"N" ~doc)
+  in
+  (* Certify one prepared program under one configuration; returns [true]
+     when the verdict matches expectations (certified, or rejected under
+     --inject-error). *)
+  let certify_one ~fuel ~input ~inject_error (t : Driver.t) label =
+    match inject_error with
+    | None -> report_certification label (Ipcp_certify.Certify.check ~fuel ~input t)
+    | Some seed -> (
+      match Ipcp_certify.Certify.corrupt ~seed t with
+      | None ->
+        Fmt.epr
+          "inject-error [%s]: solution has no corruptible binding (nothing \
+           to falsify)@."
+          label;
+        false
+      | Some bad ->
+        let r = Ipcp_certify.Certify.check ~fuel ~input bad in
+        if Ipcp_certify.Certify.ok r then begin
+          Fmt.epr
+            "inject-error [%s]: corrupted solution was NOT rejected — the \
+             certifier missed an injected error@."
+            label;
+          false
+        end
+        else begin
+          Fmt.pr "--- injected error rejected [%s]:@." label;
+          Fmt.pr "%a@?" Ipcp_support.Diagnostics.pp
+            (Ipcp_certify.Certify.to_diagnostics r);
+          true
+        end)
+  in
+  let run file suite all_configs inject_error kind no_ret no_mod intra
+      max_steps deadline_ms input fuel profile profile_json =
+    with_profiling profile profile_json @@ fun () ->
+    let targets =
+      match (file, suite) with
+      | None, false -> Error `Usage
+      | _ ->
+        let from_suite =
+          if suite then
+            List.map
+              (fun (e : Ipcp_suite.Registry.entry) ->
+                Ok (e.name, Ipcp_suite.Registry.program e))
+              Ipcp_suite.Registry.entries
+          else []
+        in
+        let from_file =
+          match file with
+          | None -> []
+          | Some path -> (
+            match load path with
+            | Ok prog -> [ Ok (path, prog) ]
+            | Error e -> [ Error (`Load e) ])
+        in
+        Ok (from_file @ from_suite)
+    in
+    match targets with
+    | Error `Usage ->
+      Fmt.epr "usage error: give a FILE, --suite, or both@.";
+      2
+    | Ok targets ->
+      let configs =
+        if all_configs then Ipcp_certify.Certify.default_configs
+        else
+          let c = config_of kind no_ret no_mod intra max_steps deadline_ms in
+          [ (Config.to_string c, c) ]
+      in
+      let ok = ref true in
+      let input_error = ref false in
+      List.iter
+        (fun target ->
+          match target with
+          | Error (`Load e) ->
+            report_load_error e;
+            input_error := true
+          | Ok (name, prog) ->
+            let prep = Driver.prepare prog in
+            List.iter
+              (fun (clabel, config) ->
+                let t = Driver.solve config prep in
+                let label = Fmt.str "%s, %s" name clabel in
+                if not (certify_one ~fuel ~input ~inject_error t label) then
+                  ok := false)
+              configs)
+        targets;
+      if !input_error then exit_input
+      else if !ok then 0
+      else exit_internal
+  in
+  let doc =
+    "Independently re-certify a solved analysis: re-check the fixpoint per \
+     call edge, entry seeding, call-site coverage, MOD containment, SCCP \
+     transfer consistency, and witness every published constant against the \
+     reference interpreter.  Exits 4 when any obligation fails."
+  in
+  Cmd.v
+    (Cmd.info "certify" ~doc)
+    Term.(
+      const run $ file $ suite $ all_configs $ inject_error $ jf_kind
+      $ no_return_jfs $ no_mod $ intra_only $ max_steps_arg $ deadline_ms_arg
+      $ input $ fuel $ profile_flag $ profile_json_arg)
 
 (* ---------------- run ---------------- *)
 
@@ -308,20 +484,35 @@ let lint_cmd =
 (* ---------------- tables / characteristics ---------------- *)
 
 let tables_cmd =
-  let run jobs max_steps deadline_ms profile profile_json =
+  let run jobs max_steps deadline_ms certify profile profile_json =
     with_profiling profile profile_json @@ fun () ->
     Fmt.pr "%a@."
       (fun ppf () ->
         Ipcp_suite.Tables.pp_all ~jobs ?max_steps ?deadline_ms ppf ())
       ();
-    0
+    if certify then begin
+      let config =
+        Config.with_budget ?max_steps ?deadline_ms Config.default
+      in
+      let ok =
+        List.fold_left
+          (fun acc (e : Ipcp_suite.Registry.entry) ->
+            let t =
+              Driver.analyze config (Ipcp_suite.Registry.program e)
+            in
+            report_certification e.name (Ipcp_certify.Certify.check t) && acc)
+          true Ipcp_suite.Registry.entries
+      in
+      if ok then 0 else exit_internal
+    end
+    else 0
   in
   let doc = "Regenerate the paper's Tables 1, 2 and 3 on the bundled suite." in
   Cmd.v
     (Cmd.info "tables" ~doc)
     Term.(
-      const run $ jobs_arg $ max_steps_arg $ deadline_ms_arg $ profile_flag
-      $ profile_json_arg)
+      const run $ jobs_arg $ max_steps_arg $ deadline_ms_arg $ certify_flag
+      $ profile_flag $ profile_json_arg)
 
 let characteristics_cmd =
   let run profile profile_json =
@@ -373,6 +564,15 @@ let generate_cmd =
     Term.(const run $ seed $ procs $ globals $ stmts)
 
 let () =
+  (* Test-only hook: IPCP_FAULT_CORRUPT=<seed> arms the fault-injection
+     corruption site consulted by the certifier, so CI can prove
+     end-to-end that a corrupted solution is rejected with exit 4. *)
+  (match Sys.getenv_opt "IPCP_FAULT_CORRUPT" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some seed -> Ipcp_support.Fault.configure ~corrupt_rate:1.0 ~seed ()
+    | None -> ())
+  | None -> ());
   let doc =
     "interprocedural constant propagation: a study of jump function \
      implementations (Grove & Torczon, PLDI 1993)"
@@ -381,8 +581,8 @@ let () =
   let group =
     Cmd.group info
       [
-        analyze_cmd; run_cmd; lint_cmd; tables_cmd; characteristics_cmd;
-        generate_cmd;
+        analyze_cmd; certify_cmd; run_cmd; lint_cmd; tables_cmd;
+        characteristics_cmd; generate_cmd;
       ]
   in
   (* ~catch:false so an escaped exception is ours to report: anything the

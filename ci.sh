@@ -67,4 +67,29 @@ grep -q "Table 3" "$tmpdir/starved.out" || {
   exit 1
 }
 
+echo "== certification"
+# The independent certifier re-checks every suite program at the paper's
+# default configuration: fixpoint per call edge, entry seeding, MOD
+# containment, SCCP transfer consistency, and an interpreter witness for
+# every published constant.  Any violation exits 4 and fails CI.
+dune exec --no-build -- ipcp certify --suite
+# A corrupted solution must be rejected (exit 4), proving the checker
+# has teeth — not just that healthy solutions pass.
+if IPCP_FAULT_CORRUPT=7 dune exec --no-build -- ipcp certify --suite > /dev/null 2>&1; then
+  echo "certify: corrupted solutions were not rejected" >&2
+  exit 1
+fi
+
+echo "== differential fuzzing"
+# The seeded oracle under two pinned seeds with full certification:
+# random terminating programs, metamorphic invariants (rename, reorder,
+# budget monotonicity, --jobs determinism) and the certifier on every
+# iteration.  Then the known-bad self-test: every deliberately corrupted
+# solution must be detected, with minimization demonstrated end-to-end.
+for seed in 7 11; do
+  echo "-- seed $seed"
+  dune exec --no-build tools/fuzz.exe -- --seed "$seed" --iterations 25 --certify
+done
+dune exec --no-build tools/fuzz.exe -- --seed 7 --iterations 5 --inject-bad
+
 echo "ci: ok"

@@ -1,0 +1,194 @@
+(** Semantics-preserving source transformations for metamorphic testing:
+    a certified analysis must report the same facts for the transformed
+    program as for the original (constants counted per procedure, total
+    substitutions), because neither transform changes what any procedure
+    computes.
+
+    - {!rename_variables}: consistently rename declared variables inside
+      each unit.  Replacement names keep the original's first-letter
+      class so FORTRAN implicit typing is preserved, and common-block
+      members may be renamed freely because common association is
+      positional, not nominal.  Procedure names, intrinsics, and
+      undeclared (implicitly typed) names are left alone.
+    - {!reorder_procs}: shuffle the order of program units; unit order
+      carries no meaning. *)
+
+open Ipcp_frontend
+module Prng = Ipcp_support.Prng
+
+(* Names that may never be used as replacements or renamed: every unit
+   name (they are callees) and the intrinsics. *)
+let protected_names (units : Ast.program) : (string, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (u : Ast.punit) -> Hashtbl.replace tbl u.uname ()) units;
+  List.iter (fun n -> Hashtbl.replace tbl n ()) [ "abs"; "min"; "max"; "mod" ];
+  tbl
+
+(* Every identifier appearing anywhere in a unit, so fresh names cannot
+   capture anything. *)
+let unit_identifiers (u : Ast.punit) : (string, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 32 in
+  let add n = Hashtbl.replace tbl n () in
+  add u.uname;
+  List.iter add u.uformals;
+  List.iter
+    (function
+      | Ast.Dtype (_, items) -> List.iter (fun (n, _) -> add n) items
+      | Ast.Dcommon (blk, members) ->
+        add blk;
+        List.iter add members
+      | Ast.Dparameter ps -> List.iter (fun (n, _) -> add n) ps
+      | Ast.Ddata items -> List.iter (fun (n, _) -> add n) items)
+    u.udecls;
+  let rec expr (e : Ast.expr) =
+    match e.edesc with
+    | Ast.Ename n -> add n
+    | Ast.Eapply (n, args) ->
+      add n;
+      List.iter expr args
+    | Ast.Eunop (_, a) -> expr a
+    | Ast.Ebinop (_, a, b) ->
+      expr a;
+      expr b
+    | Ast.Eint _ | Ast.Ereal _ | Ast.Ebool _ | Ast.Estring _ -> ()
+  in
+  let lhs (l : Ast.lhs) =
+    add l.lname;
+    List.iter expr l.lindex
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s.sdesc with
+    | Ast.Sassign (l, e) ->
+      lhs l;
+      expr e
+    | Ast.Scall (n, args) ->
+      add n;
+      List.iter expr args
+    | Ast.Sif (arms, els) ->
+      List.iter
+        (fun (c, b) ->
+          expr c;
+          List.iter stmt b)
+        arms;
+      List.iter stmt els
+    | Ast.Sdo (v, lo, hi, step, b) ->
+      add v;
+      expr lo;
+      expr hi;
+      Option.iter expr step;
+      List.iter stmt b
+    | Ast.Sdowhile (c, b) ->
+      expr c;
+      List.iter stmt b
+    | Ast.Sprint es -> List.iter expr es
+    | Ast.Sread ls -> List.iter lhs ls
+    | Ast.Sgoto _ | Ast.Scontinue | Ast.Sreturn | Ast.Sstop -> ()
+  in
+  List.iter stmt u.ubody;
+  tbl
+
+(* The names a unit declares itself — the safely renameable set. *)
+let declared_names (u : Ast.punit) : string list =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let add n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      order := n :: !order
+    end
+  in
+  List.iter add u.uformals;
+  List.iter
+    (function
+      | Ast.Dtype (_, items) -> List.iter (fun (n, _) -> add n) items
+      | Ast.Dcommon (_, members) -> List.iter add members
+      | Ast.Dparameter ps -> List.iter (fun (n, _) -> add n) ps
+      | Ast.Ddata items -> List.iter (fun (n, _) -> add n) items)
+    u.udecls;
+  List.rev !order
+
+let rename_unit (prng : Prng.t) (protect : (string, unit) Hashtbl.t)
+    (u : Ast.punit) : Ast.punit =
+  let used = unit_identifiers u in
+  let mapping : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let counter = ref 0 in
+  List.iter
+    (fun name ->
+      if (not (Hashtbl.mem protect name)) && Prng.chance prng 0.8 then begin
+        (* keep the first letter: implicit typing (i..n → integer) must
+           see the same class, and the result variable keeps its type *)
+        let fresh =
+          let rec next () =
+            incr counter;
+            let candidate = Fmt.str "%czz%d" name.[0] !counter in
+            if Hashtbl.mem used candidate || Hashtbl.mem protect candidate
+            then next ()
+            else candidate
+          in
+          next ()
+        in
+        Hashtbl.replace used fresh ();
+        Hashtbl.replace mapping name fresh
+      end)
+    (declared_names u);
+  let rn n = Hashtbl.find_opt mapping n |> Option.value ~default:n in
+  let rec expr (e : Ast.expr) =
+    match e.edesc with
+    | Ast.Ename n -> { e with edesc = Ast.Ename (rn n) }
+    | Ast.Eapply (n, args) ->
+      (* an array reference renames with its array; a renamed name is
+         never a procedure (procedures are protected) *)
+      { e with edesc = Ast.Eapply (rn n, List.map expr args) }
+    | Ast.Eunop (op, a) -> { e with edesc = Ast.Eunop (op, expr a) }
+    | Ast.Ebinop (op, a, b) -> { e with edesc = Ast.Ebinop (op, expr a, expr b) }
+    | Ast.Eint _ | Ast.Ereal _ | Ast.Ebool _ | Ast.Estring _ -> e
+  in
+  let lhs (l : Ast.lhs) =
+    { l with lname = rn l.lname; lindex = List.map expr l.lindex }
+  in
+  let rec stmt (s : Ast.stmt) =
+    let sdesc =
+      match s.sdesc with
+      | Ast.Sassign (l, e) -> Ast.Sassign (lhs l, expr e)
+      | Ast.Scall (n, args) -> Ast.Scall (n, List.map expr args)
+      | Ast.Sif (arms, els) ->
+        Ast.Sif
+          ( List.map (fun (c, b) -> (expr c, List.map stmt b)) arms,
+            List.map stmt els )
+      | Ast.Sdo (v, lo, hi, step, b) ->
+        Ast.Sdo (rn v, expr lo, expr hi, Option.map expr step, List.map stmt b)
+      | Ast.Sdowhile (c, b) -> Ast.Sdowhile (expr c, List.map stmt b)
+      | Ast.Sprint es -> Ast.Sprint (List.map expr es)
+      | Ast.Sread ls -> Ast.Sread (List.map lhs ls)
+      | (Ast.Sgoto _ | Ast.Scontinue | Ast.Sreturn | Ast.Sstop) as d -> d
+    in
+    { s with sdesc }
+  in
+  let decl = function
+    | Ast.Dtype (ty, items) ->
+      Ast.Dtype (ty, List.map (fun (n, dims) -> (rn n, dims)) items)
+    | Ast.Dcommon (blk, members) -> Ast.Dcommon (blk, List.map rn members)
+    | Ast.Dparameter ps -> Ast.Dparameter (List.map (fun (n, e) -> (rn n, expr e)) ps)
+    | Ast.Ddata items -> Ast.Ddata (List.map (fun (n, vs) -> (rn n, vs)) items)
+  in
+  {
+    u with
+    uformals = List.map rn u.uformals;
+    udecls = List.map decl u.udecls;
+    ubody = List.map stmt u.ubody;
+  }
+
+(** Rename declared variables throughout [source] (seeded selection of
+    names).  Raises {!Loc.Error} on malformed input. *)
+let rename_variables ~seed (source : string) : string =
+  let units = Parser.parse_program source in
+  let protect = protected_names units in
+  let prng = Prng.create seed in
+  Pretty.ast_program_to_string (List.map (rename_unit prng protect) units)
+
+(** Shuffle the program-unit order (seeded).  Raises {!Loc.Error} on
+    malformed input. *)
+let reorder_procs ~seed (source : string) : string =
+  let units = Parser.parse_program source in
+  let prng = Prng.create seed in
+  Pretty.ast_program_to_string (Prng.shuffle prng units)

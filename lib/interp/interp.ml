@@ -83,6 +83,9 @@ type state = {
   mutable input : int list;  (** values consumed by [read] *)
   mutable total_steps : int;
   trace_entries : bool;
+  on_expr : (int -> value -> unit) option;
+      (** observation hook: called with (expression id, value) after every
+          expression evaluation — the certifier's execution witness *)
 }
 
 let tick st =
@@ -194,6 +197,11 @@ let read_cell ~what (c : cell) =
 (* Expression evaluation.                                              *)
 
 let rec eval st frame (e : Prog.expr) : value =
+  let v = eval_desc st frame e in
+  (match st.on_expr with None -> () | Some f -> f e.eid v);
+  v
+
+and eval_desc st frame (e : Prog.expr) : value =
   tick st;
   match e.edesc with
   | Cint n -> Vint n
@@ -492,8 +500,8 @@ let default_fuel = 2_000_000
     (expressions + statements); [input] feeds [read] statements (exhausted
     input reads 0); [trace_entries] controls whether procedure-entry
     snapshots are recorded (they cost time and memory). *)
-let run ?(fuel = default_fuel) ?(input = []) ?(trace_entries = true) (prog : Prog.t) :
-    result =
+let run ?(fuel = default_fuel) ?(input = []) ?(trace_entries = true) ?on_expr
+    (prog : Prog.t) : result =
   let main = Prog.find_proc_exn prog prog.main in
   let st =
     {
@@ -505,6 +513,7 @@ let run ?(fuel = default_fuel) ?(input = []) ?(trace_entries = true) (prog : Pro
       input;
       total_steps = 0;
       trace_entries;
+      on_expr;
     }
   in
   let frame = { vars = Hashtbl.create 16 } in

@@ -41,6 +41,13 @@ val default_fuel : int
 (** Run the main program.  [fuel] (default {!default_fuel}) bounds
     interpreter steps; [input] feeds [read] statements (exhausted input
     reads 0); [trace_entries] controls whether entry snapshots are
-    recorded. *)
+    recorded; [on_expr] (if given) observes every expression evaluation
+    as [(expression id, value)] — the certifier uses it to witness that
+    claimed constant uses really hold on every execution. *)
 val run :
-  ?fuel:int -> ?input:int list -> ?trace_entries:bool -> Prog.t -> result
+  ?fuel:int ->
+  ?input:int list ->
+  ?trace_entries:bool ->
+  ?on_expr:(int -> value -> unit) ->
+  Prog.t ->
+  result

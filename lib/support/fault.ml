@@ -17,14 +17,25 @@ type config = {
   spin_iters : int;  (** busy-loop iterations of a simulated slow worker *)
   starve_rate : float;  (** probability a budget is starved at creation *)
   starve_steps : int;  (** step allowance of a starved budget *)
+  corrupt_rate : float;
+      (** probability a {!corruption} site yields a corruption seed *)
 }
 
 let state : config option Atomic.t = Atomic.make None
 
 let configure ?(raise_rate = 0.0) ?(spin_rate = 0.0) ?(spin_iters = 10_000)
-    ?(starve_rate = 0.0) ?(starve_steps = 0) ~seed () =
+    ?(starve_rate = 0.0) ?(starve_steps = 0) ?(corrupt_rate = 0.0) ~seed () =
   Atomic.set state
-    (Some { seed; raise_rate; spin_rate; spin_iters; starve_rate; starve_steps })
+    (Some
+       {
+         seed;
+         raise_rate;
+         spin_rate;
+         spin_iters;
+         starve_rate;
+         starve_steps;
+         corrupt_rate;
+       })
 
 let clear () = Atomic.set state None
 
@@ -33,9 +44,9 @@ let active () = Atomic.get state <> None
 let config () = Atomic.get state
 
 let with_faults ?raise_rate ?spin_rate ?spin_iters ?starve_rate ?starve_steps
-    ~seed f =
-  configure ?raise_rate ?spin_rate ?spin_iters ?starve_rate ?starve_steps ~seed
-    ();
+    ?corrupt_rate ~seed f =
+  configure ?raise_rate ?spin_rate ?spin_iters ?starve_rate ?starve_steps
+    ?corrupt_rate ~seed ();
   Fun.protect ~finally:clear f
 
 (* FNV-1a over the site string, mixed with the seed through the splitmix64
@@ -82,4 +93,17 @@ let starvation site =
   | Some c ->
     if c.starve_rate > 0.0 && roll c.seed (site ^ ":starve") < c.starve_rate
     then Some c.starve_steps
+    else None
+
+let corruption site =
+  match Atomic.get state with
+  | None -> None
+  | Some c ->
+    if c.corrupt_rate > 0.0 && roll c.seed (site ^ ":corrupt") < c.corrupt_rate
+    then
+      Some
+        (Int64.to_int
+           (Int64.logand
+              (hash_site c.seed (site ^ ":corrupt-seed"))
+              0x3FFFFFFFL))
     else None

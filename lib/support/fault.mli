@@ -20,6 +20,8 @@ type config = {
   spin_iters : int;  (** busy-loop iterations of a simulated slow worker *)
   starve_rate : float;  (** probability a budget is starved at creation *)
   starve_steps : int;  (** step allowance of a starved budget *)
+  corrupt_rate : float;
+      (** probability a {!corruption} site yields a corruption seed *)
 }
 
 (** Install a fault configuration (process-wide, atomically). *)
@@ -29,6 +31,7 @@ val configure :
   ?spin_iters:int ->
   ?starve_rate:float ->
   ?starve_steps:int ->
+  ?corrupt_rate:float ->
   seed:int ->
   unit ->
   unit
@@ -47,6 +50,7 @@ val with_faults :
   ?spin_iters:int ->
   ?starve_rate:float ->
   ?starve_steps:int ->
+  ?corrupt_rate:float ->
   seed:int ->
   (unit -> 'a) ->
   'a
@@ -58,3 +62,11 @@ val inject : string -> unit
 (** [starvation site] is [Some steps] when a budget created at [site]
     should be starved down to [steps] steps, [None] otherwise. *)
 val starvation : string -> int option
+
+(** [corruption site] is [Some seed] when the site's corruption draw
+    fires: the caller should deliberately corrupt the artifact it is
+    about to publish (or, for the certification harness, the solution it
+    is about to certify) using the returned deterministic seed.  [None]
+    when disabled or the draw does not fire.  Like every other site, the
+    decision is a pure function of (seed, site). *)
+val corruption : string -> int option

@@ -15,6 +15,7 @@ let () =
       ("intrinsics", Test_intrinsics.suite);
       ("ir", Test_ir.suite);
       ("analysis", Test_analysis.suite);
+      ("lattice", Test_lattice.suite);
       ("dependence", Test_dependence.suite);
       ("core", Test_core.suite);
       ("staged", Test_staged.suite);
@@ -23,5 +24,6 @@ let () =
       ("golden", Test_golden.suite);
       ("cli", Test_cli.suite);
       ("fuzz", Test_fuzz.suite);
+      ("certify", Test_certify.suite);
       ("properties", Test_props.suite);
     ]

@@ -54,6 +54,50 @@ let test_deadline_fake_clock () =
   check (Alcotest.option reason) "deadline reason" (Some (Budget.Deadline 5))
     (Budget.exhausted b)
 
+(* ---- monotonic-clock audit ----
+   Budget deadlines and telemetry spans must share the monotonic
+   nanosecond timebase (both default to [Monotonic_clock.now]); neither
+   may consult wall time.  These regressions pin the observable
+   consequences: deadlines are anchored to the creation instant of the
+   monotonic clock, a clock that jumps backwards (as wall time can under
+   NTP) never expires a budget early, and a span and a deadline driven
+   by the same clock agree on what "n milliseconds" means. *)
+
+let test_deadline_monotonic_anchor () =
+  (* a large anchor simulates long process uptime; only elapsed-ns since
+     creation may matter, never the absolute reading *)
+  let anchor = 86_400_000_000_000L (* a day, in ns *) in
+  let now = ref anchor in
+  let b = Budget.create ~clock:(fun () -> !now) ~deadline_ms:5 () in
+  now := Int64.add anchor 4_999_999L;
+  check Alcotest.bool "within deadline" true (Budget.tick b);
+  (* a backwards jump (wall-clock adjustment) must not expire it *)
+  now := Int64.sub anchor 60_000_000_000L;
+  check Alcotest.bool "clock jumped back: still alive" true (Budget.tick b);
+  now := Int64.add anchor 5_000_001L;
+  check Alcotest.bool "past deadline" false (Budget.tick b);
+  check (Alcotest.option reason) "reason" (Some (Budget.Deadline 5))
+    (Budget.exhausted b)
+
+let test_deadline_consistent_with_telemetry () =
+  (* one shared fake monotonic clock drives a telemetry span and two
+     budgets; both modules must interpret it as nanoseconds *)
+  let module Telemetry = Ipcp_telemetry.Telemetry in
+  let now = ref 0L in
+  let t = Telemetry.create ~clock:(fun () -> Int64.to_int !now) () in
+  let tight = Budget.create ~clock:(fun () -> !now) ~deadline_ms:5 () in
+  let loose = Budget.create ~clock:(fun () -> !now) ~deadline_ms:7 () in
+  Telemetry.with_reporter t (fun () ->
+      Telemetry.span "work" (fun () ->
+          now := Int64.add !now 6_000_000L (* 6ms of "work" *)));
+  (match Telemetry.spans t with
+  | [ s ] -> check Alcotest.int "span measured 6ms" 6_000_000 s.Telemetry.sp_ns
+  | _ -> Alcotest.fail "expected exactly one span");
+  check Alcotest.bool "5ms deadline passed during the 6ms span" false
+    (Budget.tick tight);
+  check Alcotest.bool "7ms deadline survived the 6ms span" true
+    (Budget.tick loose)
+
 let test_reason_formatting () =
   check Alcotest.string "steps" "step budget exhausted after 7 steps"
     (Budget.reason_to_string (Budget.Steps 7));
@@ -179,6 +223,10 @@ let suite =
     ("budget steps sticky", `Quick, test_step_budget_sticky);
     ("budget zero steps", `Quick, test_zero_step_budget);
     ("budget deadline (fake clock)", `Quick, test_deadline_fake_clock);
+    ("budget deadline monotonic anchor", `Quick, test_deadline_monotonic_anchor);
+    ( "budget deadline consistent with telemetry",
+      `Quick,
+      test_deadline_consistent_with_telemetry );
     ("budget reason formatting", `Quick, test_reason_formatting);
     ("degradation sound on suite", `Quick, test_soundness_suite);
     ("degradation sound across configs", `Quick, test_soundness_all_configs);

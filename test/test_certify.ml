@@ -1,0 +1,257 @@
+(* The independent certifier: every suite program certifies under every
+   table configuration and under tight budgets; a deliberately corrupted
+   solution is rejected with a located E-CERT diagnostic (both through
+   the direct hook and through Fault injection); the metamorphic
+   transforms preserve analysis results; and the CLI surfaces
+   certification failure as exit code 4. *)
+
+open Ipcp_frontend
+open Ipcp_core
+module Certify = Ipcp_certify.Certify
+module Metamorph = Ipcp_certify.Metamorph
+module Fault = Ipcp_support.Fault
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let suite_programs () =
+  List.map
+    (fun (e : Ipcp_suite.Registry.entry) ->
+      (e.name, e.source, Ipcp_suite.Registry.program e))
+    Ipcp_suite.Registry.entries
+
+(* ---- certification passes ---- *)
+
+let test_suite_all_configs () =
+  List.iter
+    (fun (name, _, prog) ->
+      List.iter
+        (fun (label, r) ->
+          check Alcotest.bool
+            (Fmt.str "%s certifies under %s: %a" name label Certify.pp_report r)
+            true (Certify.ok r))
+        (Certify.check_program prog))
+    (suite_programs ())
+
+let test_suite_under_budgets () =
+  List.iter
+    (fun (name, _, prog) ->
+      List.iter
+        (fun steps ->
+          let config = Config.with_budget ~max_steps:steps Config.default in
+          let r = Certify.check (Driver.analyze config prog) in
+          check Alcotest.bool
+            (Fmt.str "%s certifies at max-steps=%d: %a" name steps
+               Certify.pp_report r)
+            true (Certify.ok r))
+        [ 0; 1; 63; 1_000_000 ])
+    (suite_programs ())
+
+let test_exec_witnessed () =
+  (* suite programs terminate, so the interpreter witness must complete
+     and the execution obligations must actually be discharged *)
+  List.iter
+    (fun (name, _, prog) ->
+      let r = Certify.check (Driver.analyze Config.default prog) in
+      check Alcotest.bool (name ^ ": execution witnessed") true
+        r.Certify.exec_checked)
+    (suite_programs ())
+
+(* ---- corruption is detected ---- *)
+
+let test_corrupt_detected () =
+  List.iter
+    (fun (name, _, prog) ->
+      let t = Driver.analyze Config.default prog in
+      match Certify.corrupt ~seed:97 t with
+      | None -> fail (name ^ ": no corruptible binding")
+      | Some bad ->
+        let r = Certify.check bad in
+        check Alcotest.bool (name ^ ": corruption rejected") false
+          (Certify.ok r);
+        (* the diagnostic is located and coded *)
+        let v = List.hd r.Certify.violations in
+        check Alcotest.bool (name ^ ": violation carries an E-CERT code") true
+          (String.length v.Certify.v_code >= 6
+          && String.sub v.Certify.v_code 0 6 = "E-CERT");
+        check Alcotest.bool (name ^ ": violation is located") true
+          (v.Certify.v_loc.Loc.line > 0);
+        check Alcotest.bool (name ^ ": violation names a procedure") true
+          (v.Certify.v_proc <> ""))
+    (suite_programs ())
+
+let test_corrupt_detected_every_seed () =
+  let _, _, prog = List.hd (suite_programs ()) in
+  let t = Driver.analyze Config.default prog in
+  List.iter
+    (fun seed ->
+      match Certify.corrupt ~seed t with
+      | None -> fail "no corruptible binding"
+      | Some bad ->
+        check Alcotest.bool
+          (Fmt.str "corruption under seed %d rejected" seed)
+          false
+          (Certify.ok (Certify.check bad)))
+    [ 1; 2; 3; 5; 8; 13; 21; 34 ]
+
+let test_fault_hook_corrupts () =
+  (* the Fault corruption site drives the same rejection end-to-end *)
+  let _, _, prog = List.hd (suite_programs ()) in
+  Fault.with_faults ~corrupt_rate:1.0 ~seed:7 (fun () ->
+      let r = Certify.check (Driver.analyze Config.default prog) in
+      check Alcotest.bool "Fault-corrupted solution rejected" false
+        (Certify.ok r));
+  (* and with faults cleared the same program certifies again *)
+  let r = Certify.check (Driver.analyze Config.default prog) in
+  check Alcotest.bool "clean solution certifies" true (Certify.ok r)
+
+let test_diagnostics_export () =
+  let _, _, prog = List.hd (suite_programs ()) in
+  let t = Driver.analyze Config.default prog in
+  match Certify.corrupt ~seed:3 t with
+  | None -> fail "no corruptible binding"
+  | Some bad ->
+    let r = Certify.check bad in
+    let rendered = Fmt.str "%a" Ipcp_support.Diagnostics.pp
+        (Certify.to_diagnostics r)
+    in
+    check Alcotest.bool "rendered diagnostics mention E-CERT" true
+      (let needle = "E-CERT" in
+       let n = String.length needle in
+       let rec go i =
+         i + n <= String.length rendered
+         && (String.sub rendered i n = needle || go (i + 1))
+       in
+       go 0)
+
+(* ---- metamorphic transforms preserve results ---- *)
+
+let profile prog = List.sort compare (Driver.constants (Driver.analyze Config.default prog))
+
+let test_rename_preserves_analysis () =
+  List.iter
+    (fun (name, source, prog) ->
+      let renamed = Metamorph.rename_variables ~seed:5 source in
+      match Sema.check ~file:(name ^ "-renamed") renamed with
+      | Error _ -> fail (name ^ ": renamed program does not resolve")
+      | Ok prog_r ->
+        check Alcotest.bool (name ^ ": rename preserves CONSTANTS") true
+          (profile prog = profile prog_r))
+    (suite_programs ())
+
+let test_reorder_preserves_analysis () =
+  List.iter
+    (fun (name, source, prog) ->
+      let reordered = Metamorph.reorder_procs ~seed:5 source in
+      match Sema.check ~file:(name ^ "-reordered") reordered with
+      | Error _ -> fail (name ^ ": reordered program does not resolve")
+      | Ok prog_r ->
+        check Alcotest.bool (name ^ ": reorder preserves CONSTANTS") true
+          (profile prog = profile prog_r))
+    (suite_programs ())
+
+(* ---- the CLI surface ---- *)
+
+let bin () =
+  match Sys.getenv_opt "IPCP_BIN" with
+  | Some p when Sys.file_exists p -> p
+  | _ -> fail "IPCP_BIN not set; run via dune"
+
+(* Run the binary (optionally with an environment prefix); return
+   (exit code, merged output lines). *)
+let run_cli ?(env = "") args =
+  let out = Filename.temp_file "ipcp_certify" ".out" in
+  let cmd =
+    Fmt.str "%s %s %s > %s 2>&1" env (Filename.quote (bin ()))
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove out;
+  (code, List.rev !lines)
+
+let write_temp src =
+  let path = Filename.temp_file "ipcp_certify" ".f" in
+  let oc = open_out path in
+  output_string oc src;
+  close_out oc;
+  path
+
+let contains needle lines =
+  List.exists
+    (fun line ->
+      let n = String.length needle in
+      let rec go i =
+        i + n <= String.length line
+        && (String.sub line i n = needle || go (i + 1))
+      in
+      n = 0 || go 0)
+    lines
+
+let test_cli_certify_ok () =
+  let _, source, _ = List.hd (suite_programs ()) in
+  let path = write_temp source in
+  let code, lines = run_cli [ "certify"; path ] in
+  Sys.remove path;
+  check Alcotest.int "exit 0" 0 code;
+  check Alcotest.bool "reports certified" true (contains "certified" lines)
+
+let test_cli_certify_corrupted_exits_4 () =
+  let _, source, _ = List.hd (suite_programs ()) in
+  let path = write_temp source in
+  let code, lines =
+    run_cli ~env:"IPCP_FAULT_CORRUPT=7" [ "certify"; path ]
+  in
+  Sys.remove path;
+  check Alcotest.int "exit 4 on certification failure" 4 code;
+  check Alcotest.bool "an E-CERT diagnostic is printed" true
+    (contains "E-CERT" lines);
+  check Alcotest.bool "the diagnostic is located" true
+    (contains ".f:" lines)
+
+let test_cli_inject_error_selftest () =
+  let _, source, _ = List.hd (suite_programs ()) in
+  let path = write_temp source in
+  let code, lines = run_cli [ "certify"; "--inject-error"; "11"; path ] in
+  Sys.remove path;
+  check Alcotest.int "self-test exits 0 when rejection works" 0 code;
+  check Alcotest.bool "reports the rejection" true
+    (contains "injected error rejected" lines)
+
+let test_cli_analyze_certify_flag () =
+  let _, source, _ = List.hd (suite_programs ()) in
+  let path = write_temp source in
+  let code, lines = run_cli [ "analyze"; "--certify"; path ] in
+  Sys.remove path;
+  check Alcotest.int "analyze --certify exits 0" 0 code;
+  check Alcotest.bool "reports certified" true (contains "certified" lines)
+
+let test_cli_certify_usage () =
+  let code, _ = run_cli [ "certify" ] in
+  check Alcotest.int "no FILE and no --suite is a usage error" 2 code
+
+let suite =
+  [
+    ("suite certifies under all configs", `Quick, test_suite_all_configs);
+    ("suite certifies under budgets", `Quick, test_suite_under_budgets);
+    ("execution witnessed on suite", `Quick, test_exec_witnessed);
+    ("corruption detected on every program", `Quick, test_corrupt_detected);
+    ("corruption detected under many seeds", `Quick, test_corrupt_detected_every_seed);
+    ("Fault hook corrupts and is caught", `Quick, test_fault_hook_corrupts);
+    ("diagnostics export", `Quick, test_diagnostics_export);
+    ("rename preserves analysis", `Quick, test_rename_preserves_analysis);
+    ("reorder preserves analysis", `Quick, test_reorder_preserves_analysis);
+    ("cli: certify ok", `Quick, test_cli_certify_ok);
+    ("cli: corrupted solution exits 4", `Quick, test_cli_certify_corrupted_exits_4);
+    ("cli: --inject-error self-test", `Quick, test_cli_inject_error_selftest);
+    ("cli: analyze --certify", `Quick, test_cli_analyze_certify_flag);
+    ("cli: certify usage error", `Quick, test_cli_certify_usage);
+  ]

@@ -1,0 +1,128 @@
+(* Algebraic properties of the constant-propagation lattice (Figure 1):
+   meet is a commutative, associative, idempotent operation with ⊤ as
+   identity and ⊥ absorbing, and the published partial order is exactly
+   the one meet induces (a ⊑ b iff a ⊓ b = a).  Exhaustive checks over a
+   small carrier plus QCheck over arbitrary constants. *)
+
+open Ipcp_analysis
+module L = Const_lattice
+
+let check = Alcotest.check
+let lat = Alcotest.testable L.pp L.equal
+
+(* A carrier with enough distinct constants to hit every meet case. *)
+let carrier =
+  [ L.Top; L.Bottom; L.Const 0; L.Const 1; L.Const (-3); L.Const 42 ]
+
+let test_meet_commutative () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check lat
+            (Fmt.str "%a ⊓ %a" L.pp a L.pp b)
+            (L.meet a b) (L.meet b a))
+        carrier)
+    carrier
+
+let test_meet_associative () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun c ->
+              check lat
+                (Fmt.str "(%a ⊓ %a) ⊓ %a" L.pp a L.pp b L.pp c)
+                (L.meet (L.meet a b) c)
+                (L.meet a (L.meet b c)))
+            carrier)
+        carrier)
+    carrier
+
+let test_meet_idempotent () =
+  List.iter (fun a -> check lat (Fmt.str "%a ⊓ itself" L.pp a) a (L.meet a a))
+    carrier
+
+let test_top_identity_bottom_absorbing () =
+  List.iter
+    (fun a ->
+      check lat "⊤ identity (left)" a (L.meet L.Top a);
+      check lat "⊤ identity (right)" a (L.meet a L.Top);
+      check lat "⊥ absorbing (left)" L.Bottom (L.meet L.Bottom a);
+      check lat "⊥ absorbing (right)" L.Bottom (L.meet a L.Bottom))
+    carrier
+
+let test_le_agrees_with_meet () =
+  (* the definitional connection: a ⊑ b iff a ⊓ b = a *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check Alcotest.bool
+            (Fmt.str "%a ⊑ %a iff meet" L.pp a L.pp b)
+            (L.equal (L.meet a b) a) (L.le a b))
+        carrier)
+    carrier
+
+let test_le_partial_order () =
+  List.iter
+    (fun a ->
+      check Alcotest.bool "reflexive" true (L.le a a);
+      List.iter
+        (fun b ->
+          if L.le a b && L.le b a then
+            check lat "antisymmetric" a b;
+          List.iter
+            (fun c ->
+              if L.le a b && L.le b c then
+                check Alcotest.bool "transitive" true (L.le a c))
+            carrier)
+        carrier)
+    carrier
+
+let test_height_strictly_decreasing () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let m = L.meet a b in
+          check Alcotest.bool "meet never raises height" true
+            (L.height m <= L.height a && L.height m <= L.height b);
+          if not (L.le a b || L.le b a) then
+            check lat "incomparable elements meet to ⊥" L.Bottom m)
+        carrier)
+    carrier
+
+(* ---- the same laws over arbitrary integer constants ---- *)
+
+let arb_elt =
+  QCheck.map
+    (function
+      | 0 -> L.Top
+      | 1 -> L.Bottom
+      | n -> L.Const (n - 2))
+    QCheck.(int_range 0 20)
+
+let prop_meet_laws =
+  QCheck.Test.make ~name:"meet laws on arbitrary elements" ~count:500
+    (QCheck.triple arb_elt arb_elt arb_elt)
+    (fun (a, b, c) ->
+      L.equal (L.meet a b) (L.meet b a)
+      && L.equal (L.meet (L.meet a b) c) (L.meet a (L.meet b c))
+      && L.equal (L.meet a a) a
+      && L.equal (L.meet L.Top a) a
+      && L.equal (L.meet L.Bottom a) L.Bottom
+      && L.le a b = L.equal (L.meet a b) a)
+
+let suite =
+  [
+    ("meet commutative", `Quick, test_meet_commutative);
+    ("meet associative", `Quick, test_meet_associative);
+    ("meet idempotent", `Quick, test_meet_idempotent);
+    ("top identity, bottom absorbing", `Quick, test_top_identity_bottom_absorbing);
+    ("le agrees with meet", `Quick, test_le_agrees_with_meet);
+    ("le is a partial order", `Quick, test_le_partial_order);
+    ("meet lowers height", `Quick, test_height_strictly_decreasing);
+    QCheck_alcotest.to_alcotest prop_meet_laws;
+  ]

@@ -1,0 +1,323 @@
+(* fuzz — seeded differential fuzzing oracle for the ipcp pipeline.
+
+   Each iteration generates a random closed MiniFort program (the
+   workload generator guarantees termination and conformance), then runs
+   a battery of oracle checks against it:
+
+   - certification: the independent certifier accepts the solved
+     analysis under several configurations, execution witness included
+     (so every published constant was compared against the reference
+     interpreter's actual values);
+   - metamorphic rename: consistently renaming declared variables leaves
+     the CONSTANTS sets and substitution totals identical — parameter
+     positions and common slots are nominal-free, so the analysis may
+     not depend on spelling;
+   - metamorphic reorder: shuffling program-unit order leaves the same
+     results (compared name-sorted);
+   - budget monotonicity: shrinking --max-steps only moves bindings down
+     the lattice, never up;
+   - jobs determinism: --jobs 1 and --jobs 2 substitute byte-identically.
+
+   On a failing iteration the offending program is minimized by repeated
+   single-line removal (keeping it semantically valid and still failing)
+   and printed, so the repro lands in the report at its smallest.
+
+   --inject-bad flips the experiment: every iteration deliberately
+   corrupts one solution binding through the Fault hook and demands the
+   certifier reject it — a self-test that the oracle can actually see
+   bugs — and demonstrates minimization on the first such rejection.
+
+   Exit codes: 0 all iterations clean, 1 failures found, 2 usage. *)
+
+module Fault = Ipcp_support.Fault
+module Prng = Ipcp_support.Prng
+open Ipcp_frontend
+open Ipcp_analysis
+open Ipcp_core
+module Certify = Ipcp_certify.Certify
+module Metamorph = Ipcp_certify.Metamorph
+module Workload = Ipcp_suite.Workload
+
+let seed = ref 1
+let iterations = ref 25
+let certify = ref false
+let inject_bad = ref false
+let fuel = ref Ipcp_interp.Interp.default_fuel
+let verbose = ref false
+
+let speclist =
+  [
+    ("--seed", Arg.Set_int seed, "N  master seed (default 1)");
+    ("--iterations", Arg.Set_int iterations, "N  iterations (default 25)");
+    ( "--certify",
+      Arg.Set certify,
+      "  run the full certifier every iteration (slower, deeper)" );
+    ( "--inject-bad",
+      Arg.Set inject_bad,
+      "  corrupt each solution via the Fault hook; the certifier must \
+       reject every one" );
+    ("--fuel", Arg.Set_int fuel, "N  interpreter fuel per run");
+    ("--verbose", Arg.Set verbose, "  print each iteration");
+  ]
+
+let usage = "fuzz [--seed N] [--iterations N] [--certify] [--inject-bad]"
+
+(* ------------------------------------------------------------------ *)
+
+(* The per-iteration program: spec shape drawn from the iteration seed. *)
+let gen_source iter_seed =
+  let prng = Prng.create iter_seed in
+  let spec =
+    {
+      Workload.default_spec with
+      seed = iter_seed;
+      num_procs = Prng.range prng 3 7;
+      num_globals = Prng.range prng 2 4;
+      stmts_per_proc = Prng.range prng 5 10;
+    }
+  in
+  Workload.generate spec
+
+let parse ~label source =
+  match Sema.check ~file:label source with
+  | Ok prog -> Ok prog
+  | Error diags ->
+    Error (Fmt.str "%a" Ipcp_support.Diagnostics.pp diags)
+
+(* Name-sorted CONSTANTS sets; parameter order inside a procedure is
+   already canonical (Param_map), so sorting by name suffices to compare
+   across unit reorderings. *)
+let constants_profile (t : Driver.t) =
+  List.sort compare (Driver.constants t)
+
+let fuzz_configs =
+  [
+    ("default", Config.default);
+    ("polynomial+mod", Config.polynomial_with_mod);
+    ("literal", Config.make ~kind:Jump_function.Literal ());
+    ("intraprocedural", Config.intraprocedural_only);
+  ]
+
+(* All oracle failures for [source], as messages; [] = clean. *)
+let failures_of ~iter_seed (source : string) : string list =
+  match parse ~label:"fuzz" source with
+  | Error d -> [ Fmt.str "generated program does not resolve:@.%s" d ]
+  | Ok prog ->
+    let errs = ref [] in
+    let err fmt = Fmt.kstr (fun m -> errs := m :: !errs) fmt in
+    let analyze config = Driver.analyze config prog in
+    let reference = analyze Config.default in
+    (* (1) certification under several configurations *)
+    if !certify then
+      List.iter
+        (fun (label, config) ->
+          let r = Certify.check ~fuel:!fuel (analyze config) in
+          if not (Certify.ok r) then
+            err "certification failed under %s:@.%a" label Certify.pp_report r
+          else if not r.Certify.exec_checked then
+            err
+              "interpreter witness did not finish under %s (generated \
+               programs must terminate)"
+              label)
+        fuzz_configs
+    else begin
+      (* cheap differential core of the oracle: substituted program
+         behaves like the original *)
+      let open Ipcp_interp in
+      let r0 = Interp.run ~fuel:!fuel ~trace_entries:false prog in
+      let prog', _ = Substitute.apply reference in
+      let r1 = Interp.run ~fuel:!fuel ~trace_entries:false prog' in
+      match (r0.Interp.outcome, r1.Interp.outcome) with
+      | Interp.Finished, Interp.Finished ->
+        if r0.Interp.outputs <> r1.Interp.outputs then
+          err "substituted program output diverges from the original"
+      | o0, o1 ->
+        if o0 <> o1 then
+          err "substitution changed the program's outcome"
+        else err "generated program did not finish (outcome differs from \
+                  Finished)"
+    end;
+    (* (2) metamorphic: variable renaming preserves the results *)
+    (match Metamorph.rename_variables ~seed:iter_seed source with
+    | exception Loc.Error (_, m) ->
+      err "renamed program does not parse: %s" m
+    | renamed -> (
+      match parse ~label:"fuzz-renamed" renamed with
+      | Error d -> err "renamed program does not resolve:@.%s" d
+      | Ok prog_r ->
+        let t_r = Driver.analyze Config.default prog_r in
+        if constants_profile reference <> constants_profile t_r then
+          err "variable renaming changed the CONSTANTS sets";
+        let _, s0 = Substitute.apply reference in
+        let _, s1 = Substitute.apply t_r in
+        if s0.Substitute.total <> s1.Substitute.total then
+          err "variable renaming changed the substitution count (%d vs %d)"
+            s0.Substitute.total s1.Substitute.total));
+    (* (3) metamorphic: unit reordering preserves the results *)
+    (match Metamorph.reorder_procs ~seed:iter_seed source with
+    | exception Loc.Error (_, m) ->
+      err "reordered program does not parse: %s" m
+    | reordered -> (
+      match parse ~label:"fuzz-reordered" reordered with
+      | Error d -> err "reordered program does not resolve:@.%s" d
+      | Ok prog_r ->
+        let t_r = Driver.analyze Config.default prog_r in
+        if constants_profile reference <> constants_profile t_r then
+          err "procedure reordering changed the CONSTANTS sets";
+        let _, s0 = Substitute.apply reference in
+        let _, s1 = Substitute.apply t_r in
+        if
+          List.sort compare s0.Substitute.by_proc
+          <> List.sort compare s1.Substitute.by_proc
+        then err "procedure reordering changed the substitution profile"));
+    (* (4) budgets only move bindings down the lattice *)
+    let generous = analyze Config.default in
+    let params_of (p : Prog.proc) =
+      List.mapi (fun i _ -> Prog.Pformal i) p.pformals
+      @ List.map
+          (fun g -> Prog.Pglob (Prog.global_key g))
+          (Prog.all_globals prog)
+    in
+    List.iter
+      (fun steps ->
+        let budgeted =
+          analyze (Config.with_budget ~max_steps:steps Config.default)
+        in
+        List.iter
+          (fun (p : Prog.proc) ->
+            List.iter
+              (fun param ->
+                let lo = Solver.lookup budgeted.Driver.solution p.pname param in
+                let hi = Solver.lookup generous.Driver.solution p.pname param in
+                if not (Const_lattice.le lo hi) then
+                  err
+                    "--max-steps %d moved %s of %s UP the lattice (%a above \
+                     %a)"
+                    steps
+                    (Prog.param_name prog p param)
+                    p.pname Const_lattice.pp lo Const_lattice.pp hi)
+              (params_of p))
+          prog.procs)
+      [ 0; 1; 63 ];
+    (* (5) --jobs determinism *)
+    let p1, s1 = Substitute.apply ~jobs:1 reference in
+    let p2, s2 = Substitute.apply ~jobs:2 reference in
+    if
+      Pretty.program_to_string p1 <> Pretty.program_to_string p2
+      || s1.Substitute.total <> s2.Substitute.total
+    then err "--jobs 1 and --jobs 2 substitute differently";
+    List.rev !errs
+
+(* ------------------------------------------------------------------ *)
+(* Minimization: greedy single-line removal, repeated to a fixpoint.   *)
+
+let lines_of s = String.split_on_char '\n' s
+let unlines = String.concat "\n"
+
+(* [minimize still_failing source] returns the smallest variant reachable
+   by deleting one line at a time such that [still_failing] holds. *)
+let minimize (still_failing : string -> bool) (source : string) : string =
+  let rec pass src =
+    let lines = Array.of_list (lines_of src) in
+    let n = Array.length lines in
+    let rec try_drop i =
+      if i >= n then None
+      else
+        let candidate =
+          unlines
+            (Array.to_list lines |> List.filteri (fun j _ -> j <> i))
+        in
+        if still_failing candidate then Some candidate else try_drop (i + 1)
+    in
+    match try_drop 0 with Some smaller -> pass smaller | None -> src
+  in
+  pass source
+
+let report_failure iter iter_seed source msgs =
+  Fmt.epr "@.=== iteration %d (seed %d) FAILED ===@." iter iter_seed;
+  List.iter (fun m -> Fmt.epr "  - %s@." m) msgs;
+  let still_failing src =
+    match failures_of ~iter_seed src with
+    | [] -> false
+    | _ -> true
+    | exception _ -> false
+  in
+  let small = minimize still_failing source in
+  Fmt.epr "--- minimized repro (%d of %d lines):@.%s@."
+    (List.length (lines_of small))
+    (List.length (lines_of source))
+    small
+
+(* ------------------------------------------------------------------ *)
+(* Known-bad self-test: the certifier must reject corrupted solutions. *)
+
+let corrupted_rejected ~iter_seed source =
+  match parse ~label:"fuzz-bad" source with
+  | Error _ -> false
+  | Ok prog ->
+    Fault.with_faults ~corrupt_rate:1.0 ~seed:iter_seed (fun () ->
+        let r = Certify.check ~fuel:!fuel (Driver.analyze Config.default prog) in
+        not (Certify.ok r))
+
+let run_inject_bad () =
+  let failures = ref 0 in
+  let minimized = ref false in
+  for iter = 0 to !iterations - 1 do
+    let iter_seed = !seed + (7919 * iter) in
+    let source = gen_source iter_seed in
+    if corrupted_rejected ~iter_seed source then begin
+      if !verbose then
+        Fmt.pr "iteration %d: corrupted solution rejected@." iter;
+      (* demonstrate minimization end-to-end on the first detection *)
+      if not !minimized then begin
+        minimized := true;
+        let small = minimize (corrupted_rejected ~iter_seed) source in
+        Fmt.pr
+          "--- corruption detected; minimized witness program: %d of %d \
+           lines@."
+          (List.length (lines_of small))
+          (List.length (lines_of source))
+      end
+    end
+    else begin
+      incr failures;
+      Fmt.epr
+        "iteration %d (seed %d): corrupted solution was NOT rejected@." iter
+        iter_seed
+    end
+  done;
+  if !failures = 0 then begin
+    Fmt.pr "inject-bad: %d/%d corrupted solutions rejected@." !iterations
+      !iterations;
+    0
+  end
+  else 1
+
+let run_oracle () =
+  let failures = ref 0 in
+  for iter = 0 to !iterations - 1 do
+    let iter_seed = !seed + (7919 * iter) in
+    let source = gen_source iter_seed in
+    match failures_of ~iter_seed source with
+    | [] -> if !verbose then Fmt.pr "iteration %d: ok@." iter
+    | msgs ->
+      incr failures;
+      report_failure iter iter_seed source msgs
+  done;
+  if !failures = 0 then begin
+    Fmt.pr "fuzz: %d iterations, no failures (seed %d%s)@." !iterations !seed
+      (if !certify then ", certified" else "");
+    0
+  end
+  else begin
+    Fmt.epr "fuzz: %d of %d iterations failed@." !failures !iterations;
+    1
+  end
+
+let () =
+  Arg.parse speclist
+    (fun a ->
+      Fmt.epr "unexpected argument %S@." a;
+      exit 2)
+    usage;
+  exit (if !inject_bad then run_inject_bad () else run_oracle ())
