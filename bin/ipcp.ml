@@ -8,49 +8,38 @@
      analyze/tables does the same after their normal work);
    - tables: regenerate the paper's Tables 1-3 on the bundled suite;
    - characteristics: Table 1 only;
-   - generate: emit a random workload program.
+   - generate: emit a random workload program;
+   - serve: long-lived request processing over stdin or a FIFO.
 
    Exit codes:
    - 0: success;
    - 2: usage error (unknown flag, bad argument — cmdliner's own);
    - 3: input error (unreadable file, diagnostics in the program, runtime
      failure or fuel exhaustion of the interpreted program, lint
-     violations);
+     violations, or a broken output pipe — `ipcp tables | head` exits 3,
+     it does not die with a signal);
    - 4: internal error (a bug in ipcp itself, including a certification
-     failure — a published solution the independent checker rejects). *)
+     failure — a published solution the independent checker rejects).
+
+   The job bodies of analyze/tables/certify live in Ipcp_serve.Jobs and
+   render to strings; this file prints them.  The serve subcommand sends
+   the same strings as response frames, which is what makes server
+   responses byte-identical to direct CLI output. *)
 
 open Cmdliner
-open Ipcp_frontend
 open Ipcp_core
 open Ipcp_telemetry
+module Jobs = Ipcp_serve.Jobs
 
-let exit_input = 3
-let exit_internal = 4
+let exit_input = Jobs.exit_input
+let exit_internal = Jobs.exit_internal
 
-(* Close the channel even when reading aborts (a parse error downstream is
-   recoverable in batch use; a leaked descriptor is not). *)
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-(* Load in recovery mode: every lexical, syntax and semantic problem of the
-   file is collected, not just the first. *)
-let load path =
-  match read_file path with
-  | exception Sys_error m -> Error (`Sys m)
-  | src -> (
-    match Sema.check ~file:path src with
-    | Ok prog -> Ok prog
-    | Error diags -> Error (`Diags diags))
-
-(* All input-error reporting goes to stderr; stdout carries results only. *)
-let report_load_error = function
-  | `Sys m -> Fmt.epr "error: %s@." m
-  | `Diags diags ->
-    Fmt.epr "%a%a@." Ipcp_support.Diagnostics.pp diags
-      Ipcp_support.Diagnostics.pp_summary diags
+(* Print one rendered job outcome: stdout, then stderr, each flushed, so
+   interleaving with any direct printing around it is preserved. *)
+let emit (o : Jobs.outcome) =
+  Fmt.pr "%s@?" o.out;
+  Fmt.epr "%s@?" o.err;
+  o.code
 
 (* ---------------- shared options ---------------- *)
 
@@ -178,30 +167,7 @@ let certify_flag =
   in
   Arg.(value & flag & info [ "certify" ] ~doc)
 
-(* Print one certification outcome; violations go to stderr.  Returns
-   [true] when certified. *)
-let report_certification label (r : Ipcp_certify.Certify.report) =
-  if Ipcp_certify.Certify.ok r then begin
-    Fmt.pr "--- certified [%s]: %a@." label Ipcp_certify.Certify.pp_report r;
-    true
-  end
-  else begin
-    Fmt.epr "certification failed [%s]:@.%a@." label
-      Ipcp_support.Diagnostics.pp
-      (Ipcp_certify.Certify.to_diagnostics r);
-    false
-  end
-
 (* ---------------- analyze ---------------- *)
-
-let pp_degraded ppf reasons =
-  List.iter
-    (fun r ->
-      Fmt.pf ppf
-        "--- degraded: %a (results remain sound; raise --max-steps / \
-         --deadline-ms for full precision)@."
-        Ipcp_support.Budget.pp_reason r)
-    reasons
 
 let analyze_cmd =
   let substitute_out =
@@ -219,50 +185,13 @@ let analyze_cmd =
   let run file kind no_ret no_mod intra max_steps deadline_ms substitute_out
       complete verbose jobs certify profile profile_json =
     with_profiling profile profile_json @@ fun () ->
-    match load file with
-    | Error e ->
-      report_load_error e;
-      exit_input
-    | Ok prog ->
+    match Jobs.load file with
+    | Error o -> emit o
+    | Ok (_src, prog) ->
       let config = config_of kind no_ret no_mod intra max_steps deadline_ms in
-      let t, degraded =
-        if complete then
-          let o = Complete.run ~config prog in
-          (o.final, o.degraded)
-        else
-          let t = Driver.analyze config prog in
-          (t, Driver.degraded t)
-      in
-      if verbose then begin
-        Fmt.pr "--- call graph@.%a@." Callgraph.pp t.cg;
-        Fmt.pr "--- mod/ref@.%a@." Modref.pp t.modref
-      end;
-      Fmt.pr "--- configuration: %a@." Config.pp config;
-      Fmt.pr "--- CONSTANTS sets@.%a" Driver.pp_constants t;
-      let prog', stats = Substitute.apply ~jobs t in
-      Fmt.pr "--- constants substituted: %d@." stats.total;
-      List.iter
-        (fun (p, n) -> if n > 0 then Fmt.pr "      %-16s %d@." p n)
-        stats.by_proc;
-      pp_degraded Fmt.stdout degraded;
-      if stats.sccp_degraded <> [] then
-        Fmt.pr
-          "--- degraded (sccp budget, no substitutions): %a@."
-          Fmt.(list ~sep:(any " ") string)
-          stats.sccp_degraded;
-      (match substitute_out with
-      | Some out ->
-        let oc = open_out out in
-        output_string oc (Pretty.program_to_string prog');
-        close_out oc;
-        Fmt.pr "--- substituted source written to %s@." out
-      | None -> ());
-      if certify then
-        if report_certification (Config.to_string config)
-             (Ipcp_certify.Certify.check t)
-        then 0
-        else exit_internal
-      else 0
+      emit
+        (Jobs.analyze ~verbose ~complete ~certify ?substitute_out ~config
+           ~jobs prog)
   in
   let doc = "Analyze a program and report its interprocedural constants." in
   Cmd.v
@@ -320,7 +249,7 @@ let certify_cmd =
      --inject-error). *)
   let certify_one ~fuel ~input ~inject_error (t : Driver.t) label =
     match inject_error with
-    | None -> report_certification label (Ipcp_certify.Certify.check ~fuel ~input t)
+    | None -> emit (Jobs.certification ~fuel ~input ~label t) = 0
     | Some seed -> (
       match Ipcp_certify.Certify.corrupt ~seed t with
       | None ->
@@ -364,9 +293,9 @@ let certify_cmd =
           match file with
           | None -> []
           | Some path -> (
-            match load path with
-            | Ok prog -> [ Ok (path, prog) ]
-            | Error e -> [ Error (`Load e) ])
+            match Jobs.load path with
+            | Ok (_src, prog) -> [ Ok (path, prog) ]
+            | Error o -> [ Error (`Load o) ])
         in
         Ok (from_file @ from_suite)
     in
@@ -386,8 +315,8 @@ let certify_cmd =
       List.iter
         (fun target ->
           match target with
-          | Error (`Load e) ->
-            report_load_error e;
+          | Error (`Load o) ->
+            ignore (emit o);
             input_error := true
           | Ok (name, prog) ->
             let prep = Driver.prepare prog in
@@ -433,11 +362,9 @@ let run_cmd =
       & info [ "fuel" ] ~docv:"N" ~doc)
   in
   let run file input fuel =
-    match load file with
-    | Error e ->
-      report_load_error e;
-      exit_input
-    | Ok prog -> (
+    match Jobs.load file with
+    | Error o -> emit o
+    | Ok (_src, prog) -> (
       let r = Ipcp_interp.Interp.run ~fuel ~input ~trace_entries:false prog in
       List.iter print_endline r.outputs;
       match r.outcome with
@@ -459,11 +386,9 @@ let run_cmd =
 
 let lint_cmd =
   let run file =
-    match load file with
-    | Error e ->
-      report_load_error e;
-      exit_input
-    | Ok prog -> (
+    match Jobs.load file with
+    | Error o -> emit o
+    | Ok (_src, prog) -> (
       match Alias_check.check prog with
       | [] ->
         Fmt.pr "no argument-aliasing violations found@.";
@@ -486,26 +411,7 @@ let lint_cmd =
 let tables_cmd =
   let run jobs max_steps deadline_ms certify profile profile_json =
     with_profiling profile profile_json @@ fun () ->
-    Fmt.pr "%a@."
-      (fun ppf () ->
-        Ipcp_suite.Tables.pp_all ~jobs ?max_steps ?deadline_ms ppf ())
-      ();
-    if certify then begin
-      let config =
-        Config.with_budget ?max_steps ?deadline_ms Config.default
-      in
-      let ok =
-        List.fold_left
-          (fun acc (e : Ipcp_suite.Registry.entry) ->
-            let t =
-              Driver.analyze config (Ipcp_suite.Registry.program e)
-            in
-            report_certification e.name (Ipcp_certify.Certify.check t) && acc)
-          true Ipcp_suite.Registry.entries
-      in
-      if ok then 0 else exit_internal
-    end
-    else 0
+    emit (Jobs.tables ~certify ?max_steps ?deadline_ms ~jobs ())
   in
   let doc = "Regenerate the paper's Tables 1, 2 and 3 on the bundled suite." in
   Cmd.v
@@ -563,7 +469,157 @@ let generate_cmd =
     (Cmd.info "generate" ~doc)
     Term.(const run $ seed $ procs $ globals $ stmts)
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let open Ipcp_serve in
+  let workers =
+    let doc = "Worker domains executing requests." in
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue =
+    let doc =
+      "Admission queue capacity; overflow is shed according to \
+       $(b,--queue-policy) as typed $(b,rejected)/$(b,shed) frames, never \
+       a hang."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let queue_policy =
+    let doc =
+      "Load-shedding policy of a full queue: $(b,reject-new) refuses the \
+       incoming request, $(b,drop-oldest) sheds the oldest queued one."
+    in
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [
+               ("reject-new", Bqueue.Reject_new);
+               ("drop-oldest", Bqueue.Drop_oldest);
+             ])
+          Bqueue.Reject_new
+      & info [ "queue-policy" ] ~docv:"POLICY" ~doc)
+  in
+  let breaker =
+    let doc =
+      "Quarantine an input after $(docv) consecutive worker crashes \
+       (circuit breaker); 0 disables."
+    in
+    Arg.(value & opt int 3 & info [ "breaker" ] ~docv:"N" ~doc)
+  in
+  let cache =
+    let doc =
+      "Crash-safe on-disk cache of prepared analysis artifacts, rooted at \
+       $(docv).  Corrupt or truncated entries are recomputed, never \
+       trusted; responses are byte-identical warm or cold."
+    in
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+  in
+  let backoff_ms =
+    let doc = "First worker-restart delay after a crash, in milliseconds." in
+    Arg.(value & opt int 10 & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+  in
+  let backoff_cap_ms =
+    let doc = "Exponential restart-backoff ceiling, in milliseconds." in
+    Arg.(value & opt int 1000 & info [ "backoff-cap-ms" ] ~docv:"MS" ~doc)
+  in
+  let seed =
+    let doc = "Seed of the deterministic restart-backoff jitter." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let input =
+    let doc =
+      "Read requests from $(docv) (a FIFO or file) instead of standard \
+       input.  Opening a FIFO blocks until a writer connects."
+    in
+    Arg.(value & opt (some string) None & info [ "input" ] ~docv:"PATH" ~doc)
+  in
+  let fault_rate =
+    let doc =
+      "Arm deterministic fault injection at the $(b,serve.worker:<seq>) \
+       sites with this raise probability (testing the supervision path)."
+    in
+    Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"P" ~doc)
+  in
+  let fault_seed =
+    let doc = "Seed of the fault-injection draws." in
+    Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N" ~doc)
+  in
+  let run workers queue queue_policy breaker cache backoff_ms backoff_cap_ms
+      seed input fault_rate fault_seed =
+    if fault_rate > 0.0 then
+      Ipcp_support.Fault.configure ~raise_rate:fault_rate ~seed:fault_seed ();
+    let fd =
+      match input with
+      | None -> Ok Unix.stdin
+      | Some path -> (
+        match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+        | fd -> Ok fd
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Fmt.str "cannot open %s: %s" path (Unix.error_message e)))
+    in
+    match fd with
+    | Error m ->
+      Fmt.epr "error: %s@." m;
+      exit_input
+    | Ok fd ->
+      let config =
+        {
+          Server.workers;
+          queue_capacity = queue;
+          queue_policy;
+          breaker_threshold = breaker;
+          cache_dir = cache;
+          backoff_base_ms = backoff_ms;
+          backoff_cap_ms;
+          seed;
+        }
+      in
+      let code = Server.run ~config ~input:fd ~output:stdout () in
+      (if input <> None then try Unix.close fd with Unix.Unix_error _ -> ());
+      code
+  in
+  let doc =
+    "Process analysis requests as a long-lived service: newline-delimited \
+     JSON requests (analyze, tables, certify, health) in, one JSON \
+     response frame per request out.  Every submitted request receives \
+     exactly one terminal response; SIGTERM/SIGINT drain gracefully \
+     (in-flight work finishes, new work is rejected) and exit 0."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ workers $ queue $ queue_policy $ breaker $ cache
+      $ backoff_ms $ backoff_cap_ms $ seed $ input $ fault_rate $ fault_seed)
+
+(* ---------------- broken-pipe handling ---------------- *)
+
+let contains ~sub s =
+  let n = String.length s and k = String.length sub in
+  let rec scan i = i + k <= n && (String.sub s i k = sub || scan (i + 1)) in
+  k = 0 || scan 0
+
+(* The runtime renders EPIPE on a channel as Sys_error "Broken pipe". *)
+let is_broken_pipe m = contains ~sub:"Broken pipe" m
+
+(* Once the downstream reader is gone, every later flush of stdout —
+   including the runtime's at-exit flush of the Format and channel
+   buffers — would raise again and turn our clean exit into a fatal
+   error.  Pointing fd 1 at /dev/null makes those flushes land
+   harmlessly. *)
+let neutralize_stdout () =
+  try
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 devnull Unix.stdout;
+    Unix.close devnull
+  with Unix.Unix_error _ | Sys_error _ -> ()
+
 let () =
+  (* SIGPIPE must not kill the process: with the signal ignored, a write
+     into a closed pipe surfaces as Sys_error (EPIPE) and is reported as
+     an ordinary input/output error with exit code 3. *)
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (* Test-only hook: IPCP_FAULT_CORRUPT=<seed> arms the fault-injection
      corruption site consulted by the certifier, so CI can prove
      end-to-end that a corrupted solution is rejected with exit 4. *)
@@ -582,15 +638,25 @@ let () =
     Cmd.group info
       [
         analyze_cmd; certify_cmd; run_cmd; lint_cmd; tables_cmd;
-        characteristics_cmd; generate_cmd;
+        characteristics_cmd; generate_cmd; serve_cmd;
       ]
   in
   (* ~catch:false so an escaped exception is ours to report: anything the
      subcommands did not turn into an input error is an ipcp bug. *)
   exit
-    (try Cmd.eval' ~catch:false ~term_err:2 group
-     with e ->
-       let bt = Printexc.get_backtrace () in
-       Fmt.epr "internal error: %s@." (Printexc.to_string e);
-       if bt <> "" then Fmt.epr "%s@?" bt;
-       exit_internal)
+    (try
+       let code = Cmd.eval' ~catch:false ~term_err:2 group in
+       (* flush here, where a dead pipe is still catchable, rather than
+          in at_exit, where it is not *)
+       Format.pp_print_flush Format.std_formatter ();
+       flush stdout;
+       code
+     with
+    | Sys_error m when is_broken_pipe m ->
+      neutralize_stdout ();
+      exit_input
+    | e ->
+      let bt = Printexc.get_backtrace () in
+      Fmt.epr "internal error: %s@." (Printexc.to_string e);
+      if bt <> "" then Fmt.epr "%s@?" bt;
+      exit_internal)

@@ -92,4 +92,32 @@ for seed in 7 11; do
 done
 dune exec --no-build tools/fuzz.exe -- --seed 7 --iterations 5 --inject-bad
 
+echo "== serve differential"
+# Server-vs-direct at a pinned seed: generated and suite programs
+# through the in-process serving layer at workers 1 and 4, artifact
+# cache off, cold and warm — every response frame byte-identical to the
+# direct CLI-equivalent rendering, every request answered exactly once.
+dune exec --no-build tools/fuzz.exe -- --seed 7 --iterations 5 --serve-diff
+
+echo "== serve smoke"
+# A real `ipcp serve` subprocess: full-suite byte-diff against direct
+# CLI runs, graceful SIGTERM drain (exit 0), a truncated cache entry
+# recomputed instead of trusted, and fault-injected worker crashes
+# failing only their own requests with statuses identical across
+# worker counts.
+dune exec --no-build tools/fuzz.exe -- --serve-smoke \
+  --ipcp "$(pwd)/_build/default/bin/ipcp.exe"
+
+echo "== broken output pipe"
+# A reader that vanishes mid-stream must surface as the documented I/O
+# exit code 3 — never a SIGPIPE death.  `false` closes its stdin at
+# once, so ipcp's first flush hits a broken pipe; its exit code is
+# smuggled out through a status file (POSIX sh has no PIPESTATUS).
+( _build/default/bin/ipcp.exe tables 2>/dev/null; echo $? > "$tmpdir/pipe_code" ) | false || true
+pipe_code=$(cat "$tmpdir/pipe_code")
+if [ "$pipe_code" != "3" ]; then
+  echo "broken pipe: ipcp tables | false exited $pipe_code, expected 3" >&2
+  exit 1
+fi
+
 echo "ci: ok"

@@ -18,24 +18,31 @@ type task_error = {
    probe keyed on (item index, attempt) only — never on the executing
    domain — so a seeded fault run hits the same tasks at every [--jobs]
    setting.  The backtrace is captured at the raise site, before any
-   other OCaml code runs in this domain. *)
-let run_task ~retries f (tasks : 'a array) i : ('b, task_error) result =
+   other OCaml code runs in this domain.
+
+   The second component counts the attempts actually made (1..retries+1)
+   whatever the outcome — a task that fails twice and succeeds on the
+   third try reports 3, exactly like one that fails all three times.
+   [te_attempts] carries the same number on the error path, never the
+   retries that were left. *)
+let run_task ~retries f (tasks : 'a array) i :
+    ('b, task_error) result * int =
   let item = tasks.(i) in
   let rec attempt k =
     match
       Fault.inject (Printf.sprintf "engine.task:%d:%d" i k);
       f item
     with
-    | r -> Ok r
+    | r -> (Ok r, k + 1)
     | exception e ->
       let bt = Printexc.get_raw_backtrace () in
       if k < retries then attempt (k + 1)
-      else Error { te_exn = e; te_backtrace = bt; te_attempts = k + 1 }
+      else (Error { te_exn = e; te_backtrace = bt; te_attempts = k + 1 }, k + 1)
   in
   attempt 0
 
-let map_result ?(jobs = default_jobs ()) ?(retries = 0) f items :
-    ('b, task_error) result list =
+let map_result_attempts ?(jobs = default_jobs ()) ?(retries = 0) f items :
+    (('b, task_error) result * int) list =
   let tasks = Array.of_list items in
   let n = Array.length tasks in
   let jobs = min jobs n in
@@ -53,7 +60,9 @@ let map_result ?(jobs = default_jobs ()) ?(retries = 0) f items :
       Telemetry.add "engine.pools" 1;
       Telemetry.add "engine.domains" jobs;
       Telemetry.add "engine.tasks" n;
-      let slots : ('b, task_error) result option array = Array.make n None in
+      let slots : (('b, task_error) result * int) option array =
+        Array.make n None
+      in
       let cursor = Atomic.make 0 in
       let parent_profiled = Telemetry.enabled () in
       (* Each worker drains the cursor; distinct indices mean no two
@@ -96,12 +105,18 @@ let map_result ?(jobs = default_jobs ()) ?(retries = 0) f items :
       Array.to_list (Array.map Option.get slots)
     end
   in
-  if Telemetry.enabled () then
+  if Telemetry.enabled () then begin
     Telemetry.add "engine.task_errors"
       (List.fold_left
-         (fun acc -> function Error _ -> acc + 1 | Ok _ -> acc)
+         (fun acc -> function Error _, _ -> acc + 1 | Ok _, _ -> acc)
          0 results);
+    Telemetry.add "engine.attempts"
+      (List.fold_left (fun acc (_, attempts) -> acc + attempts) 0 results)
+  end;
   results
+
+let map_result ?jobs ?retries f items : ('b, task_error) result list =
+  List.map fst (map_result_attempts ?jobs ?retries f items)
 
 let map ?(jobs = default_jobs ()) ?(retries = 0) f items =
   if jobs <= 1 && retries = 0 && not (Fault.active ()) then map_seq f items

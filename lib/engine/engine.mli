@@ -19,7 +19,8 @@ val default_jobs : unit -> int
 
 (** One task's terminal failure: the exception, the backtrace captured
     at the raise site inside the worker, and how many attempts were
-    made (1 + retries granted). *)
+    {b actually made} — always [1 + retries] on the error path (the
+    task exhausted every grant), never the retries that were left. *)
 type task_error = {
   te_exn : exn;
   te_backtrace : Printexc.raw_backtrace;
@@ -43,6 +44,18 @@ val map_result :
   ('a -> 'b) ->
   'a list ->
   ('b, task_error) result list
+
+(** Like {!map_result}, but each slot also carries the number of attempts
+    actually made for that item (1..retries+1), for successes as well as
+    failures: a task that fails twice and succeeds on the third try
+    reports [(Ok _, 3)].  The per-run total is recorded in the
+    ["engine.attempts"] telemetry counter. *)
+val map_result_attempts :
+  ?jobs:int ->
+  ?retries:int ->
+  ('a -> 'b) ->
+  'a list ->
+  (('b, task_error) result * int) list
 
 (** [map ~jobs f items] applies [f] to every item and returns the results
     in input order.

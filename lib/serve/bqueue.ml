@@ -1,0 +1,35 @@
+type policy = Reject_new | Drop_oldest
+
+let policy_name = function
+  | Reject_new -> "reject-new"
+  | Drop_oldest -> "drop-oldest"
+
+let policy_of_name = function
+  | "reject-new" -> Some Reject_new
+  | "drop-oldest" -> Some Drop_oldest
+  | _ -> None
+
+type 'a t = { q : 'a Queue.t; cap : int; pol : policy }
+
+let create ~capacity ~policy =
+  { q = Queue.create (); cap = max 1 capacity; pol = policy }
+
+type 'a admit = Enqueued | Rejected | Displaced of 'a
+
+let push t x =
+  if Queue.length t.q < t.cap then begin
+    Queue.add x t.q;
+    Enqueued
+  end
+  else
+    match t.pol with
+    | Reject_new -> Rejected
+    | Drop_oldest ->
+      let oldest = Queue.pop t.q in
+      Queue.add x t.q;
+      Displaced oldest
+
+let pop t = Queue.take_opt t.q
+let length t = Queue.length t.q
+let capacity t = t.cap
+let policy t = t.pol

@@ -1,0 +1,36 @@
+(** The server's bounded admission queue, as a pure policy core.
+
+    No locking here — the server serializes access under its own mutex —
+    so admission decisions are deterministic, unit-testable functions of
+    (capacity, policy, contents).  Overflow never blocks and never drops
+    silently: {!push} names exactly what happened, and the server turns
+    [Rejected]/[Displaced] into typed response frames, preserving the
+    one-terminal-response-per-request conservation law. *)
+
+type policy =
+  | Reject_new  (** a full queue refuses the incoming request *)
+  | Drop_oldest
+      (** a full queue admits the incoming request and sheds the oldest
+          still-queued one *)
+
+val policy_name : policy -> string
+val policy_of_name : string -> policy option
+
+type 'a t
+
+(** [create ~capacity ~policy] — [capacity] is clamped to at least 1. *)
+val create : capacity:int -> policy:policy -> 'a t
+
+type 'a admit =
+  | Enqueued
+  | Rejected
+  | Displaced of 'a  (** the shed oldest element; the new one is queued *)
+
+val push : 'a t -> 'a -> 'a admit
+
+(** Oldest-first removal. *)
+val pop : 'a t -> 'a option
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val policy : 'a t -> policy

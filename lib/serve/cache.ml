@@ -1,0 +1,132 @@
+open Ipcp_core
+
+let magic = "ipcp-artifact-cache/1"
+
+type t = {
+  c_dir : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  corrupt : int Atomic.t;
+  stores : int Atomic.t;
+  tmp_seq : int Atomic.t;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* The build fingerprint folds the binary's digest into every key:
+   Marshal payloads are layout-specific, so a rebuilt ipcp must never
+   decode an old build's entries — with the fingerprint in the key it
+   never even finds them. *)
+let build_id =
+  lazy
+    (match Digest.file Sys.executable_name with
+    | d -> Digest.to_hex d
+    | exception Sys_error _ -> "unknown-build")
+
+let create ~dir =
+  mkdir_p dir;
+  (* force the build fingerprint here, in whichever single domain sets
+     the cache up: a lazy raced by two worker domains on their first
+     [key] raises CamlinternalLazy.Undefined *)
+  ignore (Lazy.force build_id);
+  {
+    c_dir = dir;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    corrupt = Atomic.make 0;
+    stores = Atomic.make 0;
+    tmp_seq = Atomic.make 0;
+  }
+
+let dir t = t.c_dir
+
+let key ~source =
+  Digest.to_hex (Digest.string (Lazy.force build_id ^ "\x00" ^ source))
+
+let entry_path t ~key = Filename.concat t.c_dir (key ^ ".art")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Validate the header and checksum; only then hand the payload to the
+   deserializer (feeding Marshal unverified bytes can do worse than
+   raise).  Any failure is a corrupt entry. *)
+let decode data =
+  match String.index_opt data '\n' with
+  | None -> None
+  | Some nl -> (
+    let header = String.sub data 0 nl in
+    match String.split_on_char ' ' header with
+    | [ m; hex; len_s ] when m = magic -> (
+      match int_of_string_opt len_s with
+      | None -> None
+      | Some len ->
+        let start = nl + 1 in
+        if String.length data - start <> len then None
+        else
+          let payload = String.sub data start len in
+          if Digest.to_hex (Digest.string payload) <> hex then None
+          else Driver.artifacts_of_string payload)
+    | _ -> None)
+
+let find t ~key =
+  let path = entry_path t ~key in
+  match read_file path with
+  | exception Sys_error _ ->
+    Atomic.incr t.misses;
+    None
+  | data -> (
+    match decode data with
+    | Some a ->
+      Atomic.incr t.hits;
+      Some a
+    | None ->
+      (* never trust it again; the recompute will overwrite anyway *)
+      Atomic.incr t.corrupt;
+      (try Sys.remove path with Sys_error _ -> ());
+      None)
+
+let store t ~key artifacts =
+  let payload = Driver.artifacts_to_string artifacts in
+  let header =
+    Printf.sprintf "%s %s %d\n" magic
+      (Digest.to_hex (Digest.string payload))
+      (String.length payload)
+  in
+  let tmp =
+    Filename.concat t.c_dir
+      (Printf.sprintf ".tmp.%d.%d.%s" (Unix.getpid ())
+         (Atomic.fetch_and_add t.tmp_seq 1)
+         key)
+  in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc header;
+        output_string oc payload);
+    (* the rename is the commit point: readers see the old entry (or
+       none) until the new one is complete on disk *)
+    Sys.rename tmp (entry_path t ~key)
+  with
+  | () -> Atomic.incr t.stores
+  | exception Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+
+type stats = { hits : int; misses : int; corrupt : int; stores : int }
+
+let stats (t : t) : stats =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    corrupt = Atomic.get t.corrupt;
+    stores = Atomic.get t.stores;
+  }

@@ -1,0 +1,50 @@
+(** Crash-safe on-disk cache of {!Ipcp_core.Driver.prepare} results.
+
+    One entry per (build × source text), written with temp-file +
+    atomic-rename so a crash mid-write never leaves a half-entry under
+    the final name.  Each entry opens with a checksum header
+
+    {v ipcp-artifact-cache/1 <md5-of-payload> <payload-length> v}
+
+    validated {b before} the payload reaches [Marshal] — a corrupt or
+    truncated entry is deleted and reported as a miss (the caller
+    silently recomputes), never trusted.  The build fingerprint is part
+    of the key, so entries from another binary are simply never found.
+
+    Safe for concurrent use from worker domains: lookups and stores are
+    independent file operations, and a racing double-store resolves to
+    whichever atomic rename lands last (both writes carry identical
+    bytes). *)
+
+open Ipcp_core
+
+type t
+
+(** Open (creating if needed) a cache rooted at [dir].  Raises
+    [Sys_error]/[Unix.Unix_error] only if [dir] cannot be created. *)
+val create : dir:string -> t
+
+val dir : t -> string
+
+(** Cache key of a source text under the running binary: a digest of
+    (build fingerprint, source). *)
+val key : source:string -> string
+
+(** Path a key's entry lives at — the ci gates truncate this file to
+    prove corrupt entries are recomputed. *)
+val entry_path : t -> key:string -> string
+
+(** [find t ~key] is the cached artifacts, or [None] on miss {b or} any
+    integrity failure (bad header, short payload, checksum mismatch,
+    undecodable payload).  Failed entries are removed. *)
+val find : t -> key:string -> Driver.artifacts option
+
+(** Persist prepared artifacts under [key].  Best-effort: an I/O failure
+    leaves the cache without the entry (and the temp file cleaned up)
+    rather than raising — the cache is an accelerator, not a store of
+    record. *)
+val store : t -> key:string -> Driver.artifacts -> unit
+
+type stats = { hits : int; misses : int; corrupt : int; stores : int }
+
+val stats : t -> stats

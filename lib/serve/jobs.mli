@@ -1,0 +1,62 @@
+(** The CLI's job bodies, factored to render into strings.
+
+    Both the [ipcp] subcommands and the serving layer run jobs through
+    this module, so "server responses are byte-identical to direct CLI
+    output" is structural — there is exactly one renderer per job, and
+    the CLI merely prints what a server response would carry.  Renderers
+    write through buffer-backed {!Format} formatters, which share the
+    standard formatter's default geometry, so line breaks agree with
+    direct terminal output. *)
+
+open Ipcp_frontend
+open Ipcp_core
+
+(** Exit codes shared by the CLI and the [code] field of serve response
+    frames. *)
+val exit_input : int
+(** 3: unreadable file, diagnostics in the program, lint violations,
+    broken output pipe. *)
+
+val exit_internal : int
+(** 4: a bug in ipcp itself, including a failed certification. *)
+
+(** One executed job: rendered standard output, rendered standard error,
+    and the exit code a direct CLI run would return. *)
+type outcome = { out : string; err : string; code : int }
+
+(** Load a source file in recovery mode.  [Ok (source, prog)] keeps the
+    raw text (the artifact-cache key); [Error outcome] carries the
+    CLI-rendered error report and [exit_input]. *)
+val load : string -> (string * Prog.t, outcome) result
+
+(** The [analyze] job.  [?artifacts] supplies prepared (possibly
+    cache-roundtripped) staged artifacts — solving over them is
+    byte-identical to the fresh [Driver.analyze] path.  [?substitute_out]
+    also writes the constant-substituted source to a file (CLI only;
+    raises [Sys_error] like any file write). *)
+val analyze :
+  ?verbose:bool ->
+  ?complete:bool ->
+  ?certify:bool ->
+  ?substitute_out:string ->
+  ?artifacts:Driver.artifacts ->
+  config:Config.t ->
+  jobs:int ->
+  Prog.t ->
+  outcome
+
+(** The [tables] job: Tables 1–3 over the bundled suite, optionally
+    certifying every entry afterwards. *)
+val tables :
+  ?certify:bool ->
+  ?max_steps:int ->
+  ?deadline_ms:int ->
+  jobs:int ->
+  unit ->
+  outcome
+
+(** Render one certification verdict exactly as the CLI does
+    ([--- certified \[label\]] on stdout, the violation report on stderr
+    with [exit_internal]). *)
+val certification :
+  ?fuel:int -> ?input:int list -> label:string -> Driver.t -> outcome

@@ -1,0 +1,225 @@
+open Ipcp_core
+module Json = Ipcp_telemetry.Json
+
+type target = Suite of string | File of string
+type op = Analyze | Tables | Certify | Health
+
+type t = {
+  rq_id : string;
+  rq_op : op;
+  rq_target : target option;
+  rq_kind : Jump_function.kind;
+  rq_return_jfs : bool;
+  rq_use_mod : bool;
+  rq_intra_only : bool;
+  rq_max_steps : int option;
+  rq_deadline_ms : int option;
+  rq_certify : bool;
+  rq_input : int list;
+  rq_fuel : int option;
+}
+
+let op_of_string = function
+  | "analyze" -> Some Analyze
+  | "tables" -> Some Tables
+  | "certify" -> Some Certify
+  | "health" -> Some Health
+  | _ -> None
+
+let kind_of_string = function
+  | "literal" -> Some Jump_function.Literal
+  | "intraconst" -> Some Jump_function.Intraconst
+  | "passthrough" -> Some Jump_function.Passthrough
+  | "polynomial" -> Some Jump_function.Polynomial
+  | _ -> None
+
+(* Typed field extraction: absent is fine (default applies), present with
+   the wrong type is an invalid request — a silently coerced field would
+   run the wrong job and still report "ok". *)
+let field name conv doc =
+  match Json.member name doc with
+  | None -> Ok None
+  | Some v -> (
+    match conv v with
+    | Some x -> Ok (Some x)
+    | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let to_bool_opt = function Json.Bool b -> Some b | _ -> None
+
+let to_int_list_opt v =
+  match Json.to_list_opt v with
+  | None -> None
+  | Some vs ->
+    let ints = List.filter_map Json.to_int_opt vs in
+    if List.length ints = List.length vs then Some ints else None
+
+let ( let* ) = Result.bind
+
+let of_doc doc =
+  let id =
+    match Json.member "id" doc with
+    | Some (Json.Str s) -> s
+    | _ -> ""
+  in
+  let fail reason = Error (id, reason) in
+  match doc with
+  | Json.Obj _ -> (
+    let parse =
+      let* op =
+        match Json.member "op" doc with
+        | None -> Error "missing field \"op\""
+        | Some (Json.Str s) -> (
+          match op_of_string s with
+          | Some op -> Ok op
+          | None -> Error (Printf.sprintf "unknown op %S" s))
+        | Some _ -> Error "field \"op\" has the wrong type"
+      in
+      let* suite = field "suite" Json.to_string_opt doc in
+      let* file = field "file" Json.to_string_opt doc in
+      let* target =
+        match (suite, file) with
+        | Some _, Some _ -> Error "give \"suite\" or \"file\", not both"
+        | Some s, None -> Ok (Some (Suite s))
+        | None, Some f -> Ok (Some (File f))
+        | None, None -> Ok None
+      in
+      let* target =
+        match (op, target) with
+        | (Analyze | Certify), None ->
+          Error "analyze/certify need a \"suite\" or \"file\" target"
+        | (Tables | Health), Some _ ->
+          Error "tables/health take no target"
+        | _ -> Ok target
+      in
+      let* kind =
+        match Json.member "jf" doc with
+        | None -> Ok Jump_function.Passthrough
+        | Some (Json.Str s) -> (
+          match kind_of_string s with
+          | Some k -> Ok k
+          | None -> Error (Printf.sprintf "unknown jump function %S" s))
+        | Some _ -> Error "field \"jf\" has the wrong type"
+      in
+      let* no_ret = field "no_return_jfs" to_bool_opt doc in
+      let* no_mod = field "no_mod" to_bool_opt doc in
+      let* intra = field "intra_only" to_bool_opt doc in
+      let* max_steps = field "max_steps" Json.to_int_opt doc in
+      let* deadline_ms = field "deadline_ms" Json.to_int_opt doc in
+      let* certify = field "certify" to_bool_opt doc in
+      let* input = field "input" to_int_list_opt doc in
+      let* fuel = field "fuel" Json.to_int_opt doc in
+      Ok
+        {
+          rq_id = id;
+          rq_op = op;
+          rq_target = target;
+          rq_kind = kind;
+          rq_return_jfs = not (Option.value ~default:false no_ret);
+          rq_use_mod = not (Option.value ~default:false no_mod);
+          rq_intra_only = Option.value ~default:false intra;
+          rq_max_steps = max_steps;
+          rq_deadline_ms = deadline_ms;
+          rq_certify = Option.value ~default:false certify;
+          rq_input = Option.value ~default:[] input;
+          rq_fuel = fuel;
+        }
+    in
+    match parse with Ok t -> Ok t | Error reason -> fail reason)
+  | _ -> fail "request is not a JSON object"
+
+let of_line line =
+  match Json.of_string line with
+  | Error e -> Error ("", Printf.sprintf "bad JSON: %s" e)
+  | Ok doc -> of_doc doc
+
+let config_of t =
+  let base =
+    if t.rq_intra_only then Config.intraprocedural_only
+    else
+      Config.make ~kind:t.rq_kind ~return_jfs:t.rq_return_jfs
+        ~use_mod:t.rq_use_mod ()
+  in
+  Config.with_budget ?max_steps:t.rq_max_steps ?deadline_ms:t.rq_deadline_ms
+    base
+
+let input_key t =
+  match t.rq_target with
+  | Some (Suite s) -> "suite:" ^ s
+  | Some (File f) -> "file:" ^ f
+  | None -> "tables"
+
+(* ---- responses ---- *)
+
+type status = Ok_done | Error_crash | Shed | Rejected | Quarantined | Invalid
+
+let status_name = function
+  | Ok_done -> "ok"
+  | Error_crash -> "error"
+  | Shed -> "shed"
+  | Rejected -> "rejected"
+  | Quarantined -> "quarantined"
+  | Invalid -> "invalid"
+
+let status_of_name = function
+  | "ok" -> Some Ok_done
+  | "error" -> Some Error_crash
+  | "shed" -> Some Shed
+  | "rejected" -> Some Rejected
+  | "quarantined" -> Some Quarantined
+  | "invalid" -> Some Invalid
+  | _ -> None
+
+type response = {
+  rs_id : string;
+  rs_status : status;
+  rs_code : int option;
+  rs_stdout : string option;
+  rs_stderr : string option;
+  rs_reason : string option;
+  rs_health : Json.t option;
+}
+
+let response ?code ?stdout ?stderr ?reason ?health ~id status =
+  {
+    rs_id = id;
+    rs_status = status;
+    rs_code = code;
+    rs_stdout = stdout;
+    rs_stderr = stderr;
+    rs_reason = reason;
+    rs_health = health;
+  }
+
+let response_to_line r =
+  let opt name conv v = Option.to_list (Option.map (fun x -> (name, conv x)) v) in
+  Json.to_string
+    (Json.Obj
+       ([
+          ("id", Json.Str r.rs_id);
+          ("status", Json.Str (status_name r.rs_status));
+        ]
+       @ opt "code" (fun c -> Json.Int c) r.rs_code
+       @ opt "stdout" (fun s -> Json.Str s) r.rs_stdout
+       @ opt "stderr" (fun s -> Json.Str s) r.rs_stderr
+       @ opt "reason" (fun s -> Json.Str s) r.rs_reason
+       @ opt "health" Fun.id r.rs_health))
+
+let response_of_line line =
+  match Json.of_string line with
+  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+  | Ok doc -> (
+    let str name = Option.bind (Json.member name doc) Json.to_string_opt in
+    match (str "id", Option.bind (str "status") status_of_name) with
+    | Some id, Some status ->
+      Ok
+        {
+          rs_id = id;
+          rs_status = status;
+          rs_code = Option.bind (Json.member "code" doc) Json.to_int_opt;
+          rs_stdout = str "stdout";
+          rs_stderr = str "stderr";
+          rs_reason = str "reason";
+          rs_health = Json.member "health" doc;
+        }
+    | None, _ -> Error "response frame has no \"id\""
+    | _, None -> Error "response frame has no valid \"status\"")

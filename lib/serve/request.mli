@@ -1,0 +1,84 @@
+(** The serve wire protocol: newline-delimited JSON in both directions.
+
+    A request is one JSON object per line; a response is one JSON object
+    per line with a fixed key order, so identical requests produce
+    byte-identical frames whatever the worker count.  Every submitted
+    line receives {b exactly one} terminal response — completed, shed,
+    rejected, quarantined, or invalid — the conservation law the
+    property tests pin. *)
+
+open Ipcp_core
+
+type target =
+  | Suite of string  (** a bundled benchmark, by registry name *)
+  | File of string  (** a MiniFort source path on the server's filesystem *)
+
+type op =
+  | Analyze  (** the [ipcp analyze] pipeline *)
+  | Tables  (** the [ipcp tables] regeneration *)
+  | Certify  (** one-configuration independent certification *)
+  | Health  (** health snapshot; bypasses the queue *)
+
+type t = {
+  rq_id : string;  (** echoed verbatim in the response; [""] if absent *)
+  rq_op : op;
+  rq_target : target option;  (** required for analyze/certify *)
+  rq_kind : Jump_function.kind;
+  rq_return_jfs : bool;
+  rq_use_mod : bool;
+  rq_intra_only : bool;
+  rq_max_steps : int option;
+  rq_deadline_ms : int option;
+  rq_certify : bool;  (** also certify after analyze/tables *)
+  rq_input : int list;  (** interpreter-witness inputs for certify *)
+  rq_fuel : int option;  (** interpreter-witness step budget *)
+}
+
+(** Parse one request line.  [Error (id, reason)] carries the request id
+    when one could still be extracted (best effort), so even malformed
+    lines get an addressed [invalid] response. *)
+val of_line : string -> (t, string * string) result
+
+(** The analyzer configuration selected by the request's flags — the same
+    derivation the CLI applies to [--jump-function]/[--no-return-jfs]/
+    [--no-mod]/[--intra-only]/[--max-steps]/[--deadline-ms]. *)
+val config_of : t -> Config.t
+
+(** Circuit-breaker key of the request's input ([suite:<name>],
+    [file:<path>], or [tables]). *)
+val input_key : t -> string
+
+(* ---- responses ---- *)
+
+type status =
+  | Ok_done  (** executed; [code]/[stdout]/[stderr] carry the outcome *)
+  | Error_crash  (** the executing worker crashed; only this request fails *)
+  | Shed  (** displaced from a full queue by a newer request *)
+  | Rejected  (** refused at admission (full queue or draining) *)
+  | Quarantined  (** the input's circuit breaker is open *)
+  | Invalid  (** the line did not parse as a request *)
+
+val status_name : status -> string
+
+type response = {
+  rs_id : string;
+  rs_status : status;
+  rs_code : int option;
+  rs_stdout : string option;
+  rs_stderr : string option;
+  rs_reason : string option;
+  rs_health : Ipcp_telemetry.Json.t option;
+}
+
+val response : ?code:int -> ?stdout:string -> ?stderr:string ->
+  ?reason:string -> ?health:Ipcp_telemetry.Json.t -> id:string -> status ->
+  response
+
+(** Render one response frame (no trailing newline).  Key order is fixed
+    — [id], [status], then whichever of [code], [stdout], [stderr],
+    [reason], [health] the status carries — so frames diff cleanly. *)
+val response_to_line : response -> string
+
+(** Parse a response frame back (used by the differential harnesses). *)
+val response_of_line :
+  string -> (response, string) result

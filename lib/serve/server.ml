@@ -1,0 +1,464 @@
+open Ipcp_core
+module Fault = Ipcp_support.Fault
+module Prng = Ipcp_support.Prng
+module Telemetry = Ipcp_telemetry.Telemetry
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  queue_policy : Bqueue.policy;
+  breaker_threshold : int;
+  cache_dir : string option;
+  backoff_base_ms : int;
+  backoff_cap_ms : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    workers = 1;
+    queue_capacity = 64;
+    queue_policy = Bqueue.Reject_new;
+    breaker_threshold = 3;
+    cache_dir = None;
+    backoff_base_ms = 10;
+    backoff_cap_ms = 1000;
+    seed = 0;
+  }
+
+(* Signal handlers may not allocate much and run on an arbitrary domain:
+   they only flip this flag; the reader polls it. *)
+let stop_flag = Atomic.make false
+
+type job = { j_seq : int; j_req : Request.t }
+
+type counters = {
+  mutable received : int;
+  mutable completed : int;
+  mutable errors : int;
+  mutable shed : int;
+  mutable rejected : int;
+  mutable quarantined : int;
+  mutable invalid : int;
+  mutable restarts_total : int;
+}
+
+type state = {
+  cfg : config;
+  mu : Mutex.t;  (** guards queue, draining, breaker, counters *)
+  cond : Condition.t;  (** queue became non-empty, or draining began *)
+  queue : job Bqueue.t;
+  mutable draining : bool;
+  breaker : (string, int) Hashtbl.t;  (** consecutive crashes per input *)
+  cache : Cache.t option;
+  n : counters;
+  out_mu : Mutex.t;
+  out : out_channel;
+  mutable out_dead : bool;
+}
+
+(* ---------------- responses ---------------- *)
+
+(* One frame per response, flushed immediately so a client sees each
+   result as it lands.  A dead output (broken pipe) latches: the server
+   keeps draining — jobs are cheap to finish and the accounting stays
+   consistent — but stops writing and reports exit 3. *)
+let respond st r =
+  Mutex.lock st.out_mu;
+  (if not st.out_dead then
+     try
+       output_string st.out (Request.response_to_line r);
+       output_char st.out '\n';
+       flush st.out
+     with Sys_error _ -> st.out_dead <- true);
+  Mutex.unlock st.out_mu
+
+let locked st f =
+  Mutex.lock st.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.mu) f
+
+(* ---------------- circuit breaker ---------------- *)
+
+let breaker_open st key =
+  st.cfg.breaker_threshold > 0
+  &&
+  match Hashtbl.find_opt st.breaker key with
+  | Some k -> k >= st.cfg.breaker_threshold
+  | None -> false
+
+let breaker_note st key crashed =
+  if st.cfg.breaker_threshold > 0 then
+    locked st (fun () ->
+        if crashed then
+          Hashtbl.replace st.breaker key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt st.breaker key))
+        else Hashtbl.remove st.breaker key)
+
+(* ---------------- health ---------------- *)
+
+let health_doc st =
+  let gauges, counters =
+    locked st (fun () ->
+        let quarantined_inputs =
+          Hashtbl.fold
+            (fun _ k acc -> if k >= st.cfg.breaker_threshold then acc + 1 else acc)
+            st.breaker 0
+        in
+        let gauges =
+          [
+            ("serve.queue_depth", Bqueue.length st.queue);
+            ("serve.queue_capacity", Bqueue.capacity st.queue);
+            ("serve.workers", st.cfg.workers);
+            ("serve.worker_restarts", st.n.restarts_total);
+            ( "serve.quarantined_inputs",
+              if st.cfg.breaker_threshold > 0 then quarantined_inputs else 0 );
+          ]
+        in
+        let counters =
+          [
+            ("serve.requests", st.n.received);
+            ("serve.completed", st.n.completed);
+            ("serve.errors", st.n.errors);
+            ("serve.shed", st.n.shed);
+            ("serve.rejected", st.n.rejected);
+            ("serve.quarantined", st.n.quarantined);
+            ("serve.invalid", st.n.invalid);
+          ]
+          @
+          match st.cache with
+          | None -> []
+          | Some c ->
+            let s = Cache.stats c in
+            [
+              ("serve.cache_hits", s.hits);
+              ("serve.cache_misses", s.misses);
+              ("serve.cache_corrupt", s.corrupt);
+              ("serve.cache_stores", s.stores);
+            ]
+        in
+        (gauges, counters))
+  in
+  (* mirror the levels into any ambient profiling sink *)
+  List.iter (fun (k, v) -> Telemetry.set_gauge k v) gauges;
+  Telemetry.health_snapshot ~gauges ~counters
+
+(* ---------------- job execution ---------------- *)
+
+let resolve_target (req : Request.t) =
+  match req.rq_target with
+  | None -> assert false (* only analyze/certify come through here *)
+  | Some (Request.Suite name) -> (
+    match Ipcp_suite.Registry.find name with
+    | None ->
+      Error
+        {
+          Jobs.out = "";
+          err = Fmt.str "error: unknown suite program %S@." name;
+          code = Jobs.exit_input;
+        }
+    | Some e -> Ok (name, e.source, Ipcp_suite.Registry.program e))
+  | Some (Request.File path) -> (
+    match Jobs.load path with
+    | Error o -> Error o
+    | Ok (src, prog) -> Ok (path, src, prog))
+
+(* Prepared artifacts, through the cache when one is configured.  A
+   corrupt or missing entry recomputes silently; the recomputed result
+   is stored back, so the next request is warm again. *)
+let artifacts_for st ~source prog =
+  match st.cache with
+  | None -> Driver.prepare prog
+  | Some c -> (
+    let key = Cache.key ~source in
+    match Cache.find c ~key with
+    | Some a -> a
+    | None ->
+      let a = Driver.prepare prog in
+      Cache.store c ~key a;
+      a)
+
+let run_job st (req : Request.t) : Jobs.outcome =
+  match req.rq_op with
+  | Request.Health -> assert false (* answered by the reader *)
+  | Request.Tables ->
+    Jobs.tables ~certify:req.rq_certify ?max_steps:req.rq_max_steps
+      ?deadline_ms:req.rq_deadline_ms ~jobs:1 ()
+  | Request.Analyze | Request.Certify -> (
+    match resolve_target req with
+    | Error o -> o
+    | Ok (name, source, prog) -> (
+      let config = Request.config_of req in
+      let artifacts = artifacts_for st ~source prog in
+      match req.rq_op with
+      | Request.Analyze ->
+        Jobs.analyze ~certify:req.rq_certify ~artifacts ~config ~jobs:1 prog
+      | Request.Certify ->
+        let t = Driver.solve config artifacts in
+        Jobs.certification ?fuel:req.rq_fuel ~input:req.rq_input
+          ~label:(Fmt.str "%s, %s" name (Config.to_string config))
+          t
+      | Request.Tables | Request.Health -> assert false))
+
+(* ---------------- worker supervision ---------------- *)
+
+(* Restart delay of a worker slot's [r]-th consecutive crash: capped
+   exponential backoff plus deterministic jitter — a pure function of
+   (seed, slot, r), so a seeded fault run waits the same everywhere. *)
+let backoff_ms cfg ~slot ~restart =
+  let base = cfg.backoff_base_ms * (1 lsl min (restart - 1) 16) in
+  let capped = min cfg.backoff_cap_ms (max cfg.backoff_base_ms base) in
+  let prng = Prng.create ((cfg.seed * 1_000_003) + (slot * 8191) + restart) in
+  capped + Prng.int prng (capped + 1)
+
+let quarantined_response (req : Request.t) =
+  Request.response ~id:req.rq_id
+    ~reason:
+      (Printf.sprintf "input %s is quarantined (crashed %s)"
+         (Request.input_key req) "repeatedly")
+    Request.Quarantined
+
+(* The worker-entry fault point.  Keyed on the request sequence number —
+   not the worker slot or wall clock — so which requests crash is a pure
+   function of the input stream, identical at every worker count.  Eight
+   sub-draws amplify the site: serve-level crashes then fire at rates
+   where the deeper, request-shared pipeline sites (whose single draw
+   would fell every request at once) stay quiet. *)
+let worker_fault_point seq =
+  for k = 0 to 7 do
+    Fault.inject (Printf.sprintf "serve.worker:%d:%d" seq k)
+  done
+
+(* Execute one job inside the worker's incarnation: a crash — the job's
+   own exception or an injected fault at [serve.worker:<seq>:<k>] —
+   answers [error] for this request only, and the slot restarts after
+   backoff. *)
+let execute st ~slot ~restarts job =
+  let req = job.j_req in
+  let key = Request.input_key req in
+  if breaker_open st key then begin
+    locked st (fun () -> st.n.quarantined <- st.n.quarantined + 1);
+    respond st (quarantined_response req);
+    0
+  end
+  else
+    match
+      worker_fault_point job.j_seq;
+      run_job st req
+    with
+    | o ->
+      breaker_note st key false;
+      locked st (fun () -> st.n.completed <- st.n.completed + 1);
+      respond st
+        (Request.response ~id:req.rq_id ~code:o.code ~stdout:o.out
+           ~stderr:o.err Request.Ok_done);
+      0
+    | exception e ->
+      breaker_note st key true;
+      locked st (fun () -> st.n.errors <- st.n.errors + 1);
+      respond st
+        (Request.response ~id:req.rq_id ~code:Jobs.exit_internal
+           ~reason:(Printexc.to_string e) Request.Error_crash);
+      let restart = restarts + 1 in
+      locked st (fun () -> st.n.restarts_total <- st.n.restarts_total + 1);
+      let delay = backoff_ms st.cfg ~slot ~restart in
+      Unix.sleepf (float_of_int delay /. 1000.0);
+      restart
+
+let worker st slot () =
+  let rec loop restarts =
+    let next =
+      locked st (fun () ->
+          let rec wait () =
+            match Bqueue.pop st.queue with
+            | Some j -> Some j
+            | None ->
+              if st.draining then None
+              else begin
+                Condition.wait st.cond st.mu;
+                wait ()
+              end
+          in
+          wait ())
+    in
+    match next with
+    | None -> ()
+    | Some job -> loop (execute st ~slot ~restarts job)
+  in
+  loop 0
+
+(* ---------------- admission (reader side) ---------------- *)
+
+let handle_line st ~seq line =
+  if String.trim line <> "" then begin
+    locked st (fun () -> st.n.received <- st.n.received + 1);
+    match Request.of_line line with
+    | Error (id, reason) ->
+      locked st (fun () -> st.n.invalid <- st.n.invalid + 1);
+      respond st (Request.response ~id ~reason Request.Invalid)
+    | Ok req -> (
+      match req.rq_op with
+      | Request.Health ->
+        (* answered inline: health must work under full queues *)
+        let doc = health_doc st in
+        respond st
+          (Request.response ~id:req.rq_id ~code:0 ~health:doc Request.Ok_done)
+      | _ ->
+        let key = Request.input_key req in
+        if breaker_open st key then begin
+          locked st (fun () -> st.n.quarantined <- st.n.quarantined + 1);
+          respond st (quarantined_response req)
+        end
+        else begin
+          let admit =
+            locked st (fun () ->
+                let a = Bqueue.push st.queue { j_seq = seq; j_req = req } in
+                (match a with
+                | Bqueue.Enqueued | Bqueue.Displaced _ ->
+                  Condition.signal st.cond
+                | Bqueue.Rejected -> ());
+                a)
+          in
+          match admit with
+          | Bqueue.Enqueued -> ()
+          | Bqueue.Rejected ->
+            locked st (fun () -> st.n.rejected <- st.n.rejected + 1);
+            respond st
+              (Request.response ~id:req.rq_id
+                 ~reason:"queue full (reject-new)" Request.Rejected)
+          | Bqueue.Displaced old ->
+            locked st (fun () -> st.n.shed <- st.n.shed + 1);
+            respond st
+              (Request.response ~id:old.j_req.Request.rq_id
+                 ~reason:"displaced from a full queue (drop-oldest)"
+                 Request.Shed)
+        end)
+  end
+
+(* A request line that was read but never admitted (the server began
+   draining first) still gets its terminal frame. *)
+let reject_drained st line =
+  if String.trim line <> "" then begin
+    locked st (fun () ->
+        st.n.received <- st.n.received + 1;
+        st.n.rejected <- st.n.rejected + 1);
+    let id = match Request.of_line line with Ok r -> r.Request.rq_id | Error (id, _) -> id in
+    respond st
+      (Request.response ~id ~reason:"server is draining" Request.Rejected)
+  end
+
+(* ---------------- reader loop ---------------- *)
+
+(* Poll with a short select timeout rather than blocking in read: a
+   termination signal must be noticed even when no input arrives, and
+   EINTR can interrupt either call. *)
+let reader st input =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let seq = ref 0 in
+  let drain_lines () =
+    let data = Buffer.contents buf in
+    let rec go start =
+      match String.index_from_opt data start '\n' with
+      | None ->
+        Buffer.clear buf;
+        Buffer.add_substring buf data start (String.length data - start)
+      | Some nl ->
+        handle_line st ~seq:!seq (String.sub data start (nl - start));
+        incr seq;
+        go (nl + 1)
+    in
+    go 0
+  in
+  let rec loop () =
+    if Atomic.get stop_flag then `Stopped
+    else
+      match Unix.select [ input ] [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Unix.read input chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | 0 -> `Eof
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain_lines ();
+          loop ())
+  in
+  let ending = loop () in
+  (match ending with
+  | `Eof ->
+    (* a final line without a trailing newline is still a request *)
+    if Buffer.length buf > 0 then begin
+      handle_line st ~seq:!seq (Buffer.contents buf);
+      incr seq
+    end
+  | `Stopped ->
+    (* stop wins over anything still buffered: those lines were
+       submitted, so they get typed rejections, not silence *)
+    List.iter (reject_drained st) (String.split_on_char '\n' (Buffer.contents buf)));
+  Buffer.clear buf
+
+(* ---------------- run ---------------- *)
+
+let with_signals f =
+  match Sys.os_type with
+  | "Unix" ->
+    let install s = Sys.signal s (Sys.Signal_handle (fun _ -> Atomic.set stop_flag true)) in
+    let old_term = install Sys.sigterm in
+    let old_int = install Sys.sigint in
+    Fun.protect
+      ~finally:(fun () ->
+        Sys.set_signal Sys.sigterm old_term;
+        Sys.set_signal Sys.sigint old_int)
+      f
+  | _ -> f ()
+
+let run ?(config = default_config) ~input ~output () =
+  Atomic.set stop_flag false;
+  let config = { config with workers = max 1 config.workers } in
+  let st =
+    {
+      cfg = config;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      queue =
+        Bqueue.create ~capacity:config.queue_capacity
+          ~policy:config.queue_policy;
+      draining = false;
+      breaker = Hashtbl.create 16;
+      cache = Option.map (fun dir -> Cache.create ~dir) config.cache_dir;
+      n =
+        {
+          received = 0;
+          completed = 0;
+          errors = 0;
+          shed = 0;
+          rejected = 0;
+          quarantined = 0;
+          invalid = 0;
+          restarts_total = 0;
+        };
+      out_mu = Mutex.create ();
+      out = output;
+      out_dead = false;
+    }
+  in
+  (* Pre-resolve every suite program in this domain: the registry's memo
+     table is not synchronized, so the workers must only ever read it. *)
+  List.iter
+    (fun e -> ignore (Ipcp_suite.Registry.program e))
+    Ipcp_suite.Registry.entries;
+  with_signals @@ fun () ->
+  let workers =
+    Array.init config.workers (fun slot -> Domain.spawn (worker st slot))
+  in
+  reader st input;
+  locked st (fun () ->
+      st.draining <- true;
+      Condition.broadcast st.cond);
+  Array.iter Domain.join workers;
+  Mutex.lock st.out_mu;
+  (if not st.out_dead then
+     try flush st.out with Sys_error _ -> st.out_dead <- true);
+  Mutex.unlock st.out_mu;
+  if st.out_dead then Jobs.exit_input else 0

@@ -1,0 +1,50 @@
+(** The long-lived request-processing layer over the analyzer pipeline.
+
+    [run] reads newline-delimited JSON job requests ({!Request}) from a
+    file descriptor (stdin, a FIFO, a file), executes them on a pool of
+    worker domains, and writes one response frame per request to the
+    output channel.  Durability properties:
+
+    {ul
+    {- {b conservation}: every submitted request line gets exactly one
+       terminal response — [ok], [error], [shed], [rejected],
+       [quarantined] or [invalid] — at every worker count;}
+    {- {b backpressure}: admission goes through a bounded {!Bqueue};
+       overflow sheds loudly (typed frames), never blocks, never drops
+       silently;}
+    {- {b supervision}: a crashing job (including fault-injected crashes
+       at site [serve.worker:<seq>:<k>]) fails only its own request; the
+       worker restarts on a capped exponential backoff with
+       deterministic seeded jitter;}
+    {- {b quarantine}: an input that crashes workers [breaker_threshold]
+       times consecutively is circuit-broken — later requests for it
+       answer [quarantined] without executing — and surfaces in the
+       health snapshot;}
+    {- {b graceful drain}: SIGTERM/SIGINT (or end of input) finishes
+       in-flight and queued work, answers [rejected] to lines that were
+       read but not yet admitted, flushes, and returns 0;}
+    {- {b byte-identity}: responses carry {!Jobs} renderings — the same
+       strings a direct CLI run prints — and the artifact cache
+       ({!Cache}) never changes them, warm or cold.}} *)
+
+type config = {
+  workers : int;  (** worker domains (at least 1) *)
+  queue_capacity : int;
+  queue_policy : Bqueue.policy;
+  breaker_threshold : int;
+      (** consecutive crashes before an input is quarantined; 0 disables *)
+  cache_dir : string option;  (** artifact cache root; [None] disables *)
+  backoff_base_ms : int;  (** first restart delay *)
+  backoff_cap_ms : int;  (** exponential backoff ceiling *)
+  seed : int;  (** jitter seed (deterministic per (seed, slot, restart)) *)
+}
+
+val default_config : config
+
+(** Run the serve loop to completion (end of input, or a termination
+    signal).  Returns the process exit code: 0 after a clean drain,
+    {!Jobs.exit_input} when the response stream died (e.g. a broken
+    pipe).  Signal handlers are installed for the duration and restored
+    on return. *)
+val run :
+  ?config:config -> input:Unix.file_descr -> output:out_channel -> unit -> int

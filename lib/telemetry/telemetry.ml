@@ -19,6 +19,7 @@ type t = {
   mutable stack : node list;  (** innermost first; the root is the base *)
   counters_tbl : (string, int ref) Hashtbl.t;
   dists_tbl : (string, int list ref) Hashtbl.t;  (** values newest-first *)
+  gauges_tbl : (string, int ref) Hashtbl.t;  (** point-in-time levels *)
 }
 
 let default_clock () = Int64.to_int (Monotonic_clock.now ())
@@ -31,6 +32,7 @@ let create ?(clock = default_clock) () =
     stack = [ root ];
     counters_tbl = Hashtbl.create 32;
     dists_tbl = Hashtbl.create 16;
+    gauges_tbl = Hashtbl.create 8;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -99,6 +101,14 @@ let observe name v =
     | Some r -> r := v :: !r
     | None -> Hashtbl.replace t.dists_tbl name (ref [ v ]))
 
+let set_gauge name v =
+  match current () with
+  | None -> ()
+  | Some t -> (
+    match Hashtbl.find_opt t.gauges_tbl name with
+    | Some r -> r := v
+    | None -> Hashtbl.replace t.gauges_tbl name (ref v))
+
 (* ------------------------------------------------------------------ *)
 (* Merging.                                                            *)
 
@@ -131,7 +141,14 @@ let merge ?under ~into src =
       match Hashtbl.find_opt into.dists_tbl name with
       | Some d -> d := !r @ !d
       | None -> Hashtbl.replace into.dists_tbl name (ref !r))
-    src.dists_tbl
+    src.dists_tbl;
+  (* gauges are levels, not totals: the merged-in reading wins *)
+  Hashtbl.iter
+    (fun name r ->
+      match Hashtbl.find_opt into.gauges_tbl name with
+      | Some d -> d := !r
+      | None -> Hashtbl.replace into.gauges_tbl name (ref !r))
+    src.gauges_tbl
 
 (* ------------------------------------------------------------------ *)
 (* Inspection.                                                         *)
@@ -166,6 +183,12 @@ let distribution t name =
 
 let distributions t =
   Hashtbl.fold (fun name r acc -> (name, List.rev !r) :: acc) t.dists_tbl []
+  |> List.sort compare
+
+let gauge t name = Hashtbl.find_opt t.gauges_tbl name |> Option.map ( ! )
+
+let gauges t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.gauges_tbl []
   |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
@@ -212,6 +235,11 @@ let pp_summary ppf t =
   | cs ->
     Fmt.pf ppf "--- counters@.";
     List.iter (fun (name, v) -> Fmt.pf ppf "  %-44s %12d@." name v) cs);
+  (match gauges t with
+  | [] -> ()
+  | gs ->
+    Fmt.pf ppf "--- gauges@.";
+    List.iter (fun (name, v) -> Fmt.pf ppf "  %-44s %12d@." name v) gs);
   match distributions t with
   | [] -> ()
   | ds ->
@@ -256,14 +284,37 @@ let dist_to_json vs =
 
 let to_json t =
   Json.Obj
+    ([
+       ("schema", Json.Str schema_version);
+       ("spans", Json.Arr (List.rev_map span_to_json t.root.n_children));
+       ( "counters",
+         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) );
+       ( "distributions",
+         Json.Obj
+           (List.map (fun (k, vs) -> (k, dist_to_json vs)) (distributions t)) );
+     ]
+    @
+    (* only when present, so gauge-free profiles keep the exact
+       ipcp.profile/1 shape earlier tooling pins *)
+    match gauges t with
+    | [] -> []
+    | gs -> [ ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) gs)) ]
+    )
+
+(* ------------------------------------------------------------------ *)
+(* Health snapshot.                                                    *)
+
+let health_schema_version = "ipcp.health/1"
+
+let health_snapshot ~gauges ~counters =
+  let obj kvs =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (List.sort compare kvs))
+  in
+  Json.Obj
     [
-      ("schema", Json.Str schema_version);
-      ("spans", Json.Arr (List.rev_map span_to_json t.root.n_children));
-      ( "counters",
-        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) );
-      ( "distributions",
-        Json.Obj (List.map (fun (k, vs) -> (k, dist_to_json vs)) (distributions t))
-      );
+      ("schema", Json.Str health_schema_version);
+      ("gauges", obj gauges);
+      ("counters", obj counters);
     ]
 
 let write_json path t =

@@ -60,6 +60,12 @@ val incr : string -> unit
 (** Record one value into a named distribution. *)
 val observe : string -> int -> unit
 
+(** Set a named gauge — a point-in-time level (queue depth, live workers,
+    quarantined inputs), not a running total: each call replaces the
+    previous reading.  {!merge} keeps the merged-in reading rather than
+    summing. *)
+val set_gauge : string -> int -> unit
+
 (** [merge ?under ~into src] folds everything recorded in [src] into
     [into]: span subtrees with matching names aggregate (time, call counts,
     duration samples), counters add, distributions concatenate.  With
@@ -90,6 +96,12 @@ val counters : t -> (string * int) list
 (** Observed values of a distribution, in recording order. *)
 val distribution : t -> string -> int list
 
+(** Last reading of a gauge, if it was ever set. *)
+val gauge : t -> string -> int option
+
+(** All gauges, sorted by name. *)
+val gauges : t -> (string * int) list
+
 (* ---- exporters ---- *)
 
 (** Version tag embedded in every JSON document ([ipcp.profile/1]). *)
@@ -107,3 +119,14 @@ val write_json : string -> t -> unit
 (** Append one compact JSON document as a single line to [path] —
     the bench harness's accumulation mode. *)
 val append_json : string -> t -> unit
+
+(** Version tag of the health document ([ipcp.health/1]) served by the
+    long-lived request layer. *)
+val health_schema_version : string
+
+(** [health_snapshot ~gauges ~counters] builds the schema-versioned health
+    document from flat readings (both lists are sorted by name, so the
+    rendered document is deterministic whatever order the caller collected
+    them in). *)
+val health_snapshot :
+  gauges:(string * int) list -> counters:(string * int) list -> Json.t

@@ -319,6 +319,28 @@ let test_tiny_budget_degrades_soundly () =
   check Alcotest.bool "no constant claimed for work.k" false
     (contains "work: k=6" out)
 
+(* A reader that disappears mid-stream must not kill the process with
+   SIGPIPE: `ipcp tables | head` exits with the documented I/O exit
+   code 3, never with a signal.  `false` closes stdin immediately, so
+   the pipe breaks on the very first flush regardless of output size. *)
+let test_broken_output_pipe_exits_3 () =
+  (* the pipeline's own status is `false`'s; ipcp's arrives via PIPESTATUS *)
+  let probe =
+    Fmt.str "bash -c %s"
+      (Filename.quote
+         (Fmt.str "%s tables 2>/dev/null | false; echo ${PIPESTATUS[0]}"
+            (Filename.quote (bin ()))))
+  in
+  let out = Filename.temp_file "ipcp_test" ".out" in
+  let code = Sys.command (Fmt.str "%s > %s" probe (Filename.quote out)) in
+  let lines = read_lines out in
+  Sys.remove out;
+  check Alcotest.int "probe shell itself succeeded" 0 code;
+  match lines with
+  | [ status ] ->
+    check Alcotest.string "broken pipe exits 3, not a signal death" "3" status
+  | _ -> fail "expected exactly the PIPESTATUS line"
+
 let suite =
   [
     ("cli run", `Quick, test_run);
@@ -338,4 +360,5 @@ let suite =
     ("cli out of fuel message", `Quick, test_out_of_fuel_message);
     ("cli generous budget identical", `Quick, test_generous_budget_identical);
     ("cli tiny budget degrades soundly", `Quick, test_tiny_budget_degrades_soundly);
+    ("cli broken output pipe exits 3", `Quick, test_broken_output_pipe_exits_3);
   ]

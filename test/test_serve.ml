@@ -1,0 +1,504 @@
+(* The serving layer: wire protocol round-trips, bounded-queue policy,
+   the crash-safe artifact cache, and whole-server properties driven
+   through in-process [Server.run] — conservation of responses under
+   load shedding at several worker counts, fault containment, the
+   per-input circuit breaker, and byte-identity against the direct
+   renderers. *)
+
+let check = Alcotest.check
+
+module Json = Ipcp_telemetry.Json
+module Fault = Ipcp_support.Fault
+module Request = Ipcp_serve.Request
+module Jobs = Ipcp_serve.Jobs
+module Bqueue = Ipcp_serve.Bqueue
+module Cache = Ipcp_serve.Cache
+module Server = Ipcp_serve.Server
+module Driver = Ipcp_core.Driver
+module Config = Ipcp_core.Config
+module Registry = Ipcp_suite.Registry
+
+let tmp_dir =
+  let n = ref 0 in
+  fun label ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ipcp-test-serve-%s.%d.%d" label (Unix.getpid ()) !n)
+    in
+    Unix.mkdir dir 0o700;
+    dir
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- wire protocol ---- *)
+
+let test_request_parse () =
+  (match
+     Request.of_line
+       {|{"id":"a","op":"analyze","suite":"adm","jf":"literal","certify":true}|}
+   with
+  | Ok r ->
+    check Alcotest.string "id" "a" r.rq_id;
+    check Alcotest.bool "op" true (r.rq_op = Request.Analyze);
+    check Alcotest.bool "target" true (r.rq_target = Some (Request.Suite "adm"));
+    check Alcotest.bool "kind" true (r.rq_kind = Ipcp_core.Jump_function.Literal);
+    check Alcotest.bool "certify" true r.rq_certify
+  | Error (_, why) -> Alcotest.fail ("should parse: " ^ why));
+  let invalid line =
+    match Request.of_line line with
+    | Ok _ -> Alcotest.fail ("should be invalid: " ^ line)
+    | Error (id, _) -> id
+  in
+  check Alcotest.string "bad op keeps id" "x"
+    (invalid {|{"id":"x","op":"frobnicate"}|});
+  ignore (invalid "not json at all");
+  ignore (invalid {|{"id":"y","op":"analyze"}|});
+  (* analyze needs a target *)
+  ignore (invalid {|{"id":"z","op":"analyze","suite":"adm","file":"/tmp/x"}|});
+  ignore (invalid {|{"id":"w","op":"tables","suite":"adm"}|});
+  ignore (invalid {|{"id":"v","op":"analyze","suite":"adm","jf":17}|})
+
+let test_response_round_trip () =
+  let r =
+    Request.response ~id:"r1" ~code:0 ~stdout:"line 1\nline \"2\"\n"
+      ~stderr:"" Request.Ok_done
+  in
+  let line = Request.response_to_line r in
+  check Alcotest.bool "single line" true
+    (not (String.contains line '\n'));
+  (match Request.response_of_line line with
+  | Ok r' -> check Alcotest.bool "round-trips" true (r = r')
+  | Error e -> Alcotest.fail e);
+  let shed = Request.response ~id:"r2" ~reason:"displaced" Request.Shed in
+  match Request.response_of_line (Request.response_to_line shed) with
+  | Ok r' ->
+    check Alcotest.bool "status" true (r'.rs_status = Request.Shed);
+    check Alcotest.bool "reason" true (r'.rs_reason = Some "displaced")
+  | Error e -> Alcotest.fail e
+
+(* ---- bounded queue ---- *)
+
+let test_bqueue_reject_new () =
+  let q = Bqueue.create ~capacity:2 ~policy:Bqueue.Reject_new in
+  check Alcotest.bool "1st" true (Bqueue.push q 1 = Bqueue.Enqueued);
+  check Alcotest.bool "2nd" true (Bqueue.push q 2 = Bqueue.Enqueued);
+  check Alcotest.bool "3rd refused" true (Bqueue.push q 3 = Bqueue.Rejected);
+  check Alcotest.int "still 2 queued" 2 (Bqueue.length q);
+  check Alcotest.bool "oldest first" true (Bqueue.pop q = Some 1);
+  check Alcotest.bool "refused one gone" true
+    (Bqueue.pop q = Some 2 && Bqueue.pop q = None)
+
+let test_bqueue_drop_oldest () =
+  let q = Bqueue.create ~capacity:2 ~policy:Bqueue.Drop_oldest in
+  ignore (Bqueue.push q 1);
+  ignore (Bqueue.push q 2);
+  check Alcotest.bool "oldest shed, newest in" true
+    (Bqueue.push q 3 = Bqueue.Displaced 1);
+  check Alcotest.bool "remaining order" true
+    (Bqueue.pop q = Some 2 && Bqueue.pop q = Some 3 && Bqueue.pop q = None)
+
+let test_bqueue_policy_names () =
+  List.iter
+    (fun p ->
+      check Alcotest.bool "name round-trips" true
+        (Bqueue.policy_of_name (Bqueue.policy_name p) = Some p))
+    [ Bqueue.Reject_new; Bqueue.Drop_oldest ];
+  check Alcotest.bool "unknown name" true (Bqueue.policy_of_name "lifo" = None)
+
+(* ---- artifact cache ---- *)
+
+let suite_prog name =
+  match Registry.find name with
+  | Some e -> (e.source, Registry.program e)
+  | None -> Alcotest.fail ("no suite program " ^ name)
+
+let test_cache_round_trip () =
+  let dir = tmp_dir "cache-rt" in
+  let c = Cache.create ~dir in
+  let source, prog = suite_prog "adm" in
+  let key = Cache.key ~source in
+  check Alcotest.bool "cold miss" true (Cache.find c ~key = None);
+  Cache.store c ~key (Driver.prepare prog);
+  (match Cache.find c ~key with
+  | None -> Alcotest.fail "stored entry not found"
+  | Some artifacts ->
+    (* the cached artifacts must solve to the same rendering *)
+    let direct = Jobs.analyze ~config:Config.default ~jobs:1 prog in
+    let cached = Jobs.analyze ~artifacts ~config:Config.default ~jobs:1 prog in
+    check Alcotest.string "stdout identical through the cache" direct.out
+      cached.out;
+    check Alcotest.int "code identical" direct.code cached.code);
+  let s = Cache.stats c in
+  check Alcotest.int "one hit" 1 s.hits;
+  check Alcotest.int "one miss" 1 s.misses;
+  check Alcotest.int "one store" 1 s.stores;
+  check Alcotest.int "nothing corrupt" 0 s.corrupt
+
+let test_cache_rejects_corruption () =
+  let dir = tmp_dir "cache-corrupt" in
+  let source, prog = suite_prog "doduc" in
+  let key = Cache.key ~source in
+  let entry c = Filename.concat (Cache.dir c) (key ^ ".art") in
+  let store_fresh () =
+    let c = Cache.create ~dir in
+    Cache.store c ~key (Driver.prepare prog);
+    c
+  in
+  let corruptions =
+    [
+      ("truncated payload", fun path -> write_file path
+        (let d = read_file path in String.sub d 0 (String.length d / 2)));
+      ("flipped payload byte", fun path ->
+        let d = Bytes.of_string (read_file path) in
+        let i = Bytes.length d - 8 in
+        Bytes.set d i (Char.chr (Char.code (Bytes.get d i) lxor 0xff));
+        write_file path (Bytes.to_string d));
+      ("garbage header", fun path -> write_file path "not a cache entry\n");
+      ("empty file", fun path -> write_file path "");
+    ]
+  in
+  List.iter
+    (fun (label, corrupt) ->
+      let c = store_fresh () in
+      corrupt (entry c);
+      check Alcotest.bool (label ^ " refused") true (Cache.find c ~key = None);
+      check Alcotest.int (label ^ " counted corrupt") 1 (Cache.stats c).corrupt;
+      check Alcotest.bool (label ^ " entry removed") false
+        (Sys.file_exists (entry c)))
+    corruptions
+
+let test_cache_key_covers_build_and_source () =
+  let a = Cache.key ~source:"program one" in
+  let b = Cache.key ~source:"program two" in
+  check Alcotest.bool "distinct sources, distinct keys" true (a <> b);
+  check Alcotest.bool "stable for equal source" true
+    (a = Cache.key ~source:"program one")
+
+(* ---- whole-server properties (in-process run) ---- *)
+
+let analyze_line ~id ~suite =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Str id); ("op", Json.Str "analyze"); ("suite", Json.Str suite) ])
+
+let run_server ?(config = Server.default_config) lines =
+  let dir = tmp_dir "run" in
+  let in_path = Filename.concat dir "in.jsonl" in
+  write_file in_path (String.concat "\n" lines ^ "\n");
+  let out_path = Filename.concat dir "out.jsonl" in
+  let fd = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
+  let oc = open_out_bin out_path in
+  let code = Server.run ~config ~input:fd ~output:oc () in
+  Unix.close fd;
+  close_out oc;
+  let responses =
+    List.filter_map
+      (fun l ->
+        if String.trim l = "" then None
+        else
+          match Request.response_of_line l with
+          | Ok r -> Some r
+          | Error e -> Alcotest.fail (Printf.sprintf "bad frame %S: %s" l e))
+      (String.split_on_char '\n' (read_file out_path))
+  in
+  (code, responses)
+
+(* Conservation: every submitted line gets exactly one terminal
+   response, at every worker count, even when the queue is too small to
+   hold the burst (satellite: load-shedding property). *)
+let test_conservation_under_shedding () =
+  let ids = List.init 24 (fun i -> Printf.sprintf "r%02d" i) in
+  let lines =
+    List.mapi
+      (fun i id ->
+        if i mod 7 = 3 then "this is not a request"
+        else analyze_line ~id ~suite:(if i mod 2 = 0 then "adm" else "doduc"))
+      ids
+  in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun workers ->
+          let config =
+            { Server.default_config with workers; queue_capacity = 2;
+              queue_policy = policy }
+          in
+          let code, responses = run_server ~config lines in
+          check Alcotest.int
+            (Printf.sprintf "workers=%d clean exit" workers) 0 code;
+          check Alcotest.int
+            (Printf.sprintf "workers=%d one response per line" workers)
+            (List.length lines) (List.length responses);
+          (* exactly one, not just the right total: count by id *)
+          List.iteri
+            (fun i id ->
+              let mine =
+                List.filter
+                  (fun (r : Request.response) ->
+                    r.rs_id = if i mod 7 = 3 then "" else id)
+                  responses
+              in
+              if i mod 7 <> 3 then
+                check Alcotest.int (id ^ " exactly one terminal response") 1
+                  (List.length mine))
+            ids;
+          List.iter
+            (fun (r : Request.response) ->
+              match r.rs_status with
+              | Request.Ok_done | Request.Shed | Request.Rejected
+              | Request.Invalid ->
+                ()
+              | s ->
+                Alcotest.fail
+                  ("unexpected status under shedding: " ^ Request.status_name s))
+            responses)
+        [ 1; 2; 4 ])
+    [ Bqueue.Reject_new; Bqueue.Drop_oldest ]
+
+(* Byte-identity: ok responses carry exactly the direct rendering. *)
+let test_server_matches_direct () =
+  let lines = [ analyze_line ~id:"adm" ~suite:"adm" ] in
+  let code, responses = run_server lines in
+  check Alcotest.int "exit" 0 code;
+  match responses with
+  | [ r ] ->
+    let _, prog = suite_prog "adm" in
+    let direct = Jobs.analyze ~config:Config.default ~jobs:1 prog in
+    check Alcotest.bool "ok" true (r.rs_status = Request.Ok_done);
+    check Alcotest.bool "stdout byte-identical" true
+      (r.rs_stdout = Some direct.out);
+    check Alcotest.bool "stderr byte-identical" true
+      (r.rs_stderr = Some direct.err);
+    check Alcotest.bool "code" true (r.rs_code = Some direct.code)
+  | rs -> Alcotest.fail (Printf.sprintf "%d responses for 1 request" (List.length rs))
+
+(* Fault containment: with the amplified serve.worker site firing for
+   some sequence numbers, crashed requests answer [error] and the rest
+   still answer [ok] with untouched bytes. *)
+let test_fault_containment () =
+  (* 0.03/seed 42: mixed crash/survive, pipeline sites quiet (pinned by
+     the probe in tools/fuzz --serve-smoke) *)
+  Fault.configure ~raise_rate:0.03 ~seed:42 ();
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  let n = 16 in
+  let lines = List.init n (fun i -> analyze_line ~id:(Printf.sprintf "q%02d" i) ~suite:"adm") in
+  let config =
+    { Server.default_config with workers = 2; queue_capacity = 64;
+      breaker_threshold = 0; backoff_base_ms = 1; backoff_cap_ms = 2 }
+  in
+  let code, responses = run_server ~config lines in
+  check Alcotest.int "clean exit under faults" 0 code;
+  check Alcotest.int "conservation under faults" n (List.length responses);
+  let count s =
+    List.length
+      (List.filter (fun (r : Request.response) -> r.rs_status = s) responses)
+  in
+  let errors = count Request.Error_crash and oks = count Request.Ok_done in
+  check Alcotest.bool "some requests crashed" true (errors > 0);
+  check Alcotest.bool "some requests survived" true (oks > 0);
+  check Alcotest.int "every response accounted for" n (errors + oks);
+  let _, prog = suite_prog "adm" in
+  let direct = Jobs.analyze ~config:Config.default ~jobs:1 prog in
+  List.iter
+    (fun (r : Request.response) ->
+      if r.rs_status = Request.Ok_done then
+        check Alcotest.bool (r.rs_id ^ " survivor bytes untouched") true
+          (r.rs_stdout = Some direct.out))
+    responses
+
+(* Circuit breaker: an input whose every execution crashes (raise rate
+   1.0 fires the worker-entry site on the very first draw) is
+   quarantined after [breaker_threshold] consecutive crashes; later
+   requests for it answer [quarantined] without executing. *)
+let test_breaker_quarantines_crashing_input () =
+  Fault.configure ~raise_rate:1.0 ~seed:1 ();
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  let n = 8 in
+  let lines = List.init n (fun i -> analyze_line ~id:(Printf.sprintf "b%d" i) ~suite:"adm") in
+  let config =
+    { Server.default_config with workers = 1; breaker_threshold = 3;
+      backoff_base_ms = 1; backoff_cap_ms = 2 }
+  in
+  let code, responses = run_server ~config lines in
+  check Alcotest.int "clean exit" 0 code;
+  check Alcotest.int "conservation" n (List.length responses);
+  let statuses =
+    List.map
+      (fun id ->
+        match
+          List.find_opt (fun (r : Request.response) -> r.rs_id = id) responses
+        with
+        | Some r -> Request.status_name r.rs_status
+        | None -> "<missing>")
+      (List.init n (fun i -> Printf.sprintf "b%d" i))
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "threshold crashes, then quarantine"
+    [ "error"; "error"; "error"; "quarantined"; "quarantined"; "quarantined";
+      "quarantined"; "quarantined" ]
+    statuses;
+  (* threshold 0 disables the breaker entirely *)
+  let config0 = { config with breaker_threshold = 0 } in
+  let _, responses0 = run_server ~config:config0 lines in
+  check Alcotest.bool "breaker off: every request still executes (and crashes)"
+    true
+    (List.for_all
+       (fun (r : Request.response) -> r.rs_status = Request.Error_crash)
+       responses0)
+
+(* The same fault stream must produce the same statuses at every worker
+   count — the serve.worker site is keyed on the sequence number. *)
+let test_fault_statuses_deterministic_across_workers () =
+  Fault.configure ~raise_rate:0.03 ~seed:42 ();
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  (* distinct inputs, so the breaker never opens and ordering noise
+     cannot hide behind quarantine *)
+  let suites = [ "adm"; "doduc"; "fpppp"; "adm"; "doduc"; "fpppp" ] in
+  let lines =
+    List.mapi
+      (fun i s -> analyze_line ~id:(Printf.sprintf "d%d" i) ~suite:s)
+      suites
+  in
+  let statuses workers =
+    let config =
+      { Server.default_config with workers; breaker_threshold = 0;
+        backoff_base_ms = 1; backoff_cap_ms = 2 }
+    in
+    let _, responses = run_server ~config lines in
+    List.sort compare
+      (List.map
+         (fun (r : Request.response) -> (r.rs_id, Request.status_name r.rs_status))
+         responses)
+  in
+  let s1 = statuses 1 in
+  check Alcotest.bool "at least one injected crash" true
+    (List.exists (fun (_, s) -> s = "error") s1);
+  List.iter
+    (fun w ->
+      check Alcotest.bool
+        (Printf.sprintf "workers=%d statuses identical to workers=1" w)
+        true
+        (statuses w = s1))
+    [ 2; 4 ]
+
+(* Warm cache, cold cache and no cache must be invisible in responses. *)
+let test_cache_transparent_in_server () =
+  let dir = tmp_dir "server-cache" in
+  let lines =
+    [ analyze_line ~id:"a" ~suite:"adm"; analyze_line ~id:"b" ~suite:"adm" ]
+  in
+  let run cache_dir =
+    let config = { Server.default_config with cache_dir } in
+    let _, rs = run_server ~config lines in
+    List.sort compare
+      (List.map
+         (fun (r : Request.response) ->
+           (r.rs_id, r.rs_status, r.rs_code, r.rs_stdout, r.rs_stderr))
+         rs)
+  in
+  let off = run None in
+  let cold = run (Some dir) in
+  let warm = run (Some dir) in
+  check Alcotest.bool "cold cache invisible" true (off = cold);
+  check Alcotest.bool "warm cache invisible" true (off = warm);
+  check Alcotest.bool "entries were stored" true
+    (Array.exists
+       (fun f -> Filename.check_suffix f ".art")
+       (Sys.readdir dir))
+
+(* Per-request budgets ride the request: a starvation-level step budget
+   degrades soundly (ok frame, degradation banner) and still renders
+   byte-identically to a direct run under the same configuration. *)
+let test_per_request_budget_degrades () =
+  let line =
+    Json.to_string
+      (Json.Obj
+         [
+           ("id", Json.Str "tiny"); ("op", Json.Str "analyze");
+           ("suite", Json.Str "adm"); ("max_steps", Json.Int 1);
+         ])
+  in
+  let code, responses = run_server [ line ] in
+  check Alcotest.int "exit" 0 code;
+  match responses with
+  | [ r ] ->
+    check Alcotest.bool "degraded run still ok" true
+      (r.rs_status = Request.Ok_done && r.rs_code = Some 0);
+    let out = Option.value ~default:"" r.rs_stdout in
+    let contains sub s =
+      let n = String.length sub and h = String.length s in
+      let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    check Alcotest.bool "degradation reported" true (contains "degraded" out);
+    let _, prog = suite_prog "adm" in
+    let config = Config.with_budget ~max_steps:1 Config.default in
+    let direct = Jobs.analyze ~config ~jobs:1 prog in
+    check Alcotest.bool "byte-identical to the direct budgeted run" true
+      (r.rs_stdout = Some direct.out)
+  | rs -> Alcotest.fail (Printf.sprintf "%d responses for 1 request" (List.length rs))
+
+(* Health frames bypass the queue and carry the ipcp.health/1 document. *)
+let test_health_snapshot () =
+  let lines =
+    [
+      Json.to_string (Json.Obj [ ("id", Json.Str "h"); ("op", Json.Str "health") ]);
+      analyze_line ~id:"a" ~suite:"adm";
+    ]
+  in
+  let code, responses = run_server lines in
+  check Alcotest.int "exit" 0 code;
+  match
+    List.find_opt (fun (r : Request.response) -> r.rs_id = "h") responses
+  with
+  | None -> Alcotest.fail "no health response"
+  | Some r -> (
+    check Alcotest.bool "ok" true (r.rs_status = Request.Ok_done);
+    match r.rs_health with
+    | Some (Json.Obj fields) ->
+      check Alcotest.bool "schema tag" true
+        (List.assoc_opt "schema" fields
+        = Some (Json.Str Ipcp_telemetry.Telemetry.health_schema_version));
+      check Alcotest.bool "gauges present" true
+        (List.mem_assoc "gauges" fields);
+      check Alcotest.bool "counters present" true
+        (List.mem_assoc "counters" fields)
+    | _ -> Alcotest.fail "health response carries no document")
+
+let suite =
+  [
+    ("serve request parsing", `Quick, test_request_parse);
+    ("serve response round-trip", `Quick, test_response_round_trip);
+    ("serve bqueue reject-new", `Quick, test_bqueue_reject_new);
+    ("serve bqueue drop-oldest", `Quick, test_bqueue_drop_oldest);
+    ("serve bqueue policy names", `Quick, test_bqueue_policy_names);
+    ("serve cache round-trip", `Quick, test_cache_round_trip);
+    ("serve cache rejects corruption", `Quick, test_cache_rejects_corruption);
+    ("serve cache key covers build and source", `Quick,
+     test_cache_key_covers_build_and_source);
+    ("serve conservation under shedding", `Slow,
+     test_conservation_under_shedding);
+    ("serve matches direct rendering", `Quick, test_server_matches_direct);
+    ("serve fault containment", `Quick, test_fault_containment);
+    ("serve breaker quarantines crashing input", `Quick,
+     test_breaker_quarantines_crashing_input);
+    ("serve fault statuses deterministic across workers", `Slow,
+     test_fault_statuses_deterministic_across_workers);
+    ("serve cache transparent in server", `Slow,
+     test_cache_transparent_in_server);
+    ("serve per-request budget degrades", `Quick,
+     test_per_request_budget_degrades);
+    ("serve health snapshot", `Quick, test_health_snapshot);
+  ]

@@ -27,6 +27,18 @@
    certifier reject it — a self-test that the oracle can actually see
    bugs — and demonstrates minimization on the first such rejection.
 
+   --serve-diff runs the server-vs-direct differential: generated and
+   suite programs are submitted to an in-process Ipcp_serve server at
+   several worker counts, with the artifact cache cold, warm and
+   disabled, and every response frame must carry byte-identical
+   stdout/stderr/exit-code to the direct (CLI-equivalent) rendering.
+
+   --serve-smoke --ipcp PATH drives a real `ipcp serve` subprocess:
+   full-suite responses diffed byte-for-byte against direct CLI runs,
+   graceful SIGTERM drain with exit 0, cache-corruption recovery, and
+   fault-injected worker crashes failing only their own requests with
+   statuses identical across worker counts.
+
    Exit codes: 0 all iterations clean, 1 failures found, 2 usage. *)
 
 module Fault = Ipcp_support.Fault
@@ -37,11 +49,18 @@ open Ipcp_core
 module Certify = Ipcp_certify.Certify
 module Metamorph = Ipcp_certify.Metamorph
 module Workload = Ipcp_suite.Workload
+module Json = Ipcp_telemetry.Json
+module Jobs = Ipcp_serve.Jobs
+module SReq = Ipcp_serve.Request
+module Server = Ipcp_serve.Server
 
 let seed = ref 1
 let iterations = ref 25
 let certify = ref false
 let inject_bad = ref false
+let serve_diff = ref false
+let serve_smoke = ref false
+let ipcp_bin = ref ""
 let fuel = ref Ipcp_interp.Interp.default_fuel
 let verbose = ref false
 
@@ -56,11 +75,21 @@ let speclist =
       Arg.Set inject_bad,
       "  corrupt each solution via the Fault hook; the certifier must \
        reject every one" );
+    ( "--serve-diff",
+      Arg.Set serve_diff,
+      "  server-vs-direct differential (in-process; workers 1 and 4, cache \
+       cold/warm/off)" );
+    ( "--serve-smoke",
+      Arg.Set serve_smoke,
+      "  drive a real `ipcp serve` subprocess (needs --ipcp)" );
+    ("--ipcp", Arg.Set_string ipcp_bin, "PATH  ipcp binary for --serve-smoke");
     ("--fuel", Arg.Set_int fuel, "N  interpreter fuel per run");
     ("--verbose", Arg.Set verbose, "  print each iteration");
   ]
 
-let usage = "fuzz [--seed N] [--iterations N] [--certify] [--inject-bad]"
+let usage =
+  "fuzz [--seed N] [--iterations N] [--certify] [--inject-bad] \
+   [--serve-diff] [--serve-smoke --ipcp PATH]"
 
 (* ------------------------------------------------------------------ *)
 
@@ -314,10 +343,446 @@ let run_oracle () =
     1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Shared helpers of the serve modes.                                  *)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fresh_dir =
+  let n = ref 0 in
+  fun label ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ipcp-fuzz-%s.%d.%d" label (Unix.getpid ()) !n)
+    in
+    Unix.mkdir dir 0o700;
+    dir
+
+let nonempty_lines s =
+  List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+
+let parse_responses out =
+  List.map
+    (fun line ->
+      match SReq.response_of_line line with
+      | Ok r -> r
+      | Error e -> failwith (Printf.sprintf "unparseable response %S: %s" line e))
+    (nonempty_lines out)
+
+let abbrev s = if String.length s <= 160 then s else String.sub s 0 160 ^ "..."
+
+(* ------------------------------------------------------------------ *)
+(* --serve-diff: in-process server vs direct rendering.                *)
+
+(* One request with the outcome the direct (CLI-equivalent) path
+   renders; the server must answer with exactly these bytes. *)
+type diff_case = { dc_id : string; dc_line : string; dc_expect : Jobs.outcome }
+
+let diff_kinds =
+  [
+    Jump_function.Passthrough; Jump_function.Literal; Jump_function.Intraconst;
+    Jump_function.Polynomial;
+  ]
+
+let analyze_case ~id ~path ~kind ~cert =
+  let line =
+    Json.to_string
+      (Json.Obj
+         [
+           ("id", Json.Str id);
+           ("op", Json.Str "analyze");
+           ("file", Json.Str path);
+           ("jf", Json.Str (Jump_function.kind_name kind));
+           ("certify", Json.Bool cert);
+         ])
+  in
+  let config = Config.make ~kind () in
+  let expect =
+    match Jobs.load path with
+    | Error o -> o
+    | Ok (_src, prog) -> Jobs.analyze ~certify:cert ~config ~jobs:1 prog
+  in
+  { dc_id = id; dc_line = line; dc_expect = expect }
+
+let certify_case ~id ~name ~prog ~kind =
+  let line =
+    Json.to_string
+      (Json.Obj
+         [
+           ("id", Json.Str id);
+           ("op", Json.Str "certify");
+           ("suite", Json.Str name);
+           ("jf", Json.Str (Jump_function.kind_name kind));
+         ])
+  in
+  let config = Config.make ~kind () in
+  let expect =
+    Jobs.certification
+      ~label:(Fmt.str "%s, %s" name (Config.to_string config))
+      (Driver.analyze config prog)
+  in
+  { dc_id = id; dc_line = line; dc_expect = expect }
+
+let tables_case ~id =
+  {
+    dc_id = id;
+    dc_line =
+      Json.to_string (Json.Obj [ ("id", Json.Str id); ("op", Json.Str "tables") ]);
+    dc_expect = Jobs.tables ~jobs:1 ();
+  }
+
+let run_server_inproc ~workers ~cache_dir ~dir ~label lines =
+  let in_path = Filename.concat dir (label ^ ".in.jsonl") in
+  write_file in_path (String.concat "\n" lines ^ "\n");
+  let out_path = Filename.concat dir (label ^ ".out.jsonl") in
+  let fd = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
+  let oc = open_out_bin out_path in
+  let config =
+    { Server.default_config with workers; queue_capacity = 4096; cache_dir }
+  in
+  let code = Server.run ~config ~input:fd ~output:oc () in
+  Unix.close fd;
+  close_out oc;
+  (code, parse_responses (read_file out_path))
+
+let run_serve_diff () =
+  let dir = fresh_dir "serve-diff" in
+  let failures = ref 0 in
+  let err fmt = Fmt.kstr (fun m -> incr failures; Fmt.epr "serve-diff: %s@." m) fmt in
+  (* generated programs on disk, like real client inputs *)
+  let gen_cases =
+    List.init (max 1 !iterations) (fun i ->
+        let iter_seed = !seed + (7919 * i) in
+        let path = Filename.concat dir (Printf.sprintf "gen%d.mf" i) in
+        write_file path (gen_source iter_seed);
+        analyze_case
+          ~id:(Printf.sprintf "gen%d" i)
+          ~path
+          ~kind:(List.nth diff_kinds (i mod List.length diff_kinds))
+          ~cert:(i mod 3 = 0))
+  in
+  let suite_cases =
+    List.concat_map
+      (fun (e : Ipcp_suite.Registry.entry) ->
+        let prog = Ipcp_suite.Registry.program e in
+        [
+          certify_case ~id:("cert-" ^ e.name) ~name:e.name ~prog
+            ~kind:Jump_function.Passthrough;
+        ])
+      (match Ipcp_suite.Registry.entries with a :: b :: _ -> [ a; b ] | l -> l)
+  in
+  let bad_case =
+    (* a load failure must round-trip too: same stderr, same exit 3 *)
+    analyze_case ~id:"missing"
+      ~path:(Filename.concat dir "no-such-file.mf")
+      ~kind:Jump_function.Passthrough ~cert:false
+  in
+  let cases = gen_cases @ suite_cases @ [ tables_case ~id:"tables"; bad_case ] in
+  let lines = List.map (fun c -> c.dc_line) cases in
+  let check_run ~label (code, responses) =
+    if code <> 0 then err "%s: server exited %d, expected 0" label code;
+    let ids = List.map (fun (r : SReq.response) -> r.rs_id) responses in
+    List.iter
+      (fun c ->
+        match List.filter (fun i -> i = c.dc_id) ids with
+        | [ _ ] -> ()
+        | l ->
+          err "%s: request %s got %d responses, expected exactly 1" label
+            c.dc_id (List.length l))
+      cases;
+    List.iter
+      (fun (r : SReq.response) ->
+        match List.find_opt (fun c -> c.dc_id = r.rs_id) cases with
+        | None -> err "%s: unsolicited response id %S" label r.rs_id
+        | Some c ->
+          if r.rs_status <> SReq.Ok_done then
+            err "%s: %s: status %s, expected ok" label c.dc_id
+              (SReq.status_name r.rs_status);
+          if r.rs_code <> Some c.dc_expect.code then
+            err "%s: %s: code %s, expected %d" label c.dc_id
+              (match r.rs_code with Some c -> string_of_int c | None -> "absent")
+              c.dc_expect.code;
+          if r.rs_stdout <> Some c.dc_expect.out then
+            err "%s: %s: stdout diverges from direct rendering@.  server: %S@.  direct: %S"
+              label c.dc_id
+              (abbrev (Option.value ~default:"<absent>" r.rs_stdout))
+              (abbrev c.dc_expect.out);
+          if r.rs_stderr <> Some c.dc_expect.err then
+            err "%s: %s: stderr diverges from direct rendering@.  server: %S@.  direct: %S"
+              label c.dc_id
+              (abbrev (Option.value ~default:"<absent>" r.rs_stderr))
+              (abbrev c.dc_expect.err))
+      responses
+  in
+  let cache = Filename.concat dir "cache" in
+  check_run ~label:"workers1"
+    (run_server_inproc ~workers:1 ~cache_dir:None ~dir ~label:"w1" lines);
+  check_run ~label:"workers4"
+    (run_server_inproc ~workers:4 ~cache_dir:None ~dir ~label:"w4" lines);
+  check_run ~label:"workers1+cold-cache"
+    (run_server_inproc ~workers:1 ~cache_dir:(Some cache) ~dir ~label:"w1c" lines);
+  if not (Array.exists (fun f -> Filename.check_suffix f ".art") (Sys.readdir cache))
+  then err "cold-cache run stored no artifact entries in %s" cache;
+  check_run ~label:"workers4+warm-cache"
+    (run_server_inproc ~workers:4 ~cache_dir:(Some cache) ~dir ~label:"w4c" lines);
+  if !failures = 0 then begin
+    Fmt.pr
+      "serve-diff: %d requests byte-identical to direct rendering across \
+       workers 1/4, cache off/cold/warm (seed %d)@."
+      (List.length cases) !seed;
+    0
+  end
+  else begin
+    Fmt.epr "serve-diff: %d divergences@." !failures;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* --serve-smoke: a real `ipcp serve` subprocess.                      *)
+
+let devnull_in () = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0
+
+(* Run [argv] to completion, capturing stdout/stderr. *)
+let run_capture argv =
+  let out_f = Filename.temp_file "ipcp-fuzz-out" "" in
+  let err_f = Filename.temp_file "ipcp-fuzz-err" "" in
+  let out_fd = Unix.openfile out_f [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let err_fd = Unix.openfile err_f [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let in_fd = devnull_in () in
+  let pid = Unix.create_process argv.(0) argv in_fd out_fd err_fd in
+  Unix.close in_fd;
+  Unix.close out_fd;
+  Unix.close err_fd;
+  let _, status = Unix.waitpid [] pid in
+  let code = match status with Unix.WEXITED c -> c | _ -> -1 in
+  let out = read_file out_f and err = read_file err_f in
+  Sys.remove out_f;
+  Sys.remove err_f;
+  (code, out, err)
+
+type server_proc = { sp_pid : int; sp_send : out_channel; sp_recv : in_channel }
+
+let start_server args =
+  (* cloexec, or the child would inherit the write end of its own stdin
+     pipe and closing ours would never deliver EOF (create_process
+     dup2s onto fds 0/1, which clears the flag on the copies) *)
+  let stdin_r, stdin_w = Unix.pipe ~cloexec:true () in
+  let stdout_r, stdout_w = Unix.pipe ~cloexec:true () in
+  let argv = Array.append [| !ipcp_bin; "serve" |] args in
+  let pid = Unix.create_process !ipcp_bin argv stdin_r stdout_w Unix.stderr in
+  Unix.close stdin_r;
+  Unix.close stdout_w;
+  {
+    sp_pid = pid;
+    sp_send = Unix.out_channel_of_descr stdin_w;
+    sp_recv = Unix.in_channel_of_descr stdout_r;
+  }
+
+let read_to_eof ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+(* Close the request stream and collect everything until the server
+   drains; returns (exit code, responses). *)
+let finish_server sp =
+  close_out sp.sp_send;
+  let rest = read_to_eof sp.sp_recv in
+  close_in sp.sp_recv;
+  let _, status = Unix.waitpid [] sp.sp_pid in
+  let code = match status with Unix.WEXITED c -> c | _ -> -1 in
+  (code, rest)
+
+let submit sp line =
+  output_string sp.sp_send line;
+  output_char sp.sp_send '\n';
+  flush sp.sp_send
+
+let analyze_req ~id ~path =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Str id); ("op", Json.Str "analyze"); ("file", Json.Str path) ])
+
+let run_serve_smoke () =
+  if !ipcp_bin = "" then begin
+    Fmt.epr "--serve-smoke needs --ipcp PATH@.";
+    exit 2
+  end;
+  let dir = fresh_dir "serve-smoke" in
+  let failures = ref 0 in
+  let err fmt =
+    Fmt.kstr (fun m -> incr failures; Fmt.epr "serve-smoke: %s@." m) fmt
+  in
+  let suite_files =
+    List.map
+      (fun (e : Ipcp_suite.Registry.entry) ->
+        let path = Filename.concat dir (e.name ^ ".mf") in
+        write_file path e.source;
+        (e.name, path))
+      Ipcp_suite.Registry.entries
+  in
+  (* ---- gate 1: full suite, byte-for-byte against the direct CLI ----
+     The cache is on and cold in a fresh multi-worker process, so the
+     first requests race the cache setup (a lazy build fingerprint
+     forced from two domains at once once regressed here). *)
+  let sp =
+    start_server
+      [| "--workers"; "2"; "--queue"; "256";
+         "--cache"; Filename.concat dir "suite-cache" |]
+  in
+  List.iter (fun (name, path) -> submit sp (analyze_req ~id:name ~path)) suite_files;
+  submit sp (Json.to_string (Json.Obj [ ("id", Json.Str "tables"); ("op", Json.Str "tables") ]));
+  let code, out = finish_server sp in
+  if code <> 0 then err "suite run: server exited %d, expected 0" code;
+  let responses = parse_responses out in
+  let expected = suite_files @ [ ("tables", "") ] in
+  if List.length responses <> List.length expected then
+    err "suite run: %d responses for %d requests" (List.length responses)
+      (List.length expected);
+  List.iter
+    (fun (name, path) ->
+      match List.find_opt (fun (r : SReq.response) -> r.rs_id = name) responses with
+      | None -> err "suite run: no response for %s" name
+      | Some r ->
+        let direct_code, direct_out, direct_err =
+          if name = "tables" then run_capture [| !ipcp_bin; "tables" |]
+          else run_capture [| !ipcp_bin; "analyze"; path |]
+        in
+        if r.rs_status <> SReq.Ok_done then
+          err "suite run: %s: status %s" name (SReq.status_name r.rs_status);
+        if r.rs_code <> Some direct_code then
+          err "suite run: %s: exit code differs from direct CLI" name;
+        if r.rs_stdout <> Some direct_out then
+          err "suite run: %s: stdout differs from direct CLI@.  server: %S@.  cli: %S"
+            name
+            (abbrev (Option.value ~default:"<absent>" r.rs_stdout))
+            (abbrev direct_out);
+        if r.rs_stderr <> Some direct_err then
+          err "suite run: %s: stderr differs from direct CLI" name)
+    expected;
+  (* ---- gate 2: SIGTERM drains gracefully with exit 0 ---- *)
+  let sp = start_server [| "--workers"; "1" |] in
+  let first3 = List.filteri (fun i _ -> i < 3) suite_files in
+  List.iter (fun (name, path) -> submit sp (analyze_req ~id:("t-" ^ name) ~path)) first3;
+  (* all three answered -> in-flight work is done; now signal *)
+  let answered = List.map (fun _ -> input_line sp.sp_recv) first3 in
+  Unix.kill sp.sp_pid Sys.sigterm;
+  let code, rest = finish_server sp in
+  if code <> 0 then err "SIGTERM drain: server exited %d, expected 0" code;
+  let all = List.length (parse_responses (String.concat "\n" answered ^ "\n" ^ rest)) in
+  if all <> 3 then err "SIGTERM drain: %d responses for 3 requests" all;
+  (* ---- gate 3: corrupt cache entries are recomputed, not trusted ---- *)
+  let cache = Filename.concat dir "cache" in
+  let _, first_path = List.hd suite_files in
+  let one_run () =
+    let sp = start_server [| "--workers"; "1"; "--cache"; cache |] in
+    submit sp (analyze_req ~id:"c" ~path:first_path);
+    let code, out = finish_server sp in
+    if code <> 0 then err "cache run: server exited %d" code;
+    match parse_responses out with
+    | [ r ] -> r
+    | rs -> err "cache run: %d responses for 1 request" (List.length rs);
+            List.hd rs
+  in
+  let cold = one_run () in
+  let entries () =
+    Sys.readdir cache |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".art")
+    |> List.map (Filename.concat cache)
+  in
+  (match entries () with
+  | [] -> err "cache run stored no entry"
+  | e :: _ ->
+    let full = (Unix.stat e).Unix.st_size in
+    (* truncate to half: valid-looking header, short payload *)
+    let data = read_file e in
+    write_file e (String.sub data 0 (String.length data / 2));
+    let after_corrupt = one_run () in
+    if after_corrupt <> cold then
+      err "corrupt cache entry changed the response";
+    (match entries () with
+    | e2 :: _ when (Unix.stat e2).Unix.st_size = full -> ()
+    | _ -> err "corrupt cache entry was not recomputed and re-stored");
+    let warm = one_run () in
+    if warm <> cold then err "warm cache changed the response");
+  (* ---- gate 4: fault-injected crashes fail only their own request ---- *)
+  (* 0.03 sits in the window where the amplified serve.worker site fells
+     some requests while the request-shared pipeline sites stay quiet —
+     a mix of crashes and survivors, which is what containment needs *)
+  let fault_args extra =
+    Array.append
+      [| "--fault-rate"; "0.03"; "--fault-seed"; "42"; "--queue"; "64" |]
+      extra
+  in
+  let fault_run workers =
+    let sp = start_server (fault_args [| "--workers"; workers;
+                                         "--backoff-ms"; "1";
+                                         "--backoff-cap-ms"; "5" |]) in
+    List.iter
+      (fun (name, path) -> submit sp (analyze_req ~id:name ~path))
+      suite_files;
+    let code, out = finish_server sp in
+    if code <> 0 then err "fault run (workers %s): server exited %d" workers code;
+    parse_responses out
+  in
+  let statuses rs =
+    List.sort compare
+      (List.map (fun (r : SReq.response) -> (r.rs_id, SReq.status_name r.rs_status)) rs)
+  in
+  let r1 = fault_run "1" and r2 = fault_run "2" in
+  if List.length r1 <> List.length suite_files then
+    err "fault run: %d responses for %d requests" (List.length r1)
+      (List.length suite_files);
+  let crashed = List.filter (fun (r : SReq.response) -> r.rs_status = SReq.Error_crash) r1 in
+  let completed = List.filter (fun (r : SReq.response) -> r.rs_status = SReq.Ok_done) r1 in
+  if crashed = [] then err "fault run: no injected crash fired (rate 0.5)";
+  if completed = [] then err "fault run: no request survived (crash not contained)";
+  if statuses r1 <> statuses r2 then
+    err "fault run: statuses differ between --workers 1 and --workers 2";
+  (* the survivors still carry byte-identical direct output *)
+  List.iter
+    (fun (r : SReq.response) ->
+      match List.assoc_opt r.rs_id suite_files with
+      | None -> ()
+      | Some path ->
+        let _, direct_out, _ = run_capture [| !ipcp_bin; "analyze"; path |] in
+        if r.rs_stdout <> Some direct_out then
+          err "fault run: survivor %s diverges from direct CLI" r.rs_id)
+    completed;
+  if !failures = 0 then begin
+    Fmt.pr
+      "serve-smoke: suite diff, SIGTERM drain, cache corruption and fault \
+       containment gates all passed@.";
+    0
+  end
+  else begin
+    Fmt.epr "serve-smoke: %d failures@." !failures;
+    1
+  end
+
 let () =
   Arg.parse speclist
     (fun a ->
       Fmt.epr "unexpected argument %S@." a;
       exit 2)
     usage;
-  exit (if !inject_bad then run_inject_bad () else run_oracle ())
+  exit
+    (if !serve_diff then run_serve_diff ()
+     else if !serve_smoke then run_serve_smoke ()
+     else if !inject_bad then run_inject_bad ()
+     else run_oracle ())
