@@ -308,7 +308,7 @@ let cache_comparison () =
       Registry.entries
   in
   (* populate once, then measure pure hits *)
-  let cache = Cache.create ~dir in
+  let cache = Cache.create ~dir () in
   List.iter
     (fun (e : Registry.entry) ->
       Cache.store cache ~key:(Cache.key ~source:e.source)
@@ -345,6 +345,66 @@ let cache_comparison () =
   try Unix.rmdir dir with Unix.Unix_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Incremental re-analysis: full analyze vs cone update.
+
+   For each workload size, derive one small seeded edit and compare a
+   from-scratch Driver.analyze of the edited version against
+   Incr.update from the previous version's session.  Update cost tracks
+   the dependence cone of the edit (printed per size), not the program
+   size; the no-op update (identical source) isolates the fixed
+   incremental overhead — hashing, diffing, grafting, artifact reuse —
+   which is what a cone of zero costs.  All three times land in the
+   profile document as bench.incr/* observations. *)
+
+let incr_comparison () =
+  Fmt.pr "@.--- incremental re-analysis: full vs cone update@.";
+  let module Incr = Ipcp_incr.Incr in
+  let reps = 3 in
+  let config = Config.default in
+  List.iter
+    (fun n ->
+      let spec =
+        { Workload.default_spec with seed = 42; num_procs = n; stmts_per_proc = 8 }
+      in
+      match Workload.edits spec ~seed:n ~n:1 with
+      | [ base_src; edited_src ] ->
+        let parse src =
+          Ipcp_frontend.Sema.parse_and_resolve ~file:"<bench>" src
+        in
+        let base = parse base_src and edited = parse edited_src in
+        let prev = Incr.start config base in
+        let sess, stats = Incr.update ~prev edited in
+        let edited_again = parse edited_src in
+        let record name ns =
+          Telemetry.with_reporter collector (fun () ->
+              Telemetry.observe ("bench." ^ name) ns)
+        in
+        let full_ns =
+          time_best_ns ~reps (fun () -> ignore (Driver.analyze config edited))
+        in
+        let update_ns =
+          time_best_ns ~reps (fun () -> ignore (Incr.update ~prev edited))
+        in
+        let noop_ns =
+          time_best_ns ~reps (fun () ->
+              ignore (Incr.update ~prev:sess edited_again))
+        in
+        record (Fmt.str "incr/full_analyze/procs=%03d" n) full_ns;
+        record (Fmt.str "incr/update/procs=%03d" n) update_ns;
+        record (Fmt.str "incr/noop_update/procs=%03d" n) noop_ns;
+        Fmt.pr
+          "  procs=%03d  full %8.3f ms   update %8.3f ms (cone %d/%d, %.2fx) \
+           noop %8.3f ms@."
+          n
+          (float_of_int full_ns /. 1_000_000.0)
+          (float_of_int update_ns /. 1_000_000.0)
+          stats.Incr.cone_size stats.Incr.total_procs
+          (float_of_int full_ns /. float_of_int update_ns)
+          (float_of_int noop_ns /. 1_000_000.0)
+      | _ -> Fmt.pr "  procs=%03d  (edit generation failed)@." n)
+    [ 50; 100; 200 ]
+
+(* ------------------------------------------------------------------ *)
 (* Cloning ablation *)
 
 let cloning_ablation () =
@@ -371,6 +431,7 @@ let () =
       Telemetry.span "bench:cloning_ablation" cloning_ablation);
   tables_regen_comparison ();
   cache_comparison ();
+  incr_comparison ();
   (* the timing benches *)
   print_results "jump-function construction time (§3.1.5)"
     (run_benchmarks (Test.make_grouped ~name:"" construction_tests));

@@ -182,16 +182,42 @@ let analyze_cmd =
     let doc = "Also dump MOD/REF summaries and the call graph." in
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
   in
+  let against =
+    let doc =
+      "Analyze incrementally against baseline source $(docv): solve \
+       $(docv) from scratch, then re-solve only the dependence cone of \
+       what changed between the two versions.  The report is \
+       byte-identical to a from-scratch analyze of $(i,FILE); a cone \
+       summary goes to stderr."
+    in
+    Arg.(value & opt (some string) None & info [ "against" ] ~docv:"PREV" ~doc)
+  in
   let run file kind no_ret no_mod intra max_steps deadline_ms substitute_out
-      complete verbose jobs certify profile profile_json =
+      complete verbose jobs certify against profile profile_json =
     with_profiling profile profile_json @@ fun () ->
     match Jobs.load file with
     | Error o -> emit o
-    | Ok (_src, prog) ->
+    | Ok (_src, prog) -> (
       let config = config_of kind no_ret no_mod intra max_steps deadline_ms in
-      emit
-        (Jobs.analyze ~verbose ~complete ~certify ?substitute_out ~config
-           ~jobs prog)
+      match against with
+      | None ->
+        emit
+          (Jobs.analyze ~verbose ~complete ~certify ?substitute_out ~config
+             ~jobs prog)
+      | Some prev_file -> (
+        match Jobs.load prev_file with
+        | Error o -> emit o
+        | Ok (_prev_src, prev_prog) ->
+          let module Incr = Ipcp_incr.Incr in
+          let prev = Incr.start config prev_prog in
+          let sess, stats = Incr.update ~prev prog in
+          let code =
+            emit
+              (Jobs.analyze ~verbose ~complete ~certify ?substitute_out
+                 ~solved:(Incr.result sess) ~config ~jobs prog)
+          in
+          Fmt.epr "--- incremental: %a@." Incr.pp_stats stats;
+          code))
   in
   let doc = "Analyze a program and report its interprocedural constants." in
   Cmd.v
@@ -199,7 +225,7 @@ let analyze_cmd =
     Term.(
       const run $ file_arg $ jf_kind $ no_return_jfs $ no_mod $ intra_only
       $ max_steps_arg $ deadline_ms_arg $ substitute_out $ complete $ verbose
-      $ jobs_arg $ certify_flag $ profile_flag $ profile_json_arg)
+      $ jobs_arg $ certify_flag $ against $ profile_flag $ profile_json_arg)
 
 (* ---------------- certify ---------------- *)
 
@@ -524,6 +550,14 @@ let serve_cmd =
     let doc = "Exponential restart-backoff ceiling, in milliseconds." in
     Arg.(value & opt int 1000 & info [ "backoff-cap-ms" ] ~docv:"MS" ~doc)
   in
+  let cache_max_entries =
+    let doc =
+      "Entry cap of the artifact cache; the oldest entries (by mtime) \
+       are evicted after each store once the cap is exceeded.  0 leaves \
+       the cache unbounded."
+    in
+    Arg.(value & opt int 4096 & info [ "cache-max-entries" ] ~docv:"N" ~doc)
+  in
   let seed =
     let doc = "Seed of the deterministic restart-backoff jitter." in
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
@@ -546,8 +580,8 @@ let serve_cmd =
     let doc = "Seed of the fault-injection draws." in
     Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N" ~doc)
   in
-  let run workers queue queue_policy breaker cache backoff_ms backoff_cap_ms
-      seed input fault_rate fault_seed =
+  let run workers queue queue_policy breaker cache cache_max backoff_ms
+      backoff_cap_ms seed input fault_rate fault_seed =
     if fault_rate > 0.0 then
       Ipcp_support.Fault.configure ~raise_rate:fault_rate ~seed:fault_seed ();
     let fd =
@@ -571,6 +605,7 @@ let serve_cmd =
           queue_policy;
           breaker_threshold = breaker;
           cache_dir = cache;
+          cache_max_entries = (if cache_max <= 0 then None else Some cache_max);
           backoff_base_ms = backoff_ms;
           backoff_cap_ms;
           seed;
@@ -591,7 +626,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ workers $ queue $ queue_policy $ breaker $ cache
-      $ backoff_ms $ backoff_cap_ms $ seed $ input $ fault_rate $ fault_seed)
+      $ cache_max_entries $ backoff_ms $ backoff_cap_ms $ seed $ input
+      $ fault_rate $ fault_seed)
 
 (* ---------------- broken-pipe handling ---------------- *)
 

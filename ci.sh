@@ -92,6 +92,28 @@ for seed in 7 11; do
 done
 dune exec --no-build tools/fuzz.exe -- --seed 7 --iterations 5 --inject-bad
 
+echo "== incremental delta"
+# Randomized edit sequences under two pinned seeds, all four
+# jump-function kinds: every Incr.update must render byte-identically
+# to a from-scratch analyze, pass independent certification, and report
+# an empty cone for an identical version.
+for seed in 7 11; do
+  echo "-- seed $seed"
+  dune exec --no-build tools/fuzz.exe -- --delta --seed "$seed" --iterations 8
+done
+# The CLI surface: analyze --against a previous version with profiling
+# on must carry the incr.* counter triple, validated by profile_lint.
+prev_f="$tmpdir/prev.f" next_f="$tmpdir/next.f"
+printf 'program main\ninteger k\nk = 1\ncall s(k)\nend\nsubroutine s(n)\ninteger n\nprint *, n\nend\n' > "$prev_f"
+printf 'program main\ninteger k\nk = 2\ncall s(k)\nend\nsubroutine s(n)\ninteger n\nprint *, n\nend\n' > "$next_f"
+dune exec --no-build -- ipcp analyze "$next_f" --against "$prev_f" \
+  --profile-json "$tmpdir/incr_profile.json" > /dev/null 2>&1
+dune exec --no-build tools/profile_lint.exe -- "$tmpdir/incr_profile.json"
+if ! grep -q 'incr\.cone_size' "$tmpdir/incr_profile.json"; then
+  echo "incremental: --against run carried no incr.cone_size counter" >&2
+  exit 1
+fi
+
 echo "== serve differential"
 # Server-vs-direct at a pinned seed: generated and suite programs
 # through the in-process serving layer at workers 1 and 4, artifact

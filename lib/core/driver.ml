@@ -76,28 +76,22 @@ let prepare prog = prepare_with prog
 let artifacts_prog (a : artifacts) = a.a_prog
 let artifacts_callgraph (a : artifacts) = a.a_cg
 
-(* Procedures whose stage-1/2 artifacts may be copied from the previous
-   round's: the body is unchanged and every callee is itself reusable, so
-   the MOD summary, the return jump function and the IR are all equal to
-   last round's.  Bottom-up over the call graph; members of a recursive
-   cycle are conservatively rebuilt (a not-yet-classified callee counts as
-   not reusable). *)
-let reusable_procs (a : artifacts) (unchanged : string -> bool) :
-    (string, bool) Hashtbl.t =
-  let reusable = Hashtbl.create 16 in
-  List.iter
-    (fun name ->
-      let ok =
-        unchanged name
-        && List.for_all
-             (fun (e : Callgraph.edge) ->
-               e.e_callee = name
-               || Hashtbl.find_opt reusable e.e_callee = Some true)
-             (Callgraph.callees_of a.a_cg name)
-      in
-      Hashtbl.replace reusable name ok)
-    (Callgraph.bottom_up a.a_cg);
-  reusable
+(* A procedure's callers observe it only through its summary: the MOD
+   footprint (which formals and globals it may modify — the call-kill
+   sets) and its return jump function (what a call leaves behind).  Two
+   versions with equal summaries are indistinguishable to every caller's
+   IR and jump functions, which is what lets both the stage-1/2 reuse
+   below and the incremental cone computation stop walking upward at a
+   provably unchanged summary. *)
+let ret_jf_equal (a : Jump_function.ret_jf) (b : Jump_function.ret_jf) : bool =
+  Symbolic.equal a.rj_result b.rj_result
+  && Jump_function.Int_map.equal Symbolic.equal a.rj_formals b.rj_formals
+  && Jump_function.Str_map.equal Symbolic.equal a.rj_globals b.rj_globals
+
+let mod_summary_equal (ma : Modref.t) (mb : Modref.t) (name : string) : bool =
+  let sa = Modref.summary ma name and sb = Modref.summary mb name in
+  Modref.Int_set.equal sa.mod_formals sb.mod_formals
+  && Modref.Str_set.equal sa.mod_globals sb.mod_globals
 
 let prepare_reusing ~prev ~unchanged prog =
   prepare_with ~reuse:(prev, unchanged) prog
@@ -160,45 +154,106 @@ let build_stage12 (a : artifacts) (key : stage_key) : stage12 =
     if key.sk_use_mod then Lazy.force a.a_modref else Lazy.force a.a_worst
   in
   (* entries seeded from a previous round's artifacts (Complete's
-     re-analysis loop) are not rebuilt *)
+     re-analysis loop, the incremental session) are not rebuilt *)
   let seed =
     match a.a_reuse with
     | None -> None
     | Some (prev, unchanged) -> (
       match Hashtbl.find_opt prev.a_stages key with
       | None -> None
-      | Some prev_stage -> Some (prev_stage, reusable_procs a unchanged))
+      | Some prev_stage -> Some (prev, prev_stage, unchanged))
   in
-  let seeded tbl prev_tbl name =
+  let ret_jfs : (string, Jump_function.ret_jf) Hashtbl.t = Hashtbl.create 16 in
+  (* A procedure's entry may be copied from the previous round when its
+     own body is unchanged and every callee's summary — MOD footprint
+     plus return jump function — is provably equal to last round's: the
+     IR sees callees only through their call-kill sets and the return
+     oracle.  Reused IRs embed the previous round's oracle closure; that
+     closure answers from the previous table, whose entries for this
+     procedure's callees are exactly the equal summaries, so evaluation
+     is unaffected.  Return-jump-function stability is read off the new
+     table as it fills bottom-up (a copied entry is physically last
+     round's, so it compares equal for free); a callee in the same
+     recursive cycle has no entry yet and counts as unstable, which
+     conservatively rebuilds cycle members. *)
+  let mod_stable =
     match seed with
-    | Some (_, reusable) when Hashtbl.find_opt reusable name = Some true -> (
-      match Hashtbl.find_opt prev_tbl name with
-      | Some v ->
-        Hashtbl.replace tbl name v;
-        Telemetry.incr "driver.stage12_reused";
-        true
-      | None -> false)
-    | _ -> false
+    | None -> fun _ -> false
+    | Some (prev, _, _) ->
+      if not key.sk_use_mod then fun _ -> true (* worst case on both sides *)
+      else
+        let pm = Lazy.force prev.a_modref and cm = Lazy.force a.a_modref in
+        fun name -> mod_summary_equal pm cm name
+  in
+  let ret_stable =
+    match seed with
+    | None -> fun _ -> false
+    | Some (_, prev_stage, _) ->
+      if not key.sk_return_jfs then fun _ -> true (* no oracle in this variant *)
+      else
+        fun name ->
+        match
+          ( Hashtbl.find_opt prev_stage.sg_ret_jfs name,
+            Hashtbl.find_opt ret_jfs name )
+        with
+        | Some old_v, Some new_v -> ret_jf_equal old_v new_v
+        | _ -> false
+  in
+  let reuse_tbl : (string, bool) Hashtbl.t = Hashtbl.create 16 in
+  let classify name =
+    let ok =
+      match seed with
+      | None -> false
+      | Some (_, _, unchanged) ->
+        unchanged name
+        && List.for_all
+             (fun (e : Callgraph.edge) ->
+               e.e_callee = name
+               || (mod_stable e.e_callee && ret_stable e.e_callee))
+             (Callgraph.callees_of a.a_cg name)
+    in
+    Hashtbl.replace reuse_tbl name ok;
+    ok
+  in
+  let copy_seeded tbl prev_tbl name =
+    Hashtbl.find_opt reuse_tbl name = Some true
+    &&
+    match Hashtbl.find_opt prev_tbl name with
+    | Some v ->
+      Hashtbl.replace tbl name v;
+      Telemetry.incr "driver.stage12_reused";
+      true
+    | None ->
+      (* unchanged per the predicate but absent from the previous round:
+         rebuild, and don't let stage 2 copy either *)
+      Hashtbl.replace reuse_tbl name false;
+      false
   in
   let prev_ret_jfs, prev_irs =
     match seed with
-    | Some (prev_stage, _) -> (prev_stage.sg_ret_jfs, prev_stage.sg_irs)
+    | Some (_, prev_stage, _) -> (prev_stage.sg_ret_jfs, prev_stage.sg_irs)
     | None -> (Hashtbl.create 0, Hashtbl.create 0)
   in
   (* ---- stage 1: return jump functions, bottom-up ---- *)
-  let ret_jfs : (string, Jump_function.ret_jf) Hashtbl.t = Hashtbl.create 16 in
   Telemetry.span "stage1:return_jfs" (fun () ->
       if key.sk_return_jfs then begin
         let oracle = Jump_function.oracle_of_table ret_jfs in
         List.iter
           (fun name ->
-            if not (seeded ret_jfs prev_ret_jfs name) then
+            if not (classify name && copy_seeded ret_jfs prev_ret_jfs name)
+            then
               let proc = Prog.find_proc_exn a.a_prog name in
               let ir = Jump_function.build_ir ~oracle ~modref a.a_prog proc in
               Hashtbl.replace ret_jfs name
                 (Jump_function.build_ret_jf ~modref ir))
           (Callgraph.bottom_up a.a_cg)
-      end);
+      end
+      else
+        (* no stage-1 values in this variant; classify bottom-up so that
+           stage 2 below can still copy unchanged IRs *)
+        List.iter
+          (fun name -> ignore (classify name))
+          (Callgraph.bottom_up a.a_cg));
   (* ---- stage 2: per-procedure IR, top-down ---- *)
   let oracle =
     if key.sk_return_jfs then Some (Jump_function.oracle_of_table ret_jfs)
@@ -208,7 +263,7 @@ let build_stage12 (a : artifacts) (key : stage_key) : stage12 =
   Telemetry.span "stage2:forward_jfs" (fun () ->
       List.iter
         (fun name ->
-          if not (seeded irs prev_irs name) then
+          if not (copy_seeded irs prev_irs name) then
             let proc = Prog.find_proc_exn a.a_prog name in
             let ir = Jump_function.build_ir ?oracle ~modref a.a_prog proc in
             Hashtbl.replace irs name ir)
@@ -226,14 +281,42 @@ let stage12_for (a : artifacts) (config : Config.t) : stage12 =
     Hashtbl.replace a.a_stages key s;
     s
 
+let summary_stable (config : Config.t) ~(prev : artifacts) (a : artifacts)
+    (name : string) : bool =
+  (if config.use_mod then
+     mod_summary_equal (Lazy.force prev.a_modref) (Lazy.force a.a_modref)
+       name
+   else true)
+  && ((not config.return_jfs)
+     ||
+     match
+       ( Hashtbl.find_opt (stage12_for prev config).sg_ret_jfs name,
+         Hashtbl.find_opt (stage12_for a config).sg_ret_jfs name )
+     with
+     | Some ra, Some rb -> ret_jf_equal ra rb
+     | _ -> false)
+
+let site_jfs_for (a : artifacts) (config : Config.t) (name : string) :
+    Jump_function.site_jf list =
+  if not config.interprocedural then []
+  else
+    match Hashtbl.find_opt (stage12_for a config).sg_irs name with
+    | None -> []
+    | Some ir -> Jump_function.build_site_jfs ~kind:config.kind ir
+
 (* ------------------------------------------------------------------ *)
 (* Stages 3 and 4: the config-dependent suffix.                        *)
 
-let propagate (config : Config.t) cg ~site_jfs ~global_keys : Solver.result =
+let propagate ?seed (config : Config.t) cg ~site_jfs ~global_keys :
+    Solver.result =
   let prog = cg.Callgraph.prog in
-  if config.interprocedural then
-    Solver.run ~budget:(Config.budget ~label:"solver" config) cg ~site_jfs
-      ~global_keys
+  if config.interprocedural then begin
+    let budget = Config.budget ~label:"solver" config in
+    match seed with
+    | Some (prev, dirty) ->
+      Solver.run_seeded ~budget ~prev ~dirty cg ~site_jfs ~global_keys
+    | None -> Solver.run ~budget cg ~site_jfs ~global_keys
+  end
   else begin
     (* baseline: no propagation; every parameter of every procedure is ⊥
        so that only locally derived constants survive *)
@@ -262,8 +345,9 @@ let propagate (config : Config.t) cg ~site_jfs ~global_keys : Solver.result =
       degraded = [] }
   end
 
-(** Run the config-dependent stages over shared artifacts. *)
-let solve (config : Config.t) (a : artifacts) : t =
+(** Run the config-dependent stages over shared artifacts; [seed]
+    switches stage 3 to the cone-restricted seeded solver. *)
+let solve_gen ?seed (config : Config.t) (a : artifacts) : t =
   Telemetry.span "solve" (fun () ->
       let stage = stage12_for a config in
       (* forward jump functions restricted to the configured kind *)
@@ -280,7 +364,8 @@ let solve (config : Config.t) (a : artifacts) : t =
       (* ---- stage 3: interprocedural propagation ---- *)
       let solution =
         Telemetry.span "stage3:propagate" (fun () ->
-            propagate config a.a_cg ~site_jfs ~global_keys:a.a_global_keys)
+            propagate ?seed config a.a_cg ~site_jfs
+              ~global_keys:a.a_global_keys)
       in
       (* ---- stage 4: recording the results ---- *)
       Telemetry.span "stage4:record" (fun () ->
@@ -306,6 +391,19 @@ let solve (config : Config.t) (a : artifacts) : t =
                  0 a.a_prog.procs)
           end;
           t))
+
+(** Run the config-dependent stages over shared artifacts. *)
+let solve (config : Config.t) (a : artifacts) : t = solve_gen config a
+
+(** Like {!solve}, but stage 3 re-solves only the [dirty] cone, seeding
+    every other procedure's VAL map from [prev_vals] — the incremental
+    re-analysis path ({!Ipcp_incr.Incr.update}).  Byte-identical to
+    {!solve} when [dirty] is closed under "may be affected by the
+    change". *)
+let solve_seeded (config : Config.t) (a : artifacts)
+    ~(prev_vals : (string, Solver.val_map) Hashtbl.t)
+    ~(dirty : string -> bool) : t =
+  solve_gen ~seed:(prev_vals, dirty) config a
 
 (** Run the full pipeline on a resolved program (compatibility wrapper). *)
 let analyze (config : Config.t) (prog : Prog.t) : t =

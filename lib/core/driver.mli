@@ -39,12 +39,35 @@ type artifacts
 val prepare : Prog.t -> artifacts
 
 (** [prepare_reusing ~prev ~unchanged prog] prepares artifacts for a
-    rewritten [prog] (same procedure names), copying the per-procedure
-    stage-1/2 artifacts from [prev] for every procedure whose body is
-    [unchanged] and whose transitive callees are all unchanged too —
-    {!Complete}'s re-analysis loop between dead-code-elimination rounds. *)
+    rewritten [prog], copying the per-procedure stage-1/2 artifacts from
+    [prev] for every procedure whose body is [unchanged] and whose every
+    callee has a provably equal summary (MOD footprint and return jump
+    function) in both rounds — the IR observes callees only through
+    those.  The copy walk therefore stops where an edit's effect on
+    summaries is absorbed, not merely where its call-graph reachability
+    ends.  Used by {!Complete}'s re-analysis loop between
+    dead-code-elimination rounds and by {!Ipcp_incr.Incr.update};
+    [unchanged] procedures must keep their expression/statement ids
+    (reused IR embeds them). *)
 val prepare_reusing :
   prev:artifacts -> unchanged:(string -> bool) -> Prog.t -> artifacts
+
+(** [summary_stable config ~prev a name]: the procedure's caller-visible
+    summary — its MOD footprint when MOD is enabled, its return jump
+    function when those are enabled — is provably identical in [prev]
+    and [a].  No caller's IR or jump functions can observe any
+    difference in [name] when this holds; the incremental cone
+    computation uses it to stop walking toward callers.  Forces the
+    stage-1/2 bundles of both artifact sets for [config]'s variant. *)
+val summary_stable : Config.t -> prev:artifacts -> artifacts -> string -> bool
+
+(** The forward jump functions of [name]'s call sites under [config],
+    built from the memoized stage-1/2 bundle — the same values {!solve}
+    aggregates, exposed so the incremental cone computation can compare
+    them across versions.  Empty for an intraprocedural configuration or
+    an unknown procedure. *)
+val site_jfs_for :
+  artifacts -> Config.t -> string -> Jump_function.site_jf list
 
 val artifacts_prog : artifacts -> Prog.t
 val artifacts_callgraph : artifacts -> Callgraph.t
@@ -68,6 +91,18 @@ val artifacts_of_string : string -> artifacts option
 (** Run the config-dependent stages (forward jump functions +
     interprocedural propagation) over shared artifacts. *)
 val solve : Config.t -> artifacts -> t
+
+(** Like {!solve}, but stage 3 re-solves only the [dirty] cone, seeding
+    every other procedure's VAL map from [prev_vals] (the previous
+    program version's fixpoint) — the incremental re-analysis path.
+    Byte-identical to {!solve} provided [dirty] is closed under "may be
+    affected by the change"; {!Ipcp_incr.Incr} computes that closure. *)
+val solve_seeded :
+  Config.t ->
+  artifacts ->
+  prev_vals:(string, Solver.val_map) Hashtbl.t ->
+  dirty:(string -> bool) ->
+  t
 
 (** Run the full pipeline on a resolved program:
     [solve config (prepare prog)]. *)

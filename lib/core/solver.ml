@@ -86,50 +86,50 @@ let eval_jf (stats : stats) (caller_vals : val_map) (jf : Symbolic.t) :
       in
       Const_lattice.of_option (Symbolic.eval ~env jf)
 
-(** Solve.  [site_jfs] are the forward jump functions of every call site;
-    [global_keys] the keys of every common global in the program.  When
-    [budget] runs out mid-drain, every procedure transitively reachable
-    from a still-pending caller is widened to ⊥: those are exactly the
-    maps that unprocessed edges could still lower, so the answer stays a
-    sound (conservative) approximation of the fixed point. *)
-let run ?budget (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
-    ~(global_keys : string list) : result =
+(* The fresh (pre-iteration) VAL map of one procedure: ⊤ everywhere except
+   the main program, whose entries are ⊥ — with data-initialized globals
+   holding their load-time constants on entry to main. *)
+let fresh_map (prog : Prog.t) (global_keys : string list) (p : Prog.proc) :
+    val_map =
+  let is_main = p.pname = prog.main in
+  let initial = if is_main then Const_lattice.Bottom else Const_lattice.Top in
+  let m =
+    List.fold_left
+      (fun m (v : Prog.var) ->
+        match v.vkind with
+        | Prog.Kformal i -> Prog.Param_map.add (Prog.Pformal i) initial m
+        | _ -> m)
+      Prog.Param_map.empty p.pformals
+  in
+  List.fold_left
+    (fun m key ->
+      (* on entry to main, a data-initialized global still holds its
+         load-time value; all other initial memory is unknown *)
+      let v =
+        if is_main then
+          match Prog.data_value_of_global prog key with
+          | Some c -> Const_lattice.Const c
+          | None -> Const_lattice.Bottom
+        else initial
+      in
+      Prog.Param_map.add (Prog.Pglob key) v m)
+    m global_keys
+
+(* The shared worklist drain: meet jump-function results into callee maps
+   until stable (or the budget runs out, widening the pending closure to
+   ⊥).  [vals] carries the initial assignment and [work] the initially
+   unstable callers; the meet-semilattice iteration converges to the same
+   fixpoint regardless of processing order, which is what makes seeded
+   re-solving byte-compatible with a from-scratch run. *)
+let solve_loop ?budget (cg : Callgraph.t)
+    ~(site_jfs : Jump_function.site_jf list)
+    ~(vals : (string, val_map) Hashtbl.t)
+    ~(work : string Ipcp_support.Worklist.t) : result =
   let budget =
     match budget with
     | Some b -> b
     | None -> Ipcp_support.Budget.create ~label:"solver" ()
   in
-  let prog = cg.Callgraph.prog in
-  let vals : (string, val_map) Hashtbl.t = Hashtbl.create 16 in
-  let init_proc (p : Prog.proc) =
-    let is_main = p.pname = prog.main in
-    let initial = if is_main then Const_lattice.Bottom else Const_lattice.Top in
-    let m =
-      List.fold_left
-        (fun m (v : Prog.var) ->
-          match v.vkind with
-          | Prog.Kformal i -> Prog.Param_map.add (Prog.Pformal i) initial m
-          | _ -> m)
-        Prog.Param_map.empty p.pformals
-    in
-    let m =
-      List.fold_left
-        (fun m key ->
-          (* on entry to main, a data-initialized global still holds its
-             load-time value; all other initial memory is unknown *)
-          let v =
-            if is_main then
-              match Prog.data_value_of_global prog key with
-              | Some c -> Const_lattice.Const c
-              | None -> Const_lattice.Bottom
-            else initial
-          in
-          Prog.Param_map.add (Prog.Pglob key) v m)
-        m global_keys
-    in
-    Hashtbl.replace vals p.pname m
-  in
-  List.iter init_proc prog.procs;
   let stats = { iterations = 0; jf_evaluations = 0; meets = 0; widened = 0 } in
   (* index site jump functions by caller *)
   let by_caller : (string, Jump_function.site_jf list) Hashtbl.t =
@@ -142,7 +142,6 @@ let run ?budget (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
       in
       Hashtbl.replace by_caller s.sf_caller (s :: existing))
     site_jfs;
-  let work = Ipcp_support.Worklist.of_list (Callgraph.top_down cg) in
   let process caller =
       stats.iterations <- stats.iterations + 1;
       let caller_vals =
@@ -244,6 +243,61 @@ let run ?budget (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
     Telemetry.observe "solver.worklist.max_length" w.max_length
   end;
   { vals; stats; degraded }
+
+(** Solve.  [site_jfs] are the forward jump functions of every call site;
+    [global_keys] the keys of every common global in the program.  When
+    [budget] runs out mid-drain, every procedure transitively reachable
+    from a still-pending caller is widened to ⊥: those are exactly the
+    maps that unprocessed edges could still lower, so the answer stays a
+    sound (conservative) approximation of the fixed point. *)
+let run ?budget (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
+    ~(global_keys : string list) : result =
+  let prog = cg.Callgraph.prog in
+  let vals : (string, val_map) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Prog.proc) ->
+      Hashtbl.replace vals p.pname (fresh_map prog global_keys p))
+    prog.procs;
+  let work = Ipcp_support.Worklist.of_list (Callgraph.top_down cg) in
+  solve_loop ?budget cg ~site_jfs ~vals ~work
+
+(** Re-solve only the [dirty] cone of a changed program, seeding every
+    other procedure's VAL map from [prev] (the previous version's
+    fixpoint).  Correct — and byte-identical to {!run} on the new
+    program — provided [dirty] is closed under "may be affected by the
+    change": it contains every procedure whose fixpoint map could differ
+    from the previous version's (see {!Ipcp_incr.Incr} for the closure
+    rules).  Dirty procedures restart from their optimistic initial
+    values; the initial worklist holds exactly the callers with an edge
+    into the dirty set, the only initially unstable edges. *)
+let run_seeded ?budget ~(prev : (string, val_map) Hashtbl.t)
+    ~(dirty : string -> bool) (cg : Callgraph.t)
+    ~(site_jfs : Jump_function.site_jf list) ~(global_keys : string list) :
+    result =
+  let prog = cg.Callgraph.prog in
+  let vals : (string, val_map) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Prog.proc) ->
+      let m =
+        if dirty p.pname then fresh_map prog global_keys p
+        else
+          match Hashtbl.find_opt prev p.pname with
+          | Some m -> m
+          | None -> fresh_map prog global_keys p
+      in
+      Hashtbl.replace vals p.pname m)
+    prog.procs;
+  let work =
+    Ipcp_support.Worklist.of_list
+      (List.filter
+         (fun name ->
+           dirty name
+           || List.exists
+                (fun (e : Callgraph.edge) -> dirty e.e_callee)
+                (Callgraph.callees_of cg name))
+         (Callgraph.top_down cg))
+  in
+  solve_loop ?budget cg ~site_jfs ~vals ~work
 
 let pp_result prog ppf (r : result) =
   Hashtbl.iter

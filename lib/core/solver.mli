@@ -46,4 +46,21 @@ val run :
   global_keys:string list ->
   result
 
+(** Re-solve only the [dirty] cone of a changed program, seeding every
+    non-dirty procedure's VAL map from [prev] (the previous version's
+    fixpoint).  Byte-identical to {!run} on the new program provided
+    [dirty] is closed under "may be affected by the change" — every
+    procedure whose fixpoint could differ from the previous version's is
+    dirty (the {!Ipcp_incr.Incr} layer computes that closure).  Dirty
+    procedures restart from their optimistic initial values; the initial
+    worklist holds the callers with an edge into the dirty set. *)
+val run_seeded :
+  ?budget:Ipcp_support.Budget.t ->
+  prev:(string, val_map) Hashtbl.t ->
+  dirty:(string -> bool) ->
+  Callgraph.t ->
+  site_jfs:Jump_function.site_jf list ->
+  global_keys:string list ->
+  result
+
 val pp_result : Prog.t -> result Fmt.t

@@ -1,0 +1,63 @@
+(** Incremental re-analysis sessions: analyze a program version once,
+    then re-analyze successive edited versions at a cost proportional to
+    the dependence cone of each edit — with output {b byte-identical} to
+    a from-scratch {!Ipcp_core.Driver.analyze} of the same source (the
+    certifier and the [fuzz --delta] gate enforce this).
+
+    Per-procedure artifacts (IR, stage-1/2 jump functions, MOD effects)
+    are reused via strict-hash grafting +
+    {!Ipcp_core.Driver.prepare_reusing}; the solution is reused via
+    {!Ipcp_core.Solver.run_seeded} over the dirty cone computed from the
+    semantic call-graph diff ({!Diff}).  See the implementation header
+    and DESIGN.md §10 for the closure rules and the fallbacks. *)
+
+open Ipcp_frontend
+open Ipcp_core
+
+type stats = {
+  total_procs : int;
+  changed_procs : int;  (** semantic-hash changes (procs present in both) *)
+  grafted_procs : int;  (** strict-hash-unchanged, physically reused *)
+  cone_size : int;  (** dirty procedures re-solved *)
+  procs_reused : int;  (** solution maps seeded from the previous fixpoint *)
+  procs_resolved : int;  (** = [cone_size] *)
+  full_resolve : bool;  (** whole-program fallback was taken *)
+}
+
+val pp_stats : stats Fmt.t
+
+(** One analyzed program version, ready to be updated from. *)
+type session
+
+val start : Config.t -> Prog.t -> session
+
+(** Analyze the next program version against [prev] (same
+    configuration).  The returned session replaces [prev]; the stats
+    report cone size and reuse. *)
+val update : prev:session -> Prog.t -> session * stats
+
+(** The full analysis result of this version — same value a from-scratch
+    [Driver.analyze] would produce. *)
+val result : session -> Driver.t
+
+val config : session -> Config.t
+
+(** The analyzed program of this version.  Procedures unchanged since
+    the previous version are the previous version's physical values
+    (grafting), so re-parsing artifacts like expression ids may differ
+    from a fresh parse — semantics and printed output do not. *)
+val prog : session -> Prog.t
+
+(** [export s] is [(manifest, blobs)] where each blob is a
+    per-procedure payload content-addressed by its strict hash:
+    [(strict_hash, payload)].  Only closure-free data travels; see
+    {!import} for what a restored session costs. *)
+val export : session -> string * (string * string) list
+
+(** Rebuild a session from a manifest and a blob store ([lookup] maps a
+    strict hash to its payload, e.g. the serve layer's cache).  [None]
+    if the manifest is undecodable or any blob is missing/undecodable.
+    The solve is seeded from the persisted fixpoint (no propagation
+    cost), but stage-1/2 IR is rebuilt — closures do not persist. *)
+val import :
+  manifest:string -> lookup:(string -> string option) -> session option

@@ -4,10 +4,12 @@ let magic = "ipcp-artifact-cache/1"
 
 type t = {
   c_dir : string;
+  c_max_entries : int option;
   hits : int Atomic.t;
   misses : int Atomic.t;
   corrupt : int Atomic.t;
   stores : int Atomic.t;
+  evictions : int Atomic.t;
   tmp_seq : int Atomic.t;
 }
 
@@ -28,7 +30,7 @@ let build_id =
     | d -> Digest.to_hex d
     | exception Sys_error _ -> "unknown-build")
 
-let create ~dir =
+let create ?max_entries ~dir () =
   mkdir_p dir;
   (* force the build fingerprint here, in whichever single domain sets
      the cache up: a lazy raced by two worker domains on their first
@@ -36,10 +38,12 @@ let create ~dir =
   ignore (Lazy.force build_id);
   {
     c_dir = dir;
+    c_max_entries = max_entries;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     corrupt = Atomic.make 0;
     stores = Atomic.make 0;
+    evictions = Atomic.make 0;
     tmp_seq = Atomic.make 0;
   }
 
@@ -56,9 +60,9 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Validate the header and checksum; only then hand the payload to the
-   deserializer (feeding Marshal unverified bytes can do worse than
-   raise).  Any failure is a corrupt entry. *)
+(* Validate the header and checksum; only then hand the payload out
+   (feeding Marshal unverified bytes can do worse than raise).  Any
+   failure is a corrupt entry. *)
 let decode data =
   match String.index_opt data '\n' with
   | None -> None
@@ -74,28 +78,92 @@ let decode data =
         else
           let payload = String.sub data start len in
           if Digest.to_hex (Digest.string payload) <> hex then None
-          else Driver.artifacts_of_string payload)
+          else Some payload)
     | _ -> None)
 
-let find t ~key =
+(* Raw entry load with no stats accounting; corrupt entries are removed
+   so they are never trusted again (the recompute overwrites anyway). *)
+let load t ~key =
   let path = entry_path t ~key in
   match read_file path with
-  | exception Sys_error _ ->
-    Atomic.incr t.misses;
-    None
+  | exception Sys_error _ -> `Miss
   | data -> (
     match decode data with
+    | Some payload -> `Hit payload
+    | None ->
+      (try Sys.remove path with Sys_error _ -> ());
+      `Corrupt)
+
+let find_blob t ~key =
+  match load t ~key with
+  | `Hit payload ->
+    Atomic.incr t.hits;
+    Some payload
+  | `Miss ->
+    Atomic.incr t.misses;
+    None
+  | `Corrupt ->
+    Atomic.incr t.corrupt;
+    None
+
+let find t ~key =
+  match load t ~key with
+  | `Miss ->
+    Atomic.incr t.misses;
+    None
+  | `Corrupt ->
+    Atomic.incr t.corrupt;
+    None
+  | `Hit payload -> (
+    match Driver.artifacts_of_string payload with
     | Some a ->
       Atomic.incr t.hits;
       Some a
     | None ->
-      (* never trust it again; the recompute will overwrite anyway *)
+      (* checksummed but undecodable (e.g. a blob stored under an
+         artifact key): corrupt for this purpose *)
       Atomic.incr t.corrupt;
-      (try Sys.remove path with Sys_error _ -> ());
+      (try Sys.remove (entry_path t ~key) with Sys_error _ -> ());
       None)
 
-let store t ~key artifacts =
-  let payload = Driver.artifacts_to_string artifacts in
+(* mtime-LRU eviction down to the cap.  Runs after a successful store;
+   racing evictions from several worker domains just fail their
+   duplicate removes harmlessly.  The entry just written carries the
+   newest mtime and is never the victim. *)
+let maybe_evict t =
+  match t.c_max_entries with
+  | None -> ()
+  | Some cap -> (
+    match Sys.readdir t.c_dir with
+    | exception Sys_error _ -> ()
+    | files ->
+      let entries =
+        Array.to_list files
+        |> List.filter (fun f -> Filename.check_suffix f ".art")
+      in
+      let excess = List.length entries - max 0 cap in
+      if excess > 0 then begin
+        let dated =
+          List.filter_map
+            (fun f ->
+              let p = Filename.concat t.c_dir f in
+              match Unix.stat p with
+              | s -> Some (s.Unix.st_mtime, f, p)
+              | exception Unix.Unix_error _ -> None)
+            entries
+        in
+        (* oldest first; equal mtimes break ties by name so concurrent
+           evictors pick the same victims *)
+        List.iteri
+          (fun i (_, _, p) ->
+            if i < excess then
+              match Sys.remove p with
+              | () -> Atomic.incr t.evictions
+              | exception Sys_error _ -> ())
+          (List.sort compare dated)
+      end)
+
+let store_blob t ~key payload =
   let header =
     Printf.sprintf "%s %s %d\n" magic
       (Digest.to_hex (Digest.string payload))
@@ -118,10 +186,21 @@ let store t ~key artifacts =
        none) until the new one is complete on disk *)
     Sys.rename tmp (entry_path t ~key)
   with
-  | () -> Atomic.incr t.stores
+  | () ->
+    Atomic.incr t.stores;
+    maybe_evict t
   | exception Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
 
-type stats = { hits : int; misses : int; corrupt : int; stores : int }
+let store t ~key artifacts =
+  store_blob t ~key (Driver.artifacts_to_string artifacts)
+
+type stats = {
+  hits : int;
+  misses : int;
+  corrupt : int;
+  stores : int;
+  evictions : int;
+}
 
 let stats (t : t) : stats =
   {
@@ -129,4 +208,5 @@ let stats (t : t) : stats =
     misses = Atomic.get t.misses;
     corrupt = Atomic.get t.corrupt;
     stores = Atomic.get t.stores;
+    evictions = Atomic.get t.evictions;
   }

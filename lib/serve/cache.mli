@@ -1,28 +1,36 @@
-(** Crash-safe on-disk cache of {!Ipcp_core.Driver.prepare} results.
+(** Crash-safe on-disk cache of {!Ipcp_core.Driver.prepare} results and
+    incremental-session payloads.
 
-    One entry per (build × source text), written with temp-file +
-    atomic-rename so a crash mid-write never leaves a half-entry under
-    the final name.  Each entry opens with a checksum header
+    One entry per key, written with temp-file + atomic-rename so a crash
+    mid-write never leaves a half-entry under the final name.  Each
+    entry opens with a checksum header
 
     {v ipcp-artifact-cache/1 <md5-of-payload> <payload-length> v}
 
-    validated {b before} the payload reaches [Marshal] — a corrupt or
-    truncated entry is deleted and reported as a miss (the caller
-    silently recomputes), never trusted.  The build fingerprint is part
-    of the key, so entries from another binary are simply never found.
+    validated {b before} the payload reaches any deserializer — a
+    corrupt or truncated entry is deleted and reported as a miss (the
+    caller silently recomputes), never trusted.  The build fingerprint
+    is part of the key, so entries from another binary are simply never
+    found.
+
+    The cache is bounded when [max_entries] is given: after each store,
+    the oldest entries by mtime (ties broken by name) are evicted down
+    to the cap, and {!stats} counts the evictions.
 
     Safe for concurrent use from worker domains: lookups and stores are
-    independent file operations, and a racing double-store resolves to
+    independent file operations, a racing double-store resolves to
     whichever atomic rename lands last (both writes carry identical
-    bytes). *)
+    bytes), and racing evictors fail their duplicate removes
+    harmlessly. *)
 
 open Ipcp_core
 
 type t
 
-(** Open (creating if needed) a cache rooted at [dir].  Raises
+(** Open (creating if needed) a cache rooted at [dir], bounded to
+    [max_entries] entries when given (unbounded otherwise).  Raises
     [Sys_error]/[Unix.Unix_error] only if [dir] cannot be created. *)
-val create : dir:string -> t
+val create : ?max_entries:int -> dir:string -> unit -> t
 
 val dir : t -> string
 
@@ -45,6 +53,20 @@ val find : t -> key:string -> Driver.artifacts option
     record. *)
 val store : t -> key:string -> Driver.artifacts -> unit
 
-type stats = { hits : int; misses : int; corrupt : int; stores : int }
+(** Raw checksummed payloads under the same crash-safety regime — the
+    incremental layer stores session manifests and per-procedure
+    payloads this way.  [find_blob] is [None] on miss or integrity
+    failure. *)
+val find_blob : t -> key:string -> string option
+
+val store_blob : t -> key:string -> string -> unit
+
+type stats = {
+  hits : int;
+  misses : int;
+  corrupt : int;
+  stores : int;
+  evictions : int;
+}
 
 val stats : t -> stats

@@ -73,19 +73,26 @@ let pp_degraded ppf reasons =
     reasons
 
 let analyze ?(verbose = false) ?(complete = false) ?(certify = false)
-    ?substitute_out ?artifacts ~config ~jobs prog =
+    ?substitute_out ?artifacts ?solved ~config ~jobs prog =
   render @@ fun ppf err ->
   let t, degraded =
-    if complete then
-      let o = Complete.run ~config prog in
-      (o.final, o.degraded)
-    else
-      let t =
-        match artifacts with
-        | Some a -> Driver.solve config a
-        | None -> Driver.analyze config prog
-      in
+    match solved with
+    | Some t ->
+      (* a precomputed result (the incremental path) renders through the
+         same pipeline below, so its frames stay byte-identical to a
+         from-scratch analyze *)
       (t, Driver.degraded t)
+    | None ->
+      if complete then
+        let o = Complete.run ~config prog in
+        (o.final, o.degraded)
+      else
+        let t =
+          match artifacts with
+          | Some a -> Driver.solve config a
+          | None -> Driver.analyze config prog
+        in
+        (t, Driver.degraded t)
   in
   if verbose then begin
     Fmt.pf ppf "--- call graph@.%a@." Callgraph.pp t.cg;

@@ -31,15 +31,20 @@ val load : string -> (string * Prog.t, outcome) result
 
 (** The [analyze] job.  [?artifacts] supplies prepared (possibly
     cache-roundtripped) staged artifacts — solving over them is
-    byte-identical to the fresh [Driver.analyze] path.  [?substitute_out]
-    also writes the constant-substituted source to a file (CLI only;
-    raises [Sys_error] like any file write). *)
+    byte-identical to the fresh [Driver.analyze] path.  [?solved]
+    supplies an already-solved result (the incremental re-analysis
+    path); it takes precedence over [?artifacts]/[?complete] and renders
+    through the same pipeline, so the output stays byte-identical to a
+    from-scratch analyze of the same source.  [?substitute_out] also
+    writes the constant-substituted source to a file (CLI only; raises
+    [Sys_error] like any file write). *)
 val analyze :
   ?verbose:bool ->
   ?complete:bool ->
   ?certify:bool ->
   ?substitute_out:string ->
   ?artifacts:Driver.artifacts ->
+  ?solved:Driver.t ->
   config:Config.t ->
   jobs:int ->
   Prog.t ->

@@ -2,11 +2,12 @@ open Ipcp_core
 module Json = Ipcp_telemetry.Json
 
 type target = Suite of string | File of string
-type op = Analyze | Tables | Certify | Health
+type op = Analyze | Analyze_delta | Tables | Certify | Health
 
 type t = {
   rq_id : string;
   rq_op : op;
+  rq_session : string;
   rq_target : target option;
   rq_kind : Jump_function.kind;
   rq_return_jfs : bool;
@@ -21,6 +22,7 @@ type t = {
 
 let op_of_string = function
   | "analyze" -> Some Analyze
+  | "analyze-delta" -> Some Analyze_delta
   | "tables" -> Some Tables
   | "certify" -> Some Certify
   | "health" -> Some Health
@@ -85,12 +87,13 @@ let of_doc doc =
       in
       let* target =
         match (op, target) with
-        | (Analyze | Certify), None ->
-          Error "analyze/certify need a \"suite\" or \"file\" target"
+        | (Analyze | Analyze_delta | Certify), None ->
+          Error "analyze/analyze-delta/certify need a \"suite\" or \"file\" target"
         | (Tables | Health), Some _ ->
           Error "tables/health take no target"
         | _ -> Ok target
       in
+      let* session = field "session" Json.to_string_opt doc in
       let* kind =
         match Json.member "jf" doc with
         | None -> Ok Jump_function.Passthrough
@@ -112,6 +115,7 @@ let of_doc doc =
         {
           rq_id = id;
           rq_op = op;
+          rq_session = Option.value ~default:"default" session;
           rq_target = target;
           rq_kind = kind;
           rq_return_jfs = not (Option.value ~default:false no_ret);

@@ -15,6 +15,9 @@ type target =
 
 type op =
   | Analyze  (** the [ipcp analyze] pipeline *)
+  | Analyze_delta
+      (** [ipcp analyze] served incrementally against the pinned session
+          named by [rq_session]; output is byte-identical to {!Analyze} *)
   | Tables  (** the [ipcp tables] regeneration *)
   | Certify  (** one-configuration independent certification *)
   | Health  (** health snapshot; bypasses the queue *)
@@ -22,7 +25,11 @@ type op =
 type t = {
   rq_id : string;  (** echoed verbatim in the response; [""] if absent *)
   rq_op : op;
-  rq_target : target option;  (** required for analyze/certify *)
+  rq_session : string;
+      (** incremental-session name for analyze-delta (["default"] if
+          absent) — the previous version pinned under this name is the
+          baseline the delta is computed against *)
+  rq_target : target option;  (** required for analyze/analyze-delta/certify *)
   rq_kind : Jump_function.kind;
   rq_return_jfs : bool;
   rq_use_mod : bool;

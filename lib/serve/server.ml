@@ -2,6 +2,7 @@ open Ipcp_core
 module Fault = Ipcp_support.Fault
 module Prng = Ipcp_support.Prng
 module Telemetry = Ipcp_telemetry.Telemetry
+module Incr = Ipcp_incr.Incr
 
 type config = {
   workers : int;
@@ -9,6 +10,7 @@ type config = {
   queue_policy : Bqueue.policy;
   breaker_threshold : int;
   cache_dir : string option;
+  cache_max_entries : int option;
   backoff_base_ms : int;
   backoff_cap_ms : int;
   seed : int;
@@ -21,6 +23,7 @@ let default_config =
     queue_policy = Bqueue.Reject_new;
     breaker_threshold = 3;
     cache_dir = None;
+    cache_max_entries = Some 4096;
     backoff_base_ms = 10;
     backoff_cap_ms = 1000;
     seed = 0;
@@ -41,6 +44,11 @@ type counters = {
   mutable quarantined : int;
   mutable invalid : int;
   mutable restarts_total : int;
+  mutable delta_updates : int;  (** analyze-delta served against a session *)
+  mutable delta_fresh : int;  (** analyze-delta that started a session *)
+  mutable incr_cone_size : int;
+  mutable incr_procs_reused : int;
+  mutable incr_procs_resolved : int;
 }
 
 type state = {
@@ -51,6 +59,9 @@ type state = {
   mutable draining : bool;
   breaker : (string, int) Hashtbl.t;  (** consecutive crashes per input *)
   cache : Cache.t option;
+  sess_mu : Mutex.t;  (** guards [sessions] only: get/put, never a solve *)
+  sessions : (string, Incr.session) Hashtbl.t;
+      (** incremental sessions pinned per session name *)
   n : counters;
   out_mu : Mutex.t;
   out : out_channel;
@@ -123,6 +134,11 @@ let health_doc st =
             ("serve.rejected", st.n.rejected);
             ("serve.quarantined", st.n.quarantined);
             ("serve.invalid", st.n.invalid);
+            ("serve.delta_updates", st.n.delta_updates);
+            ("serve.delta_fresh", st.n.delta_fresh);
+            ("incr.cone_size", st.n.incr_cone_size);
+            ("incr.procs_reused", st.n.incr_procs_reused);
+            ("incr.procs_resolved", st.n.incr_procs_resolved);
           ]
           @
           match st.cache with
@@ -134,6 +150,7 @@ let health_doc st =
               ("serve.cache_misses", s.misses);
               ("serve.cache_corrupt", s.corrupt);
               ("serve.cache_stores", s.stores);
+              ("serve.cache_evictions", s.evictions);
             ]
         in
         (gauges, counters))
@@ -177,22 +194,105 @@ let artifacts_for st ~source prog =
       Cache.store c ~key a;
       a)
 
+(* ---------------- incremental sessions ---------------- *)
+
+let session_get st name =
+  Mutex.lock st.sess_mu;
+  let s = Hashtbl.find_opt st.sessions name in
+  Mutex.unlock st.sess_mu;
+  s
+
+let session_put st name sess =
+  Mutex.lock st.sess_mu;
+  Hashtbl.replace st.sessions name sess;
+  Mutex.unlock st.sess_mu
+
+let session_cache_key name = Cache.key ~source:("incr-session\x00" ^ name)
+let proc_cache_key hash = Cache.key ~source:("incr-proc\x00" ^ hash)
+
+(* Persist one session as per-procedure entries plus a manifest, each a
+   crash-safe cache entry.  Blobs are content-addressed by strict hash,
+   so consecutive versions share the entries of their unchanged
+   procedures; the manifest (stored last, after every blob it references
+   is durable) pins the session name to its current version. *)
+let persist_session st name sess =
+  match st.cache with
+  | None -> ()
+  | Some c ->
+    let manifest, blobs = Incr.export sess in
+    List.iter
+      (fun (hash, payload) ->
+        Cache.store_blob c ~key:(proc_cache_key hash) payload)
+      blobs;
+    Cache.store_blob c ~key:(session_cache_key name) manifest
+
+(* A session not pinned in memory (fresh server, or evicted by restart)
+   may still be reassembled from cached pieces. *)
+let restore_session st name =
+  match st.cache with
+  | None -> None
+  | Some c -> (
+    match Cache.find_blob c ~key:(session_cache_key name) with
+    | None -> None
+    | Some manifest ->
+      Incr.import ~manifest ~lookup:(fun hash ->
+          Cache.find_blob c ~key:(proc_cache_key hash)))
+
+(* Serve analyze-delta: update the pinned session when one exists under
+   the same configuration, otherwise start one.  The result is the same
+   Driver.t a from-scratch solve would produce (the Incr layer's
+   byte-identity contract), so the response frame does not depend on the
+   session state — only the cost does. *)
+let delta_result st (req : Request.t) ~config prog : Driver.t =
+  let name = req.rq_session in
+  let prev =
+    match session_get st name with
+    | Some s -> Some s
+    | None -> restore_session st name
+  in
+  let sess, stats =
+    match prev with
+    | Some s when Config.equal (Incr.config s) config ->
+      let s', stats = Incr.update ~prev:s prog in
+      (s', Some stats)
+    | _ -> (Incr.start config prog, None)
+  in
+  session_put st name sess;
+  persist_session st name sess;
+  locked st (fun () ->
+      match stats with
+      | Some (s : Incr.stats) ->
+        st.n.delta_updates <- st.n.delta_updates + 1;
+        st.n.incr_cone_size <- st.n.incr_cone_size + s.cone_size;
+        st.n.incr_procs_reused <- st.n.incr_procs_reused + s.procs_reused;
+        st.n.incr_procs_resolved <- st.n.incr_procs_resolved + s.procs_resolved
+      | None ->
+        let total = List.length prog.Ipcp_frontend.Prog.procs in
+        st.n.delta_fresh <- st.n.delta_fresh + 1;
+        st.n.incr_cone_size <- st.n.incr_cone_size + total;
+        st.n.incr_procs_resolved <- st.n.incr_procs_resolved + total);
+  Incr.result sess
+
 let run_job st (req : Request.t) : Jobs.outcome =
   match req.rq_op with
   | Request.Health -> assert false (* answered by the reader *)
   | Request.Tables ->
     Jobs.tables ~certify:req.rq_certify ?max_steps:req.rq_max_steps
       ?deadline_ms:req.rq_deadline_ms ~jobs:1 ()
-  | Request.Analyze | Request.Certify -> (
+  | Request.Analyze | Request.Analyze_delta | Request.Certify -> (
     match resolve_target req with
     | Error o -> o
     | Ok (name, source, prog) -> (
       let config = Request.config_of req in
-      let artifacts = artifacts_for st ~source prog in
       match req.rq_op with
       | Request.Analyze ->
+        let artifacts = artifacts_for st ~source prog in
         Jobs.analyze ~certify:req.rq_certify ~artifacts ~config ~jobs:1 prog
+      | Request.Analyze_delta ->
+        let t = delta_result st req ~config prog in
+        Jobs.analyze ~certify:req.rq_certify ~solved:t ~config ~jobs:1 prog
       | Request.Certify ->
+        let artifacts = artifacts_for st ~source prog in
         let t = Driver.solve config artifacts in
         Jobs.certification ?fuel:req.rq_fuel ~input:req.rq_input
           ~label:(Fmt.str "%s, %s" name (Config.to_string config))
@@ -426,7 +526,13 @@ let run ?(config = default_config) ~input ~output () =
           ~policy:config.queue_policy;
       draining = false;
       breaker = Hashtbl.create 16;
-      cache = Option.map (fun dir -> Cache.create ~dir) config.cache_dir;
+      cache =
+        Option.map
+          (fun dir ->
+            Cache.create ?max_entries:config.cache_max_entries ~dir ())
+          config.cache_dir;
+      sess_mu = Mutex.create ();
+      sessions = Hashtbl.create 4;
       n =
         {
           received = 0;
@@ -437,6 +543,11 @@ let run ?(config = default_config) ~input ~output () =
           quarantined = 0;
           invalid = 0;
           restarts_total = 0;
+          delta_updates = 0;
+          delta_fresh = 0;
+          incr_cone_size = 0;
+          incr_procs_reused = 0;
+          incr_procs_resolved = 0;
         };
       out_mu = Mutex.create ();
       out = output;

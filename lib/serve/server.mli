@@ -24,8 +24,13 @@
        in-flight and queued work, answers [rejected] to lines that were
        read but not yet admitted, flushes, and returns 0;}
     {- {b byte-identity}: responses carry {!Jobs} renderings — the same
-       strings a direct CLI run prints — and the artifact cache
-       ({!Cache}) never changes them, warm or cold.}} *)
+       strings a direct CLI run prints — and neither the artifact cache
+       ({!Cache}) nor the incremental path changes them, warm or cold;}
+    {- {b incrementality}: [analyze-delta] requests serve from a
+       per-session-name pinned {!Ipcp_incr.Incr} session, re-solving
+       only the dependence cone of what changed since the session's
+       previous version; sessions persist as per-procedure entries in
+       the artifact cache and are restored after a restart.}} *)
 
 type config = {
   workers : int;  (** worker domains (at least 1) *)
@@ -34,6 +39,9 @@ type config = {
   breaker_threshold : int;
       (** consecutive crashes before an input is quarantined; 0 disables *)
   cache_dir : string option;  (** artifact cache root; [None] disables *)
+  cache_max_entries : int option;
+      (** cache entry cap, enforced by mtime-LRU eviction after each
+          store; [None] leaves the cache unbounded *)
   backoff_base_ms : int;  (** first restart delay *)
   backoff_cap_ms : int;  (** exponential backoff ceiling *)
   seed : int;  (** jitter seed (deterministic per (seed, slot, restart)) *)

@@ -301,3 +301,238 @@ let generate (spec : spec) : string =
 (** Generate and resolve; exposed for tests and benches. *)
 let generate_resolved (spec : spec) : Ipcp_frontend.Prog.t =
   Ipcp_frontend.Sema.parse_and_resolve ~file:"<generated>" (generate spec)
+
+(* ---------------- seeded edit sequences ---------------- *)
+
+(* Textual, line-based edits over a generated program, used by the
+   incremental-analysis fuzz oracle and benchmarks.  Every candidate is
+   re-validated with [Sema.check] before it is accepted, so each emitted
+   version is a valid program; a bounded number of rejected candidates
+   falls back to an always-valid tweak in the main program. *)
+
+let split_lines s = String.split_on_char '\n' s
+let join_lines ls = String.concat "\n" ls
+
+let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let is_ident s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+       s
+
+let indent_of line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && line.[!i] = ' ' do
+    incr i
+  done;
+  String.sub line 0 !i
+
+(* "  v = 42" -> Some (indent, "v", 42).  Do-headers ("do lv = 1, 3")
+   and data statements do not match. *)
+let assign_int_line line =
+  match String.index_opt line '=' with
+  | None -> None
+  | Some i ->
+    let lhs = String.trim (String.sub line 0 i) in
+    let rhs = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+    if is_ident lhs && is_digits rhs then
+      Some (indent_of line, lhs, int_of_string rhs)
+    else None
+
+(* "  call procN(a, b)" -> Some "procN" *)
+let call_target line =
+  let t = String.trim line in
+  if String.length t > 5 && String.sub t 0 5 = "call " then
+    let rest = String.sub t 5 (String.length t - 5) in
+    match String.index_opt rest '(' with
+    | Some i -> Some (String.trim (String.sub rest 0 i))
+    | None -> Some (String.trim rest)
+  else None
+
+let candidates f lines =
+  let r = ref [] and i = ref 0 in
+  List.iter
+    (fun l ->
+      (match f l with Some x -> r := (!i, x) :: !r | None -> ());
+      incr i)
+    lines;
+  List.rev !r
+
+let replace_at i line lines = List.mapi (fun j l -> if j = i then line else l) lines
+
+let insert_at i line lines =
+  let rec go j = function
+    | [] -> [ line ]
+    | l :: rest -> if j = i then line :: l :: rest else l :: go (j + 1) rest
+  in
+  go 0 lines
+
+let remove_at i lines = List.filteri (fun j _ -> j <> i) lines
+
+(* The main program's summary print — present in every generated program,
+   never removed by any edit kind, and unique (procedure-body prints carry
+   a single expression). *)
+let main_anchor = "  print *, lv1, lv2"
+
+let edit_tweak_const rng lines =
+  match candidates assign_int_line lines with
+  | [] -> None
+  | cands ->
+    let i, (ind, v, n) = Prng.choose rng cands in
+    let d = Prng.range rng 1 9 in
+    let n' = if Prng.bool rng then n + d else abs (n - d) in
+    Some (replace_at i (Printf.sprintf "%s%s = %d" ind v n') lines)
+
+let edit_rewrite_rhs rng lines =
+  match candidates assign_int_line lines with
+  | [] -> None
+  | cands ->
+    let i, (ind, v, n) = Prng.choose rng cands in
+    Some (replace_at i (Printf.sprintf "%s%s = %d * 2 - 1" ind v n) lines)
+
+let edit_dup_call rng lines =
+  match candidates call_target lines with
+  | [] -> None
+  | cands ->
+    let i, _ = Prng.choose rng cands in
+    Some (insert_at i (List.nth lines i) lines)
+
+let edit_del_call rng lines =
+  match candidates call_target lines with
+  | [] -> None
+  | cands ->
+    let i, _ = Prng.choose rng cands in
+    Some (remove_at i lines)
+
+let edit_add_leaf rng lines =
+  match
+    List.find_index (fun l -> l = main_anchor) lines
+  with
+  | None -> None
+  | Some anchor ->
+    (* fresh zzN name: one past every index already in use *)
+    let next =
+      List.fold_left
+        (fun acc l ->
+          let pfx = "subroutine zz" in
+          if String.length l > String.length pfx
+             && String.sub l 0 (String.length pfx) = pfx
+          then
+            let rest = String.sub l (String.length pfx) (String.length l - String.length pfx) in
+            let digits =
+              match String.index_opt rest '(' with
+              | Some i -> String.sub rest 0 i
+              | None -> rest
+            in
+            if is_digits digits then max acc (int_of_string digits + 1) else acc
+          else acc)
+        1 lines
+    in
+    let name = Printf.sprintf "zz%d" next in
+    let unit_lines =
+      [
+        Printf.sprintf "subroutine %s(ka1)" name;
+        "  integer ka1";
+        Printf.sprintf "  print *, (ka1 + %d)" (Prng.range rng 1 9);
+        "end";
+        "";
+      ]
+    in
+    let with_call =
+      insert_at anchor
+        (Printf.sprintf "  call %s(%d)" name (Prng.range rng 0 30))
+        lines
+    in
+    Some (with_call @ unit_lines)
+
+let edit_del_unit rng lines =
+  let unit_name l =
+    let pfx = "subroutine " in
+    if String.length l > String.length pfx && String.sub l 0 (String.length pfx) = pfx
+    then
+      let rest = String.sub l (String.length pfx) (String.length l - String.length pfx) in
+      match String.index_opt rest '(' with
+      | Some i -> Some (String.trim (String.sub rest 0 i))
+      | None -> Some (String.trim rest)
+    else None
+  in
+  match candidates unit_name lines with
+  | [] -> None
+  | cands ->
+    let start, name = Prng.choose rng cands in
+    (* the unit runs through the first column-0 "end" after its header *)
+    let rec find_end j = function
+      | [] -> None
+      | "end" :: _ -> Some j
+      | _ :: rest -> find_end (j + 1) rest
+    in
+    (match
+       find_end start
+         (List.filteri (fun j _ -> j >= start) lines)
+     with
+     | None -> None
+     | Some off ->
+       let stop = start + off in
+       let without_unit =
+         List.filteri
+           (fun j _ ->
+             not (j >= start && j <= stop)
+             && not (j = stop + 1 && List.nth lines (stop + 1) = ""))
+           lines
+       in
+       let without_calls =
+         List.filter (fun l -> call_target l <> Some name) without_unit
+       in
+       Some without_calls)
+
+(* Guaranteed-valid last resort: a fresh assignment in the main program. *)
+let edit_fallback rng lines =
+  match List.find_index (fun l -> l = main_anchor) lines with
+  | None -> lines
+  | Some anchor ->
+    insert_at anchor
+      (Printf.sprintf "  lv1 = lv1 + %d" (Prng.range rng 1 9))
+      lines
+
+let source_valid src =
+  match Ipcp_frontend.Sema.check ~file:"<edited>" src with
+  | Ok _ -> true
+  | Error _ -> false
+
+(** [edits spec ~seed ~n] generates a base program from [spec] and then
+    [n] successive edited versions; the result has [n + 1] elements and
+    every element is a valid program.  Deterministic in [(spec, seed)]. *)
+let edits (spec : spec) ~seed ~n : string list =
+  let rng = Prng.create seed in
+  let base = generate spec in
+  let step src =
+    let lines = split_lines src in
+    let rec attempt k =
+      if k = 0 then join_lines (edit_fallback rng lines)
+      else
+        let cand =
+          match Prng.int rng 6 with
+          | 0 -> edit_tweak_const rng lines
+          | 1 -> edit_rewrite_rhs rng lines
+          | 2 -> edit_dup_call rng lines
+          | 3 -> edit_del_call rng lines
+          | 4 -> edit_add_leaf rng lines
+          | _ -> edit_del_unit rng lines
+        in
+        match cand with
+        | Some ls ->
+          let s = join_lines ls in
+          if s <> src && source_valid s then s else attempt (k - 1)
+        | None -> attempt (k - 1)
+    in
+    attempt 20
+  in
+  let rec build acc src k =
+    if k = 0 then List.rev acc
+    else
+      let s = step src in
+      build (s :: acc) s (k - 1)
+  in
+  base :: build [] base n

@@ -28,3 +28,14 @@ val default_spec : spec
 val generate : spec -> string
 
 val generate_resolved : spec -> Ipcp_frontend.Prog.t
+
+(** [edits spec ~seed ~n] is a seeded edit sequence: the base program
+    generated from [spec] followed by [n] successively edited versions
+    ([n + 1] elements total).  Each step applies one randomized
+    line-level edit — constant tweak, right-hand-side rewrite,
+    call-site duplication or deletion, fresh leaf procedure addition,
+    or whole-procedure deletion (with its call sites) — and every
+    emitted version is re-validated, so it parses and resolves cleanly.
+    Deterministic in [(spec, seed)].  Drives the incremental
+    re-analysis fuzz oracle and benchmarks. *)
+val edits : spec -> seed:int -> n:int -> string list

@@ -22,6 +22,7 @@ let () =
       ("suite", Test_suite.suite);
       ("extensions", Test_extensions.suite);
       ("golden", Test_golden.suite);
+      ("incr", Test_incr.suite);
       ("serve", Test_serve.suite);
       ("cli", Test_cli.suite);
       ("fuzz", Test_fuzz.suite);

@@ -125,7 +125,7 @@ let suite_prog name =
 
 let test_cache_round_trip () =
   let dir = tmp_dir "cache-rt" in
-  let c = Cache.create ~dir in
+  let c = Cache.create ~dir () in
   let source, prog = suite_prog "adm" in
   let key = Cache.key ~source in
   check Alcotest.bool "cold miss" true (Cache.find c ~key = None);
@@ -151,7 +151,7 @@ let test_cache_rejects_corruption () =
   let key = Cache.key ~source in
   let entry c = Filename.concat (Cache.dir c) (key ^ ".art") in
   let store_fresh () =
-    let c = Cache.create ~dir in
+    let c = Cache.create ~dir () in
     Cache.store c ~key (Driver.prepare prog);
     c
   in
@@ -477,6 +477,60 @@ let test_health_snapshot () =
         (List.mem_assoc "counters" fields)
     | _ -> Alcotest.fail "health response carries no document")
 
+(* analyze-delta serves bytes identical to analyze, whatever the session
+   state: a cold session (full analysis), a warm re-serve of the same
+   source, and a plain analyze must all render the same document. *)
+let test_delta_matches_analyze () =
+  let delta_line ~id ~suite =
+    Json.to_string
+      (Json.Obj
+         [ ("id", Json.Str id); ("op", Json.Str "analyze-delta");
+           ("suite", Json.Str suite) ])
+  in
+  let lines =
+    [
+      delta_line ~id:"cold" ~suite:"adm";
+      delta_line ~id:"warm" ~suite:"adm";
+      analyze_line ~id:"plain" ~suite:"adm";
+    ]
+  in
+  let code, responses = run_server lines in
+  check Alcotest.int "exit" 0 code;
+  check Alcotest.int "three responses" 3 (List.length responses);
+  let _, prog = suite_prog "adm" in
+  let direct = Jobs.analyze ~config:Config.default ~jobs:1 prog in
+  List.iter
+    (fun (r : Request.response) ->
+      check Alcotest.bool (r.rs_id ^ " ok") true
+        (r.rs_status = Request.Ok_done);
+      check Alcotest.bool (r.rs_id ^ " stdout byte-identical") true
+        (r.rs_stdout = Some direct.out);
+      check Alcotest.bool (r.rs_id ^ " code identical") true
+        (r.rs_code = Some direct.code))
+    responses
+
+(* mtime-LRU eviction: a bounded cache drops the least-recently-touched
+   entries after each store, never the entry just written, and counts
+   the evictions. *)
+let test_cache_eviction_lru () =
+  let dir = tmp_dir "cache-lru" in
+  let c = Cache.create ~max_entries:2 ~dir () in
+  let store key payload = Cache.store_blob c ~key payload in
+  store "aaa" "first";
+  store "bbb" "second";
+  check Alcotest.int "under the cap, no evictions" 0 (Cache.stats c).evictions;
+  (* age "aaa" well into the past so it is unambiguously the LRU victim *)
+  let old = Unix.time () -. 3600.0 in
+  Unix.utimes (Cache.entry_path c ~key:"aaa") old old;
+  store "ccc" "third";
+  check Alcotest.int "one eviction at the cap" 1 (Cache.stats c).evictions;
+  check Alcotest.bool "LRU entry evicted" true
+    (Cache.find_blob c ~key:"aaa" = None);
+  check Alcotest.bool "recent entry kept" true
+    (Cache.find_blob c ~key:"bbb" = Some "second");
+  check Alcotest.bool "stored entry kept" true
+    (Cache.find_blob c ~key:"ccc" = Some "third")
+
 let suite =
   [
     ("serve request parsing", `Quick, test_request_parse);
@@ -501,4 +555,7 @@ let suite =
     ("serve per-request budget degrades", `Quick,
      test_per_request_budget_degrades);
     ("serve health snapshot", `Quick, test_health_snapshot);
+    ("serve analyze-delta matches analyze", `Quick,
+     test_delta_matches_analyze);
+    ("serve cache evicts by mtime LRU", `Quick, test_cache_eviction_lru);
   ]

@@ -53,6 +53,7 @@ module Json = Ipcp_telemetry.Json
 module Jobs = Ipcp_serve.Jobs
 module SReq = Ipcp_serve.Request
 module Server = Ipcp_serve.Server
+module Incr = Ipcp_incr.Incr
 
 let seed = ref 1
 let iterations = ref 25
@@ -60,6 +61,7 @@ let certify = ref false
 let inject_bad = ref false
 let serve_diff = ref false
 let serve_smoke = ref false
+let delta = ref false
 let ipcp_bin = ref ""
 let fuel = ref Ipcp_interp.Interp.default_fuel
 let verbose = ref false
@@ -82,6 +84,10 @@ let speclist =
     ( "--serve-smoke",
       Arg.Set serve_smoke,
       "  drive a real `ipcp serve` subprocess (needs --ipcp)" );
+    ( "--delta",
+      Arg.Set delta,
+      "  incremental re-analysis differential: randomized edit sequences, \
+       Incr.update vs from-scratch, byte-identical and certified" );
     ("--ipcp", Arg.Set_string ipcp_bin, "PATH  ipcp binary for --serve-smoke");
     ("--fuel", Arg.Set_int fuel, "N  interpreter fuel per run");
     ("--verbose", Arg.Set verbose, "  print each iteration");
@@ -89,7 +95,7 @@ let speclist =
 
 let usage =
   "fuzz [--seed N] [--iterations N] [--certify] [--inject-bad] \
-   [--serve-diff] [--serve-smoke --ipcp PATH]"
+   [--serve-diff] [--serve-smoke --ipcp PATH] [--delta]"
 
 (* ------------------------------------------------------------------ *)
 
@@ -775,6 +781,116 @@ let run_serve_smoke () =
     1
   end
 
+(* ------------------------------------------------------------------ *)
+(* --delta: incremental re-analysis vs from-scratch.                   *)
+
+(* Each iteration draws a workload spec, derives a randomized edit
+   sequence from it (constant tweaks, call duplication/deletion,
+   procedure addition/removal), and replays the sequence through an
+   {!Incr} session under all four jump-function kinds.  After every
+   update the incremental rendering must be byte-identical to a
+   from-scratch analyze of the same source, the result must pass the
+   independent certifier, and an identical-version update must report an
+   empty cone. *)
+let run_delta () =
+  let failures = ref 0 in
+  let checks = ref 0 in
+  for iter = 0 to !iterations - 1 do
+    let iter_seed = !seed + (7919 * iter) in
+    let err fmt =
+      Fmt.kstr
+        (fun m ->
+          incr failures;
+          Fmt.epr "delta: iteration %d (seed %d): %s@." iter iter_seed m)
+        fmt
+    in
+    let prng = Prng.create iter_seed in
+    let spec =
+      {
+        Workload.default_spec with
+        seed = iter_seed;
+        num_procs = Prng.range prng 3 7;
+        num_globals = Prng.range prng 2 4;
+        stmts_per_proc = Prng.range prng 5 10;
+      }
+    in
+    let versions = Workload.edits spec ~seed:iter_seed ~n:4 in
+    let progs =
+      List.mapi
+        (fun i src ->
+          match parse ~label:(Printf.sprintf "delta-v%d" i) src with
+          | Ok p -> Some p
+          | Error d ->
+            err "edited version %d does not resolve:@.%s" i d;
+            None)
+        versions
+    in
+    if List.for_all Option.is_some progs then begin
+      let progs = List.filter_map Fun.id progs in
+      List.iter
+        (fun kind ->
+          let config = Config.make ~kind () in
+          let kname = Jump_function.kind_name kind in
+          let scratch prog = Jobs.analyze ~config ~jobs:1 prog in
+          let check_version ~vi sess prog =
+            incr checks;
+            let inc = Jobs.analyze ~solved:(Incr.result sess) ~config ~jobs:1 prog in
+            let ref_ = scratch prog in
+            if inc <> ref_ then
+              err
+                "%s: version %d diverges from from-scratch analyze@.  incr: \
+                 %S@.  scratch: %S"
+                kname vi (abbrev inc.Jobs.out) (abbrev ref_.Jobs.out);
+            let r = Certify.check ~fuel:!fuel (Incr.result sess) in
+            if not (Certify.ok r) then
+              err "%s: version %d failed certification:@.%a" kname vi
+                Certify.pp_report r
+          in
+          match progs with
+          | [] -> ()
+          | first :: rest ->
+            let sess = ref (Incr.start config first) in
+            check_version ~vi:0 !sess first;
+            List.iteri
+              (fun i prog ->
+                let s', stats = Incr.update ~prev:!sess prog in
+                sess := s';
+                if !verbose then
+                  Fmt.pr "iteration %d %s v%d: %a@." iter kname (i + 1)
+                    Incr.pp_stats stats;
+                check_version ~vi:(i + 1) !sess prog)
+              rest;
+            (* an identical version must have an empty cone *)
+            (match
+               parse ~label:"delta-same"
+                 (List.nth versions (List.length versions - 1))
+             with
+            | Error d -> err "%s: reparse of final version failed:@.%s" kname d
+            | Ok same ->
+              let s', stats = Incr.update ~prev:!sess same in
+              if stats.Incr.cone_size <> 0 || stats.Incr.procs_resolved <> 0
+              then
+                err "%s: identical version reported a non-empty cone (%a)"
+                  kname Incr.pp_stats stats;
+              if stats.Incr.changed_procs <> 0 then
+                err "%s: identical version reported %d changed procs" kname
+                  stats.Incr.changed_procs;
+              check_version ~vi:(List.length versions) s' same))
+        diff_kinds
+    end
+  done;
+  if !failures = 0 then begin
+    Fmt.pr
+      "delta: %d iterations, %d incremental results byte-identical to \
+       from-scratch and certified (seed %d)@."
+      !iterations !checks !seed;
+    0
+  end
+  else begin
+    Fmt.epr "delta: %d failures@." !failures;
+    1
+  end
+
 let () =
   Arg.parse speclist
     (fun a ->
@@ -785,4 +901,5 @@ let () =
     (if !serve_diff then run_serve_diff ()
      else if !serve_smoke then run_serve_smoke ()
      else if !inject_bad then run_inject_bad ()
+     else if !delta then run_delta ()
      else run_oracle ())

@@ -68,6 +68,17 @@ let check_doc ~stages ~where (doc : Json.t) : string list =
         if not (List.mem c counters) then
           problem "per-domain spans present but counter %S missing" c)
       [ "engine.pools"; "engine.domains"; "engine.tasks" ];
+  (* incremental updates always record their cone triple together — a
+     partial set means the Incr telemetry wiring regressed *)
+  let incr_triple =
+    [ "incr.cone_size"; "incr.procs_reused"; "incr.procs_resolved" ]
+  in
+  if List.exists (fun c -> List.mem c incr_triple) counters then
+    List.iter
+      (fun c ->
+        if not (List.mem c counters) then
+          problem "incremental counters present but %S missing" c)
+      incr_triple;
   if stages then
     List.iter
       (fun stage ->
