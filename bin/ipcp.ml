@@ -77,6 +77,27 @@ let intra_only =
   let doc = "Purely intraprocedural propagation (the paper's baseline)." in
   Arg.(value & flag & info [ "intra-only" ] ~doc)
 
+let analysis_arg =
+  let doc =
+    "Lattice to propagate: $(b,const) (constant propagation, the paper's \
+     analysis) or $(b,copy) (copy propagation — finds the same constants \
+     plus pure copy facts, subsuming $(b,const))."
+  in
+  Arg.(value & opt string "const" & info [ "analysis" ] ~docv:"ANALYSIS" ~doc)
+
+(* Validated in the command bodies rather than by an [Arg.enum]
+   converter, so an unknown value is a usage error (exit 2) like any
+   other, not cmdliner's converter exit code. *)
+let with_analysis_arg analysis (k : Config.analysis -> int) : int =
+  match analysis with
+  | "const" -> k `Const
+  | "copy" -> k `Copy
+  | s ->
+    Fmt.epr
+      "usage error: unknown --analysis %S, expected either 'const' or 'copy'@."
+      s;
+    2
+
 let max_steps_arg =
   let doc =
     "Step budget per analysis pass (worklist visits).  An exhausted pass \
@@ -92,12 +113,13 @@ let deadline_ms_arg =
   in
   Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
 
-let config_of kind no_ret no_mod intra max_steps deadline_ms =
+let config_of ?(analysis = `Const) kind no_ret no_mod intra max_steps
+    deadline_ms =
   let base =
     if intra then Config.intraprocedural_only
     else Config.make ~kind ~return_jfs:(not no_ret) ~use_mod:(not no_mod) ()
   in
-  Config.with_budget ?max_steps ?deadline_ms base
+  Config.with_analysis analysis (Config.with_budget ?max_steps ?deadline_ms base)
 
 let jobs_arg =
   let doc =
@@ -192,40 +214,65 @@ let analyze_cmd =
     in
     Arg.(value & opt (some string) None & info [ "against" ] ~docv:"PREV" ~doc)
   in
-  let run file kind no_ret no_mod intra max_steps deadline_ms substitute_out
-      complete verbose jobs certify against profile profile_json =
+  let run file analysis kind no_ret no_mod intra max_steps deadline_ms
+      substitute_out complete verbose jobs certify against profile profile_json
+      =
+    with_analysis_arg analysis @@ fun analysis ->
     with_profiling profile profile_json @@ fun () ->
     match Jobs.load file with
     | Error o -> emit o
     | Ok (_src, prog) -> (
-      let config = config_of kind no_ret no_mod intra max_steps deadline_ms in
+      let config =
+        config_of ~analysis kind no_ret no_mod intra max_steps deadline_ms
+      in
       match against with
-      | None ->
-        emit
-          (Jobs.analyze ~verbose ~complete ~certify ?substitute_out ~config
-             ~jobs prog)
+      | None -> (
+        match analysis with
+        | `Const ->
+          emit
+            (Jobs.analyze ~verbose ~complete ~certify ?substitute_out ~config
+               ~jobs prog)
+        | `Copy ->
+          emit
+            (Jobs.Copy.analyze ~verbose ~complete ~certify ?substitute_out
+               ~config ~jobs prog))
       | Some prev_file -> (
         match Jobs.load prev_file with
         | Error o -> emit o
-        | Ok (_prev_src, prev_prog) ->
-          let module Incr = Ipcp_incr.Incr in
-          let prev = Incr.start config prev_prog in
-          let sess, stats = Incr.update ~prev prog in
-          let code =
-            emit
-              (Jobs.analyze ~verbose ~complete ~certify ?substitute_out
-                 ~solved:(Incr.result sess) ~config ~jobs prog)
-          in
-          Fmt.epr "--- incremental: %a@." Incr.pp_stats stats;
-          code))
+        | Ok (_prev_src, prev_prog) -> (
+          match analysis with
+          | `Const ->
+            let module Incr = Ipcp_incr.Incr in
+            let prev = Incr.start config prev_prog in
+            let sess, stats = Incr.update ~prev prog in
+            let code =
+              emit
+                (Jobs.analyze ~verbose ~complete ~certify ?substitute_out
+                   ~solved:(Incr.result sess) ~config ~jobs prog)
+            in
+            Fmt.epr "--- incremental: %a@." Incr.pp_stats stats;
+            code
+          | `Copy ->
+            let module Incr = Ipcp_incr.Incr.Make (Ipcp_analysis.Copy_analysis)
+            in
+            let prev = Incr.start config prev_prog in
+            let sess, stats = Incr.update ~prev prog in
+            let code =
+              emit
+                (Jobs.Copy.analyze ~verbose ~complete ~certify ?substitute_out
+                   ~solved:(Incr.result sess) ~config ~jobs prog)
+            in
+            Fmt.epr "--- incremental: %a@." Ipcp_incr.Incr.pp_stats stats;
+            code)))
   in
   let doc = "Analyze a program and report its interprocedural constants." in
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(
-      const run $ file_arg $ jf_kind $ no_return_jfs $ no_mod $ intra_only
-      $ max_steps_arg $ deadline_ms_arg $ substitute_out $ complete $ verbose
-      $ jobs_arg $ certify_flag $ against $ profile_flag $ profile_json_arg)
+      const run $ file_arg $ analysis_arg $ jf_kind $ no_return_jfs $ no_mod
+      $ intra_only $ max_steps_arg $ deadline_ms_arg $ substitute_out
+      $ complete $ verbose $ jobs_arg $ certify_flag $ against $ profile_flag
+      $ profile_json_arg)
 
 (* ---------------- certify ---------------- *)
 
@@ -273,11 +320,12 @@ let certify_cmd =
   (* Certify one prepared program under one configuration; returns [true]
      when the verdict matches expectations (certified, or rejected under
      --inject-error). *)
-  let certify_one ~fuel ~input ~inject_error (t : Driver.t) label =
+  let certify_one_with ~certification ~corrupt ~check ~fuel ~input
+      ~inject_error t label =
     match inject_error with
-    | None -> emit (Jobs.certification ~fuel ~input ~label t) = 0
+    | None -> emit (certification ~fuel ~input ~label t) = 0
     | Some seed -> (
-      match Ipcp_certify.Certify.corrupt ~seed t with
+      match corrupt ~seed t with
       | None ->
         Fmt.epr
           "inject-error [%s]: solution has no corruptible binding (nothing \
@@ -285,7 +333,7 @@ let certify_cmd =
           label;
         false
       | Some bad ->
-        let r = Ipcp_certify.Certify.check ~fuel ~input bad in
+        let r = check ~fuel ~input bad in
         if Ipcp_certify.Certify.ok r then begin
           Fmt.epr
             "inject-error [%s]: corrupted solution was NOT rejected — the \
@@ -300,8 +348,26 @@ let certify_cmd =
           true
         end)
   in
-  let run file suite all_configs inject_error kind no_ret no_mod intra
-      max_steps deadline_ms input fuel profile profile_json =
+  let certify_one ~fuel ~input ~inject_error (t : Driver.t) label =
+    certify_one_with
+      ~certification:(fun ~fuel ~input ~label t ->
+        Jobs.certification ~fuel ~input ~label t)
+      ~corrupt:Ipcp_certify.Certify.corrupt
+      ~check:(fun ~fuel ~input t -> Ipcp_certify.Certify.check ~fuel ~input t)
+      ~fuel ~input ~inject_error t label
+  in
+  let certify_one_copy ~fuel ~input ~inject_error t label =
+    let module C = Ipcp_certify.Certify.Make (Ipcp_analysis.Copy_analysis) in
+    certify_one_with
+      ~certification:(fun ~fuel ~input ~label t ->
+        Jobs.Copy.certification ~fuel ~input ~label t)
+      ~corrupt:C.corrupt
+      ~check:(fun ~fuel ~input t -> C.check ~fuel ~input t)
+      ~fuel ~input ~inject_error t label
+  in
+  let run file suite all_configs inject_error analysis kind no_ret no_mod
+      intra max_steps deadline_ms input fuel profile profile_json =
+    with_analysis_arg analysis @@ fun analysis ->
     with_profiling profile profile_json @@ fun () ->
     let targets =
       match (file, suite) with
@@ -331,9 +397,14 @@ let certify_cmd =
       2
     | Ok targets ->
       let configs =
-        if all_configs then Ipcp_certify.Certify.default_configs
+        if all_configs then
+          List.map
+            (fun (l, c) -> (l, Config.with_analysis analysis c))
+            Ipcp_certify.Certify.default_configs
         else
-          let c = config_of kind no_ret no_mod intra max_steps deadline_ms in
+          let c =
+            config_of ~analysis kind no_ret no_mod intra max_steps deadline_ms
+          in
           [ (Config.to_string c, c) ]
       in
       let ok = ref true in
@@ -348,10 +419,19 @@ let certify_cmd =
             let prep = Driver.prepare prog in
             List.iter
               (fun (clabel, config) ->
-                let t = Driver.solve config prep in
                 let label = Fmt.str "%s, %s" name clabel in
-                if not (certify_one ~fuel ~input ~inject_error t label) then
-                  ok := false)
+                let good =
+                  match config.Config.analysis with
+                  | `Const ->
+                    certify_one ~fuel ~input ~inject_error
+                      (Driver.solve config prep) label
+                  | `Copy ->
+                    let module CD =
+                      Driver.Make (Ipcp_analysis.Copy_analysis) in
+                    certify_one_copy ~fuel ~input ~inject_error
+                      (CD.solve config prep) label
+                in
+                if not good then ok := false)
               configs)
         targets;
       if !input_error then exit_input
@@ -367,9 +447,9 @@ let certify_cmd =
   Cmd.v
     (Cmd.info "certify" ~doc)
     Term.(
-      const run $ file $ suite $ all_configs $ inject_error $ jf_kind
-      $ no_return_jfs $ no_mod $ intra_only $ max_steps_arg $ deadline_ms_arg
-      $ input $ fuel $ profile_flag $ profile_json_arg)
+      const run $ file $ suite $ all_configs $ inject_error $ analysis_arg
+      $ jf_kind $ no_return_jfs $ no_mod $ intra_only $ max_steps_arg
+      $ deadline_ms_arg $ input $ fuel $ profile_flag $ profile_json_arg)
 
 (* ---------------- run ---------------- *)
 
@@ -435,15 +515,17 @@ let lint_cmd =
 (* ---------------- tables / characteristics ---------------- *)
 
 let tables_cmd =
-  let run jobs max_steps deadline_ms certify profile profile_json =
+  let run analysis jobs max_steps deadline_ms certify profile profile_json =
+    with_analysis_arg analysis @@ fun analysis ->
     with_profiling profile profile_json @@ fun () ->
-    emit (Jobs.tables ~certify ?max_steps ?deadline_ms ~jobs ())
+    emit (Jobs.tables ~analysis ~certify ?max_steps ?deadline_ms ~jobs ())
   in
   let doc = "Regenerate the paper's Tables 1, 2 and 3 on the bundled suite." in
   Cmd.v
     (Cmd.info "tables" ~doc)
     Term.(
-      const run $ jobs_arg $ max_steps_arg $ deadline_ms_arg $ certify_flag
+      const run $ analysis_arg $ jobs_arg $ max_steps_arg $ deadline_ms_arg
+      $ certify_flag
       $ profile_flag $ profile_json_arg)
 
 let characteristics_cmd =

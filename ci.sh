@@ -40,6 +40,14 @@ if ! cmp -s "$tmpdir/jobs1.out" "$tmpdir/jobs2.out"; then
   diff "$tmpdir/jobs1.out" "$tmpdir/jobs2.out" >&2 || true
   exit 1
 fi
+# The constant-propagation output is pinned to a golden file: the
+# analysis functorization must never change a byte of the default
+# tables.  Regenerate the golden deliberately if the tables change.
+if ! cmp -s test/goldens/tables_const.txt "$tmpdir/jobs1.out"; then
+  echo "golden: tables output differs from test/goldens/tables_const.txt" >&2
+  diff test/goldens/tables_const.txt "$tmpdir/jobs1.out" >&2 || true
+  exit 1
+fi
 
 echo "== fault injection"
 # The recovery suite under two fixed seeds: seeded faults must be
@@ -91,6 +99,17 @@ for seed in 7 11; do
   dune exec --no-build tools/fuzz.exe -- --seed "$seed" --iterations 25 --certify
 done
 dune exec --no-build tools/fuzz.exe -- --seed 7 --iterations 5 --inject-bad
+
+echo "== copy subsumes const"
+# The second lattice client under two pinned seeds: on every suite
+# program and generated workload, under each oracle configuration, the
+# copy-propagation fixpoint must project pointwise onto the
+# constant-propagation one, publish the same CONSTANTS sets, and
+# substitute at least as many sites.
+for seed in 7 11; do
+  echo "-- seed $seed"
+  dune exec --no-build tools/fuzz.exe -- --subsume --seed "$seed" --iterations 10
+done
 
 echo "== incremental delta"
 # Randomized edit sequences under two pinned seeds, all four

@@ -8,6 +8,9 @@
 
 type t = Top | Const of int | Bottom
 
+let top = Top
+let bottom = Bottom
+
 let equal a b =
   match (a, b) with
   | Top, Top | Bottom, Bottom -> true

@@ -3,6 +3,8 @@
 
 type t = Top | Const of int | Bottom
 
+val top : t
+val bottom : t
 val equal : t -> t -> bool
 
 (** Meet per Figure 1: ⊤ is the identity, ⊥ absorbs, distinct constants

@@ -1,0 +1,72 @@
+(** The copy-propagation lattice: the constant lattice of Figure 1
+    refined with one extra kind of fact, [Copy g] — "this value equals
+    whatever global [g] held when the program was loaded".
+
+    Copy facts arise only at main's entry (an uninitialized global is a
+    perfect copy of itself) and survive exactly along pass-through jump
+    functions, which is what makes the analysis a faithful test of the
+    Sreekala–Paleri subsumption claim: projecting [Copy _] to ⊥ yields
+    the constant lattice, and the projection is a homomorphism for meet
+    and for jump-function evaluation, so the copy fixpoint can never
+    publish fewer constants than the constant fixpoint. *)
+
+type t = Top | Const of int | Copy of string | Bottom
+
+let top = Top
+let bottom = Bottom
+
+let equal a b =
+  match (a, b) with
+  | Top, Top | Bottom, Bottom -> true
+  | Const x, Const y -> x = y
+  | Copy g, Copy h -> String.equal g h
+  | (Top | Const _ | Copy _ | Bottom), _ -> false
+
+(** Meet: ⊤ is the identity, ⊥ absorbs, equal facts are idempotent, and
+    any disagreement — two distinct constants, two distinct copies, or a
+    copy against a constant (the load-time value of [g] is unknown, so
+    it cannot be asserted equal to any particular constant) — is ⊥. *)
+let meet a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Bottom, _ | _, Bottom -> Bottom
+  | Const x, Const y -> if x = y then a else Bottom
+  | Copy g, Copy h -> if String.equal g h then a else Bottom
+  | Const _, Copy _ | Copy _, Const _ -> Bottom
+
+(** Partial order consistent with {!meet}: constants and copies are
+    incomparable non-trivial facts between ⊥ and ⊤. *)
+let le a b =
+  match (a, b) with
+  | Bottom, _ -> true
+  | _, Top -> true
+  | Const x, Const y -> x = y
+  | Copy g, Copy h -> String.equal g h
+  | Top, (Const _ | Copy _ | Bottom)
+  | Const _, (Copy _ | Bottom)
+  | Copy _, (Const _ | Bottom) ->
+    false
+
+let is_const = function Const _ -> true | Top | Copy _ | Bottom -> false
+let of_option = function Some c -> Const c | None -> Bottom
+let is_copy = function Copy _ -> true | Top | Const _ | Bottom -> false
+let const_value = function Const c -> Some c | Top | Copy _ | Bottom -> None
+
+(** Height: the widened lattice still has depth 2 — copies sit beside
+    constants on the middle level, so every chain is bounded exactly as
+    in §3.1.5. *)
+let height = function Top -> 2 | Const _ | Copy _ -> 1 | Bottom -> 0
+
+(** Forget the copy facts: the projection onto {!Const_lattice} under
+    which the copy fixpoint maps exactly onto the constant fixpoint
+    (the property [tools/fuzz --subsume] checks on every program). *)
+let project : t -> Const_lattice.t = function
+  | Top -> Const_lattice.Top
+  | Const c -> Const_lattice.Const c
+  | Copy _ | Bottom -> Const_lattice.Bottom
+
+let pp ppf = function
+  | Top -> Fmt.string ppf "⊤"
+  | Const c -> Fmt.int ppf c
+  | Copy g -> Fmt.pf ppf "copy(%s)" g
+  | Bottom -> Fmt.string ppf "⊥"

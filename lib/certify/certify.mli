@@ -30,9 +30,16 @@
       substituted program prints the same output as the original.
 
     A report with no violations certifies the solution: constants it
-    publishes agree with what the program actually computes. *)
+    publishes agree with what the program actually computes.
+
+    The checks are generic over the analysis: {!Make} builds the
+    certifier for any {!Ipcp_analysis.Analysis_sig.S} (the independent
+    evaluator is the analysis's own [certify_eval], the entry seeds its
+    [global_seed]), and the toplevel values are the constant-propagation
+    instantiation. *)
 
 open Ipcp_frontend
+open Ipcp_analysis
 open Ipcp_core
 
 (** One failed obligation, located in the analyzed program. *)
@@ -54,21 +61,6 @@ type report = {
 
 val ok : report -> bool
 
-(** Certify a solved analysis.  [fuel] and [input] are forwarded to the
-    interpreter witness.  When {!Ipcp_support.Fault}'s corruption site
-    ["certify.solution"] fires, the solution is deliberately corrupted
-    (via {!corrupt}) before checking — the fault-injection path that
-    proves the certifier catches bad solutions end-to-end. *)
-val check : ?fuel:int -> ?input:int list -> Driver.t -> report
-
-(** [corrupt ~seed t] returns a copy of [t] whose solution has exactly
-    one binding deterministically falsified (a ⊥ raised to a sentinel
-    constant, or a constant shifted), picking a binding whose corruption
-    a certifier must detect on a non-degraded solution: bindings of
-    procedures reachable from the main program.  [None] when the
-    solution has no such binding.  [t] itself is not modified. *)
-val corrupt : seed:int -> Driver.t -> Driver.t option
-
 (** Violations as located diagnostics (message prefixed with the
     procedure name). *)
 val to_diagnostics : report -> Ipcp_support.Diagnostics.t
@@ -81,9 +73,42 @@ val pp_report : report Fmt.t
     intraprocedural baseline. *)
 val default_configs : (string * Config.t) list
 
-(** Certify one program under a sweep of configurations over shared
-    {!Driver.prepare} artifacts; returns one labeled report per
-    configuration. *)
+(** The certifier for one analysis. *)
+module Make (A : Analysis_sig.S) : sig
+  type nonrec t = A.L.t Driver.analysis_result
+
+  (** Certify a solved analysis.  [fuel] and [input] are forwarded to
+      the interpreter witness.  When {!Ipcp_support.Fault}'s corruption
+      site ["certify.solution"] fires, the solution is deliberately
+      corrupted (via {!corrupt}) before checking — the fault-injection
+      path that proves the certifier catches bad solutions end-to-end. *)
+  val check : ?fuel:int -> ?input:int list -> t -> report
+
+  (** [corrupt ~seed t] returns a copy of [t] whose solution has exactly
+      one binding deterministically falsified (via the analysis's own
+      [corrupt], e.g. a ⊥ raised to a sentinel constant or a constant
+      shifted), picking a binding whose corruption a certifier must
+      detect on a non-degraded solution: non-⊤ bindings of procedures
+      reachable from the main program.  [None] when the solution has no
+      such binding.  [t] itself is not modified. *)
+  val corrupt : seed:int -> t -> t option
+
+  (** Certify one program under a sweep of configurations over shared
+      {!Driver.prepare} artifacts; returns one labeled report per
+      configuration. *)
+  val check_program :
+    ?fuel:int ->
+    ?input:int list ->
+    ?configs:(string * Config.t) list ->
+    Prog.t ->
+    (string * report) list
+end
+
+(** {1 The constant-propagation instantiation} *)
+
+val check : ?fuel:int -> ?input:int list -> Driver.t -> report
+val corrupt : seed:int -> Driver.t -> Driver.t option
+
 val check_program :
   ?fuel:int ->
   ?input:int list ->

@@ -132,24 +132,11 @@ let rec eval_expr (values : Sccp.value array)
       | _ -> Sccp.Vbot)
     | (Sccp.Vint _ | Sccp.Vbool _), _ -> Sccp.Vbot)
 
-(* Entry constant of a formal/global under the (already edge-certified)
-   interprocedural solution; mirrors what [Driver.sccp_for] seeds. *)
-let entry_value (t : Driver.t) (proc : Prog.proc) (v : Prog.var) : int option =
-  if v.vty <> Prog.Tint || Prog.is_array v then None
-  else
-    match v.vkind with
-    | Prog.Kformal i ->
-      Const_lattice.const_value
-        (Solver.lookup t.solution proc.pname (Prog.Pformal i))
-    | Prog.Kglobal g ->
-      Const_lattice.const_value
-        (Solver.lookup t.solution proc.pname (Prog.Pglob (Prog.global_key g)))
-    | Prog.Klocal | Prog.Kresult -> None
-
 (* Re-evaluation of a call-defined value through the published return
-   jump functions; mirrors SCCP's target resolution. *)
-let call_value (t : Driver.t) (ssa : Ssa.t) (values : Sccp.value array)
-    (c : Cfg.call) b i n : Sccp.value =
+   jump functions; mirrors SCCP's target resolution.  Polymorphic in the
+   analysis: only the oracle and the IR are consulted. *)
+let call_value (t : 'elt Driver.analysis_result) (ssa : Ssa.t)
+    (values : Sccp.value array) (c : Cfg.call) b i n : Sccp.value =
   let { Ssa.d_var; _ } = Ssa.def ssa n in
   if d_var.vty <> Prog.Tint then Sccp.Vbot
   else
@@ -210,7 +197,9 @@ let call_value (t : Driver.t) (ssa : Ssa.t) (values : Sccp.value array)
 
 let pp_v = Sccp.pp_value
 
-let check_proc (t : Driver.t) ~(add : add) ~obligation name (r : Sccp.result) =
+let check_proc (t : 'elt Driver.analysis_result)
+    ~(entry_const : Prog.proc -> Prog.var -> int option) ~(add : add)
+    ~obligation name (r : Sccp.result) =
   let ir = Hashtbl.find t.Driver.irs name in
   let proc = ir.Jump_function.pi_proc in
   let ssa = ir.Jump_function.pi_ssa in
@@ -253,7 +242,7 @@ let check_proc (t : Driver.t) ~(add : add) ~obligation name (r : Sccp.result) =
             match d_var.vkind with
             | Prog.Kformal _ | Prog.Kglobal _ ->
               if d_var.vty = Prog.Tint then (
-                match entry_value t proc d_var with
+                match entry_const proc d_var with
                 | Some c -> Sccp.Vint c
                 | None -> Sccp.Vbot)
               else Sccp.Vbot
@@ -444,7 +433,14 @@ let check_proc (t : Driver.t) ~(add : add) ~obligation name (r : Sccp.result) =
 
 (** Check every procedure's SCCP facts.  [sccps] carries the per-procedure
     results the caller obtained from {!Driver.sccp_for} (shared with the
-    execution-witness check, so SCCP runs once per procedure). *)
-let check (t : Driver.t) ~(sccps : (string * Sccp.result) list) ~(add : add)
-    ~obligation : unit =
-  List.iter (fun (name, r) -> check_proc t ~add ~obligation name r) sccps
+    execution-witness check, so SCCP runs once per procedure).
+    [entry_const] is the certifier's reading of the entry constant a
+    formal/global holds under the (already edge-certified) solution —
+    what [Driver.sccp_for] seeds — supplied by the analysis-specific
+    caller so this module stays polymorphic. *)
+let check (t : 'elt Driver.analysis_result)
+    ~(entry_const : Prog.proc -> Prog.var -> int option)
+    ~(sccps : (string * Sccp.result) list) ~(add : add) ~obligation : unit =
+  List.iter
+    (fun (name, r) -> check_proc t ~entry_const ~add ~obligation name r)
+    sccps

@@ -14,8 +14,9 @@
 
 open Ipcp_frontend
 
-type outcome = {
-  final : Driver.t;  (** analysis of the final (DCE-stable) program *)
+type 'elt generic_outcome = {
+  final : 'elt Driver.analysis_result;
+      (** analysis of the final (DCE-stable) program *)
   substituted : int;  (** substitution count on the final program *)
   dce_rounds : int;  (** rounds that actually removed code *)
   degraded : Ipcp_support.Budget.reason list;
@@ -24,56 +25,65 @@ type outcome = {
           so stopping early only costs precision *)
 }
 
-let run ?budget ?(config = Config.polynomial_with_mod) ?(max_rounds = 10)
-    (prog : Prog.t) : outcome =
-  let module Telemetry = Ipcp_telemetry.Telemetry in
-  let budget =
-    match budget with
-    | Some b -> b
-    | None -> Config.budget ~label:"complete" config
-  in
-  let rec loop artifacts prog rounds =
-    Telemetry.incr "complete.rounds";
-    let t, changed_procs, procs =
-      Telemetry.span "complete:round" (fun () ->
-          let t = Driver.solve config artifacts in
-          (* fold constant branches per procedure using the seeded SCCP *)
-          let changed = ref [] in
-          let procs =
-            List.map
-              (fun (proc : Prog.proc) ->
-                let sccp = Driver.sccp_for t proc.pname in
-                let proc', ch =
-                  Ipcp_analysis.Dce.run ~cond_consts:sccp.cond_consts proc
-                in
-                if ch then changed := proc.pname :: !changed;
-                proc')
-              prog.Prog.procs
-          in
-          (t, !changed, procs))
-    in
-    if
-      changed_procs <> [] && rounds < max_rounds
-      && Ipcp_support.Budget.tick budget
-    then begin
-      let prog' = { prog with Prog.procs } in
-      let unchanged name = not (List.mem name changed_procs) in
-      loop
-        (Driver.prepare_reusing ~prev:artifacts ~unchanged prog')
-        prog' (rounds + 1)
-    end
-    else begin
-      let _, stats = Substitute.apply t in
-      Telemetry.add "complete.dce_rounds" rounds;
-      let degraded =
-        Driver.degraded t
-        @
-        match Ipcp_support.Budget.exhausted budget with
-        | None -> []
-        | Some reason -> [ reason ]
+type outcome = Ipcp_analysis.Const_lattice.t generic_outcome
+
+module Make (A : Ipcp_analysis.Analysis_sig.S) = struct
+  module D = Driver.Make (A)
+  module Sub = Substitute.Make (A)
+
+  let run ?budget ?(config = Config.polynomial_with_mod) ?(max_rounds = 10)
+      (prog : Prog.t) : A.L.t generic_outcome =
+      let module Telemetry = Ipcp_telemetry.Telemetry in
+      let budget =
+        match budget with
+        | Some b -> b
+        | None -> Config.budget ~label:"complete" config
       in
-      Telemetry.add "complete.degraded" (List.length degraded);
-      { final = t; substituted = stats.total; dce_rounds = rounds; degraded }
-    end
-  in
-  loop (Driver.prepare prog) prog 0
+      let rec loop artifacts prog rounds =
+        Telemetry.incr "complete.rounds";
+        let t, changed_procs, procs =
+          Telemetry.span "complete:round" (fun () ->
+              let t = D.solve config artifacts in
+              (* fold constant branches per procedure using the seeded SCCP *)
+              let changed = ref [] in
+              let procs =
+                List.map
+                  (fun (proc : Prog.proc) ->
+                    let sccp = D.sccp_for t proc.pname in
+                    let proc', ch =
+                      Ipcp_analysis.Dce.run ~cond_consts:sccp.cond_consts proc
+                    in
+                    if ch then changed := proc.pname :: !changed;
+                    proc')
+                  prog.Prog.procs
+              in
+              (t, !changed, procs))
+        in
+        if
+          changed_procs <> [] && rounds < max_rounds
+          && Ipcp_support.Budget.tick budget
+        then begin
+          let prog' = { prog with Prog.procs } in
+          let unchanged name = not (List.mem name changed_procs) in
+          loop
+            (Driver.prepare_reusing ~prev:artifacts ~unchanged prog')
+            prog' (rounds + 1)
+        end
+        else begin
+          let _, stats = Sub.apply t in
+          Telemetry.add "complete.dce_rounds" rounds;
+          let degraded =
+            Driver.degraded t
+            @
+            match Ipcp_support.Budget.exhausted budget with
+            | None -> []
+            | Some reason -> [ reason ]
+          in
+          Telemetry.add "complete.degraded" (List.length degraded);
+          { final = t; substituted = stats.total; dce_rounds = rounds; degraded }
+        end
+      in
+      loop (Driver.prepare prog) prog 0
+end
+
+include Make (Ipcp_analysis.Const_analysis)

@@ -9,17 +9,32 @@
 
 open Ipcp_frontend
 
-type outcome = {
-  final : Driver.t;  (** analysis of the final, DCE-stable program *)
+type 'elt generic_outcome = {
+  final : 'elt Driver.analysis_result;
+      (** analysis of the final, DCE-stable program *)
   substituted : int;  (** substitution count on the final program *)
   dce_rounds : int;  (** rounds that actually removed code *)
   degraded : Ipcp_support.Budget.reason list;
       (** budget exhaustions hit along the way; empty on a precise run *)
 }
 
-(** [budget] (default: built from [config]) bounds the number of
-    re-analysis rounds; on exhaustion the current round's (sound) result
-    is kept and the outcome is marked degraded. *)
+type outcome = Ipcp_analysis.Const_lattice.t generic_outcome
+
+(** Complete propagation for one analysis. *)
+module Make (A : Ipcp_analysis.Analysis_sig.S) : sig
+  (** [budget] (default: built from [config]) bounds the number of
+      re-analysis rounds; on exhaustion the current round's (sound)
+      result is kept and the outcome is marked degraded. *)
+  val run :
+    ?budget:Ipcp_support.Budget.t ->
+    ?config:Config.t ->
+    ?max_rounds:int ->
+    Prog.t ->
+    A.L.t generic_outcome
+end
+
+(** {1 The constant-propagation instantiation} *)
+
 val run :
   ?budget:Ipcp_support.Budget.t ->
   ?config:Config.t ->

@@ -10,7 +10,19 @@
     remaining work to ⊥ and reports itself degraded instead of running
     unbounded. *)
 
+type analysis = [ `Const | `Copy ]
+
+let analysis_name : analysis -> string = function
+  | `Const -> "const"
+  | `Copy -> "copy"
+
+let analysis_of_string : string -> analysis option = function
+  | "const" -> Some `Const
+  | "copy" -> Some `Copy
+  | _ -> None
+
 type t = {
+  analysis : analysis;  (** which lattice/transfer-function client runs *)
   kind : Jump_function.kind;  (** which forward jump function to build *)
   return_jfs : bool;  (** build and use return jump functions *)
   use_mod : bool;  (** use MOD summaries (vs. worst-case call kills) *)
@@ -21,9 +33,13 @@ type t = {
   deadline_ms : int option;  (** per-pass wall-clock budget *)
 }
 
-let make ~kind ?(return_jfs = true) ?(use_mod = true)
+let make ?(analysis = `Const) ~kind ?(return_jfs = true) ?(use_mod = true)
     ?(interprocedural = true) ?max_steps ?deadline_ms () =
-  { kind; return_jfs; use_mod; interprocedural; max_steps; deadline_ms }
+  { analysis; kind; return_jfs; use_mod; interprocedural; max_steps;
+    deadline_ms }
+
+(** The same configuration run under a different analysis. *)
+let with_analysis analysis t = { t with analysis }
 
 (** [with_budget ?max_steps ?deadline_ms t] replaces the resource axes
     of [t] (absent arguments clear the corresponding limit). *)
@@ -37,7 +53,8 @@ let budget ?label (t : t) : Ipcp_support.Budget.t =
     ?deadline_ms:t.deadline_ms ()
 
 let equal a b =
-  a.kind = b.kind
+  a.analysis = b.analysis
+  && a.kind = b.kind
   && a.return_jfs = b.return_jfs
   && a.use_mod = b.use_mod
   && a.interprocedural = b.interprocedural
@@ -71,10 +88,13 @@ let intraprocedural_only =
     ~interprocedural:false ()
 
 let pp ppf t =
-  Fmt.pf ppf "%s%s%s%s"
+  (* the const rendering predates the analysis axis and must stay
+     byte-identical: only non-default analyses append a tag *)
+  Fmt.pf ppf "%s%s%s%s%s"
     (Jump_function.kind_name t.kind)
     (if t.return_jfs then "+ret" else "-ret")
     (if t.use_mod then "+mod" else "-mod")
+    (match t.analysis with `Const -> "" | `Copy -> "+copy")
     (if t.interprocedural then "" else " (intra only)");
   (match t.max_steps with
   | Some n -> Fmt.pf ppf " steps<=%d" n

@@ -1,11 +1,24 @@
 (** Analyzer configuration — the experimental axes of the paper's Tables 2
     and 3. *)
 
+(** Which analysis client runs under the configuration: the paper's
+    constant propagation, or copy propagation (the second
+    {!Ipcp_analysis.Analysis_sig.S} client, for the subsumption
+    experiment). *)
+type analysis = [ `Const | `Copy ]
+
+(** Stable lower-case name: ["const"] / ["copy"] — the CLI and serve
+    dispatch token. *)
+val analysis_name : analysis -> string
+
+val analysis_of_string : string -> analysis option
+
 (** The record type is exposed for pattern matching and pretty-printing
     but is {b internal} as a constructor: build configurations with
     {!make} (or the presets below), never with record literals — new axes
     may be added and [make] keeps call sites stable. *)
 type t = {
+  analysis : analysis;  (** which lattice/transfer-function client runs *)
   kind : Jump_function.kind;  (** which forward jump function to build *)
   return_jfs : bool;
   use_mod : bool;  (** MOD summaries vs. worst-case call kills *)
@@ -19,6 +32,7 @@ type t = {
     summaries on, interprocedural propagation on) with no resource
     limits. *)
 val make :
+  ?analysis:analysis ->
   kind:Jump_function.kind ->
   ?return_jfs:bool ->
   ?use_mod:bool ->
@@ -27,6 +41,9 @@ val make :
   ?deadline_ms:int ->
   unit ->
   t
+
+(** The same configuration run under a different analysis. *)
+val with_analysis : analysis -> t -> t
 
 (** Replace the resource axes (absent arguments clear the limits). *)
 val with_budget : ?max_steps:int -> ?deadline_ms:int -> t -> t

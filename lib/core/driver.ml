@@ -16,13 +16,24 @@
     return jump functions) instead of six times.
 
     {!analyze} remains as the one-shot compatibility wrapper:
-    [analyze config prog = solve config (prepare prog)]. *)
+    [analyze config prog = solve config (prepare prog)] — prefer the
+    staged pair when more than one configuration runs on a program.
+
+    Like the solver, the pipeline is generic over the analysis: the
+    artifact prefix (everything through stage 2) is analysis-independent
+    and lives at the toplevel; {!Make} supplies the config-dependent
+    suffix (stages 3–4, SCCP seeding, CONSTANTS) for any
+    {!Ipcp_analysis.Analysis_sig.S}, and the toplevel solve/analyze
+    values are the constant-propagation instantiation. *)
 
 open Ipcp_frontend
 open Ipcp_analysis
 module Telemetry = Ipcp_telemetry.Telemetry
 
-type t = {
+(* Parametric for the same reason as [Solver.generic_result]: one
+   nominal record shared by every [Make] instantiation, so artifact
+   plumbing and summary-based reuse stay polymorphic. *)
+type 'elt analysis_result = {
   config : Config.t;
   prog : Prog.t;
   cg : Callgraph.t;
@@ -31,8 +42,10 @@ type t = {
   irs : (string, Jump_function.proc_ir) Hashtbl.t;
       (** phase-2 IR (full oracle), reused by the substitution pass *)
   site_jfs : Jump_function.site_jf list;
-  solution : Solver.result;
+  solution : 'elt Solver.generic_result;
 }
+
+type t = Const_lattice.t analysis_result
 
 (* ------------------------------------------------------------------ *)
 (* Artifacts: the config-independent prefix of the pipeline.           *)
@@ -305,49 +318,59 @@ let site_jfs_for (a : artifacts) (config : Config.t) (name : string) :
     | Some ir -> Jump_function.build_site_jfs ~kind:config.kind ir
 
 (* ------------------------------------------------------------------ *)
-(* Stages 3 and 4: the config-dependent suffix.                        *)
+(* Stages 3 and 4: the config-dependent suffix, per analysis.          *)
 
-let propagate ?seed (config : Config.t) cg ~site_jfs ~global_keys :
-    Solver.result =
-  let prog = cg.Callgraph.prog in
-  if config.interprocedural then begin
-    let budget = Config.budget ~label:"solver" config in
-    match seed with
-    | Some (prev, dirty) ->
-      Solver.run_seeded ~budget ~prev ~dirty cg ~site_jfs ~global_keys
-    | None -> Solver.run ~budget cg ~site_jfs ~global_keys
-  end
-  else begin
-    (* baseline: no propagation; every parameter of every procedure is ⊥
-       so that only locally derived constants survive *)
-    let vals = Hashtbl.create 16 in
-    List.iter
-      (fun (p : Prog.proc) ->
-        let m =
-          List.fold_left
-            (fun m (v : Prog.var) ->
-              match v.vkind with
-              | Prog.Kformal i ->
-                Prog.Param_map.add (Prog.Pformal i) Const_lattice.Bottom m
-              | _ -> m)
-            Prog.Param_map.empty p.pformals
-        in
-        let m =
-          List.fold_left
-            (fun m key ->
-              Prog.Param_map.add (Prog.Pglob key) Const_lattice.Bottom m)
-            m global_keys
-        in
-        Hashtbl.replace vals p.pname m)
-      prog.procs;
-    { Solver.vals;
-      stats = { iterations = 0; jf_evaluations = 0; meets = 0; widened = 0 };
-      degraded = [] }
-  end
+(** The return-jump-function oracle of this analysis (if enabled). *)
+let oracle (t : 'elt analysis_result) : Ssa_value.oracle option =
+  if t.config.return_jfs then Some (Jump_function.oracle_of_table t.ret_jfs)
+  else None
 
-(** Run the config-dependent stages over shared artifacts; [seed]
-    switches stage 3 to the cone-restricted seeded solver. *)
-let solve_gen ?seed (config : Config.t) (a : artifacts) : t =
+(** Budget reasons of the propagation stage (empty on a precise run). *)
+let degraded (t : 'elt analysis_result) : Ipcp_support.Budget.reason list =
+  t.solution.Solver.degraded
+
+module Make (A : Analysis_sig.S) = struct
+  module S = Solver.Make (A)
+
+  let propagate ?seed (config : Config.t) cg ~site_jfs ~global_keys :
+      A.L.t Solver.generic_result =
+    let prog = cg.Callgraph.prog in
+    if config.interprocedural then begin
+      let budget = Config.budget ~label:"solver" config in
+      match seed with
+      | Some (prev, dirty) ->
+        S.run_seeded ~budget ~prev ~dirty cg ~site_jfs ~global_keys
+      | None -> S.run ~budget cg ~site_jfs ~global_keys
+    end
+    else begin
+      (* baseline: no propagation; every parameter of every procedure is
+         ⊥ so that only locally derived constants survive *)
+      let vals = Hashtbl.create 16 in
+      List.iter
+        (fun (p : Prog.proc) ->
+          let m =
+            List.fold_left
+              (fun m (v : Prog.var) ->
+                match v.vkind with
+                | Prog.Kformal i ->
+                  Prog.Param_map.add (Prog.Pformal i) A.L.bottom m
+                | _ -> m)
+              Prog.Param_map.empty p.pformals
+          in
+          let m =
+            List.fold_left
+              (fun m key -> Prog.Param_map.add (Prog.Pglob key) A.L.bottom m)
+              m global_keys
+          in
+          Hashtbl.replace vals p.pname m)
+        prog.procs;
+      { Solver.vals; stats = Solver.fresh_stats (); degraded = [] }
+    end
+
+  (** Run the config-dependent stages over shared artifacts; [seed]
+      switches stage 3 to the cone-restricted seeded solver. *)
+  let solve_gen ?seed (config : Config.t) (a : artifacts) :
+      A.L.t analysis_result =
   Telemetry.span "solve" (fun () ->
       let stage = stage12_for a config in
       (* forward jump functions restricted to the configured kind *)
@@ -387,83 +410,84 @@ let solve_gen ?seed (config : Config.t) (a : artifacts) : t =
             Telemetry.add "driver.constants_found"
               (List.fold_left
                  (fun acc (p : Prog.proc) ->
-                   acc + List.length (Solver.constants_of solution p.pname))
+                   acc + List.length (S.constants_of solution p.pname))
                  0 a.a_prog.procs)
           end;
           t))
 
-(** Run the config-dependent stages over shared artifacts. *)
-let solve (config : Config.t) (a : artifacts) : t = solve_gen config a
+  (** Run the config-dependent stages over shared artifacts. *)
+  let solve (config : Config.t) (a : artifacts) : A.L.t analysis_result =
+    solve_gen config a
 
-(** Like {!solve}, but stage 3 re-solves only the [dirty] cone, seeding
-    every other procedure's VAL map from [prev_vals] — the incremental
-    re-analysis path ({!Ipcp_incr.Incr.update}).  Byte-identical to
-    {!solve} when [dirty] is closed under "may be affected by the
-    change". *)
-let solve_seeded (config : Config.t) (a : artifacts)
-    ~(prev_vals : (string, Solver.val_map) Hashtbl.t)
-    ~(dirty : string -> bool) : t =
-  solve_gen ~seed:(prev_vals, dirty) config a
+  (** Like {!solve}, but stage 3 re-solves only the [dirty] cone, seeding
+      every other procedure's VAL map from [prev_vals] — the incremental
+      re-analysis path ({!Ipcp_incr.Incr.update}).  Byte-identical to
+      {!solve} when [dirty] is closed under "may be affected by the
+      change". *)
+  let solve_seeded (config : Config.t) (a : artifacts)
+      ~(prev_vals : (string, A.L.t Prog.Param_map.t) Hashtbl.t)
+      ~(dirty : string -> bool) : A.L.t analysis_result =
+    solve_gen ~seed:(prev_vals, dirty) config a
 
-(** Run the full pipeline on a resolved program (compatibility wrapper). *)
-let analyze (config : Config.t) (prog : Prog.t) : t =
-  Telemetry.span "analyze" (fun () -> solve config (prepare prog))
+  (** Run the full pipeline on a resolved program (compatibility
+      wrapper; prefer {!prepare} + {!solve}, which share artifacts
+      across configurations). *)
+  let analyze (config : Config.t) (prog : Prog.t) : A.L.t analysis_result =
+    Telemetry.span "analyze" (fun () -> solve config (prepare prog))
 
-(** CONSTANTS(p) for every procedure, in program order. *)
-let constants (t : t) : (string * (Prog.param * int) list) list =
-  List.map
-    (fun (p : Prog.proc) -> (p.pname, Solver.constants_of t.solution p.pname))
-    t.prog.procs
+  (** CONSTANTS(p) for every procedure, in program order. *)
+  let constants (t : A.L.t analysis_result) :
+      (string * (Prog.param * int) list) list =
+    List.map
+      (fun (p : Prog.proc) -> (p.pname, S.constants_of t.solution p.pname))
+      t.prog.procs
 
-(** Total number of (procedure, parameter) constant facts. *)
-let constants_count (t : t) =
-  List.fold_left (fun acc (_, cs) -> acc + List.length cs) 0 (constants t)
+  (** Total number of (procedure, parameter) constant facts. *)
+  let constants_count (t : A.L.t analysis_result) =
+    List.fold_left (fun acc (_, cs) -> acc + List.length cs) 0 (constants t)
 
-(** Entry-value environment for a procedure, as consumed by SCCP: the
-    constant (if any) each formal/global holds on entry. *)
-let entry_env (t : t) (proc : Prog.proc) : Prog.var -> int option =
- fun v ->
-  if v.vty <> Prog.Tint || Prog.is_array v then None
-  else
-    match v.vkind with
-    | Prog.Kformal i ->
-      Const_lattice.const_value (Solver.lookup t.solution proc.pname (Prog.Pformal i))
-    | Prog.Kglobal g ->
-      Const_lattice.const_value
-        (Solver.lookup t.solution proc.pname (Prog.Pglob (Prog.global_key g)))
-    | Prog.Klocal when proc.pkind = Prog.Pmain ->
-      (* data-initialized locals of the main program hold their load-time
-         values on entry *)
-      Prog.data_value_in_main t.prog v
-    | Prog.Klocal | Prog.Kresult -> None
+  (** Entry-value environment for a procedure, as consumed by SCCP: the
+      constant (if any) each formal/global holds on entry.  Facts with
+      no constant reading (a copy, say) seed nothing — SCCP consumes
+      integers, and [A.L.const_value] is the bridge. *)
+  let entry_env (t : A.L.t analysis_result) (proc : Prog.proc) :
+      Prog.var -> int option =
+   fun v ->
+    if v.vty <> Prog.Tint || Prog.is_array v then None
+    else
+      match v.vkind with
+      | Prog.Kformal i ->
+        A.L.const_value (S.lookup t.solution proc.pname (Prog.Pformal i))
+      | Prog.Kglobal g ->
+        A.L.const_value
+          (S.lookup t.solution proc.pname (Prog.Pglob (Prog.global_key g)))
+      | Prog.Klocal when proc.pkind = Prog.Pmain ->
+        (* data-initialized locals of the main program hold their
+           load-time values on entry *)
+        Prog.data_value_in_main t.prog v
+      | Prog.Klocal | Prog.Kresult -> None
 
-(** The return-jump-function oracle of this analysis (if enabled). *)
-let oracle (t : t) : Ssa_value.oracle option =
-  if t.config.return_jfs then Some (Jump_function.oracle_of_table t.ret_jfs)
-  else None
+  (** Run SCCP for one procedure, seeded with the discovered entry facts.
+      Each call creates a fresh budget from the configuration, so
+      parallel per-procedure runs share no mutable budget state. *)
+  let sccp_for (t : A.L.t analysis_result) (name : string) : Sccp.result =
+    let ir = Hashtbl.find t.irs name in
+    let proc = ir.Jump_function.pi_proc in
+    Sccp.run
+      ~budget:(Config.budget ~label:("sccp:" ^ name) t.config)
+      ?oracle:(oracle t) ~entry_env:(entry_env t proc) ir.Jump_function.pi_ssa
 
-(** Budget reasons of the propagation stage (empty on a precise run). *)
-let degraded (t : t) : Ipcp_support.Budget.reason list =
-  t.solution.Solver.degraded
+  let pp_constants ppf (t : A.L.t analysis_result) =
+    List.iter
+      (fun (name, cs) ->
+        if cs <> [] then begin
+          let proc = Prog.find_proc_exn t.prog name in
+          Fmt.pf ppf "%s: %a@." name
+            (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (param, c) ->
+                 Fmt.pf ppf "%s=%d" (Prog.param_name t.prog proc param) c))
+            cs
+        end)
+      (constants t)
+end
 
-(** Run SCCP for one procedure, seeded with the discovered entry facts.
-    Each call creates a fresh budget from the configuration, so parallel
-    per-procedure runs share no mutable budget state. *)
-let sccp_for (t : t) (name : string) : Sccp.result =
-  let ir = Hashtbl.find t.irs name in
-  let proc = ir.Jump_function.pi_proc in
-  Sccp.run
-    ~budget:(Config.budget ~label:("sccp:" ^ name) t.config)
-    ?oracle:(oracle t) ~entry_env:(entry_env t proc) ir.Jump_function.pi_ssa
-
-let pp_constants ppf (t : t) =
-  List.iter
-    (fun (name, cs) ->
-      if cs <> [] then begin
-        let proc = Prog.find_proc_exn t.prog name in
-        Fmt.pf ppf "%s: %a@." name
-          (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (param, c) ->
-               Fmt.pf ppf "%s=%d" (Prog.param_name t.prog proc param) c))
-          cs
-      end)
-    (constants t)
+include Make (Const_analysis)

@@ -11,7 +11,14 @@
        forward jump functions of the configured kind, then the
        interprocedural propagation;}
     {- {!analyze} is the one-shot compatibility wrapper,
-       [analyze config prog = solve config (prepare prog)].}}
+       [analyze config prog = solve config (prepare prog)].  Prefer the
+       staged pair: it shares artifacts across configurations and is
+       what every production path (tables, serve, incr) uses.}}
+
+    The pipeline is generic over the analysis: the artifact prefix is
+    analysis-independent, {!Make} builds the config-dependent suffix for
+    any {!Ipcp_analysis.Analysis_sig.S}, and the toplevel solve/analyze
+    values are the constant-propagation instantiation.
 
     Artifacts memoize internally and are therefore {b not} safe to share
     across domains; give each worker domain its own (the engine's
@@ -20,7 +27,11 @@
 open Ipcp_frontend
 open Ipcp_analysis
 
-type t = {
+(** A solved analysis over lattice elements ['elt]: the shared nominal
+    record of every {!Make} instantiation, so summary-based consumers
+    (substitution's per-procedure pass, the incremental layer, the
+    certifier's obligations) stay polymorphic in the analysis. *)
+type 'elt analysis_result = {
   config : Config.t;
   prog : Prog.t;
   cg : Callgraph.t;
@@ -29,8 +40,10 @@ type t = {
   irs : (string, Jump_function.proc_ir) Hashtbl.t;
       (** per-procedure IR (CFG/SSA/symbolic values), reused downstream *)
   site_jfs : Jump_function.site_jf list;
-  solution : Solver.result;
+  solution : 'elt Solver.generic_result;
 }
+
+type t = Const_lattice.t analysis_result
 
 (** Config-independent analysis artifacts of one program. *)
 type artifacts
@@ -88,6 +101,46 @@ val artifacts_to_string : artifacts -> string
     (validate bytes before calling). *)
 val artifacts_of_string : string -> artifacts option
 
+(** The return-jump-function oracle of an analysis, if enabled. *)
+val oracle : 'elt analysis_result -> Ssa_value.oracle option
+
+(** Budget reasons of the propagation stage; empty on a precise run.
+    A degraded analysis is still sound — pending work was widened to ⊥
+    — but may miss constants. *)
+val degraded : 'elt analysis_result -> Ipcp_support.Budget.reason list
+
+(** The config-dependent suffix of the pipeline for one analysis:
+    stages 3–4 over shared artifacts, SCCP seeding, CONSTANTS. *)
+module Make (A : Analysis_sig.S) : sig
+  module S : module type of Solver.Make (A)
+
+  (** Run the config-dependent stages (forward jump functions +
+      interprocedural propagation) over shared artifacts. *)
+  val solve : Config.t -> artifacts -> A.L.t analysis_result
+
+  (** Like {!solve}, but stage 3 re-solves only the [dirty] cone,
+      seeding every other procedure's VAL map from [prev_vals]. *)
+  val solve_seeded :
+    Config.t ->
+    artifacts ->
+    prev_vals:(string, A.L.t Prog.Param_map.t) Hashtbl.t ->
+    dirty:(string -> bool) ->
+    A.L.t analysis_result
+
+  (** One-shot compatibility wrapper; prefer {!prepare} + {!solve}. *)
+  val analyze : Config.t -> Prog.t -> A.L.t analysis_result
+
+  val constants : A.L.t analysis_result -> (string * (Prog.param * int) list) list
+  val constants_count : A.L.t analysis_result -> int
+  val entry_env : A.L.t analysis_result -> Prog.proc -> Prog.var -> int option
+  val sccp_for : A.L.t analysis_result -> string -> Sccp.result
+  val pp_constants : A.L.t analysis_result Fmt.t
+end
+
+(** {1 The constant-propagation instantiation}
+
+    [Make (Const_analysis)] at the historical toplevel names. *)
+
 (** Run the config-dependent stages (forward jump functions +
     interprocedural propagation) over shared artifacts. *)
 val solve : Config.t -> artifacts -> t
@@ -105,7 +158,12 @@ val solve_seeded :
   t
 
 (** Run the full pipeline on a resolved program:
-    [solve config (prepare prog)]. *)
+    [solve config (prepare prog)].
+
+    {b Deprecated} in spirit: every production path should use the
+    staged {!prepare} + {!solve} pair (artifact sharing, reuse across
+    configurations, incremental seeding all hang off [artifacts]).  This
+    wrapper remains for one-shot tools and tests. *)
 val analyze : Config.t -> Prog.t -> t
 
 (** CONSTANTS(p) for every procedure, in program order. *)
@@ -116,14 +174,6 @@ val constants_count : t -> int
 
 (** Entry-value environment of a procedure, as consumed by SCCP. *)
 val entry_env : t -> Prog.proc -> Prog.var -> int option
-
-(** The return-jump-function oracle of this analysis, if enabled. *)
-val oracle : t -> Ssa_value.oracle option
-
-(** Budget reasons of the propagation stage; empty on a precise run.
-    A degraded analysis is still sound — pending work was widened to ⊥
-    — but may miss constants. *)
-val degraded : t -> Ipcp_support.Budget.reason list
 
 (** SCCP for one procedure, seeded with the discovered entry facts.
     Runs under a fresh per-call budget built from the configuration. *)

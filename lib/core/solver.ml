@@ -11,12 +11,15 @@
 
     A parameter that still holds ⊤ when the solver stops belongs to a
     procedure that is never called; such parameters are not reported as
-    constants. *)
+    constants.
+
+    The machinery is generic over the analysis ({!Make}); the lattice
+    element, transfer function and entry seeding come from an
+    {!Ipcp_analysis.Analysis_sig.S}.  The toplevel values are the
+    constant-propagation instantiation, preserving the historical API. *)
 
 open Ipcp_frontend
 open Ipcp_analysis
-
-type val_map = Const_lattice.t Prog.Param_map.t
 
 type stats = {
   mutable iterations : int;  (** procedures popped from the worklist *)
@@ -25,124 +28,122 @@ type stats = {
   mutable widened : int;  (** entries widened to ⊥ on budget exhaustion *)
 }
 
-type result = {
-  vals : (string, val_map) Hashtbl.t;
+let fresh_stats () = { iterations = 0; jf_evaluations = 0; meets = 0; widened = 0 }
+
+(* The result record is declared once, parametric in the lattice element,
+   so every [Make] instantiation shares the same nominal type: analysis-
+   independent consumers (artifact plumbing, the binding-graph solver,
+   the incremental layer) stay polymorphic instead of functorized. *)
+type 'elt generic_result = {
+  vals : (string, 'elt Prog.Param_map.t) Hashtbl.t;
   stats : stats;
   degraded : Ipcp_support.Budget.reason list;
       (** non-empty when the budget ran out and pending work was widened
           to ⊥ — the result is sound but less precise *)
 }
 
-let lookup (r : result) proc param : Const_lattice.t =
-  match Hashtbl.find_opt r.vals proc with
-  | None -> Const_lattice.Bottom
-  | Some m ->
-    Prog.Param_map.find_opt param m |> Option.value ~default:Const_lattice.Top
+let vals_of (r : 'elt generic_result) = r.vals
+let stats_of (r : 'elt generic_result) = r.stats
 
-(** Constants discovered for one procedure: parameters whose VAL is a
-    constant — the CONSTANTS(p) set. *)
-let constants_of (r : result) proc : (Prog.param * int) list =
-  match Hashtbl.find_opt r.vals proc with
-  | None -> []
-  | Some m ->
-    Prog.Param_map.fold
-      (fun param v acc ->
-        match v with
-        | Const_lattice.Const c -> (param, c) :: acc
-        | Const_lattice.Top | Const_lattice.Bottom -> acc)
-      m []
-    |> List.rev
+type val_map = Const_lattice.t Prog.Param_map.t
+type result = Const_lattice.t generic_result
 
-(* Evaluate a jump function under a caller's VAL map.  Result is ⊤ while any
-   needed input is still ⊤ (optimistic), ⊥ if any input is ⊥ or evaluation
-   fails, otherwise the folded constant. *)
-let eval_jf (stats : stats) (caller_vals : val_map) (jf : Symbolic.t) :
-    Const_lattice.t =
-  stats.jf_evaluations <- stats.jf_evaluations + 1;
-  match Symbolic.support jf with
-  | None -> Const_lattice.Bottom
-  | Some leaves ->
-    let param_of_leaf = function
-      | Symbolic.Lformal i -> Prog.Pformal i
-      | Symbolic.Lglobal k -> Prog.Pglob k
+module Make (A : Analysis_sig.S) = struct
+  type elt = A.L.t
+
+  let lookup (r : elt generic_result) proc param : elt =
+    match Hashtbl.find_opt r.vals proc with
+    | None -> A.L.bottom
+    | Some m -> Prog.Param_map.find_opt param m |> Option.value ~default:A.L.top
+
+  (** Constants discovered for one procedure: parameters whose VAL pins
+      down an integer — the CONSTANTS(p) set. *)
+  let constants_of (r : elt generic_result) proc : (Prog.param * int) list =
+    match Hashtbl.find_opt r.vals proc with
+    | None -> []
+    | Some m ->
+      Prog.Param_map.fold
+        (fun param v acc ->
+          match A.L.const_value v with
+          | Some c -> (param, c) :: acc
+          | None -> acc)
+        m []
+      |> List.rev
+
+  (* Evaluate a jump function under a caller's VAL map.  Result is ⊤ while
+     any needed input is still ⊤ (optimistic), ⊥ if any input is ⊥ or
+     evaluation fails, otherwise the analysis's folding of the inputs. *)
+  let eval_jf (stats : stats) (caller_vals : elt Prog.Param_map.t)
+      (jf : Symbolic.t) : elt =
+    stats.jf_evaluations <- stats.jf_evaluations + 1;
+    A.eval_jf
+      ~env:(fun l ->
+        let param =
+          match l with
+          | Symbolic.Lformal i -> Prog.Pformal i
+          | Symbolic.Lglobal k -> Prog.Pglob k
+        in
+        Prog.Param_map.find_opt param caller_vals
+        |> Option.value ~default:A.L.top)
+      jf
+
+  (* The fresh (pre-iteration) VAL map of one procedure: ⊤ everywhere
+     except the main program, whose entries seed pessimistically — formals
+     at ⊥ and globals at the analysis's entry fact (load-time DATA
+     constants for constant propagation, self-copies for copy
+     propagation). *)
+  let fresh_map (prog : Prog.t) (global_keys : string list) (p : Prog.proc) :
+      elt Prog.Param_map.t =
+    let is_main = p.pname = prog.main in
+    let initial = if is_main then A.L.bottom else A.L.top in
+    let m =
+      List.fold_left
+        (fun m (v : Prog.var) ->
+          match v.vkind with
+          | Prog.Kformal i -> Prog.Param_map.add (Prog.Pformal i) initial m
+          | _ -> m)
+        Prog.Param_map.empty p.pformals
     in
-    let values =
-      List.map
-        (fun l ->
-          ( l,
-            Prog.Param_map.find_opt (param_of_leaf l) caller_vals
-            |> Option.value ~default:Const_lattice.Top ))
-        leaves
-    in
-    if List.exists (fun (_, v) -> v = Const_lattice.Bottom) values then
-      Const_lattice.Bottom
-    else if List.exists (fun (_, v) -> v = Const_lattice.Top) values then
-      Const_lattice.Top
-    else
-      let env l =
-        match List.assoc_opt l values with
-        | Some (Const_lattice.Const c) -> Some c
-        | _ -> None
-      in
-      Const_lattice.of_option (Symbolic.eval ~env jf)
-
-(* The fresh (pre-iteration) VAL map of one procedure: ⊤ everywhere except
-   the main program, whose entries are ⊥ — with data-initialized globals
-   holding their load-time constants on entry to main. *)
-let fresh_map (prog : Prog.t) (global_keys : string list) (p : Prog.proc) :
-    val_map =
-  let is_main = p.pname = prog.main in
-  let initial = if is_main then Const_lattice.Bottom else Const_lattice.Top in
-  let m =
     List.fold_left
-      (fun m (v : Prog.var) ->
-        match v.vkind with
-        | Prog.Kformal i -> Prog.Param_map.add (Prog.Pformal i) initial m
-        | _ -> m)
-      Prog.Param_map.empty p.pformals
-  in
-  List.fold_left
-    (fun m key ->
-      (* on entry to main, a data-initialized global still holds its
-         load-time value; all other initial memory is unknown *)
-      let v =
-        if is_main then
-          match Prog.data_value_of_global prog key with
-          | Some c -> Const_lattice.Const c
-          | None -> Const_lattice.Bottom
-        else initial
-      in
-      Prog.Param_map.add (Prog.Pglob key) v m)
-    m global_keys
+      (fun m key ->
+        (* on entry to main, a global still holds its load-time value;
+           what that is worth is the analysis's call *)
+        let v =
+          if is_main then
+            A.global_seed ~data:(Prog.data_value_of_global prog key) ~key
+          else initial
+        in
+        Prog.Param_map.add (Prog.Pglob key) v m)
+      m global_keys
 
-(* The shared worklist drain: meet jump-function results into callee maps
-   until stable (or the budget runs out, widening the pending closure to
-   ⊥).  [vals] carries the initial assignment and [work] the initially
-   unstable callers; the meet-semilattice iteration converges to the same
-   fixpoint regardless of processing order, which is what makes seeded
-   re-solving byte-compatible with a from-scratch run. *)
-let solve_loop ?budget (cg : Callgraph.t)
-    ~(site_jfs : Jump_function.site_jf list)
-    ~(vals : (string, val_map) Hashtbl.t)
-    ~(work : string Ipcp_support.Worklist.t) : result =
-  let budget =
-    match budget with
-    | Some b -> b
-    | None -> Ipcp_support.Budget.create ~label:"solver" ()
-  in
-  let stats = { iterations = 0; jf_evaluations = 0; meets = 0; widened = 0 } in
-  (* index site jump functions by caller *)
-  let by_caller : (string, Jump_function.site_jf list) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  List.iter
-    (fun (s : Jump_function.site_jf) ->
-      let existing =
-        Hashtbl.find_opt by_caller s.sf_caller |> Option.value ~default:[]
-      in
-      Hashtbl.replace by_caller s.sf_caller (s :: existing))
-    site_jfs;
-  let process caller =
+  (* The shared worklist drain: meet jump-function results into callee maps
+     until stable (or the budget runs out, widening the pending closure to
+     ⊥).  [vals] carries the initial assignment and [work] the initially
+     unstable callers; the meet-semilattice iteration converges to the same
+     fixpoint regardless of processing order, which is what makes seeded
+     re-solving byte-compatible with a from-scratch run. *)
+  let solve_loop ?budget (cg : Callgraph.t)
+      ~(site_jfs : Jump_function.site_jf list)
+      ~(vals : (string, elt Prog.Param_map.t) Hashtbl.t)
+      ~(work : string Ipcp_support.Worklist.t) : elt generic_result =
+    let budget =
+      match budget with
+      | Some b -> b
+      | None -> Ipcp_support.Budget.create ~label:"solver" ()
+    in
+    let stats = fresh_stats () in
+    (* index site jump functions by caller *)
+    let by_caller : (string, Jump_function.site_jf list) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    List.iter
+      (fun (s : Jump_function.site_jf) ->
+        let existing =
+          Hashtbl.find_opt by_caller s.sf_caller |> Option.value ~default:[]
+        in
+        Hashtbl.replace by_caller s.sf_caller (s :: existing))
+      site_jfs;
+    let process caller =
       stats.iterations <- stats.iterations + 1;
       let caller_vals =
         Hashtbl.find_opt vals caller |> Option.value ~default:Prog.Param_map.empty
@@ -154,16 +155,17 @@ let solve_loop ?budget (cg : Callgraph.t)
         (fun (s : Jump_function.site_jf) ->
           let callee = s.sf_callee in
           let callee_vals =
-            Hashtbl.find_opt vals callee |> Option.value ~default:Prog.Param_map.empty
+            Hashtbl.find_opt vals callee
+            |> Option.value ~default:Prog.Param_map.empty
           in
           let changed = ref false in
           let meet_param m param incoming =
             stats.meets <- stats.meets + 1;
             let old =
-              Prog.Param_map.find_opt param m |> Option.value ~default:Const_lattice.Top
+              Prog.Param_map.find_opt param m |> Option.value ~default:A.L.top
             in
-            let nv = Const_lattice.meet old incoming in
-            if not (Const_lattice.equal old nv) then begin
+            let nv = A.L.meet old incoming in
+            if not (A.L.equal old nv) then begin
               changed := true;
               Prog.Param_map.add param nv m
             end
@@ -185,130 +187,133 @@ let solve_loop ?budget (cg : Callgraph.t)
             Ipcp_support.Worklist.push work callee
           end)
         (Hashtbl.find_opt by_caller caller |> Option.value ~default:[])
-  in
-  let rec drain () =
-    if Ipcp_support.Budget.tick budget then
-      match Ipcp_support.Worklist.pop work with
-      | None -> ()
-      | Some caller ->
-        process caller;
-        drain ()
-  in
-  drain ();
-  (* Budget exhausted mid-drain: widen to ⊥ every map an unprocessed edge
-     could still lower — the transitive callee closure of the pending
-     callers (which includes the pending callers themselves). *)
-  let degraded =
-    match Ipcp_support.Budget.exhausted budget with
-    | None -> []
-    | Some reason ->
-      let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
-      let rec visit name =
-        if not (Hashtbl.mem seen name) then begin
-          Hashtbl.add seen name ();
-          List.iter
-            (fun (e : Callgraph.edge) -> visit e.e_callee)
-            (Callgraph.callees_of cg name)
-        end
-      in
-      List.iter visit (Ipcp_support.Worklist.elements work);
-      Hashtbl.iter
-        (fun name () ->
-          match Hashtbl.find_opt vals name with
-          | None -> ()
-          | Some m ->
-            let m' =
-              Prog.Param_map.map
-                (fun v ->
-                  if not (Const_lattice.equal v Const_lattice.Bottom) then
-                    stats.widened <- stats.widened + 1;
-                  Const_lattice.Bottom)
-                m
-            in
-            Hashtbl.replace vals name m')
-        seen;
-      [ reason ]
-  in
-  if Ipcp_telemetry.Telemetry.enabled () then begin
-    let open Ipcp_telemetry in
-    let w = Ipcp_support.Worklist.stats work in
-    Telemetry.add "solver.iterations" stats.iterations;
-    Telemetry.add "solver.jf_evaluations" stats.jf_evaluations;
-    Telemetry.add "solver.meets" stats.meets;
-    Telemetry.add "solver.worklist.pushes" w.pushes;
-    Telemetry.add "solver.worklist.pops" w.pops;
-    Telemetry.add "solver.worklist.dedup_skips" w.dedup_skips;
-    Telemetry.add "solver.widened" stats.widened;
-    Telemetry.add "solver.degraded" (List.length degraded);
-    Telemetry.observe "solver.worklist.max_length" w.max_length
-  end;
-  { vals; stats; degraded }
+    in
+    let rec drain () =
+      if Ipcp_support.Budget.tick budget then
+        match Ipcp_support.Worklist.pop work with
+        | None -> ()
+        | Some caller ->
+          process caller;
+          drain ()
+    in
+    drain ();
+    (* Budget exhausted mid-drain: widen to ⊥ every map an unprocessed edge
+       could still lower — the transitive callee closure of the pending
+       callers (which includes the pending callers themselves). *)
+    let degraded =
+      match Ipcp_support.Budget.exhausted budget with
+      | None -> []
+      | Some reason ->
+        let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+        let rec visit name =
+          if not (Hashtbl.mem seen name) then begin
+            Hashtbl.add seen name ();
+            List.iter
+              (fun (e : Callgraph.edge) -> visit e.e_callee)
+              (Callgraph.callees_of cg name)
+          end
+        in
+        List.iter visit (Ipcp_support.Worklist.elements work);
+        Hashtbl.iter
+          (fun name () ->
+            match Hashtbl.find_opt vals name with
+            | None -> ()
+            | Some m ->
+              let m' =
+                Prog.Param_map.map
+                  (fun v ->
+                    if not (A.L.equal v A.L.bottom) then
+                      stats.widened <- stats.widened + 1;
+                    A.L.bottom)
+                  m
+              in
+              Hashtbl.replace vals name m')
+          seen;
+        [ reason ]
+    in
+    if Ipcp_telemetry.Telemetry.enabled () then begin
+      let open Ipcp_telemetry in
+      let w = Ipcp_support.Worklist.stats work in
+      Telemetry.add "solver.iterations" stats.iterations;
+      Telemetry.add "solver.jf_evaluations" stats.jf_evaluations;
+      Telemetry.add "solver.meets" stats.meets;
+      Telemetry.add "solver.worklist.pushes" w.pushes;
+      Telemetry.add "solver.worklist.pops" w.pops;
+      Telemetry.add "solver.worklist.dedup_skips" w.dedup_skips;
+      Telemetry.add "solver.widened" stats.widened;
+      Telemetry.add "solver.degraded" (List.length degraded);
+      Telemetry.observe "solver.worklist.max_length" w.max_length
+    end;
+    { vals; stats; degraded }
 
-(** Solve.  [site_jfs] are the forward jump functions of every call site;
-    [global_keys] the keys of every common global in the program.  When
-    [budget] runs out mid-drain, every procedure transitively reachable
-    from a still-pending caller is widened to ⊥: those are exactly the
-    maps that unprocessed edges could still lower, so the answer stays a
-    sound (conservative) approximation of the fixed point. *)
-let run ?budget (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
-    ~(global_keys : string list) : result =
-  let prog = cg.Callgraph.prog in
-  let vals : (string, val_map) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun (p : Prog.proc) ->
-      Hashtbl.replace vals p.pname (fresh_map prog global_keys p))
-    prog.procs;
-  let work = Ipcp_support.Worklist.of_list (Callgraph.top_down cg) in
-  solve_loop ?budget cg ~site_jfs ~vals ~work
+  (** Solve.  [site_jfs] are the forward jump functions of every call site;
+      [global_keys] the keys of every common global in the program.  When
+      [budget] runs out mid-drain, every procedure transitively reachable
+      from a still-pending caller is widened to ⊥: those are exactly the
+      maps that unprocessed edges could still lower, so the answer stays a
+      sound (conservative) approximation of the fixed point. *)
+  let run ?budget (cg : Callgraph.t) ~(site_jfs : Jump_function.site_jf list)
+      ~(global_keys : string list) : elt generic_result =
+    let prog = cg.Callgraph.prog in
+    let vals : (string, elt Prog.Param_map.t) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (p : Prog.proc) ->
+        Hashtbl.replace vals p.pname (fresh_map prog global_keys p))
+      prog.procs;
+    let work = Ipcp_support.Worklist.of_list (Callgraph.top_down cg) in
+    solve_loop ?budget cg ~site_jfs ~vals ~work
 
-(** Re-solve only the [dirty] cone of a changed program, seeding every
-    other procedure's VAL map from [prev] (the previous version's
-    fixpoint).  Correct — and byte-identical to {!run} on the new
-    program — provided [dirty] is closed under "may be affected by the
-    change": it contains every procedure whose fixpoint map could differ
-    from the previous version's (see {!Ipcp_incr.Incr} for the closure
-    rules).  Dirty procedures restart from their optimistic initial
-    values; the initial worklist holds exactly the callers with an edge
-    into the dirty set, the only initially unstable edges. *)
-let run_seeded ?budget ~(prev : (string, val_map) Hashtbl.t)
-    ~(dirty : string -> bool) (cg : Callgraph.t)
-    ~(site_jfs : Jump_function.site_jf list) ~(global_keys : string list) :
-    result =
-  let prog = cg.Callgraph.prog in
-  let vals : (string, val_map) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun (p : Prog.proc) ->
-      let m =
-        if dirty p.pname then fresh_map prog global_keys p
-        else
-          match Hashtbl.find_opt prev p.pname with
-          | Some m -> m
-          | None -> fresh_map prog global_keys p
-      in
-      Hashtbl.replace vals p.pname m)
-    prog.procs;
-  let work =
-    Ipcp_support.Worklist.of_list
-      (List.filter
-         (fun name ->
-           dirty name
-           || List.exists
-                (fun (e : Callgraph.edge) -> dirty e.e_callee)
-                (Callgraph.callees_of cg name))
-         (Callgraph.top_down cg))
-  in
-  solve_loop ?budget cg ~site_jfs ~vals ~work
+  (** Re-solve only the [dirty] cone of a changed program, seeding every
+      other procedure's VAL map from [prev] (the previous version's
+      fixpoint).  Correct — and byte-identical to {!run} on the new
+      program — provided [dirty] is closed under "may be affected by the
+      change": it contains every procedure whose fixpoint map could differ
+      from the previous version's (see {!Ipcp_incr.Incr} for the closure
+      rules).  Dirty procedures restart from their optimistic initial
+      values; the initial worklist holds exactly the callers with an edge
+      into the dirty set, the only initially unstable edges. *)
+  let run_seeded ?budget ~(prev : (string, elt Prog.Param_map.t) Hashtbl.t)
+      ~(dirty : string -> bool) (cg : Callgraph.t)
+      ~(site_jfs : Jump_function.site_jf list) ~(global_keys : string list) :
+      elt generic_result =
+    let prog = cg.Callgraph.prog in
+    let vals : (string, elt Prog.Param_map.t) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (p : Prog.proc) ->
+        let m =
+          if dirty p.pname then fresh_map prog global_keys p
+          else
+            match Hashtbl.find_opt prev p.pname with
+            | Some m -> m
+            | None -> fresh_map prog global_keys p
+        in
+        Hashtbl.replace vals p.pname m)
+      prog.procs;
+    let work =
+      Ipcp_support.Worklist.of_list
+        (List.filter
+           (fun name ->
+             dirty name
+             || List.exists
+                  (fun (e : Callgraph.edge) -> dirty e.e_callee)
+                  (Callgraph.callees_of cg name))
+           (Callgraph.top_down cg))
+    in
+    solve_loop ?budget cg ~site_jfs ~vals ~work
 
-let pp_result prog ppf (r : result) =
-  Hashtbl.iter
-    (fun name m ->
-      match Prog.find_proc prog name with
-      | None -> ()
-      | Some proc ->
-        Fmt.pf ppf "%s:@." name;
-        Prog.Param_map.iter
-          (fun param v ->
-            Fmt.pf ppf "  %s = %a@." (Prog.param_name prog proc param)
-              Const_lattice.pp v)
-          m)
-    r.vals
+  let pp_result prog ppf (r : elt generic_result) =
+    Hashtbl.iter
+      (fun name m ->
+        match Prog.find_proc prog name with
+        | None -> ()
+        | Some proc ->
+          Fmt.pf ppf "%s:@." name;
+          Prog.Param_map.iter
+            (fun param v ->
+              Fmt.pf ppf "  %s = %a@." (Prog.param_name prog proc param)
+                A.L.pp v)
+            m)
+      r.vals
+end
+
+include Make (Const_analysis)

@@ -1,14 +1,17 @@
 (** Interprocedural propagation of VAL sets over the call graph (paper §2,
-    §4.1): a worklist iteration that evaluates forward jump functions along
-    edges and meets the results into callee VAL maps.  All entries start at
-    ⊤ except the main program's (⊥); the shallow lattice bounds every entry
-    to two lowerings. *)
+    §4.1), generic over the analysis.
+
+    {!Make} builds the worklist solver — evaluate forward jump functions
+    along edges, meet the results into callee VAL maps until stable — for
+    any {!Ipcp_analysis.Analysis_sig.S}.  The toplevel values are the
+    constant-propagation instantiation ([Make (Const_analysis)]),
+    preserving the historical constant-only API unchanged. *)
 
 open Ipcp_frontend
 open Ipcp_analysis
 
-type val_map = Const_lattice.t Prog.Param_map.t
-
+(** Worklist-iteration counters, shared by every instantiation (and by
+    the binding-graph solver, which fills in a result of its own). *)
 type stats = {
   mutable iterations : int;  (** worklist pops *)
   mutable jf_evaluations : int;
@@ -16,29 +19,87 @@ type stats = {
   mutable widened : int;  (** entries widened to ⊥ on budget exhaustion *)
 }
 
-type result = {
-  vals : (string, val_map) Hashtbl.t;  (** per procedure *)
+(** All-zero counters — for consumers that synthesize a result without
+    running the worklist (intraprocedural baseline, binding solver). *)
+val fresh_stats : unit -> stats
+
+(** A solved fixpoint over lattice elements ['elt].  Declared once,
+    parametric, so results from different {!Make} instantiations share
+    one nominal type and analysis-independent consumers (artifact
+    serialization, incremental grafting) stay polymorphic. *)
+type 'elt generic_result = {
+  vals : (string, 'elt Prog.Param_map.t) Hashtbl.t;  (** per procedure *)
   stats : stats;
   degraded : Ipcp_support.Budget.reason list;
       (** non-empty when the budget ran out; the result is still sound
           (pending work was widened to ⊥) but may miss constants *)
 }
 
-(** The VAL of one parameter; ⊤ for parameters never touched. *)
+(** The per-procedure VAL maps — what seeded re-solving and the
+    incremental manifests persist.  Prefer this accessor over the record
+    field outside the analysis layers. *)
+val vals_of : 'elt generic_result -> (string, 'elt Prog.Param_map.t) Hashtbl.t
+
+val stats_of : 'elt generic_result -> stats
+
+type val_map = Const_lattice.t Prog.Param_map.t
+type result = Const_lattice.t generic_result
+
+(** The solver over one analysis.  Everything not listed here —
+    initial-map construction, the drain loop, the per-caller site
+    index — is an internal of the iteration and deliberately
+    unexported. *)
+module Make (A : Analysis_sig.S) : sig
+  (** The VAL of one parameter; ⊤ for parameters never touched. *)
+  val lookup : A.L.t generic_result -> string -> Prog.param -> A.L.t
+
+  (** CONSTANTS(p): the parameters of [p] whose VAL pins down an
+      integer constant. *)
+  val constants_of : A.L.t generic_result -> string -> (Prog.param * int) list
+
+  (** Evaluate a jump function under a caller's VAL map: ⊥ in ⇒ ⊥ out,
+      any ⊤ in ⇒ ⊤ out (optimistic), the analysis's folding otherwise.
+      Exposed for the binding-graph solver and cloning. *)
+  val eval_jf : stats -> A.L.t Prog.Param_map.t -> Symbolic.t -> A.L.t
+
+  (** Solve.  [budget] (default: unlimited) bounds the worklist drain;
+      on exhaustion the transitive callee closure of every pending
+      caller is widened to ⊥ and the result is marked degraded — sound,
+      less precise. *)
+  val run :
+    ?budget:Ipcp_support.Budget.t ->
+    Callgraph.t ->
+    site_jfs:Jump_function.site_jf list ->
+    global_keys:string list ->
+    A.L.t generic_result
+
+  (** Re-solve only the [dirty] cone of a changed program, seeding every
+      non-dirty procedure's VAL map from [prev] (the previous version's
+      fixpoint).  Byte-identical to {!run} on the new program provided
+      [dirty] is closed under "may be affected by the change" — every
+      procedure whose fixpoint could differ from the previous version's
+      is dirty (the {!Ipcp_incr.Incr} layer computes that closure). *)
+  val run_seeded :
+    ?budget:Ipcp_support.Budget.t ->
+    prev:(string, A.L.t Prog.Param_map.t) Hashtbl.t ->
+    dirty:(string -> bool) ->
+    Callgraph.t ->
+    site_jfs:Jump_function.site_jf list ->
+    global_keys:string list ->
+    A.L.t generic_result
+
+  val pp_result : Prog.t -> A.L.t generic_result Fmt.t
+end
+
+(** {1 The constant-propagation instantiation}
+
+    [Make (Const_analysis)] re-exported at the toplevel names every
+    historical consumer uses. *)
+
 val lookup : result -> string -> Prog.param -> Const_lattice.t
-
-(** CONSTANTS(p): the parameters of [p] with constant VAL. *)
 val constants_of : result -> string -> (Prog.param * int) list
-
-(** Evaluate a jump function under a caller's VAL map: ⊥ in ⇒ ⊥ out,
-    any ⊤ in ⇒ ⊤ out (optimistic), all constants ⇒ folded result.
-    Exposed for the binding-graph solver and cloning. *)
 val eval_jf : stats -> val_map -> Symbolic.t -> Const_lattice.t
 
-(** Solve.  [budget] (default: unlimited) bounds the worklist drain; on
-    exhaustion the transitive callee closure of every pending caller is
-    widened to ⊥ and the result is marked degraded — sound, less
-    precise. *)
 val run :
   ?budget:Ipcp_support.Budget.t ->
   Callgraph.t ->
@@ -46,14 +107,6 @@ val run :
   global_keys:string list ->
   result
 
-(** Re-solve only the [dirty] cone of a changed program, seeding every
-    non-dirty procedure's VAL map from [prev] (the previous version's
-    fixpoint).  Byte-identical to {!run} on the new program provided
-    [dirty] is closed under "may be affected by the change" — every
-    procedure whose fixpoint could differ from the previous version's is
-    dirty (the {!Ipcp_incr.Incr} layer computes that closure).  Dirty
-    procedures restart from their optimistic initial values; the initial
-    worklist holds the callers with an edge into the dirty set. *)
 val run_seeded :
   ?budget:Ipcp_support.Budget.t ->
   prev:(string, val_map) Hashtbl.t ->

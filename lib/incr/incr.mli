@@ -26,8 +26,27 @@ type stats = {
 
 val pp_stats : stats Fmt.t
 
+(** Incremental sessions for one analysis.  {!import} refuses a
+    manifest persisted by a different analysis (the configuration names
+    it) — its fixpoint would be read at the wrong lattice type. *)
+module Make (A : Ipcp_analysis.Analysis_sig.S) : sig
+  type session
+
+  val start : Config.t -> Prog.t -> session
+  val update : prev:session -> Prog.t -> session * stats
+  val result : session -> A.L.t Driver.analysis_result
+  val config : session -> Config.t
+  val prog : session -> Prog.t
+  val export : session -> string * (string * string) list
+
+  val import :
+    manifest:string -> lookup:(string -> string option) -> session option
+end
+
+(** {1 The constant-propagation instantiation} *)
+
 (** One analyzed program version, ready to be updated from. *)
-type session
+type session = Make(Ipcp_analysis.Const_analysis).session
 
 val start : Config.t -> Prog.t -> session
 

@@ -56,11 +56,6 @@ let pp_certification out err label (r : Ipcp_certify.Certify.report) =
     exit_internal
   end
 
-let certification ?fuel ?input ~label t =
-  render (fun out err ->
-      pp_certification out err label
-        (Ipcp_certify.Certify.check ?fuel ?input t))
-
 (* ---------------- analyze ---------------- *)
 
 let pp_degraded ppf reasons =
@@ -72,72 +67,99 @@ let pp_degraded ppf reasons =
         Ipcp_support.Budget.pp_reason r)
     reasons
 
-let analyze ?(verbose = false) ?(complete = false) ?(certify = false)
-    ?substitute_out ?artifacts ?solved ~config ~jobs prog =
-  render @@ fun ppf err ->
-  let t, degraded =
-    match solved with
-    | Some t ->
-      (* a precomputed result (the incremental path) renders through the
-         same pipeline below, so its frames stay byte-identical to a
-         from-scratch analyze *)
-      (t, Driver.degraded t)
-    | None ->
-      if complete then
-        let o = Complete.run ~config prog in
-        (o.final, o.degraded)
-      else
-        let t =
-          match artifacts with
-          | Some a -> Driver.solve config a
-          | None -> Driver.analyze config prog
-        in
+(* The job bodies for one analysis.  [Of (Const_analysis)] is included
+   at the historical toplevel names; [Copy] serves the [--analysis copy]
+   paths with the same renderers. *)
+module Of (A : Ipcp_analysis.Analysis_sig.S) = struct
+  module D = Driver.Make (A)
+  module Sub = Substitute.Make (A)
+  module Comp = Complete.Make (A)
+  module C = Ipcp_certify.Certify.Make (A)
+
+  let certification ?fuel ?input ~label t =
+    render (fun out err ->
+        pp_certification out err label (C.check ?fuel ?input t))
+
+  let analyze ?(verbose = false) ?(complete = false) ?(certify = false)
+      ?substitute_out ?artifacts ?solved ~config ~jobs prog =
+    render @@ fun ppf err ->
+    let t, degraded =
+      match solved with
+      | Some t ->
+        (* a precomputed result (the incremental path) renders through the
+           same pipeline below, so its frames stay byte-identical to a
+           from-scratch analyze *)
         (t, Driver.degraded t)
-  in
-  if verbose then begin
-    Fmt.pf ppf "--- call graph@.%a@." Callgraph.pp t.cg;
-    Fmt.pf ppf "--- mod/ref@.%a@." Modref.pp t.modref
-  end;
-  Fmt.pf ppf "--- configuration: %a@." Config.pp config;
-  Fmt.pf ppf "--- CONSTANTS sets@.%a" Driver.pp_constants t;
-  let prog', stats = Substitute.apply ~jobs t in
-  Fmt.pf ppf "--- constants substituted: %d@." stats.total;
-  List.iter
-    (fun (p, n) -> if n > 0 then Fmt.pf ppf "      %-16s %d@." p n)
-    stats.by_proc;
-  pp_degraded ppf degraded;
-  if stats.sccp_degraded <> [] then
-    Fmt.pf ppf
-      "--- degraded (sccp budget, no substitutions): %a@."
-      Fmt.(list ~sep:(any " ") string)
-      stats.sccp_degraded;
-  (match substitute_out with
-  | Some out ->
-    let oc = open_out out in
-    output_string oc (Pretty.program_to_string prog');
-    close_out oc;
-    Fmt.pf ppf "--- substituted source written to %s@." out
-  | None -> ());
-  if certify then
-    pp_certification ppf err (Config.to_string config)
-      (Ipcp_certify.Certify.check t)
-  else 0
+      | None ->
+        if complete then
+          let o = Comp.run ~config prog in
+          (o.Complete.final, o.Complete.degraded)
+        else
+          let t =
+            match artifacts with
+            | Some a -> D.solve config a
+            | None -> D.analyze config prog
+          in
+          (t, Driver.degraded t)
+    in
+    if verbose then begin
+      Fmt.pf ppf "--- call graph@.%a@." Callgraph.pp t.Driver.cg;
+      Fmt.pf ppf "--- mod/ref@.%a@." Modref.pp t.Driver.modref
+    end;
+    Fmt.pf ppf "--- configuration: %a@." Config.pp config;
+    Fmt.pf ppf "--- CONSTANTS sets@.%a" D.pp_constants t;
+    let prog', stats = Sub.apply ~jobs t in
+    Fmt.pf ppf "--- constants substituted: %d@." stats.Substitute.total;
+    List.iter
+      (fun (p, n) -> if n > 0 then Fmt.pf ppf "      %-16s %d@." p n)
+      stats.Substitute.by_proc;
+    pp_degraded ppf degraded;
+    if stats.Substitute.sccp_degraded <> [] then
+      Fmt.pf ppf
+        "--- degraded (sccp budget, no substitutions): %a@."
+        Fmt.(list ~sep:(any " ") string)
+        stats.Substitute.sccp_degraded;
+    (match substitute_out with
+    | Some out ->
+      let oc = open_out out in
+      output_string oc (Pretty.program_to_string prog');
+      close_out oc;
+      Fmt.pf ppf "--- substituted source written to %s@." out
+    | None -> ());
+    if certify then
+      pp_certification ppf err (Config.to_string config) (C.check t)
+    else 0
+end
+
+include Of (Ipcp_analysis.Const_analysis)
+module Copy = Of (Ipcp_analysis.Copy_analysis)
 
 (* ---------------- tables ---------------- *)
 
-let tables ?(certify = false) ?max_steps ?deadline_ms ~jobs () =
+let tables ?(analysis = `Const) ?(certify = false) ?max_steps ?deadline_ms
+    ~jobs () =
   render @@ fun ppf err ->
   Fmt.pf ppf "%a@."
-    (fun ppf () -> Ipcp_suite.Tables.pp_all ~jobs ?max_steps ?deadline_ms ppf ())
+    (fun ppf () ->
+      Ipcp_suite.Tables.pp_all ~analysis ~jobs ?max_steps ?deadline_ms ppf ())
     ();
   if certify then begin
-    let config = Config.with_budget ?max_steps ?deadline_ms Config.default in
+    let config =
+      Config.with_analysis analysis
+        (Config.with_budget ?max_steps ?deadline_ms Config.default)
+    in
     let code =
       List.fold_left
         (fun acc (e : Ipcp_suite.Registry.entry) ->
-          let t = Driver.analyze config (Ipcp_suite.Registry.program e) in
+          let prog = Ipcp_suite.Registry.program e in
           let c =
-            pp_certification ppf err e.name (Ipcp_certify.Certify.check t)
+            match analysis with
+            | `Const ->
+              pp_certification ppf err e.name
+                (Ipcp_certify.Certify.check (Driver.analyze config prog))
+            | `Copy ->
+              pp_certification ppf err e.name
+                (Copy.C.check (Copy.D.analyze config prog))
           in
           if c <> 0 then c else acc)
         0 Ipcp_suite.Registry.entries

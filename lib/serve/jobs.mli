@@ -29,15 +29,77 @@ type outcome = { out : string; err : string; code : int }
     CLI-rendered error report and [exit_input]. *)
 val load : string -> (string * Prog.t, outcome) result
 
-(** The [analyze] job.  [?artifacts] supplies prepared (possibly
-    cache-roundtripped) staged artifacts — solving over them is
-    byte-identical to the fresh [Driver.analyze] path.  [?solved]
-    supplies an already-solved result (the incremental re-analysis
-    path); it takes precedence over [?artifacts]/[?complete] and renders
-    through the same pipeline, so the output stays byte-identical to a
-    from-scratch analyze of the same source.  [?substitute_out] also
-    writes the constant-substituted source to a file (CLI only; raises
-    [Sys_error] like any file write). *)
+(** The job bodies for one analysis; the toplevel values are
+    [Of (Const_analysis)], and {!Copy} serves [--analysis copy]. *)
+module Of (A : Ipcp_analysis.Analysis_sig.S) : sig
+  (** The [analyze] job.  [?artifacts] supplies prepared (possibly
+      cache-roundtripped) staged artifacts — solving over them is
+      byte-identical to the fresh [Driver.analyze] path.  [?solved]
+      supplies an already-solved result (the incremental re-analysis
+      path); it takes precedence over [?artifacts]/[?complete] and
+      renders through the same pipeline, so the output stays
+      byte-identical to a from-scratch analyze of the same source.
+      [?substitute_out] also writes the constant-substituted source to a
+      file (CLI only; raises [Sys_error] like any file write). *)
+  val analyze :
+    ?verbose:bool ->
+    ?complete:bool ->
+    ?certify:bool ->
+    ?substitute_out:string ->
+    ?artifacts:Driver.artifacts ->
+    ?solved:A.L.t Driver.analysis_result ->
+    config:Config.t ->
+    jobs:int ->
+    Prog.t ->
+    outcome
+
+  (** Render one certification verdict exactly as the CLI does
+      ([--- certified \[label\]] on stdout, the violation report on
+      stderr with [exit_internal]). *)
+  val certification :
+    ?fuel:int ->
+    ?input:int list ->
+    label:string ->
+    A.L.t Driver.analysis_result ->
+    outcome
+end
+
+(** The copy-propagation jobs. *)
+module Copy : sig
+  val analyze :
+    ?verbose:bool ->
+    ?complete:bool ->
+    ?certify:bool ->
+    ?substitute_out:string ->
+    ?artifacts:Driver.artifacts ->
+    ?solved:Ipcp_analysis.Copy_analysis.L.t Driver.analysis_result ->
+    config:Config.t ->
+    jobs:int ->
+    Prog.t ->
+    outcome
+
+  val certification :
+    ?fuel:int ->
+    ?input:int list ->
+    label:string ->
+    Ipcp_analysis.Copy_analysis.L.t Driver.analysis_result ->
+    outcome
+end
+
+(** The [tables] job: Tables 1–3 over the bundled suite (plus the
+    subsumption Table 4 under [`Copy]), optionally certifying every
+    entry afterwards. *)
+val tables :
+  ?analysis:Config.analysis ->
+  ?certify:bool ->
+  ?max_steps:int ->
+  ?deadline_ms:int ->
+  jobs:int ->
+  unit ->
+  outcome
+
+(** {1 The constant-propagation jobs} *)
+
 val analyze :
   ?verbose:bool ->
   ?complete:bool ->
@@ -50,18 +112,5 @@ val analyze :
   Prog.t ->
   outcome
 
-(** The [tables] job: Tables 1–3 over the bundled suite, optionally
-    certifying every entry afterwards. *)
-val tables :
-  ?certify:bool ->
-  ?max_steps:int ->
-  ?deadline_ms:int ->
-  jobs:int ->
-  unit ->
-  outcome
-
-(** Render one certification verdict exactly as the CLI does
-    ([--- certified \[label\]] on stdout, the violation report on stderr
-    with [exit_internal]). *)
 val certification :
   ?fuel:int -> ?input:int list -> label:string -> Driver.t -> outcome

@@ -4,9 +4,25 @@ module Json = Ipcp_telemetry.Json
 type target = Suite of string | File of string
 type op = Analyze | Analyze_delta | Tables | Certify | Health
 
+type error_code = Bad_json | Not_object | Bad_field | Bad_op | Bad_analysis
+
+let error_code_name = function
+  | Bad_json -> "E-REQ-JSON"
+  | Not_object -> "E-REQ-OBJECT"
+  | Bad_field -> "E-REQ-FIELD"
+  | Bad_op -> "E-REQ-OP"
+  | Bad_analysis -> "E-REQ-ANALYSIS"
+
+type parse_error = {
+  pe_id : string;
+  pe_code : error_code;
+  pe_reason : string;
+}
+
 type t = {
   rq_id : string;
   rq_op : op;
+  rq_analysis : Config.analysis;
   rq_session : string;
   rq_target : target option;
   rq_kind : Jump_function.kind;
@@ -44,7 +60,8 @@ let field name conv doc =
   | Some v -> (
     match conv v with
     | Some x -> Ok (Some x)
-    | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+    | None ->
+      Error (Bad_field, Printf.sprintf "field %S has the wrong type" name))
 
 let to_bool_opt = function Json.Bool b -> Some b | _ -> None
 
@@ -63,24 +80,35 @@ let of_doc doc =
     | Some (Json.Str s) -> s
     | _ -> ""
   in
-  let fail reason = Error (id, reason) in
+  let fail (code, reason) =
+    Error { pe_id = id; pe_code = code; pe_reason = reason }
+  in
   match doc with
   | Json.Obj _ -> (
     let parse =
       let* op =
         match Json.member "op" doc with
-        | None -> Error "missing field \"op\""
+        | None -> Error (Bad_op, "missing field \"op\"")
         | Some (Json.Str s) -> (
           match op_of_string s with
           | Some op -> Ok op
-          | None -> Error (Printf.sprintf "unknown op %S" s))
-        | Some _ -> Error "field \"op\" has the wrong type"
+          | None -> Error (Bad_op, Printf.sprintf "unknown op %S" s))
+        | Some _ -> Error (Bad_op, "field \"op\" has the wrong type")
+      in
+      let* analysis =
+        match Json.member "analysis" doc with
+        | None -> Ok `Const
+        | Some (Json.Str s) -> (
+          match Config.analysis_of_string s with
+          | Some a -> Ok a
+          | None -> Error (Bad_analysis, Printf.sprintf "unknown analysis %S" s))
+        | Some _ -> Error (Bad_analysis, "field \"analysis\" has the wrong type")
       in
       let* suite = field "suite" Json.to_string_opt doc in
       let* file = field "file" Json.to_string_opt doc in
       let* target =
         match (suite, file) with
-        | Some _, Some _ -> Error "give \"suite\" or \"file\", not both"
+        | Some _, Some _ -> Error (Bad_field, "give \"suite\" or \"file\", not both")
         | Some s, None -> Ok (Some (Suite s))
         | None, Some f -> Ok (Some (File f))
         | None, None -> Ok None
@@ -88,9 +116,12 @@ let of_doc doc =
       let* target =
         match (op, target) with
         | (Analyze | Analyze_delta | Certify), None ->
-          Error "analyze/analyze-delta/certify need a \"suite\" or \"file\" target"
+          Error
+            ( Bad_field,
+              "analyze/analyze-delta/certify need a \"suite\" or \"file\" \
+               target" )
         | (Tables | Health), Some _ ->
-          Error "tables/health take no target"
+          Error (Bad_field, "tables/health take no target")
         | _ -> Ok target
       in
       let* session = field "session" Json.to_string_opt doc in
@@ -100,8 +131,8 @@ let of_doc doc =
         | Some (Json.Str s) -> (
           match kind_of_string s with
           | Some k -> Ok k
-          | None -> Error (Printf.sprintf "unknown jump function %S" s))
-        | Some _ -> Error "field \"jf\" has the wrong type"
+          | None -> Error (Bad_field, Printf.sprintf "unknown jump function %S" s))
+        | Some _ -> Error (Bad_field, "field \"jf\" has the wrong type")
       in
       let* no_ret = field "no_return_jfs" to_bool_opt doc in
       let* no_mod = field "no_mod" to_bool_opt doc in
@@ -115,6 +146,7 @@ let of_doc doc =
         {
           rq_id = id;
           rq_op = op;
+          rq_analysis = analysis;
           rq_session = Option.value ~default:"default" session;
           rq_target = target;
           rq_kind = kind;
@@ -128,12 +160,18 @@ let of_doc doc =
           rq_fuel = fuel;
         }
     in
-    match parse with Ok t -> Ok t | Error reason -> fail reason)
-  | _ -> fail "request is not a JSON object"
+    match parse with Ok t -> Ok t | Error e -> fail e)
+  | _ -> fail (Not_object, "request is not a JSON object")
 
 let of_line line =
   match Json.of_string line with
-  | Error e -> Error ("", Printf.sprintf "bad JSON: %s" e)
+  | Error e ->
+    Error
+      {
+        pe_id = "";
+        pe_code = Bad_json;
+        pe_reason = Printf.sprintf "bad JSON: %s" e;
+      }
   | Ok doc -> of_doc doc
 
 let config_of t =
@@ -143,8 +181,9 @@ let config_of t =
       Config.make ~kind:t.rq_kind ~return_jfs:t.rq_return_jfs
         ~use_mod:t.rq_use_mod ()
   in
-  Config.with_budget ?max_steps:t.rq_max_steps ?deadline_ms:t.rq_deadline_ms
-    base
+  Config.with_analysis t.rq_analysis
+    (Config.with_budget ?max_steps:t.rq_max_steps ?deadline_ms:t.rq_deadline_ms
+       base)
 
 let input_key t =
   match t.rq_target with
@@ -180,10 +219,11 @@ type response = {
   rs_stdout : string option;
   rs_stderr : string option;
   rs_reason : string option;
+  rs_error : string option;
   rs_health : Json.t option;
 }
 
-let response ?code ?stdout ?stderr ?reason ?health ~id status =
+let response ?code ?stdout ?stderr ?reason ?error ?health ~id status =
   {
     rs_id = id;
     rs_status = status;
@@ -191,6 +231,7 @@ let response ?code ?stdout ?stderr ?reason ?health ~id status =
     rs_stdout = stdout;
     rs_stderr = stderr;
     rs_reason = reason;
+    rs_error = error;
     rs_health = health;
   }
 
@@ -206,6 +247,7 @@ let response_to_line r =
        @ opt "stdout" (fun s -> Json.Str s) r.rs_stdout
        @ opt "stderr" (fun s -> Json.Str s) r.rs_stderr
        @ opt "reason" (fun s -> Json.Str s) r.rs_reason
+       @ opt "error" (fun s -> Json.Str s) r.rs_error
        @ opt "health" Fun.id r.rs_health))
 
 let response_of_line line =
@@ -223,6 +265,7 @@ let response_of_line line =
           rs_stdout = str "stdout";
           rs_stderr = str "stderr";
           rs_reason = str "reason";
+          rs_error = str "error";
           rs_health = Json.member "health" doc;
         }
     | None, _ -> Error "response frame has no \"id\""

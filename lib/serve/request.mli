@@ -22,9 +22,32 @@ type op =
   | Certify  (** one-configuration independent certification *)
   | Health  (** health snapshot; bypasses the queue *)
 
+(** Structured reasons a request line is refused — each renders as a
+    stable [E-REQ-*] code in the response frame's [error] key, the first
+    slice of the serve error taxonomy.  Human text stays in [reason];
+    clients branch on the code. *)
+type error_code =
+  | Bad_json  (** the line is not JSON *)
+  | Not_object  (** parsed, but not a JSON object *)
+  | Bad_field  (** wrong type or invalid combination *)
+  | Bad_op  (** missing or unknown [op] *)
+  | Bad_analysis  (** unknown [analysis] *)
+
+val error_code_name : error_code -> string
+
+(** One refused request line: the best-effort id (so the response is
+    still addressed), the structured code, the human reason. *)
+type parse_error = {
+  pe_id : string;
+  pe_code : error_code;
+  pe_reason : string;
+}
+
 type t = {
   rq_id : string;  (** echoed verbatim in the response; [""] if absent *)
   rq_op : op;
+  rq_analysis : Config.analysis;
+      (** lattice the job runs under (["const"] if absent) *)
   rq_session : string;
       (** incremental-session name for analyze-delta (["default"] if
           absent) — the previous version pinned under this name is the
@@ -41,10 +64,9 @@ type t = {
   rq_fuel : int option;  (** interpreter-witness step budget *)
 }
 
-(** Parse one request line.  [Error (id, reason)] carries the request id
-    when one could still be extracted (best effort), so even malformed
-    lines get an addressed [invalid] response. *)
-val of_line : string -> (t, string * string) result
+(** Parse one request line; [Error] carries the structured refusal, so
+    even malformed lines get an addressed, coded [invalid] response. *)
+val of_line : string -> (t, parse_error) result
 
 (** The analyzer configuration selected by the request's flags — the same
     derivation the CLI applies to [--jump-function]/[--no-return-jfs]/
@@ -74,16 +96,19 @@ type response = {
   rs_stdout : string option;
   rs_stderr : string option;
   rs_reason : string option;
+  rs_error : string option;
+      (** stable machine-readable code ([E-REQ-*]) on refusals *)
   rs_health : Ipcp_telemetry.Json.t option;
 }
 
 val response : ?code:int -> ?stdout:string -> ?stderr:string ->
-  ?reason:string -> ?health:Ipcp_telemetry.Json.t -> id:string -> status ->
-  response
+  ?reason:string -> ?error:string -> ?health:Ipcp_telemetry.Json.t ->
+  id:string -> status -> response
 
 (** Render one response frame (no trailing newline).  Key order is fixed
     — [id], [status], then whichever of [code], [stdout], [stderr],
-    [reason], [health] the status carries — so frames diff cleanly. *)
+    [reason], [error], [health] the status carries — so frames diff
+    cleanly. *)
 val response_to_line : response -> string
 
 (** Parse a response frame back (used by the differential harnesses). *)

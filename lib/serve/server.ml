@@ -3,6 +3,8 @@ module Fault = Ipcp_support.Fault
 module Prng = Ipcp_support.Prng
 module Telemetry = Ipcp_telemetry.Telemetry
 module Incr = Ipcp_incr.Incr
+module Copy_incr = Ipcp_incr.Incr.Make (Ipcp_analysis.Copy_analysis)
+module Copy_driver = Driver.Make (Ipcp_analysis.Copy_analysis)
 
 type config = {
   workers : int;
@@ -62,6 +64,10 @@ type state = {
   sess_mu : Mutex.t;  (** guards [sessions] only: get/put, never a solve *)
   sessions : (string, Incr.session) Hashtbl.t;
       (** incremental sessions pinned per session name *)
+  copy_sessions : (string, Copy_incr.session) Hashtbl.t;
+      (** the copy-propagation sessions, in their own namespace — a
+          session is one lattice's fixpoint and must never be updated
+          under the other *)
   n : counters;
   out_mu : Mutex.t;
   out : out_channel;
@@ -196,108 +202,144 @@ let artifacts_for st ~source prog =
 
 (* ---------------- incremental sessions ---------------- *)
 
-let session_get st name =
-  Mutex.lock st.sess_mu;
-  let s = Hashtbl.find_opt st.sessions name in
-  Mutex.unlock st.sess_mu;
-  s
-
-let session_put st name sess =
-  Mutex.lock st.sess_mu;
-  Hashtbl.replace st.sessions name sess;
-  Mutex.unlock st.sess_mu
-
-let session_cache_key name = Cache.key ~source:("incr-session\x00" ^ name)
 let proc_cache_key hash = Cache.key ~source:("incr-proc\x00" ^ hash)
 
-(* Persist one session as per-procedure entries plus a manifest, each a
-   crash-safe cache entry.  Blobs are content-addressed by strict hash,
-   so consecutive versions share the entries of their unchanged
-   procedures; the manifest (stored last, after every blob it references
-   is durable) pins the session name to its current version. *)
-let persist_session st name sess =
-  match st.cache with
-  | None -> ()
-  | Some c ->
-    let manifest, blobs = Incr.export sess in
-    List.iter
-      (fun (hash, payload) ->
-        Cache.store_blob c ~key:(proc_cache_key hash) payload)
-      blobs;
-    Cache.store_blob c ~key:(session_cache_key name) manifest
+(* The analyze-delta serving path for one analysis: pinned-session
+   lookup, persistence, and the seeded update.  Each instantiation works
+   on its own session table (passed per call — [state] holds one table
+   per analysis) and its own cache namespace, so a persisted fixpoint is
+   never decoded under the wrong lattice; [Incr.Make(A).import] also
+   refuses such a manifest by configuration. *)
+module Delta_serve (A : Ipcp_analysis.Analysis_sig.S) = struct
+  module I = Ipcp_incr.Incr.Make (A)
 
-(* A session not pinned in memory (fresh server, or evicted by restart)
-   may still be reassembled from cached pieces. *)
-let restore_session st name =
-  match st.cache with
-  | None -> None
-  | Some c -> (
-    match Cache.find_blob c ~key:(session_cache_key name) with
+  (* constant propagation keeps the historical key so warm caches stay
+     valid across this change; other analyses extend the namespace *)
+  let session_cache_key name =
+    let prefix =
+      if A.name = "const" then "incr-session\x00"
+      else "incr-session\x00" ^ A.name ^ "\x00"
+    in
+    Cache.key ~source:(prefix ^ name)
+
+  let session_get st sessions name =
+    Mutex.lock st.sess_mu;
+    let s = Hashtbl.find_opt sessions name in
+    Mutex.unlock st.sess_mu;
+    s
+
+  let session_put st sessions name sess =
+    Mutex.lock st.sess_mu;
+    Hashtbl.replace sessions name sess;
+    Mutex.unlock st.sess_mu
+
+  (* Persist one session as per-procedure entries plus a manifest, each a
+     crash-safe cache entry.  Blobs are content-addressed by strict hash,
+     so consecutive versions share the entries of their unchanged
+     procedures; the manifest (stored last, after every blob it references
+     is durable) pins the session name to its current version. *)
+  let persist_session st name sess =
+    match st.cache with
+    | None -> ()
+    | Some c ->
+      let manifest, blobs = I.export sess in
+      List.iter
+        (fun (hash, payload) ->
+          Cache.store_blob c ~key:(proc_cache_key hash) payload)
+        blobs;
+      Cache.store_blob c ~key:(session_cache_key name) manifest
+
+  (* A session not pinned in memory (fresh server, or evicted by restart)
+     may still be reassembled from cached pieces. *)
+  let restore_session st name =
+    match st.cache with
     | None -> None
-    | Some manifest ->
-      Incr.import ~manifest ~lookup:(fun hash ->
-          Cache.find_blob c ~key:(proc_cache_key hash)))
+    | Some c -> (
+      match Cache.find_blob c ~key:(session_cache_key name) with
+      | None -> None
+      | Some manifest ->
+        I.import ~manifest ~lookup:(fun hash ->
+            Cache.find_blob c ~key:(proc_cache_key hash)))
 
-(* Serve analyze-delta: update the pinned session when one exists under
-   the same configuration, otherwise start one.  The result is the same
-   Driver.t a from-scratch solve would produce (the Incr layer's
-   byte-identity contract), so the response frame does not depend on the
-   session state — only the cost does. *)
-let delta_result st (req : Request.t) ~config prog : Driver.t =
-  let name = req.rq_session in
-  let prev =
-    match session_get st name with
-    | Some s -> Some s
-    | None -> restore_session st name
-  in
-  let sess, stats =
-    match prev with
-    | Some s when Config.equal (Incr.config s) config ->
-      let s', stats = Incr.update ~prev:s prog in
-      (s', Some stats)
-    | _ -> (Incr.start config prog, None)
-  in
-  session_put st name sess;
-  persist_session st name sess;
-  locked st (fun () ->
-      match stats with
-      | Some (s : Incr.stats) ->
-        st.n.delta_updates <- st.n.delta_updates + 1;
-        st.n.incr_cone_size <- st.n.incr_cone_size + s.cone_size;
-        st.n.incr_procs_reused <- st.n.incr_procs_reused + s.procs_reused;
-        st.n.incr_procs_resolved <- st.n.incr_procs_resolved + s.procs_resolved
-      | None ->
-        let total = List.length prog.Ipcp_frontend.Prog.procs in
-        st.n.delta_fresh <- st.n.delta_fresh + 1;
-        st.n.incr_cone_size <- st.n.incr_cone_size + total;
-        st.n.incr_procs_resolved <- st.n.incr_procs_resolved + total);
-  Incr.result sess
+  (* Serve analyze-delta: update the pinned session when one exists under
+     the same configuration, otherwise start one.  The result is the same
+     value a from-scratch solve would produce (the Incr layer's
+     byte-identity contract), so the response frame does not depend on the
+     session state — only the cost does. *)
+  let delta_result st sessions (req : Request.t) ~config prog :
+      A.L.t Driver.analysis_result =
+    let name = req.rq_session in
+    let prev =
+      match session_get st sessions name with
+      | Some s -> Some s
+      | None -> restore_session st name
+    in
+    let sess, stats =
+      match prev with
+      | Some s when Config.equal (I.config s) config ->
+        let s', stats = I.update ~prev:s prog in
+        (s', Some stats)
+      | _ -> (I.start config prog, None)
+    in
+    session_put st sessions name sess;
+    persist_session st name sess;
+    locked st (fun () ->
+        match stats with
+        | Some (s : Ipcp_incr.Incr.stats) ->
+          st.n.delta_updates <- st.n.delta_updates + 1;
+          st.n.incr_cone_size <- st.n.incr_cone_size + s.cone_size;
+          st.n.incr_procs_reused <- st.n.incr_procs_reused + s.procs_reused;
+          st.n.incr_procs_resolved <- st.n.incr_procs_resolved + s.procs_resolved
+        | None ->
+          let total = List.length prog.Ipcp_frontend.Prog.procs in
+          st.n.delta_fresh <- st.n.delta_fresh + 1;
+          st.n.incr_cone_size <- st.n.incr_cone_size + total;
+          st.n.incr_procs_resolved <- st.n.incr_procs_resolved + total);
+    I.result sess
+end
+
+module Delta_const = Delta_serve (Ipcp_analysis.Const_analysis)
+module Delta_copy = Delta_serve (Ipcp_analysis.Copy_analysis)
 
 let run_job st (req : Request.t) : Jobs.outcome =
   match req.rq_op with
   | Request.Health -> assert false (* answered by the reader *)
   | Request.Tables ->
-    Jobs.tables ~certify:req.rq_certify ?max_steps:req.rq_max_steps
-      ?deadline_ms:req.rq_deadline_ms ~jobs:1 ()
+    Jobs.tables ~analysis:req.rq_analysis ~certify:req.rq_certify
+      ?max_steps:req.rq_max_steps ?deadline_ms:req.rq_deadline_ms ~jobs:1 ()
   | Request.Analyze | Request.Analyze_delta | Request.Certify -> (
     match resolve_target req with
     | Error o -> o
     | Ok (name, source, prog) -> (
       let config = Request.config_of req in
-      match req.rq_op with
-      | Request.Analyze ->
+      match (req.rq_op, config.Config.analysis) with
+      | Request.Analyze, `Const ->
         let artifacts = artifacts_for st ~source prog in
         Jobs.analyze ~certify:req.rq_certify ~artifacts ~config ~jobs:1 prog
-      | Request.Analyze_delta ->
-        let t = delta_result st req ~config prog in
+      | Request.Analyze, `Copy ->
+        let artifacts = artifacts_for st ~source prog in
+        Jobs.Copy.analyze ~certify:req.rq_certify ~artifacts ~config ~jobs:1
+          prog
+      | Request.Analyze_delta, `Const ->
+        let t = Delta_const.delta_result st st.sessions req ~config prog in
         Jobs.analyze ~certify:req.rq_certify ~solved:t ~config ~jobs:1 prog
-      | Request.Certify ->
+      | Request.Analyze_delta, `Copy ->
+        let t = Delta_copy.delta_result st st.copy_sessions req ~config prog in
+        Jobs.Copy.analyze ~certify:req.rq_certify ~solved:t ~config ~jobs:1
+          prog
+      | Request.Certify, `Const ->
         let artifacts = artifacts_for st ~source prog in
         let t = Driver.solve config artifacts in
         Jobs.certification ?fuel:req.rq_fuel ~input:req.rq_input
           ~label:(Fmt.str "%s, %s" name (Config.to_string config))
           t
-      | Request.Tables | Request.Health -> assert false))
+      | Request.Certify, `Copy ->
+        let artifacts = artifacts_for st ~source prog in
+        let t = Copy_driver.solve config artifacts in
+        Jobs.Copy.certification ?fuel:req.rq_fuel ~input:req.rq_input
+          ~label:(Fmt.str "%s, %s" name (Config.to_string config))
+          t
+      | (Request.Tables | Request.Health), _ -> assert false))
 
 (* ---------------- worker supervision ---------------- *)
 
@@ -392,9 +434,12 @@ let handle_line st ~seq line =
   if String.trim line <> "" then begin
     locked st (fun () -> st.n.received <- st.n.received + 1);
     match Request.of_line line with
-    | Error (id, reason) ->
+    | Error pe ->
       locked st (fun () -> st.n.invalid <- st.n.invalid + 1);
-      respond st (Request.response ~id ~reason Request.Invalid)
+      respond st
+        (Request.response ~id:pe.Request.pe_id ~reason:pe.Request.pe_reason
+           ~error:(Request.error_code_name pe.Request.pe_code)
+           Request.Invalid)
     | Ok req -> (
       match req.rq_op with
       | Request.Health ->
@@ -441,7 +486,11 @@ let reject_drained st line =
     locked st (fun () ->
         st.n.received <- st.n.received + 1;
         st.n.rejected <- st.n.rejected + 1);
-    let id = match Request.of_line line with Ok r -> r.Request.rq_id | Error (id, _) -> id in
+    let id =
+      match Request.of_line line with
+      | Ok r -> r.Request.rq_id
+      | Error pe -> pe.Request.pe_id
+    in
     respond st
       (Request.response ~id ~reason:"server is draining" Request.Rejected)
   end
@@ -533,6 +582,7 @@ let run ?(config = default_config) ~input ~output () =
           config.cache_dir;
       sess_mu = Mutex.create ();
       sessions = Hashtbl.create 4;
+      copy_sessions = Hashtbl.create 4;
       n =
         {
           received = 0;

@@ -8,6 +8,11 @@
     purely intraprocedural baseline. *)
 
 open Ipcp_core
+module Prog = Ipcp_frontend.Prog
+module Copy_lattice = Ipcp_analysis.Copy_lattice
+module Copy_driver = Driver.Make (Ipcp_analysis.Copy_analysis)
+module Copy_substitute = Substitute.Make (Ipcp_analysis.Copy_analysis)
+module Copy_complete = Complete.Make (Ipcp_analysis.Copy_analysis)
 
 type table2_row = {
   t2_name : string;
@@ -31,15 +36,20 @@ type table3_row = {
    staged artifacts (stages 1–2 are shared per (use_mod × return_jfs)
    variant), so a six-column Table 2 row builds the per-procedure IR twice,
    not six times. *)
-let table2_row ?max_steps ?deadline_ms ?artifacts (e : Registry.entry) :
-    table2_row =
+let count_staged analysis artifacts config =
+  match analysis with
+  | `Const -> Substitute.count_staged artifacts config
+  | `Copy -> Copy_substitute.count_staged artifacts config
+
+let table2_row ?(analysis = `Const) ?max_steps ?deadline_ms ?artifacts
+    (e : Registry.entry) : table2_row =
   let prog = Registry.program e in
   let artifacts =
     match artifacts with Some a -> a | None -> Driver.prepare prog
   in
   let with_kind ?return_jfs kind =
-    Substitute.count_staged artifacts
-      (Config.make ~kind ?return_jfs ?max_steps ?deadline_ms ())
+    count_staged analysis artifacts
+      (Config.make ~analysis ~kind ?return_jfs ?max_steps ?deadline_ms ())
   in
   {
     t2_name = e.name;
@@ -51,25 +61,33 @@ let table2_row ?max_steps ?deadline_ms ?artifacts (e : Registry.entry) :
     noret_pass = with_kind ~return_jfs:false Jump_function.Passthrough;
   }
 
-let table3_row ?max_steps ?deadline_ms ?artifacts (e : Registry.entry) :
-    table3_row =
+let table3_row ?(analysis = `Const) ?max_steps ?deadline_ms ?artifacts
+    (e : Registry.entry) : table3_row =
   let prog = Registry.program e in
   let artifacts =
     match artifacts with Some a -> a | None -> Driver.prepare prog
   in
-  let budgeted c = Config.with_budget ?max_steps ?deadline_ms c in
-  let outcome =
-    Complete.run ~config:(budgeted Config.polynomial_with_mod) prog
+  let budgeted c =
+    Config.with_analysis analysis (Config.with_budget ?max_steps ?deadline_ms c)
+  in
+  let substituted =
+    match analysis with
+    | `Const ->
+      (Complete.run ~config:(budgeted Config.polynomial_with_mod) prog)
+        .substituted
+    | `Copy ->
+      (Copy_complete.run ~config:(budgeted Config.polynomial_with_mod) prog)
+        .substituted
   in
   {
     t3_name = e.name;
     poly_no_mod =
-      Substitute.count_staged artifacts (budgeted Config.polynomial_no_mod);
+      count_staged analysis artifacts (budgeted Config.polynomial_no_mod);
     poly_mod =
-      Substitute.count_staged artifacts (budgeted Config.polynomial_with_mod);
-    complete = outcome.substituted;
+      count_staged analysis artifacts (budgeted Config.polynomial_with_mod);
+    complete = substituted;
     intra_only =
-      Substitute.count_staged artifacts (budgeted Config.intraprocedural_only);
+      count_staged analysis artifacts (budgeted Config.intraprocedural_only);
   }
 
 (* Parse-and-resolve every suite program in the calling domain before any
@@ -77,16 +95,65 @@ let table3_row ?max_steps ?deadline_ms ?artifacts (e : Registry.entry) :
    turns the workers' accesses into pure reads. *)
 let prewarm () = List.iter (fun e -> ignore (Registry.program e)) Registry.entries
 
-let table2 ?(jobs = 1) ?max_steps ?deadline_ms () =
+let table2 ?analysis ?(jobs = 1) ?max_steps ?deadline_ms () =
   prewarm ();
   Ipcp_engine.Engine.map ~jobs
-    (fun e -> table2_row ?max_steps ?deadline_ms e)
+    (fun e -> table2_row ?analysis ?max_steps ?deadline_ms e)
     Registry.entries
 
-let table3 ?(jobs = 1) ?max_steps ?deadline_ms () =
+let table3 ?analysis ?(jobs = 1) ?max_steps ?deadline_ms () =
   prewarm ();
   Ipcp_engine.Engine.map ~jobs
-    (fun e -> table3_row ?max_steps ?deadline_ms e)
+    (fun e -> table3_row ?analysis ?max_steps ?deadline_ms e)
+    Registry.entries
+
+(* The subsumption table (after Sreekala & Paleri, "Copy Propagation
+   subsumes Constant Propagation"): under the polynomial+MOD
+   configuration, the copy-propagation fixpoint projects exactly onto
+   the constant-propagation one (its Copy facts drop to ⊥), so it finds
+   the same constants plus pure copy facts on top.  The column pair
+   (const, copy-as-const) must agree on every program; [fuzz --subsume]
+   enforces the full projection equality. *)
+
+type table4_row = {
+  t4_name : string;
+  t4_const : int;  (** CONSTANTS facts under constant propagation *)
+  t4_copy_const : int;  (** constant facts under copy propagation *)
+  t4_copies : int;  (** additional pure copy facts (Copy bindings) *)
+}
+
+let table4_row ?max_steps ?deadline_ms ?artifacts (e : Registry.entry) :
+    table4_row =
+  let prog = Registry.program e in
+  let artifacts =
+    match artifacts with Some a -> a | None -> Driver.prepare prog
+  in
+  let budgeted c = Config.with_budget ?max_steps ?deadline_ms c in
+  let const_t = Driver.solve (budgeted Config.polynomial_with_mod) artifacts in
+  let copy_t =
+    Copy_driver.solve
+      (Config.with_analysis `Copy (budgeted Config.polynomial_with_mod))
+      artifacts
+  in
+  let copies =
+    Hashtbl.fold
+      (fun _ m acc ->
+        Prog.Param_map.fold
+          (fun _ v acc -> if Copy_lattice.is_copy v then acc + 1 else acc)
+          m acc)
+      copy_t.Driver.solution.Solver.vals 0
+  in
+  {
+    t4_name = e.name;
+    t4_const = Driver.constants_count const_t;
+    t4_copy_const = Copy_driver.constants_count copy_t;
+    t4_copies = copies;
+  }
+
+let table4 ?(jobs = 1) ?max_steps ?deadline_ms () =
+  prewarm ();
+  Ipcp_engine.Engine.map ~jobs
+    (fun e -> table4_row ?max_steps ?deadline_ms e)
     Registry.entries
 
 let pp_table2 ppf rows =
@@ -98,6 +165,16 @@ let pp_table2 ppf rows =
     (fun r ->
       Fmt.pf ppf "%-12s | %10d %12d %14d %8d | %10d %12d@." r.t2_name r.ret_poly
         r.ret_pass r.ret_intra r.ret_lit r.noret_poly r.noret_pass)
+    rows
+
+let pp_table4 ppf rows =
+  Fmt.pf ppf "%-12s %12s %14s %12s %10s@." "Program" "const facts"
+    "copy as const" "copy facts" "subsumes";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-12s %12d %14d %12d %10s@." r.t4_name r.t4_const
+        r.t4_copy_const r.t4_copies
+        (if r.t4_copy_const >= r.t4_const then "yes" else "NO"))
     rows
 
 let pp_table3 ppf rows =
@@ -112,11 +189,18 @@ let pp_table3 ppf rows =
 (** Print the full paper-evaluation reproduction: Tables 1, 2 and 3.
     [jobs] fans the per-program rows across worker domains; the output is
     byte-identical for every [jobs] value. *)
-let pp_all ?(jobs = 1) ?max_steps ?deadline_ms ppf () =
+let pp_all ?(analysis = `Const) ?(jobs = 1) ?max_steps ?deadline_ms ppf () =
   Fmt.pf ppf "Table 1: characteristics of the program test suite@.@.";
   Metrics.pp_table1 ppf ();
   Fmt.pf ppf "@.Table 2: constants found through use of jump functions@.@.";
-  pp_table2 ppf (table2 ~jobs ?max_steps ?deadline_ms ());
+  pp_table2 ppf (table2 ~analysis ~jobs ?max_steps ?deadline_ms ());
   Fmt.pf ppf
     "@.Table 3: most precise jump function vs other propagation techniques@.@.";
-  pp_table3 ppf (table3 ~jobs ?max_steps ?deadline_ms ())
+  pp_table3 ppf (table3 ~analysis ~jobs ?max_steps ?deadline_ms ());
+  match analysis with
+  | `Const -> ()
+  | `Copy ->
+    Fmt.pf ppf
+      "@.Table 4: copy propagation subsumes constant propagation (entry \
+       facts, polynomial+MOD)@.@.";
+    pp_table4 ppf (table4 ~jobs ?max_steps ?deadline_ms ())

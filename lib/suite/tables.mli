@@ -25,12 +25,27 @@ type table3_row = {
   intra_only : int;
 }
 
+(** The subsumption comparison (Table 4, copy mode only): facts found
+    by constant propagation vs by copy propagation under the
+    polynomial+MOD configuration.  Copy propagation subsumes constant
+    propagation — its constant facts match and its pure copy facts come
+    on top. *)
+type table4_row = {
+  t4_name : string;
+  t4_const : int;  (** CONSTANTS facts under constant propagation *)
+  t4_copy_const : int;  (** constant facts under copy propagation *)
+  t4_copies : int;  (** additional pure copy facts (Copy bindings) *)
+}
+
 (** One row; [?artifacts] supplies already-prepared staged artifacts for
-    the entry's program.  [?max_steps]/[?deadline_ms] bound every
-    analysis pass of the row (see {!Ipcp_core.Config.with_budget}); an
-    exhausted pass degrades soundly, so a generous budget reproduces the
-    unbudgeted counts exactly. *)
+    the entry's program.  [?analysis] (default [`Const]) selects the
+    lattice the counts run under.  [?max_steps]/[?deadline_ms] bound
+    every analysis pass of the row (see
+    {!Ipcp_core.Config.with_budget}); an exhausted pass degrades
+    soundly, so a generous budget reproduces the unbudgeted counts
+    exactly. *)
 val table2_row :
+  ?analysis:Ipcp_core.Config.analysis ->
   ?max_steps:int ->
   ?deadline_ms:int ->
   ?artifacts:Ipcp_core.Driver.artifacts ->
@@ -38,20 +53,48 @@ val table2_row :
   table2_row
 
 val table3_row :
+  ?analysis:Ipcp_core.Config.analysis ->
   ?max_steps:int ->
   ?deadline_ms:int ->
   ?artifacts:Ipcp_core.Driver.artifacts ->
   Registry.entry ->
   table3_row
 
+val table4_row :
+  ?max_steps:int ->
+  ?deadline_ms:int ->
+  ?artifacts:Ipcp_core.Driver.artifacts ->
+  Registry.entry ->
+  table4_row
+
 val table2 :
-  ?jobs:int -> ?max_steps:int -> ?deadline_ms:int -> unit -> table2_row list
+  ?analysis:Ipcp_core.Config.analysis ->
+  ?jobs:int ->
+  ?max_steps:int ->
+  ?deadline_ms:int ->
+  unit ->
+  table2_row list
 
 val table3 :
-  ?jobs:int -> ?max_steps:int -> ?deadline_ms:int -> unit -> table3_row list
+  ?analysis:Ipcp_core.Config.analysis ->
+  ?jobs:int ->
+  ?max_steps:int ->
+  ?deadline_ms:int ->
+  unit ->
+  table3_row list
+
+val table4 :
+  ?jobs:int -> ?max_steps:int -> ?deadline_ms:int -> unit -> table4_row list
 
 val pp_table2 : table2_row list Fmt.t
 val pp_table3 : table3_row list Fmt.t
+val pp_table4 : table4_row list Fmt.t
 
-(** Tables 1, 2 and 3, formatted like the paper's evaluation section. *)
-val pp_all : ?jobs:int -> ?max_steps:int -> ?deadline_ms:int -> unit Fmt.t
+(** Tables 1, 2 and 3 (plus Table 4 under [`Copy]), formatted like the
+    paper's evaluation section. *)
+val pp_all :
+  ?analysis:Ipcp_core.Config.analysis ->
+  ?jobs:int ->
+  ?max_steps:int ->
+  ?deadline_ms:int ->
+  unit Fmt.t

@@ -16,6 +16,7 @@ let () =
       ("ir", Test_ir.suite);
       ("analysis", Test_analysis.suite);
       ("lattice", Test_lattice.suite);
+      ("copy-lattice", Test_copy_lattice.suite);
       ("dependence", Test_dependence.suite);
       ("core", Test_core.suite);
       ("staged", Test_staged.suite);

@@ -47,6 +47,59 @@ let test_suite_under_budgets () =
         [ 0; 1; 63; 1_000_000 ])
     (suite_programs ())
 
+(* ---- the copy-propagation client of the same certifier ---- *)
+
+module Copy_certify = Certify.Make (Ipcp_analysis.Copy_analysis)
+module Copy_driver = Driver.Make (Ipcp_analysis.Copy_analysis)
+
+let copy_configs =
+  List.map
+    (fun (label, c) -> (label, Config.with_analysis `Copy c))
+    Certify.default_configs
+
+let test_copy_suite_all_configs () =
+  List.iter
+    (fun (name, _, prog) ->
+      List.iter
+        (fun (label, r) ->
+          check Alcotest.bool
+            (Fmt.str "%s certifies under copy %s: %a" name label
+               Certify.pp_report r)
+            true (Certify.ok r))
+        (Copy_certify.check_program ~configs:copy_configs prog))
+    (suite_programs ())
+
+let test_copy_suite_under_budgets () =
+  (* every configuration × every budget: degraded copy fixpoints must
+     still discharge all obligations, exactly like the const ones *)
+  List.iter
+    (fun (name, _, prog) ->
+      List.iter
+        (fun (label, config) ->
+          List.iter
+            (fun steps ->
+              let config = Config.with_budget ~max_steps:steps config in
+              let r = Copy_certify.check (Copy_driver.analyze config prog) in
+              check Alcotest.bool
+                (Fmt.str "%s certifies under copy %s at max-steps=%d: %a" name
+                   label steps Certify.pp_report r)
+                true (Certify.ok r))
+            [ 0; 1; 63; 1_000_000 ])
+        copy_configs)
+    (suite_programs ())
+
+let test_copy_corrupt_detected () =
+  List.iter
+    (fun (name, _, prog) ->
+      let t = Copy_driver.analyze (Config.with_analysis `Copy Config.default) prog in
+      match Copy_certify.corrupt ~seed:97 t with
+      | None -> fail (name ^ ": no corruptible copy binding")
+      | Some bad ->
+        let r = Copy_certify.check bad in
+        check Alcotest.bool (name ^ ": copy corruption rejected") false
+          (Certify.ok r))
+    (suite_programs ())
+
 let test_exec_witnessed () =
   (* suite programs terminate, so the interpreter witness must complete
      and the execution obligations must actually be discharged *)
@@ -242,6 +295,9 @@ let suite =
   [
     ("suite certifies under all configs", `Quick, test_suite_all_configs);
     ("suite certifies under budgets", `Quick, test_suite_under_budgets);
+    ("copy: suite certifies under all configs", `Quick, test_copy_suite_all_configs);
+    ("copy: suite certifies under configs x budgets", `Quick, test_copy_suite_under_budgets);
+    ("copy: corruption detected", `Quick, test_copy_corrupt_detected);
     ("execution witnessed on suite", `Quick, test_exec_witnessed);
     ("corruption detected on every program", `Quick, test_corrupt_detected);
     ("corruption detected under many seeds", `Quick, test_corrupt_detected_every_seed);

@@ -137,6 +137,23 @@ let test_tables () =
   check Alcotest.bool "all programs present" true
     (List.for_all (fun p -> contains p out) Ipcp_suite.Registry.names)
 
+let test_tables_copy_analysis () =
+  let code, out = run_cli [ "tables"; "--analysis"; "copy" ] in
+  check Alcotest.int "exit 0" 0 code;
+  check Alcotest.bool "subsumption table rendered" true
+    (contains "Table 4: copy propagation subsumes constant propagation" out);
+  check Alcotest.bool "every program subsumes" true
+    (not (contains "NO" out))
+
+let test_bad_analysis_usage_exit_code () =
+  let code, _, stderr_l =
+    run_cli_full [ "tables"; "--analysis"; "bogus" ]
+  in
+  check Alcotest.int "unknown analysis exits 2" 2 code;
+  check Alcotest.bool "usage hint on stderr" true
+    (contains "either 'const' or 'copy'" stderr_l
+    || contains "Usage" stderr_l)
+
 let read_file path =
   let ic = open_in_bin path in
   let s = really_input_string ic (in_channel_length ic) in
@@ -349,6 +366,8 @@ let suite =
     ("cli lint clean and dirty", `Quick, test_lint_clean_and_dirty);
     ("cli generate then run", `Quick, test_generate_then_run);
     ("cli tables", `Quick, test_tables);
+    ("cli tables --analysis copy", `Quick, test_tables_copy_analysis);
+    ("cli unknown --analysis usage exit", `Quick, test_bad_analysis_usage_exit_code);
     ("cli profile json", `Quick, test_profile_json);
     ("cli profile stdout identical", `Quick, test_tables_profile_stdout_identical);
     ("cli syntax error exit code", `Quick, test_syntax_error_exit_code);

@@ -54,20 +54,35 @@ let test_request_parse () =
     check Alcotest.bool "target" true (r.rq_target = Some (Request.Suite "adm"));
     check Alcotest.bool "kind" true (r.rq_kind = Ipcp_core.Jump_function.Literal);
     check Alcotest.bool "certify" true r.rq_certify
-  | Error (_, why) -> Alcotest.fail ("should parse: " ^ why));
+  | Error e -> Alcotest.fail ("should parse: " ^ e.Request.pe_reason));
   let invalid line =
     match Request.of_line line with
     | Ok _ -> Alcotest.fail ("should be invalid: " ^ line)
-    | Error (id, _) -> id
+    | Error e -> (e.Request.pe_id, Request.error_code_name e.Request.pe_code)
   in
+  let invalid_id line = fst (invalid line) in
   check Alcotest.string "bad op keeps id" "x"
-    (invalid {|{"id":"x","op":"frobnicate"}|});
-  ignore (invalid "not json at all");
-  ignore (invalid {|{"id":"y","op":"analyze"}|});
+    (invalid_id {|{"id":"x","op":"frobnicate"}|});
+  check Alcotest.string "bad op is coded" "E-REQ-OP"
+    (snd (invalid {|{"id":"x","op":"frobnicate"}|}));
+  check Alcotest.string "bad json is coded" "E-REQ-JSON"
+    (snd (invalid "not json at all"));
+  ignore (invalid_id {|{"id":"y","op":"analyze"}|});
   (* analyze needs a target *)
-  ignore (invalid {|{"id":"z","op":"analyze","suite":"adm","file":"/tmp/x"}|});
-  ignore (invalid {|{"id":"w","op":"tables","suite":"adm"}|});
-  ignore (invalid {|{"id":"v","op":"analyze","suite":"adm","jf":17}|})
+  ignore (invalid_id {|{"id":"z","op":"analyze","suite":"adm","file":"/tmp/x"}|});
+  ignore (invalid_id {|{"id":"w","op":"tables","suite":"adm"}|});
+  check Alcotest.string "bad field is coded" "E-REQ-FIELD"
+    (snd (invalid {|{"id":"v","op":"analyze","suite":"adm","jf":17}|}));
+  (* the analysis axis: parsed, defaulted, and refused with its own code *)
+  (match Request.of_line {|{"id":"c","op":"analyze","suite":"adm","analysis":"copy"}|}
+   with
+  | Ok r -> check Alcotest.bool "copy analysis" true (r.rq_analysis = `Copy)
+  | Error e -> Alcotest.fail e.Request.pe_reason);
+  (match Request.of_line {|{"id":"c2","op":"analyze","suite":"adm"}|} with
+  | Ok r -> check Alcotest.bool "default analysis" true (r.rq_analysis = `Const)
+  | Error e -> Alcotest.fail e.Request.pe_reason);
+  check Alcotest.string "bad analysis is coded" "E-REQ-ANALYSIS"
+    (snd (invalid {|{"id":"u","op":"analyze","suite":"adm","analysis":"odd"}|}))
 
 let test_response_round_trip () =
   let r =
@@ -265,6 +280,103 @@ let test_conservation_under_shedding () =
             responses)
         [ 1; 2; 4 ])
     [ Bqueue.Reject_new; Bqueue.Drop_oldest ]
+
+(* Conservation on the coded-refusal path: lines refused for an unknown
+   analysis (and the other E-REQ codes) still get exactly one terminal
+   frame each, addressed by the request id and carrying the stable
+   machine-readable code, while neighbouring valid requests execute. *)
+let test_conservation_of_coded_invalids () =
+  let bad_analysis =
+    Json.to_string
+      (Json.Obj
+         [
+           ("id", Json.Str "bad-analysis");
+           ("op", Json.Str "analyze");
+           ("suite", Json.Str "adm");
+           ("analysis", Json.Str "odd");
+         ])
+  in
+  let bad_op =
+    Json.to_string
+      (Json.Obj [ ("id", Json.Str "bad-op"); ("op", Json.Str "frobnicate") ])
+  in
+  let lines =
+    [
+      analyze_line ~id:"ok-before" ~suite:"adm";
+      bad_analysis;
+      "not json at all";
+      bad_op;
+      analyze_line ~id:"ok-after" ~suite:"trfd";
+    ]
+  in
+  List.iter
+    (fun workers ->
+      let config = { Server.default_config with workers } in
+      let code, responses = run_server ~config lines in
+      check Alcotest.int "clean exit" 0 code;
+      check Alcotest.int "one response per line" (List.length lines)
+        (List.length responses);
+      let find id =
+        match
+          List.filter (fun (r : Request.response) -> r.rs_id = id) responses
+        with
+        | [ r ] -> r
+        | rs ->
+          Alcotest.fail
+            (Printf.sprintf "%s: %d responses, expected exactly 1" id
+               (List.length rs))
+      in
+      let expect_invalid id ecode =
+        let r = find id in
+        check Alcotest.bool (id ^ " invalid") true
+          (r.rs_status = Request.Invalid);
+        check Alcotest.(option string) (id ^ " error code") (Some ecode)
+          r.rs_error
+      in
+      expect_invalid "bad-analysis" "E-REQ-ANALYSIS";
+      expect_invalid "bad-op" "E-REQ-OP";
+      expect_invalid "" "E-REQ-JSON";
+      List.iter
+        (fun id ->
+          let r = find id in
+          check Alcotest.bool (id ^ " executed") true
+            (r.rs_status = Request.Ok_done);
+          check Alcotest.(option string) (id ^ " no error code") None
+            r.rs_error)
+        [ "ok-before"; "ok-after" ])
+    [ 1; 2 ]
+
+(* The analysis field end-to-end: a copy-analysis request is served with
+   exactly the direct copy rendering, and the same suite under const
+   stays byte-identical to the const renderer — the two clients never
+   bleed into each other. *)
+let test_serve_analysis_dispatch () =
+  let line analysis id =
+    Json.to_string
+      (Json.Obj
+         [
+           ("id", Json.Str id);
+           ("op", Json.Str "analyze");
+           ("suite", Json.Str "adm");
+           ("analysis", Json.Str analysis);
+         ])
+  in
+  let code, responses = run_server [ line "copy" "c1"; line "const" "k1" ] in
+  check Alcotest.int "exit" 0 code;
+  let _, prog = suite_prog "adm" in
+  let expect id (direct : Jobs.outcome) =
+    match List.find_opt (fun (r : Request.response) -> r.rs_id = id) responses with
+    | None -> Alcotest.fail ("no response for " ^ id)
+    | Some r ->
+      check Alcotest.bool (id ^ " ok") true (r.rs_status = Request.Ok_done);
+      check Alcotest.bool (id ^ " stdout byte-identical") true
+        (r.rs_stdout = Some direct.Jobs.out)
+  in
+  expect "c1"
+    (Jobs.Copy.analyze
+       ~config:(Config.with_analysis `Copy Config.default)
+       ~jobs:1 prog);
+  expect "k1" (Jobs.analyze ~config:Config.default ~jobs:1 prog)
 
 (* Byte-identity: ok responses carry exactly the direct rendering. *)
 let test_server_matches_direct () =
@@ -544,6 +656,9 @@ let suite =
      test_cache_key_covers_build_and_source);
     ("serve conservation under shedding", `Slow,
      test_conservation_under_shedding);
+    ("serve conservation of coded invalids", `Quick,
+     test_conservation_of_coded_invalids);
+    ("serve analysis dispatch", `Quick, test_serve_analysis_dispatch);
     ("serve matches direct rendering", `Quick, test_server_matches_direct);
     ("serve fault containment", `Quick, test_fault_containment);
     ("serve breaker quarantines crashing input", `Quick,

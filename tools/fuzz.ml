@@ -33,6 +33,12 @@
    disabled, and every response frame must carry byte-identical
    stdout/stderr/exit-code to the direct (CLI-equivalent) rendering.
 
+   --subsume checks that copy propagation subsumes constant propagation
+   (Sreekala & Paleri): on every suite program and every generated
+   workload, under each oracle configuration, the copy fixpoint projects
+   pointwise onto the const fixpoint, the CONSTANTS sets coincide, and
+   the copy substitution total is at least the const one.
+
    --serve-smoke --ipcp PATH drives a real `ipcp serve` subprocess:
    full-suite responses diffed byte-for-byte against direct CLI runs,
    graceful SIGTERM drain with exit 0, cache-corruption recovery, and
@@ -62,6 +68,7 @@ let inject_bad = ref false
 let serve_diff = ref false
 let serve_smoke = ref false
 let delta = ref false
+let subsume = ref false
 let ipcp_bin = ref ""
 let fuel = ref Ipcp_interp.Interp.default_fuel
 let verbose = ref false
@@ -88,6 +95,10 @@ let speclist =
       Arg.Set delta,
       "  incremental re-analysis differential: randomized edit sequences, \
        Incr.update vs from-scratch, byte-identical and certified" );
+    ( "--subsume",
+      Arg.Set subsume,
+      "  copy-vs-const differential: the copy fixpoint must project onto \
+       the const fixpoint and substitute at least as much" );
     ("--ipcp", Arg.Set_string ipcp_bin, "PATH  ipcp binary for --serve-smoke");
     ("--fuel", Arg.Set_int fuel, "N  interpreter fuel per run");
     ("--verbose", Arg.Set verbose, "  print each iteration");
@@ -95,7 +106,7 @@ let speclist =
 
 let usage =
   "fuzz [--seed N] [--iterations N] [--certify] [--inject-bad] \
-   [--serve-diff] [--serve-smoke --ipcp PATH] [--delta]"
+   [--serve-diff] [--serve-smoke --ipcp PATH] [--delta] [--subsume]"
 
 (* ------------------------------------------------------------------ *)
 
@@ -782,6 +793,103 @@ let run_serve_smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* --subsume: copy propagation subsumes constant propagation.          *)
+
+module Copy_driver = Driver.Make (Copy_analysis)
+module Copy_solver = Solver.Make (Copy_analysis)
+module Copy_substitute = Substitute.Make (Copy_analysis)
+
+(* Copy propagation runs the richer lattice, but [Copy_lattice.project]
+   is a meet homomorphism onto [Const_lattice], so the projected copy
+   fixpoint is exactly the const fixpoint.  Per program and oracle
+   configuration: (a) pointwise projection equality of the two VAL maps,
+   (b) identical CONSTANTS sets, (c) a copy substitution total at least
+   the const one.  [] = clean. *)
+let subsume_failures ~label prog : string list =
+  let errs = ref [] in
+  let err fmt = Fmt.kstr (fun m -> errs := m :: !errs) fmt in
+  let params_of (p : Prog.proc) =
+    List.mapi (fun i _ -> Prog.Pformal i) p.pformals
+    @ List.map
+        (fun g -> Prog.Pglob (Prog.global_key g))
+        (Prog.all_globals prog)
+  in
+  List.iter
+    (fun (clabel, config) ->
+      let const_t = Driver.analyze config prog in
+      let copy_t =
+        Copy_driver.analyze (Config.with_analysis `Copy config) prog
+      in
+      List.iter
+        (fun (p : Prog.proc) ->
+          List.iter
+            (fun param ->
+              let c = Solver.lookup const_t.Driver.solution p.pname param in
+              let k =
+                Copy_solver.lookup copy_t.Driver.solution p.pname param
+              in
+              if not (Const_lattice.equal (Copy_lattice.project k) c) then
+                err
+                  "%s [%s]: %s of %s: copy fixpoint %a projects to %a, but \
+                   the const fixpoint is %a"
+                  label clabel
+                  (Prog.param_name prog p param)
+                  p.pname Copy_lattice.pp k Const_lattice.pp
+                  (Copy_lattice.project k) Const_lattice.pp c)
+            (params_of p))
+        prog.Prog.procs;
+      if
+        List.sort compare (Driver.constants const_t)
+        <> List.sort compare (Copy_driver.constants copy_t)
+      then
+        err "%s [%s]: CONSTANTS sets differ between const and copy" label
+          clabel;
+      let _, sc = Substitute.apply ~jobs:1 const_t in
+      let _, sk = Copy_substitute.apply ~jobs:1 copy_t in
+      if sk.Substitute.total < sc.Substitute.total then
+        err "%s [%s]: copy substituted %d sites, const %d — copy must be ≥"
+          label clabel sk.Substitute.total sc.Substitute.total)
+    fuzz_configs;
+  List.rev !errs
+
+let run_subsume () =
+  let failures = ref 0 in
+  let checked = ref 0 in
+  let check ~label source =
+    match parse ~label source with
+    | Error d ->
+      incr failures;
+      Fmt.epr "subsume: %s does not resolve:@.%s@." label d
+    | Ok prog -> (
+      incr checked;
+      match subsume_failures ~label prog with
+      | [] -> if !verbose then Fmt.pr "subsume: %s ok@." label
+      | msgs ->
+        incr failures;
+        List.iter (fun m -> Fmt.epr "subsume: %s@." m) msgs)
+  in
+  List.iter
+    (fun (e : Ipcp_suite.Registry.entry) -> check ~label:e.name e.source)
+    Ipcp_suite.Registry.entries;
+  for iter = 0 to !iterations - 1 do
+    let iter_seed = !seed + (7919 * iter) in
+    check ~label:(Printf.sprintf "gen%d" iter) (gen_source iter_seed)
+  done;
+  if !failures = 0 then begin
+    Fmt.pr
+      "subsume: %d programs under %d configurations — the copy fixpoint \
+       projects onto const and substitutes at least as much (seed %d)@."
+      !checked
+      (List.length fuzz_configs)
+      !seed;
+    0
+  end
+  else begin
+    Fmt.epr "subsume: %d failures@." !failures;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* --delta: incremental re-analysis vs from-scratch.                   *)
 
 (* Each iteration draws a workload spec, derives a randomized edit
@@ -902,4 +1010,5 @@ let () =
      else if !serve_smoke then run_serve_smoke ()
      else if !inject_bad then run_inject_bad ()
      else if !delta then run_delta ()
+     else if !subsume then run_subsume ()
      else run_oracle ())
