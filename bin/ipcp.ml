@@ -641,8 +641,46 @@ let serve_cmd =
     Arg.(value & opt int 4096 & info [ "cache-max-entries" ] ~docv:"N" ~doc)
   in
   let seed =
-    let doc = "Seed of the deterministic restart-backoff jitter." in
+    let doc =
+      "Seed of the deterministic restart-backoff jitter and of the \
+       online-certification sample."
+    in
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let breaker_reset_after =
+    let doc =
+      "Half-open the circuit breaker after $(docv) quarantined denials: \
+       the next request for the input runs as a probe, and a successful \
+       probe closes the breaker.  0 (the default) quarantines forever."
+    in
+    Arg.(value & opt int 0 & info [ "breaker-reset-after" ] ~docv:"N" ~doc)
+  in
+  let certify_sample =
+    let doc =
+      "Online-certify this fraction of analyze/analyze-delta responses \
+       before emitting them, chosen deterministically per (seed, request \
+       sequence number).  A response that fails certification is never \
+       sent as ok: it becomes a typed certification_failed frame and the \
+       input is quarantined."
+    in
+    Arg.(value & opt float 0.0 & info [ "certify-sample" ] ~docv:"RATE" ~doc)
+  in
+  let no_certify_cache_hits =
+    let doc =
+      "Do not force online certification of responses built from \
+       deserialized cache artifacts or restored sessions (they are \
+       certified unconditionally by default — deserialization is where \
+       silent corruption enters)."
+    in
+    Arg.(value & flag & info [ "no-certify-cache-hits" ] ~doc)
+  in
+  let health_out =
+    let doc =
+      "Write a final ipcp.health/1 snapshot to $(docv) after the drain \
+       barrier, when every counter is settled."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "health-out" ] ~docv:"PATH" ~doc)
   in
   let input =
     let doc =
@@ -662,8 +700,9 @@ let serve_cmd =
     let doc = "Seed of the fault-injection draws." in
     Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N" ~doc)
   in
-  let run workers queue queue_policy breaker cache cache_max backoff_ms
-      backoff_cap_ms seed input fault_rate fault_seed =
+  let run workers queue queue_policy breaker breaker_reset_after cache
+      cache_max certify_sample no_certify_cache_hits backoff_ms backoff_cap_ms
+      seed input health_out fault_rate fault_seed =
     if fault_rate > 0.0 then
       Ipcp_support.Fault.configure ~raise_rate:fault_rate ~seed:fault_seed ();
     let fd =
@@ -686,11 +725,15 @@ let serve_cmd =
           queue_capacity = queue;
           queue_policy;
           breaker_threshold = breaker;
+          breaker_reset_after;
           cache_dir = cache;
           cache_max_entries = (if cache_max <= 0 then None else Some cache_max);
+          certify_sample;
+          certify_cache_hits = not no_certify_cache_hits;
           backoff_base_ms = backoff_ms;
           backoff_cap_ms;
           seed;
+          health_out;
         }
       in
       let code = Server.run ~config ~input:fd ~output:stdout () in
@@ -707,9 +750,10 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
-      const run $ workers $ queue $ queue_policy $ breaker $ cache
-      $ cache_max_entries $ backoff_ms $ backoff_cap_ms $ seed $ input
-      $ fault_rate $ fault_seed)
+      const run $ workers $ queue $ queue_policy $ breaker
+      $ breaker_reset_after $ cache $ cache_max_entries $ certify_sample
+      $ no_certify_cache_hits $ backoff_ms $ backoff_cap_ms $ seed $ input
+      $ health_out $ fault_rate $ fault_seed)
 
 (* ---------------- broken-pipe handling ---------------- *)
 

@@ -140,12 +140,58 @@ echo "== serve differential"
 # direct CLI-equivalent rendering, every request answered exactly once.
 dune exec --no-build tools/fuzz.exe -- --seed 7 --iterations 5 --serve-diff
 
+echo "== serve online certification"
+# The adversarial serving gate under two pinned seeds: with the
+# served-solution corruption site armed at rate 1.0, sampling at 1.0
+# and 0.5 must never let a corrupted solution out as an ok frame,
+# conserve one terminal response per request, and produce the exact
+# status set the pure (seed, rate, seq) sampling function predicts at
+# workers 1/2/4.  The post-drain health snapshot (seed 7) must lint as
+# ipcp.health/1 and carry the certify.* counter quadruple.
+for seed in 7 11; do
+  echo "-- seed $seed"
+  dune exec --no-build tools/fuzz.exe -- --serve-cert --seed "$seed" \
+    --iterations 8 --health-out "$tmpdir/cert_health_$seed.json"
+done
+dune exec --no-build tools/profile_lint.exe -- "$tmpdir/cert_health_7.json"
+if ! grep -q 'certify\.sampled' "$tmpdir/cert_health_7.json"; then
+  echo "serve-cert: health snapshot carries no certify.sampled counter" >&2
+  exit 1
+fi
+
+echo "== certified serving is byte-identical"
+# Certification is pay-for-use: a serve run with --certify-sample 1.0
+# over healthy inputs must emit byte-for-byte the frames of an
+# uncertified run (health counters are only surfaced on request, so the
+# streams compare equal).  The response streams must also pass the
+# typed-error frame lint.
+cat > "$tmpdir/certid.in.jsonl" <<'EOF'
+{"id":"t","op":"tables"}
+{"id":"a","op":"analyze","suite":"adm"}
+{"id":"d","op":"analyze","suite":"doduc"}
+{"id":"c","op":"certify","suite":"trfd"}
+{"id":"bad","op":"frobnicate"}
+EOF
+dune exec --no-build -- ipcp serve --workers 2 \
+  < "$tmpdir/certid.in.jsonl" > "$tmpdir/certid.plain.jsonl"
+dune exec --no-build -- ipcp serve --workers 2 --certify-sample 1.0 \
+  < "$tmpdir/certid.in.jsonl" > "$tmpdir/certid.certified.jsonl"
+sort "$tmpdir/certid.plain.jsonl" > "$tmpdir/certid.plain.sorted"
+sort "$tmpdir/certid.certified.jsonl" > "$tmpdir/certid.certified.sorted"
+if ! cmp -s "$tmpdir/certid.plain.sorted" "$tmpdir/certid.certified.sorted"; then
+  echo "serve-cert: certified run is not byte-identical to uncertified" >&2
+  diff "$tmpdir/certid.plain.sorted" "$tmpdir/certid.certified.sorted" >&2 || true
+  exit 1
+fi
+dune exec --no-build tools/profile_lint.exe -- "$tmpdir/certid.plain.jsonl"
+
 echo "== serve smoke"
 # A real `ipcp serve` subprocess: full-suite byte-diff against direct
 # CLI runs, graceful SIGTERM drain (exit 0), a truncated cache entry
-# recomputed instead of trusted, and fault-injected worker crashes
-# failing only their own requests with statuses identical across
-# worker counts.
+# recomputed instead of trusted, fault-injected worker crashes failing
+# only their own requests with statuses identical across worker counts,
+# and — with IPCP_FAULT_CORRUPT armed — certified serving that never
+# lets a corrupted solution out as an ok frame.
 dune exec --no-build tools/fuzz.exe -- --serve-smoke \
   --ipcp "$(pwd)/_build/default/bin/ipcp.exe"
 

@@ -498,11 +498,14 @@ module Make (A : Analysis_sig.S) = struct
   (* ------------------------------------------------------------------ *)
   (* Entry points.                                                       *)
 
-  let check ?(fuel = Interp.default_fuel) ?(input = []) (t : t) : report =
+  let check ?(inject_fault = true) ?(fuel = Interp.default_fuel) ?(input = [])
+      (t : t) : report =
     let t =
-      match Fault.corruption "certify.solution" with
-      | None -> t
-      | Some seed -> ( match corrupt ~seed t with Some t' -> t' | None -> t)
+      if not inject_fault then t
+      else
+        match Fault.corruption "certify.solution" with
+        | None -> t
+        | Some seed -> ( match corrupt ~seed t with Some t' -> t' | None -> t)
     in
     let violations = ref [] in
     let obligations = ref 0 in

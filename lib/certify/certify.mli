@@ -81,8 +81,12 @@ module Make (A : Analysis_sig.S) : sig
       the interpreter witness.  When {!Ipcp_support.Fault}'s corruption
       site ["certify.solution"] fires, the solution is deliberately
       corrupted (via {!corrupt}) before checking — the fault-injection
-      path that proves the certifier catches bad solutions end-to-end. *)
-  val check : ?fuel:int -> ?input:int list -> t -> report
+      path that proves the certifier catches bad solutions end-to-end.
+      [~inject_fault:false] opts out of that hook: the serve layer's
+      online checks verify solutions that were (possibly) corrupted
+      upstream at their own site, and must not corrupt their input a
+      second time. *)
+  val check : ?inject_fault:bool -> ?fuel:int -> ?input:int list -> t -> report
 
   (** [corrupt ~seed t] returns a copy of [t] whose solution has exactly
       one binding deterministically falsified (via the analysis's own
@@ -106,7 +110,9 @@ end
 
 (** {1 The constant-propagation instantiation} *)
 
-val check : ?fuel:int -> ?input:int list -> Driver.t -> report
+val check :
+  ?inject_fault:bool -> ?fuel:int -> ?input:int list -> Driver.t -> report
+
 val corrupt : seed:int -> Driver.t -> Driver.t option
 
 val check_program :

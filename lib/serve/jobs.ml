@@ -43,8 +43,17 @@ let load path =
 (* ---------------- certification ---------------- *)
 
 (* One certification verdict; the violation report goes to stderr, like
-   all error reporting. *)
+   all error reporting.  The certify.* counter quadruple always travels
+   together — an in-band check counts as one sampled check at rate 1.0
+   with no cache involved — so every profile that mentions certification
+   carries the same schema the serve health snapshot exports. *)
 let pp_certification out err label (r : Ipcp_certify.Certify.report) =
+  let module Telemetry = Ipcp_telemetry.Telemetry in
+  Telemetry.add "certify.sampled" 1;
+  Telemetry.add "certify.cache_hits_checked" 0;
+  let passed = Ipcp_certify.Certify.ok r in
+  Telemetry.add "certify.passed" (if passed then 1 else 0);
+  Telemetry.add "certify.failed" (if passed then 0 else 1);
   if Ipcp_certify.Certify.ok r then begin
     Fmt.pf out "--- certified [%s]: %a@." label Ipcp_certify.Certify.pp_report r;
     0

@@ -193,11 +193,19 @@ let input_key t =
 
 (* ---- responses ---- *)
 
-type status = Ok_done | Error_crash | Shed | Rejected | Quarantined | Invalid
+type status =
+  | Ok_done
+  | Error_crash
+  | Certification_failed
+  | Shed
+  | Rejected
+  | Quarantined
+  | Invalid
 
 let status_name = function
   | Ok_done -> "ok"
   | Error_crash -> "error"
+  | Certification_failed -> "certification_failed"
   | Shed -> "shed"
   | Rejected -> "rejected"
   | Quarantined -> "quarantined"
@@ -206,6 +214,7 @@ let status_name = function
 let status_of_name = function
   | "ok" -> Some Ok_done
   | "error" -> Some Error_crash
+  | "certification_failed" -> Some Certification_failed
   | "shed" -> Some Shed
   | "rejected" -> Some Rejected
   | "quarantined" -> Some Quarantined
@@ -219,7 +228,7 @@ type response = {
   rs_stdout : string option;
   rs_stderr : string option;
   rs_reason : string option;
-  rs_error : string option;
+  rs_error : Err.t option;
   rs_health : Json.t option;
 }
 
@@ -247,7 +256,7 @@ let response_to_line r =
        @ opt "stdout" (fun s -> Json.Str s) r.rs_stdout
        @ opt "stderr" (fun s -> Json.Str s) r.rs_stderr
        @ opt "reason" (fun s -> Json.Str s) r.rs_reason
-       @ opt "error" (fun s -> Json.Str s) r.rs_error
+       @ opt "error" Err.to_json r.rs_error
        @ opt "health" Fun.id r.rs_health))
 
 let response_of_line line =
@@ -255,8 +264,13 @@ let response_of_line line =
   | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
   | Ok doc -> (
     let str name = Option.bind (Json.member name doc) Json.to_string_opt in
-    match (str "id", Option.bind (str "status") status_of_name) with
-    | Some id, Some status ->
+    let error =
+      match Json.member "error" doc with
+      | None -> Ok None
+      | Some e -> Result.map Option.some (Err.of_json e)
+    in
+    match (str "id", Option.bind (str "status") status_of_name, error) with
+    | Some id, Some status, Ok error ->
       Ok
         {
           rs_id = id;
@@ -265,8 +279,9 @@ let response_of_line line =
           rs_stdout = str "stdout";
           rs_stderr = str "stderr";
           rs_reason = str "reason";
-          rs_error = str "error";
+          rs_error = error;
           rs_health = Json.member "health" doc;
         }
-    | None, _ -> Error "response frame has no \"id\""
-    | _, None -> Error "response frame has no valid \"status\"")
+    | None, _, _ -> Error "response frame has no \"id\""
+    | _, None, _ -> Error "response frame has no valid \"status\""
+    | _, _, Error e -> Error (Printf.sprintf "response frame: %s" e))

@@ -82,12 +82,17 @@ val input_key : t -> string
 type status =
   | Ok_done  (** executed; [code]/[stdout]/[stderr] carry the outcome *)
   | Error_crash  (** the executing worker crashed; only this request fails *)
+  | Certification_failed
+      (** the solved result failed online certification; the rendered
+          output is withheld (never emitted as [ok]) and the input is
+          quarantined through the circuit breaker *)
   | Shed  (** displaced from a full queue by a newer request *)
   | Rejected  (** refused at admission (full queue or draining) *)
   | Quarantined  (** the input's circuit breaker is open *)
   | Invalid  (** the line did not parse as a request *)
 
 val status_name : status -> string
+val status_of_name : string -> status option
 
 type response = {
   rs_id : string;
@@ -96,13 +101,14 @@ type response = {
   rs_stdout : string option;
   rs_stderr : string option;
   rs_reason : string option;
-  rs_error : string option;
-      (** stable machine-readable code ([E-REQ-*]) on refusals *)
+  rs_error : Err.t option;
+      (** the typed cause ({!Err}) on every non-[ok] frame, and the
+          budget-degradation caveat on degraded [ok] frames *)
   rs_health : Ipcp_telemetry.Json.t option;
 }
 
 val response : ?code:int -> ?stdout:string -> ?stderr:string ->
-  ?reason:string -> ?error:string -> ?health:Ipcp_telemetry.Json.t ->
+  ?reason:string -> ?error:Err.t -> ?health:Ipcp_telemetry.Json.t ->
   id:string -> status -> response
 
 (** Render one response frame (no trailing newline).  Key order is fixed

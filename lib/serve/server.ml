@@ -11,11 +11,15 @@ type config = {
   queue_capacity : int;
   queue_policy : Bqueue.policy;
   breaker_threshold : int;
+  breaker_reset_after : int;
   cache_dir : string option;
   cache_max_entries : int option;
+  certify_sample : float;
+  certify_cache_hits : bool;
   backoff_base_ms : int;
   backoff_cap_ms : int;
   seed : int;
+  health_out : string option;
 }
 
 let default_config =
@@ -24,33 +28,63 @@ let default_config =
     queue_capacity = 64;
     queue_policy = Bqueue.Reject_new;
     breaker_threshold = 3;
+    breaker_reset_after = 0;
     cache_dir = None;
     cache_max_entries = Some 4096;
+    certify_sample = 0.0;
+    certify_cache_hits = true;
     backoff_base_ms = 10;
     backoff_cap_ms = 1000;
     seed = 0;
+    health_out = None;
   }
+
+(* Whether the online certification policy samples response [seq] — a
+   pure function of (seed, rate, seq), never of worker count or timing,
+   so the sampled set is identical however the work is scheduled.  The
+   multiplier keeps the stream disjoint from the backoff-jitter PRNG
+   family, which hashes the same seed. *)
+let certify_sampled ~seed ~rate ~seq =
+  rate > 0.0
+  && (rate >= 1.0 || Prng.chance (Prng.create ((seed * 777_767) + seq)) rate)
 
 (* Signal handlers may not allocate much and run on an arbitrary domain:
    they only flip this flag; the reader polls it. *)
 let stop_flag = Atomic.make false
 
-type job = { j_seq : int; j_req : Request.t }
+type job = { j_seq : int; j_req : Request.t; j_probe : bool }
 
 type counters = {
   mutable received : int;
   mutable completed : int;
   mutable errors : int;
+  mutable cert_failed : int;
+      (** responses withheld because online certification failed *)
   mutable shed : int;
   mutable rejected : int;
   mutable quarantined : int;
   mutable invalid : int;
   mutable restarts_total : int;
+  mutable cert_sampled : int;  (** online checks chosen by the sample rate *)
+  mutable cert_cache_checked : int;
+      (** online checks forced by the cache-hit / restored-session policy *)
+  mutable cert_passed : int;
   mutable delta_updates : int;  (** analyze-delta served against a session *)
   mutable delta_fresh : int;  (** analyze-delta that started a session *)
   mutable incr_cone_size : int;
   mutable incr_procs_reused : int;
   mutable incr_procs_resolved : int;
+}
+
+(* One circuit-breaker entry.  [bk_denied]/[bk_probing] implement the
+   half-open policy: after [breaker_reset_after] quarantined responses,
+   the next request runs as a probe instead of being denied; a
+   successful probe closes the breaker (the entry is removed), a
+   crashing or failing one re-opens it with a fresh denial window. *)
+type breaker_entry = {
+  mutable bk_crashes : int;
+  mutable bk_denied : int;
+  mutable bk_probing : bool;
 }
 
 type state = {
@@ -59,7 +93,8 @@ type state = {
   cond : Condition.t;  (** queue became non-empty, or draining began *)
   queue : job Bqueue.t;
   mutable draining : bool;
-  breaker : (string, int) Hashtbl.t;  (** consecutive crashes per input *)
+  breaker : (string, breaker_entry) Hashtbl.t;
+      (** consecutive crashes (and half-open state) per input *)
   cache : Cache.t option;
   sess_mu : Mutex.t;  (** guards [sessions] only: get/put, never a solve *)
   sessions : (string, Incr.session) Hashtbl.t;
@@ -96,20 +131,66 @@ let locked st f =
 
 (* ---------------- circuit breaker ---------------- *)
 
-let breaker_open st key =
-  st.cfg.breaker_threshold > 0
-  &&
-  match Hashtbl.find_opt st.breaker key with
-  | Some k -> k >= st.cfg.breaker_threshold
-  | None -> false
+(* Admission decision for [key].  [`Run probe] executes the request
+   ([probe = true] when it is the half-open probe of an open breaker);
+   [`Deny] answers [quarantined] without executing.  Mutates the denial
+   window, so callers decide exactly once per request. *)
+let breaker_decide st key =
+  if st.cfg.breaker_threshold <= 0 then `Run false
+  else
+    locked st (fun () ->
+        match Hashtbl.find_opt st.breaker key with
+        | None -> `Run false
+        | Some e ->
+          if e.bk_crashes < st.cfg.breaker_threshold then `Run false
+          else if
+            st.cfg.breaker_reset_after > 0
+            && (not e.bk_probing)
+            && e.bk_denied >= st.cfg.breaker_reset_after
+          then begin
+            e.bk_probing <- true;
+            `Run true
+          end
+          else begin
+            e.bk_denied <- e.bk_denied + 1;
+            `Deny
+          end)
 
 let breaker_note st key crashed =
   if st.cfg.breaker_threshold > 0 then
     locked st (fun () ->
-        if crashed then
-          Hashtbl.replace st.breaker key
-            (1 + Option.value ~default:0 (Hashtbl.find_opt st.breaker key))
+        if crashed then begin
+          let e =
+            match Hashtbl.find_opt st.breaker key with
+            | Some e -> e
+            | None ->
+              let e = { bk_crashes = 0; bk_denied = 0; bk_probing = false } in
+              Hashtbl.replace st.breaker key e;
+              e
+          in
+          e.bk_crashes <- e.bk_crashes + 1;
+          e.bk_denied <- 0;
+          e.bk_probing <- false
+        end
         else Hashtbl.remove st.breaker key)
+
+(* A failed online certification quarantines the input immediately: the
+   solution itself is untrustworthy, so waiting for [breaker_threshold]
+   repeat offences would keep serving work we already know is bad. *)
+let breaker_trip st key =
+  if st.cfg.breaker_threshold > 0 then
+    locked st (fun () ->
+        let e =
+          match Hashtbl.find_opt st.breaker key with
+          | Some e -> e
+          | None ->
+            let e = { bk_crashes = 0; bk_denied = 0; bk_probing = false } in
+            Hashtbl.replace st.breaker key e;
+            e
+        in
+        e.bk_crashes <- max e.bk_crashes st.cfg.breaker_threshold;
+        e.bk_denied <- 0;
+        e.bk_probing <- false)
 
 (* ---------------- health ---------------- *)
 
@@ -118,7 +199,8 @@ let health_doc st =
     locked st (fun () ->
         let quarantined_inputs =
           Hashtbl.fold
-            (fun _ k acc -> if k >= st.cfg.breaker_threshold then acc + 1 else acc)
+            (fun _ e acc ->
+              if e.bk_crashes >= st.cfg.breaker_threshold then acc + 1 else acc)
             st.breaker 0
         in
         let gauges =
@@ -129,6 +211,7 @@ let health_doc st =
             ("serve.worker_restarts", st.n.restarts_total);
             ( "serve.quarantined_inputs",
               if st.cfg.breaker_threshold > 0 then quarantined_inputs else 0 );
+            ("serve.breaker_entries", Hashtbl.length st.breaker);
           ]
         in
         let counters =
@@ -136,12 +219,17 @@ let health_doc st =
             ("serve.requests", st.n.received);
             ("serve.completed", st.n.completed);
             ("serve.errors", st.n.errors);
+            ("serve.certification_failed", st.n.cert_failed);
             ("serve.shed", st.n.shed);
             ("serve.rejected", st.n.rejected);
             ("serve.quarantined", st.n.quarantined);
             ("serve.invalid", st.n.invalid);
             ("serve.delta_updates", st.n.delta_updates);
             ("serve.delta_fresh", st.n.delta_fresh);
+            ("certify.sampled", st.n.cert_sampled);
+            ("certify.passed", st.n.cert_passed);
+            ("certify.failed", st.n.cert_failed);
+            ("certify.cache_hits_checked", st.n.cert_cache_checked);
             ("incr.cone_size", st.n.incr_cone_size);
             ("incr.procs_reused", st.n.incr_procs_reused);
             ("incr.procs_resolved", st.n.incr_procs_resolved);
@@ -187,31 +275,86 @@ let resolve_target (req : Request.t) =
 
 (* Prepared artifacts, through the cache when one is configured.  A
    corrupt or missing entry recomputes silently; the recomputed result
-   is stored back, so the next request is warm again. *)
+   is stored back, so the next request is warm again.  The returned flag
+   says the artifacts came from disk — the deserialization event the
+   always-certify-on-cache-hit policy keys on. *)
 let artifacts_for st ~source prog =
   match st.cache with
-  | None -> Driver.prepare prog
+  | None -> (Driver.prepare prog, false)
   | Some c -> (
     let key = Cache.key ~source in
     match Cache.find c ~key with
-    | Some a -> a
+    | Some a -> (a, true)
     | None ->
       let a = Driver.prepare prog in
       Cache.store c ~key a;
-      a)
+      (a, false))
+
+(* ---------------- online certification ---------------- *)
+
+(* The verdict of one online certification: why the check ran, and the
+   typed cause when it failed (None = the response is certified). *)
+type verdict = {
+  vd_sampled : bool;  (** chosen by the seeded sample rate *)
+  vd_cache : bool;  (** forced by the cache-hit / restored-session policy *)
+  vd_failure : Err.t option;
+}
+
+(* What executing one job produces: the rendered outcome, the typed
+   budget-degradation caveat for its [ok] frame (if any), and the online
+   certification verdict (when the policy checked this response). *)
+type exec = {
+  ex_out : Jobs.outcome;
+  ex_typed : Err.t option;
+  ex_verdict : verdict option;
+}
+
+let plain out = { ex_out = out; ex_typed = None; ex_verdict = None }
+
+(* Sound degradation is not an error, but it is a typed caveat: clients
+   inspecting a degraded [ok] frame learn which budget bit without
+   parsing renderer text. *)
+let budget_err reasons =
+  let module B = Ipcp_support.Budget in
+  match reasons with
+  | [] -> None
+  | first :: _ ->
+    let code =
+      match first with
+      | B.Steps _ -> "E-BUDGET-STEPS"
+      | B.Deadline _ -> "E-BUDGET-DEADLINE"
+      | B.Starved _ -> "E-BUDGET-STARVED"
+    in
+    Some
+      (Err.budget ~code
+         (Fmt.str "analysis degraded soundly: %a"
+            Fmt.(list ~sep:(any "; ") B.pp_reason)
+            reasons))
+
+(* The served-solution corruption site.  Keyed on the request sequence
+   number (like [serve.worker:<seq>:<k>]) so which responses are
+   corrupted is a pure function of the input stream; the fuzz harness
+   uses it to prove that with certification on, a corrupted solution
+   never leaves the server as an [ok] frame. *)
+let solution_fault_site seq = Printf.sprintf "serve.solution:%d" seq
 
 (* ---------------- incremental sessions ---------------- *)
 
 let proc_cache_key hash = Cache.key ~source:("incr-proc\x00" ^ hash)
 
-(* The analyze-delta serving path for one analysis: pinned-session
-   lookup, persistence, and the seeded update.  Each instantiation works
-   on its own session table (passed per call — [state] holds one table
-   per analysis) and its own cache namespace, so a persisted fixpoint is
-   never decoded under the wrong lattice; [Incr.Make(A).import] also
-   refuses such a manifest by configuration. *)
-module Delta_serve (A : Ipcp_analysis.Analysis_sig.S) = struct
+(* The serving path for one analysis: the analyze / analyze-delta /
+   certify job bodies, the online certification policy, and the
+   analyze-delta session machinery (pinned-session lookup, persistence,
+   and the seeded update).  Each instantiation works on its own session
+   table (passed per call — [state] holds one table per analysis) and
+   its own cache namespace, so a persisted fixpoint is never decoded
+   under the wrong lattice; [Incr.Make(A).import] also refuses such a
+   manifest by configuration. *)
+module Analysis_serve (A : Ipcp_analysis.Analysis_sig.S) = struct
   module I = Ipcp_incr.Incr.Make (A)
+  module D = Driver.Make (A)
+  module C = Ipcp_certify.Certify.Make (A)
+  module J = Jobs.Of (A)
 
   (* constant propagation keeps the historical key so warm caches stay
      valid across this change; other analyses extend the namespace *)
@@ -267,19 +410,22 @@ module Delta_serve (A : Ipcp_analysis.Analysis_sig.S) = struct
      byte-identity contract), so the response frame does not depend on the
      session state — only the cost does. *)
   let delta_result st sessions (req : Request.t) ~config prog :
-      A.L.t Driver.analysis_result =
+      A.L.t Driver.analysis_result * bool =
     let name = req.rq_session in
-    let prev =
+    let prev, restored =
       match session_get st sessions name with
-      | Some s -> Some s
-      | None -> restore_session st name
+      | Some s -> (Some s, false)
+      | None -> (
+        match restore_session st name with
+        | Some s -> (Some s, true)
+        | None -> (None, false))
     in
-    let sess, stats =
+    let sess, stats, restored =
       match prev with
       | Some s when Config.equal (I.config s) config ->
         let s', stats = I.update ~prev:s prog in
-        (s', Some stats)
-      | _ -> (I.start config prog, None)
+        (s', Some stats, restored)
+      | _ -> (I.start config prog, None, false)
     in
     session_put st sessions name sess;
     persist_session st name sess;
@@ -295,50 +441,127 @@ module Delta_serve (A : Ipcp_analysis.Analysis_sig.S) = struct
           st.n.delta_fresh <- st.n.delta_fresh + 1;
           st.n.incr_cone_size <- st.n.incr_cone_size + total;
           st.n.incr_procs_resolved <- st.n.incr_procs_resolved + total);
-    I.result sess
+    (I.result sess, restored)
+
+  (* ---- the online certification policy for this analysis ---- *)
+
+  (* Apply the [serve.solution:<seq>] corruption site to a solved result
+     before rendering: when armed, the served bytes really are the
+     corrupted solution's, and only the online check stands between them
+     and the client. *)
+  let corrupt_point ~seq t =
+    match Fault.corruption (solution_fault_site seq) with
+    | None -> t
+    | Some seed -> ( match C.corrupt ~seed t with Some t' -> t' | None -> t)
+
+  (* The online check.  [from_cache] marks results that went through a
+     deserialization (artifact cache hit, or a session restored from
+     cached blobs); [check_ident] additionally compares the decoded
+     artifacts' program against the freshly parsed request source — a
+     swapped-but-internally-consistent cache entry certifies cleanly,
+     so identity is its own obligation (E-CERT-ARTIFACT). *)
+  let verdict st ~seq ~from_cache ~check_ident ~prog
+      (t : A.L.t Driver.analysis_result) =
+    let sampled =
+      certify_sampled ~seed:st.cfg.seed ~rate:st.cfg.certify_sample ~seq
+    in
+    let via_cache = from_cache && st.cfg.certify_cache_hits in
+    if not (sampled || via_cache) then None
+    else
+      let failure =
+        if
+          check_ident && from_cache
+          && Ipcp_frontend.Pretty.program_to_string t.Driver.prog
+             <> Ipcp_frontend.Pretty.program_to_string prog
+        then
+          Some
+            (Err.certification ~code:"E-CERT-ARTIFACT"
+               "cached artifacts decode cleanly but describe a different \
+                program than the submitted source")
+        else
+          let r = C.check ~inject_fault:false t in
+          if Ipcp_certify.Certify.ok r then None
+          else
+            let v = List.hd r.Ipcp_certify.Certify.violations in
+            let n = List.length r.Ipcp_certify.Certify.violations in
+            Some
+              (Err.certification
+                 ~loc:
+                   (Fmt.str "%s:%s" v.Ipcp_certify.Certify.v_proc
+                      (Ipcp_frontend.Loc.to_string v.Ipcp_certify.Certify.v_loc))
+                 ~code:v.Ipcp_certify.Certify.v_code
+                 (Fmt.str "%s (%d violation%s, %d obligations checked)"
+                    v.Ipcp_certify.Certify.v_msg n
+                    (if n = 1 then "" else "s")
+                    r.Ipcp_certify.Certify.obligations))
+      in
+      Some { vd_sampled = sampled; vd_cache = via_cache; vd_failure = failure }
+
+  (* ---- the job bodies (analyze / analyze-delta / certify) ---- *)
+
+  let analyze st ~seq (req : Request.t) ~config ~source prog =
+    let artifacts, hit = artifacts_for st ~source prog in
+    let t = D.solve config artifacts in
+    let t = corrupt_point ~seq t in
+    {
+      ex_out = J.analyze ~certify:req.rq_certify ~solved:t ~config ~jobs:1 prog;
+      ex_typed = budget_err (Driver.degraded t);
+      ex_verdict = verdict st ~seq ~from_cache:hit ~check_ident:true ~prog t;
+    }
+
+  let analyze_delta st sessions ~seq (req : Request.t) ~config prog =
+    let t, restored = delta_result st sessions req ~config prog in
+    let t = corrupt_point ~seq t in
+    {
+      ex_out = J.analyze ~certify:req.rq_certify ~solved:t ~config ~jobs:1 prog;
+      ex_typed = budget_err (Driver.degraded t);
+      ex_verdict =
+        (* a session reassembled from cached blobs is a deserialization
+           event exactly like an artifact cache hit; grafted procedures
+           from it flow into the served fixpoint, so the result is
+           certified unconditionally under the cache-hit policy *)
+        verdict st ~seq ~from_cache:restored ~check_ident:false ~prog t;
+    }
+
+  let certify_op st (req : Request.t) ~config ~name ~source prog =
+    (* the in-band certifier *is* this op's rendering — the online
+       policy would only re-run the same check on the same solution *)
+    let artifacts, _hit = artifacts_for st ~source prog in
+    let t = D.solve config artifacts in
+    plain
+      (J.certification ?fuel:req.rq_fuel ~input:req.rq_input
+         ~label:(Fmt.str "%s, %s" name (Config.to_string config))
+         t)
 end
 
-module Delta_const = Delta_serve (Ipcp_analysis.Const_analysis)
-module Delta_copy = Delta_serve (Ipcp_analysis.Copy_analysis)
+module Delta_const = Analysis_serve (Ipcp_analysis.Const_analysis)
+module Delta_copy = Analysis_serve (Ipcp_analysis.Copy_analysis)
 
-let run_job st (req : Request.t) : Jobs.outcome =
+let run_job st ~seq (req : Request.t) : exec =
   match req.rq_op with
   | Request.Health -> assert false (* answered by the reader *)
   | Request.Tables ->
-    Jobs.tables ~analysis:req.rq_analysis ~certify:req.rq_certify
-      ?max_steps:req.rq_max_steps ?deadline_ms:req.rq_deadline_ms ~jobs:1 ()
+    plain
+      (Jobs.tables ~analysis:req.rq_analysis ~certify:req.rq_certify
+         ?max_steps:req.rq_max_steps ?deadline_ms:req.rq_deadline_ms ~jobs:1 ())
   | Request.Analyze | Request.Analyze_delta | Request.Certify -> (
     match resolve_target req with
-    | Error o -> o
+    | Error o -> plain o
     | Ok (name, source, prog) -> (
       let config = Request.config_of req in
       match (req.rq_op, config.Config.analysis) with
       | Request.Analyze, `Const ->
-        let artifacts = artifacts_for st ~source prog in
-        Jobs.analyze ~certify:req.rq_certify ~artifacts ~config ~jobs:1 prog
+        Delta_const.analyze st ~seq req ~config ~source prog
       | Request.Analyze, `Copy ->
-        let artifacts = artifacts_for st ~source prog in
-        Jobs.Copy.analyze ~certify:req.rq_certify ~artifacts ~config ~jobs:1
-          prog
+        Delta_copy.analyze st ~seq req ~config ~source prog
       | Request.Analyze_delta, `Const ->
-        let t = Delta_const.delta_result st st.sessions req ~config prog in
-        Jobs.analyze ~certify:req.rq_certify ~solved:t ~config ~jobs:1 prog
+        Delta_const.analyze_delta st st.sessions ~seq req ~config prog
       | Request.Analyze_delta, `Copy ->
-        let t = Delta_copy.delta_result st st.copy_sessions req ~config prog in
-        Jobs.Copy.analyze ~certify:req.rq_certify ~solved:t ~config ~jobs:1
-          prog
+        Delta_copy.analyze_delta st st.copy_sessions ~seq req ~config prog
       | Request.Certify, `Const ->
-        let artifacts = artifacts_for st ~source prog in
-        let t = Driver.solve config artifacts in
-        Jobs.certification ?fuel:req.rq_fuel ~input:req.rq_input
-          ~label:(Fmt.str "%s, %s" name (Config.to_string config))
-          t
+        Delta_const.certify_op st req ~config ~name ~source prog
       | Request.Certify, `Copy ->
-        let artifacts = artifacts_for st ~source prog in
-        let t = Copy_driver.solve config artifacts in
-        Jobs.Copy.certification ?fuel:req.rq_fuel ~input:req.rq_input
-          ~label:(Fmt.str "%s, %s" name (Config.to_string config))
-          t
+        Delta_copy.certify_op st req ~config ~name ~source prog
       | (Request.Tables | Request.Health), _ -> assert false))
 
 (* ---------------- worker supervision ---------------- *)
@@ -353,11 +576,28 @@ let backoff_ms cfg ~slot ~restart =
   capped + Prng.int prng (capped + 1)
 
 let quarantined_response (req : Request.t) =
+  let key = Request.input_key req in
   Request.response ~id:req.rq_id
-    ~reason:
-      (Printf.sprintf "input %s is quarantined (crashed %s)"
-         (Request.input_key req) "repeatedly")
+    ~reason:(Printf.sprintf "input %s is quarantined" key)
+    ~error:
+      (Err.quarantined
+         (Printf.sprintf
+            "circuit breaker open for %s after repeated failures" key))
     Request.Quarantined
+
+let certification_failed_response (req : Request.t) (e : Err.t) =
+  Request.response ~id:req.rq_id ~code:Jobs.exit_internal
+    ~reason:"online certification failed; response withheld and input \
+             quarantined"
+    ~error:e Request.Certification_failed
+
+(* Book-keeping of one online verdict, under the state mutex. *)
+let note_verdict n (v : verdict) =
+  if v.vd_sampled then n.cert_sampled <- n.cert_sampled + 1;
+  if v.vd_cache then n.cert_cache_checked <- n.cert_cache_checked + 1;
+  match v.vd_failure with
+  | None -> n.cert_passed <- n.cert_passed + 1
+  | Some _ -> n.cert_failed <- n.cert_failed + 1
 
 (* The worker-entry fault point.  Keyed on the request sequence number —
    not the worker slot or wall clock — so which requests crash is a pure
@@ -377,34 +617,52 @@ let worker_fault_point seq =
 let execute st ~slot ~restarts job =
   let req = job.j_req in
   let key = Request.input_key req in
-  if breaker_open st key then begin
+  let decision =
+    (* a probe admitted by the reader already holds the half-open slot;
+       deciding again here would deny it against its own probe *)
+    if job.j_probe then `Run true else breaker_decide st key
+  in
+  match decision with
+  | `Deny ->
     locked st (fun () -> st.n.quarantined <- st.n.quarantined + 1);
     respond st (quarantined_response req);
     0
-  end
-  else
+  | `Run _probe -> (
     match
       worker_fault_point job.j_seq;
-      run_job st req
+      run_job st ~seq:job.j_seq req
     with
+    | { ex_verdict = Some ({ vd_failure = Some e; _ } as v); _ } ->
+      (* never emitted as [ok]: the rendered outcome is discarded, the
+         client gets the typed terminal frame, and the input is
+         quarantined — serving it again would serve the same corruption *)
+      breaker_trip st key;
+      locked st (fun () -> note_verdict st.n v);
+      respond st (certification_failed_response req e);
+      0
     | o ->
       breaker_note st key false;
-      locked st (fun () -> st.n.completed <- st.n.completed + 1);
+      locked st (fun () ->
+          Option.iter (note_verdict st.n) o.ex_verdict;
+          st.n.completed <- st.n.completed + 1);
       respond st
-        (Request.response ~id:req.rq_id ~code:o.code ~stdout:o.out
-           ~stderr:o.err Request.Ok_done);
+        (Request.response ~id:req.rq_id ~code:o.ex_out.Jobs.code
+           ~stdout:o.ex_out.Jobs.out ~stderr:o.ex_out.Jobs.err
+           ?error:o.ex_typed Request.Ok_done);
       0
     | exception e ->
       breaker_note st key true;
       locked st (fun () -> st.n.errors <- st.n.errors + 1);
       respond st
         (Request.response ~id:req.rq_id ~code:Jobs.exit_internal
-           ~reason:(Printexc.to_string e) Request.Error_crash);
+           ~reason:(Printexc.to_string e)
+           ~error:(Err.worker_crash (Printexc.to_string e))
+           Request.Error_crash);
       let restart = restarts + 1 in
       locked st (fun () -> st.n.restarts_total <- st.n.restarts_total + 1);
       let delay = backoff_ms st.cfg ~slot ~restart in
       Unix.sleepf (float_of_int delay /. 1000.0);
-      restart
+      restart)
 
 let worker st slot () =
   let rec loop restarts =
@@ -438,7 +696,10 @@ let handle_line st ~seq line =
       locked st (fun () -> st.n.invalid <- st.n.invalid + 1);
       respond st
         (Request.response ~id:pe.Request.pe_id ~reason:pe.Request.pe_reason
-           ~error:(Request.error_code_name pe.Request.pe_code)
+           ~error:
+             (Err.request
+                ~code:(Request.error_code_name pe.Request.pe_code)
+                pe.Request.pe_reason)
            Request.Invalid)
     | Ok req -> (
       match req.rq_op with
@@ -447,16 +708,19 @@ let handle_line st ~seq line =
         let doc = health_doc st in
         respond st
           (Request.response ~id:req.rq_id ~code:0 ~health:doc Request.Ok_done)
-      | _ ->
+      | _ -> (
         let key = Request.input_key req in
-        if breaker_open st key then begin
+        match breaker_decide st key with
+        | `Deny ->
           locked st (fun () -> st.n.quarantined <- st.n.quarantined + 1);
           respond st (quarantined_response req)
-        end
-        else begin
+        | `Run probe -> (
           let admit =
             locked st (fun () ->
-                let a = Bqueue.push st.queue { j_seq = seq; j_req = req } in
+                let a =
+                  Bqueue.push st.queue
+                    { j_seq = seq; j_req = req; j_probe = probe }
+                in
                 (match a with
                 | Bqueue.Enqueued | Bqueue.Displaced _ ->
                   Condition.signal st.cond
@@ -469,14 +733,30 @@ let handle_line st ~seq line =
             locked st (fun () -> st.n.rejected <- st.n.rejected + 1);
             respond st
               (Request.response ~id:req.rq_id
-                 ~reason:"queue full (reject-new)" Request.Rejected)
+                 ~reason:"queue full (reject-new)"
+                 ~error:
+                   (Err.rejected
+                      "admission queue at capacity under the reject-new \
+                       policy")
+                 Request.Rejected)
           | Bqueue.Displaced old ->
-            locked st (fun () -> st.n.shed <- st.n.shed + 1);
+            locked st (fun () ->
+                st.n.shed <- st.n.shed + 1;
+                (* a shed probe never executes: release the half-open
+                   slot so the breaker can probe again later *)
+                if old.j_probe then
+                  Option.iter
+                    (fun e -> e.bk_probing <- false)
+                    (Hashtbl.find_opt st.breaker
+                       (Request.input_key old.j_req)));
             respond st
               (Request.response ~id:old.j_req.Request.rq_id
                  ~reason:"displaced from a full queue (drop-oldest)"
-                 Request.Shed)
-        end)
+                 ~error:
+                   (Err.shed
+                      "displaced by a newer request under the drop-oldest \
+                       policy")
+                 Request.Shed))))
   end
 
 (* A request line that was read but never admitted (the server began
@@ -492,7 +772,10 @@ let reject_drained st line =
       | Error pe -> pe.Request.pe_id
     in
     respond st
-      (Request.response ~id ~reason:"server is draining" Request.Rejected)
+      (Request.response ~id ~reason:"server is draining"
+         ~error:
+           (Err.draining "request line read but never admitted before drain")
+         Request.Rejected)
   end
 
 (* ---------------- reader loop ---------------- *)
@@ -588,11 +871,15 @@ let run ?(config = default_config) ~input ~output () =
           received = 0;
           completed = 0;
           errors = 0;
+          cert_failed = 0;
           shed = 0;
           rejected = 0;
           quarantined = 0;
           invalid = 0;
           restarts_total = 0;
+          cert_sampled = 0;
+          cert_cache_checked = 0;
+          cert_passed = 0;
           delta_updates = 0;
           delta_fresh = 0;
           incr_cone_size = 0;
@@ -618,6 +905,18 @@ let run ?(config = default_config) ~input ~output () =
       st.draining <- true;
       Condition.broadcast st.cond);
   Array.iter Domain.join workers;
+  (* After the drain barrier the counters are final — a health snapshot
+     written here is deterministic for a deterministic request stream,
+     unlike in-stream health answers that race the workers. *)
+  (match config.health_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Ipcp_telemetry.Json.to_string (health_doc st));
+        output_char oc '\n'));
   Mutex.lock st.out_mu;
   (if not st.out_dead then
      try flush st.out with Sys_error _ -> st.out_dead <- true);

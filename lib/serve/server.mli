@@ -17,9 +17,22 @@
        worker restarts on a capped exponential backoff with
        deterministic seeded jitter;}
     {- {b quarantine}: an input that crashes workers [breaker_threshold]
-       times consecutively is circuit-broken — later requests for it
-       answer [quarantined] without executing — and surfaces in the
-       health snapshot;}
+       times consecutively — or whose served solution fails online
+       certification even once — is circuit-broken: later requests for
+       it answer [quarantined] without executing, it surfaces in the
+       health snapshot, and with [breaker_reset_after > 0] the breaker
+       goes half-open after that many denials, letting one probe request
+       through (success closes the breaker, failure re-opens it);}
+    {- {b online certification}: a seeded-deterministic
+       [certify_sample] fraction of analyze/analyze-delta responses —
+       plus, by default, {e every} response built from a deserialized
+       artifact-cache hit or a session restored from cached blobs — is
+       re-checked by {!Ipcp_certify.Certify} before emission; a failing
+       response is never sent as [ok] but becomes a typed
+       [certification_failed] frame ({!Err}) and trips the breaker.
+       When the fault site [serve.solution:<seq>] is armed, the solved
+       result is deliberately corrupted {e before} rendering, which is
+       how the fuzz harness proves corrupted solutions cannot escape;}
     {- {b graceful drain}: SIGTERM/SIGINT (or end of input) finishes
        in-flight and queued work, answers [rejected] to lines that were
        read but not yet admitted, flushes, and returns 0;}
@@ -38,16 +51,49 @@ type config = {
   queue_policy : Bqueue.policy;
   breaker_threshold : int;
       (** consecutive crashes before an input is quarantined; 0 disables *)
+  breaker_reset_after : int;
+      (** half-open policy: after this many [quarantined] denials the
+          next request for the input runs as a probe — success closes
+          the breaker, failure re-opens it; 0 quarantines forever *)
   cache_dir : string option;  (** artifact cache root; [None] disables *)
   cache_max_entries : int option;
       (** cache entry cap, enforced by mtime-LRU eviction after each
           store; [None] leaves the cache unbounded *)
+  certify_sample : float;
+      (** online-certify this fraction of analyze/analyze-delta
+          responses before emission, chosen deterministically per
+          (seed, request sequence number); 0 disables sampling, 1.0
+          certifies everything *)
+  certify_cache_hits : bool;
+      (** online-certify every response built from a deserialized cache
+          artifact or a restored session, whatever the sample rate —
+          deserialization is where silent corruption enters ([true] in
+          {!default_config}) *)
   backoff_base_ms : int;  (** first restart delay *)
   backoff_cap_ms : int;  (** exponential backoff ceiling *)
-  seed : int;  (** jitter seed (deterministic per (seed, slot, restart)) *)
+  seed : int;
+      (** seed of the backoff jitter (deterministic per (seed, slot,
+          restart)) and of the certification sample (per (seed, seq)) *)
+  health_out : string option;
+      (** write a final [ipcp.health/1] snapshot to this path after the
+          drain barrier, when every counter is settled — unlike
+          in-stream [health] answers, which race the workers *)
 }
 
 val default_config : config
+
+(** The certification sampling predicate: whether the response to
+    request sequence number [seq] is online-certified at [rate] under
+    [seed].  A pure function — never of worker count, scheduling, or
+    wall clock — so the sampled set is reproducible; exposed for the
+    determinism harnesses. *)
+val certify_sampled : seed:int -> rate:float -> seq:int -> bool
+
+(** The per-response corruption site consulted after solving and before
+    rendering (["serve.solution:<seq>"]): when {!Ipcp_support.Fault}
+    arms it, the served solution really is corrupted, and only online
+    certification keeps it from reaching the client as [ok]. *)
+val solution_fault_site : int -> string
 
 (** Run the serve loop to completion (end of input, or a termination
     signal).  Returns the process exit code: 0 after a clean drain,

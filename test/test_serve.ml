@@ -9,6 +9,7 @@ let check = Alcotest.check
 
 module Json = Ipcp_telemetry.Json
 module Fault = Ipcp_support.Fault
+module Err = Ipcp_serve.Err
 module Request = Ipcp_serve.Request
 module Jobs = Ipcp_serve.Jobs
 module Bqueue = Ipcp_serve.Bqueue
@@ -96,11 +97,36 @@ let test_response_round_trip () =
   | Ok r' -> check Alcotest.bool "round-trips" true (r = r')
   | Error e -> Alcotest.fail e);
   let shed = Request.response ~id:"r2" ~reason:"displaced" Request.Shed in
-  match Request.response_of_line (Request.response_to_line shed) with
+  (match Request.response_of_line (Request.response_to_line shed) with
   | Ok r' ->
     check Alcotest.bool "status" true (r'.rs_status = Request.Shed);
     check Alcotest.bool "reason" true (r'.rs_reason = Some "displaced")
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail e);
+  (* a typed error object — with and without a location — survives the
+     frame round-trip structurally *)
+  List.iter
+    (fun err ->
+      let cf =
+        Request.response ~id:"r3" ~code:4 ~reason:"withheld" ~error:err
+          Request.Certification_failed
+      in
+      match Request.response_of_line (Request.response_to_line cf) with
+      | Ok r' ->
+        check Alcotest.bool "typed error round-trips" true
+          (r'.rs_error = Some err && r'.rs_status = Request.Certification_failed)
+      | Error e -> Alcotest.fail e)
+    [
+      Err.certification ~loc:"main:adm.mf:3:1" ~code:"E-CERT-EDGE" "bad edge";
+      Err.quarantined "breaker open";
+    ];
+  (* a frame whose error object is malformed is a parse error, not a
+     silently dropped field *)
+  match
+    Request.response_of_line
+      {|{"id":"x","status":"invalid","error":"E-REQ-JSON"}|}
+  with
+  | Ok _ -> Alcotest.fail "legacy string error should not parse"
+  | Error _ -> ()
 
 (* ---- bounded queue ---- *)
 
@@ -331,7 +357,11 @@ let test_conservation_of_coded_invalids () =
         check Alcotest.bool (id ^ " invalid") true
           (r.rs_status = Request.Invalid);
         check Alcotest.(option string) (id ^ " error code") (Some ecode)
-          r.rs_error
+          (Option.map (fun (e : Err.t) -> e.Err.e_code) r.rs_error);
+        check Alcotest.bool (id ^ " error well-formed") true
+          (match r.rs_error with
+          | Some e -> Err.well_formed e && e.Err.e_class = Err.Request_error
+          | None -> false)
       in
       expect_invalid "bad-analysis" "E-REQ-ANALYSIS";
       expect_invalid "bad-op" "E-REQ-OP";
@@ -341,8 +371,8 @@ let test_conservation_of_coded_invalids () =
           let r = find id in
           check Alcotest.bool (id ^ " executed") true
             (r.rs_status = Request.Ok_done);
-          check Alcotest.(option string) (id ^ " no error code") None
-            r.rs_error)
+          check Alcotest.bool (id ^ " no error object") true
+            (r.rs_error = None))
         [ "ok-before"; "ok-after" ])
     [ 1; 2 ]
 
@@ -643,6 +673,402 @@ let test_cache_eviction_lru () =
   check Alcotest.bool "stored entry kept" true
     (Cache.find_blob c ~key:"ccc" = Some "third")
 
+(* ---- the typed error taxonomy and online certification ---- *)
+
+(* Frame rendering is golden-pinned: one frame per taxonomy class, in
+   the fixed key order, byte-for-byte.  Regenerate goldens/frames.txt
+   only on a deliberate wire-format change. *)
+let taxonomy_frames () =
+  [
+    Request.response ~id:"ok" ~code:0 ~stdout:"--- CONSTANTS sets\n" ~stderr:""
+      Request.Ok_done;
+    Request.response ~id:"ok-degraded" ~code:0 ~stdout:"--- degraded\n"
+      ~stderr:""
+      ~error:
+        (Err.budget ~code:"E-BUDGET-STEPS"
+           "analysis degraded soundly: step budget exhausted after 1 steps")
+      Request.Ok_done;
+    Request.response ~id:"crash" ~code:4 ~reason:"Failure(\"boom\")"
+      ~error:(Err.worker_crash "Failure(\"boom\")")
+      Request.Error_crash;
+    Request.response ~id:"cert" ~code:4
+      ~reason:"online certification failed; response withheld and input \
+               quarantined"
+      ~error:
+        (Err.certification ~loc:"main:adm.mf:3:1" ~code:"E-CERT-EDGE"
+           "binding not below the edge evaluation (1 violation, 120 \
+            obligations checked)")
+      Request.Certification_failed;
+    Request.response ~id:"cert-artifact" ~code:4
+      ~reason:"online certification failed; response withheld and input \
+               quarantined"
+      ~error:
+        (Err.certification ~code:"E-CERT-ARTIFACT"
+           "cached artifacts decode cleanly but describe a different \
+            program than the submitted source")
+      Request.Certification_failed;
+    Request.response ~id:"shed" ~reason:"displaced from a full queue \
+                                         (drop-oldest)"
+      ~error:(Err.shed "displaced by a newer request under the drop-oldest \
+                        policy")
+      Request.Shed;
+    Request.response ~id:"rej" ~reason:"queue full (reject-new)"
+      ~error:
+        (Err.rejected "admission queue at capacity under the reject-new \
+                       policy")
+      Request.Rejected;
+    Request.response ~id:"drain" ~reason:"server is draining"
+      ~error:(Err.draining "request line read but never admitted before drain")
+      Request.Rejected;
+    Request.response ~id:"quar" ~reason:"input suite:adm is quarantined"
+      ~error:
+        (Err.quarantined
+           "circuit breaker open for suite:adm after repeated failures")
+      Request.Quarantined;
+    Request.response ~id:"inv" ~reason:"unknown op \"frobnicate\""
+      ~error:(Err.request ~code:"E-REQ-OP" "unknown op \"frobnicate\"")
+      Request.Invalid;
+  ]
+
+let test_frames_golden () =
+  let rendered = List.map Request.response_to_line (taxonomy_frames ()) in
+  (* IPCP_WRITE_GOLDEN=<abs path> rewrites the pin (deliberate wire
+     changes only); the run still compares, so regenerate-then-rerun *)
+  (match Sys.getenv_opt "IPCP_WRITE_GOLDEN" with
+  | Some path when path <> "" ->
+    write_file path (String.concat "\n" rendered ^ "\n")
+  | _ -> ());
+  List.iter
+    (fun (r : Request.response) ->
+      match r.rs_error with
+      | Some e ->
+        check Alcotest.bool (r.rs_id ^ " well-formed") true (Err.well_formed e)
+      | None -> ())
+    (taxonomy_frames ());
+  let golden_path =
+    (* resolve against the test binary so dune runtest (sandboxed cwd)
+       and dune exec (source-root cwd) read the same pinned copy *)
+    Filename.concat (Filename.dirname Sys.executable_name) "goldens/frames.txt"
+  in
+  let golden = String.split_on_char '\n' (String.trim (read_file golden_path)) in
+  check
+    (Alcotest.list Alcotest.string)
+    "frame rendering pinned" golden rendered
+
+(* Read one integer out of a post-drain health snapshot file. *)
+let health_field path section name =
+  match Json.of_string (String.trim (read_file path)) with
+  | Error e -> Alcotest.fail ("health snapshot does not parse: " ^ e)
+  | Ok doc -> (
+    match
+      Option.bind (Json.member section doc) (fun s -> Json.member name s)
+    with
+    | Some (Json.Int v) -> v
+    | _ -> Alcotest.fail (Printf.sprintf "no %s.%s in %s" section name path))
+
+(* Half-open breaker: after [breaker_reset_after] denials the next
+   request probes; a clean probe closes the breaker and the input serves
+   normally again — the regression the quarantine table needs to not
+   grow forever. *)
+let test_breaker_half_open_probe () =
+  (* find a fault seed where requests 0-2 crash at the worker-entry site
+     and the probe (seq 6) and the first post-recovery request (seq 7)
+     run clean; the site draw is a pure function of (seed, site) so the
+     scan replays exactly what the server will do *)
+  let rate = 0.11 in
+  let crashes seq =
+    try
+      for k = 0 to 7 do
+        Fault.inject (Printf.sprintf "serve.worker:%d:%d" seq k)
+      done;
+      false
+    with Fault.Injected _ -> true
+  in
+  let _, prog = suite_prog "adm" in
+  (* the rate also arms the deeper engine.task:* sites, which are shared
+     by every request for the same program — the seed must leave the
+     whole pipeline clean or the probe would crash below the serve layer *)
+  let pipeline_clean () =
+    try
+      ignore (Jobs.analyze ~config:Config.default ~jobs:1 prog);
+      true
+    with _ -> false
+  in
+  let seed =
+    let rec scan s =
+      if s > 50_000 then Alcotest.fail "no suitable fault seed found"
+      else begin
+        Fault.configure ~raise_rate:rate ~seed:s ();
+        let found =
+          crashes 0 && crashes 1 && crashes 2
+          && (not (crashes 6))
+          && (not (crashes 7))
+          && pipeline_clean ()
+        in
+        Fault.clear ();
+        if found then s else scan (s + 1)
+      end
+    in
+    scan 0
+  in
+  Fault.configure ~raise_rate:rate ~seed ();
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  let n = 8 in
+  let lines =
+    List.init n (fun i -> analyze_line ~id:(Printf.sprintf "h%d" i) ~suite:"adm")
+  in
+  let health_path = Filename.concat (tmp_dir "half-open") "health.json" in
+  let config =
+    { Server.default_config with workers = 1; breaker_threshold = 3;
+      breaker_reset_after = 3; backoff_base_ms = 1; backoff_cap_ms = 2;
+      health_out = Some health_path }
+  in
+  let code, responses = run_server ~config lines in
+  check Alcotest.int "clean exit" 0 code;
+  let statuses =
+    List.map
+      (fun id ->
+        match
+          List.find_opt (fun (r : Request.response) -> r.rs_id = id) responses
+        with
+        | Some r -> Request.status_name r.rs_status
+        | None -> "<missing>")
+      (List.init n (fun i -> Printf.sprintf "h%d" i))
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "crash, quarantine, probe, recover"
+    [ "error"; "error"; "error"; "quarantined"; "quarantined"; "quarantined";
+      "ok"; "ok" ]
+    statuses;
+  (* the successful probe removed the entry: the table cannot leak *)
+  check Alcotest.int "breaker table empty after recovery" 0
+    (health_field health_path "gauges" "serve.breaker_entries");
+  check Alcotest.int "no quarantined inputs left" 0
+    (health_field health_path "gauges" "serve.quarantined_inputs")
+
+(* Sampling determinism: which responses the online policy certifies —
+   and therefore which corrupted responses are caught at a fractional
+   rate — is a pure function of (seed, rate, seq), identical at every
+   worker count and predictable from the exposed predicate. *)
+let test_certify_sampling_deterministic_across_workers () =
+  Fault.configure ~corrupt_rate:1.0 ~seed:3 ();
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  let suites =
+    [ "adm"; "doduc"; "fpppp"; "trfd"; "linpackd"; "matrix300"; "mdg";
+      "ocean"; "qcd"; "simple" ]
+  in
+  let lines =
+    List.mapi
+      (fun i s -> analyze_line ~id:(Printf.sprintf "s%02d" i) ~suite:s)
+      suites
+  in
+  let sample_seed = 11 and rate = 0.5 in
+  let expected =
+    List.mapi
+      (fun seq s ->
+        let sampled = Server.certify_sampled ~seed:sample_seed ~rate ~seq in
+        let corrupted =
+          match Fault.corruption (Server.solution_fault_site seq) with
+          | None -> false
+          | Some cseed ->
+            let _, prog = suite_prog s in
+            Ipcp_certify.Certify.corrupt ~seed:cseed
+              (Driver.analyze Config.default prog)
+            <> None
+        in
+        ( Printf.sprintf "s%02d" seq,
+          if sampled && corrupted then "certification_failed" else "ok" ))
+      suites
+  in
+  check Alcotest.bool "the sample catches some corruption" true
+    (List.exists (fun (_, s) -> s = "certification_failed") expected);
+  check Alcotest.bool "the sample leaves some responses unchecked" true
+    (List.exists (fun (_, s) -> s = "ok") expected);
+  List.iter
+    (fun workers ->
+      let config =
+        { Server.default_config with workers; breaker_threshold = 0;
+          certify_sample = rate; seed = sample_seed }
+      in
+      let _, responses = run_server ~config lines in
+      let got =
+        List.sort compare
+          (List.map
+             (fun (r : Request.response) ->
+               (r.rs_id, Request.status_name r.rs_status))
+             responses)
+      in
+      check Alcotest.bool
+        (Printf.sprintf "workers=%d sampled set matches the predicate" workers)
+        true
+        (got = List.sort compare expected))
+    [ 1; 2; 4 ]
+
+(* The cache-hit path: an artifact-cache entry that decodes cleanly
+   (checksum valid) but carries the wrong program — post-checksum
+   corruption — is caught by the always-on cache-hit certification, not
+   served; turning the policy off demonstrates it was load-bearing. *)
+let test_cache_hit_corruption_certified () =
+  let dir = tmp_dir "cache-cert" in
+  let src_a, _prog_a = suite_prog "adm" in
+  let _, prog_b = suite_prog "doduc" in
+  let c = Cache.create ~dir () in
+  Cache.store c ~key:(Cache.key ~source:src_a) (Driver.prepare prog_b);
+  let lines = [ analyze_line ~id:"hit" ~suite:"adm" ] in
+  let config = { Server.default_config with cache_dir = Some dir } in
+  let code, responses = run_server ~config lines in
+  check Alcotest.int "exit" 0 code;
+  (match responses with
+  | [ r ] ->
+    check Alcotest.bool "withheld" true
+      (r.rs_status = Request.Certification_failed);
+    check Alcotest.bool "no stdout leaks" true (r.rs_stdout = None);
+    (match r.rs_error with
+    | Some e ->
+      check Alcotest.string "artifact identity obligation" "E-CERT-ARTIFACT"
+        e.Err.e_code;
+      check Alcotest.bool "certification class" true
+        (e.Err.e_class = Err.Certification && Err.well_formed e)
+    | None -> Alcotest.fail "no typed error on the withheld frame")
+  | rs ->
+    Alcotest.fail (Printf.sprintf "%d responses for 1 request" (List.length rs)));
+  (* without the policy (and no sampling), the swapped entry is served
+     as ok — carrying the other program's rendering *)
+  let config_off = { config with certify_cache_hits = false } in
+  let _, responses_off = run_server ~config:config_off lines in
+  match responses_off with
+  | [ r ] ->
+    let direct_b = Jobs.analyze ~config:Config.default ~jobs:1 prog_b in
+    check Alcotest.bool "served as ok with the policy off" true
+      (r.rs_status = Request.Ok_done && r.rs_stdout = Some direct_b.Jobs.out)
+  | rs ->
+    Alcotest.fail (Printf.sprintf "%d responses for 1 request" (List.length rs))
+
+(* A session restored from cached blobs is a deserialization event: with
+   sampling off, only the cache-hit policy stands between a corrupted
+   grafted solution and the client. *)
+let test_restored_session_certified () =
+  let dir = tmp_dir "restore-cert" in
+  let delta_line ~id =
+    Json.to_string
+      (Json.Obj
+         [ ("id", Json.Str id); ("op", Json.Str "analyze-delta");
+           ("suite", Json.Str "adm"); ("session", Json.Str "pin") ])
+  in
+  let config = { Server.default_config with cache_dir = Some dir } in
+  (* run 1: establish and persist the session, no faults *)
+  let _, seed_rs = run_server ~config [ delta_line ~id:"seed" ] in
+  check Alcotest.int "session established" 1 (List.length seed_rs);
+  Fault.configure ~corrupt_rate:1.0 ~seed:7 ();
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  (* run 2: a fresh server restores the session from cached blobs and
+     must certify — and refuse — the corrupted result *)
+  let _, responses = run_server ~config [ delta_line ~id:"restored" ] in
+  (match responses with
+  | [ r ] ->
+    check Alcotest.bool "restored session certified and refused" true
+      (r.rs_status = Request.Certification_failed);
+    check Alcotest.bool "certification class" true
+      (match r.rs_error with
+      | Some e -> e.Err.e_class = Err.Certification
+      | None -> false)
+  | rs ->
+    Alcotest.fail (Printf.sprintf "%d responses for 1 request" (List.length rs)));
+  (* control: without a cache there is no restore, so with sampling off
+     nothing certifies the (still corrupted) response — the policy's
+     scope is exactly the deserialization path *)
+  let config_nocache = { config with cache_dir = None } in
+  let _, responses_nc = run_server ~config:config_nocache [ delta_line ~id:"fresh" ] in
+  match responses_nc with
+  | [ r ] ->
+    check Alcotest.bool "fresh session not in scope" true
+      (r.rs_status = Request.Ok_done)
+  | rs ->
+    Alcotest.fail (Printf.sprintf "%d responses for 1 request" (List.length rs))
+
+(* A certification failure quarantines the input through the breaker:
+   later requests answer [quarantined] without executing, and the
+   post-drain health snapshot carries the certify counter quadruple. *)
+let test_certification_failure_quarantines () =
+  Fault.configure ~corrupt_rate:1.0 ~seed:5 ();
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  let lines =
+    List.init 3 (fun i -> analyze_line ~id:(Printf.sprintf "c%d" i) ~suite:"adm")
+  in
+  let health_path = Filename.concat (tmp_dir "cert-quar") "health.json" in
+  let config =
+    { Server.default_config with workers = 1; certify_sample = 1.0;
+      health_out = Some health_path }
+  in
+  let code, responses = run_server ~config lines in
+  check Alcotest.int "clean exit" 0 code;
+  let statuses =
+    List.map
+      (fun id ->
+        match
+          List.find_opt (fun (r : Request.response) -> r.rs_id = id) responses
+        with
+        | Some r -> Request.status_name r.rs_status
+        | None -> "<missing>")
+      [ "c0"; "c1"; "c2" ]
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "fail once, then quarantine"
+    [ "certification_failed"; "quarantined"; "quarantined" ]
+    statuses;
+  List.iter
+    (fun (r : Request.response) ->
+      match (r.rs_status, r.rs_error) with
+      | Request.Certification_failed, Some e ->
+        check Alcotest.bool (r.rs_id ^ " E-CERT code") true
+          (Err.well_formed e && e.Err.e_class = Err.Certification);
+        check Alcotest.bool (r.rs_id ^ " no stdout") true (r.rs_stdout = None)
+      | Request.Quarantined, Some e ->
+        check Alcotest.string (r.rs_id ^ " quarantine code") "E-LOAD-QUARANTINE"
+          e.Err.e_code
+      | Request.Quarantined, None ->
+        Alcotest.fail (r.rs_id ^ " quarantined without a typed error")
+      | _ -> ())
+    responses;
+  check Alcotest.int "certify.sampled" 1
+    (health_field health_path "counters" "certify.sampled");
+  check Alcotest.int "certify.failed" 1
+    (health_field health_path "counters" "certify.failed");
+  check Alcotest.int "certify.passed" 0
+    (health_field health_path "counters" "certify.passed");
+  check Alcotest.int "certify.cache_hits_checked" 0
+    (health_field health_path "counters" "certify.cache_hits_checked");
+  check Alcotest.int "serve.quarantined" 2
+    (health_field health_path "counters" "serve.quarantined")
+
+(* Certification-off serving is byte-unchanged: the same stream with
+   sampling at 0 and cache off renders exactly the PR5 frames (the
+   policy is pay-for-use). *)
+let test_certify_off_frames_unchanged () =
+  let lines =
+    [ analyze_line ~id:"a" ~suite:"adm"; analyze_line ~id:"b" ~suite:"doduc" ]
+  in
+  let frames config =
+    let dir = tmp_dir "off" in
+    let in_path = Filename.concat dir "in.jsonl" in
+    write_file in_path (String.concat "\n" lines ^ "\n");
+    let out_path = Filename.concat dir "out.jsonl" in
+    let fd = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
+    let oc = open_out_bin out_path in
+    let (_ : int) = Server.run ~config ~input:fd ~output:oc () in
+    Unix.close fd;
+    close_out oc;
+    read_file out_path
+  in
+  let base = frames Server.default_config in
+  let certified =
+    frames { Server.default_config with certify_sample = 1.0 }
+  in
+  check Alcotest.string "certified run byte-identical when everything passes"
+    base certified
+
 let suite =
   [
     ("serve request parsing", `Quick, test_request_parse);
@@ -673,4 +1099,16 @@ let suite =
     ("serve analyze-delta matches analyze", `Quick,
      test_delta_matches_analyze);
     ("serve cache evicts by mtime LRU", `Quick, test_cache_eviction_lru);
+    ("serve frame taxonomy golden", `Quick, test_frames_golden);
+    ("serve breaker half-open probe", `Quick, test_breaker_half_open_probe);
+    ("serve certify sampling deterministic", `Slow,
+     test_certify_sampling_deterministic_across_workers);
+    ("serve cache-hit corruption certified", `Quick,
+     test_cache_hit_corruption_certified);
+    ("serve restored session certified", `Quick,
+     test_restored_session_certified);
+    ("serve certification failure quarantines", `Quick,
+     test_certification_failure_quarantines);
+    ("serve certify-off frames unchanged", `Quick,
+     test_certify_off_frames_unchanged);
   ]

@@ -33,6 +33,13 @@
    disabled, and every response frame must carry byte-identical
    stdout/stderr/exit-code to the direct (CLI-equivalent) rendering.
 
+   --serve-cert runs the online-certification differential: with the
+   served-solution corruption site armed at rate 1.0, an in-process
+   server under --certify-sample 1.0 and 0.5 must never emit a corrupted
+   solution as an ok frame, conserve one terminal response per request,
+   and produce the exact status set predicted by the pure
+   (seed, rate, seq) sampling function at workers 1/2/4.
+
    --subsume checks that copy propagation subsumes constant propagation
    (Sreekala & Paleri): on every suite program and every generated
    workload, under each oracle configuration, the copy fixpoint projects
@@ -58,6 +65,7 @@ module Workload = Ipcp_suite.Workload
 module Json = Ipcp_telemetry.Json
 module Jobs = Ipcp_serve.Jobs
 module SReq = Ipcp_serve.Request
+module SErr = Ipcp_serve.Err
 module Server = Ipcp_serve.Server
 module Incr = Ipcp_incr.Incr
 
@@ -67,9 +75,11 @@ let certify = ref false
 let inject_bad = ref false
 let serve_diff = ref false
 let serve_smoke = ref false
+let serve_cert = ref false
 let delta = ref false
 let subsume = ref false
 let ipcp_bin = ref ""
+let health_out_path = ref ""
 let fuel = ref Ipcp_interp.Interp.default_fuel
 let verbose = ref false
 
@@ -91,6 +101,13 @@ let speclist =
     ( "--serve-smoke",
       Arg.Set serve_smoke,
       "  drive a real `ipcp serve` subprocess (needs --ipcp)" );
+    ( "--serve-cert",
+      Arg.Set serve_cert,
+      "  online-certification differential: armed corruption, sampling 1.0 \
+       and 0.5, no corrupted solution served as ok (workers 1/2/4)" );
+    ( "--health-out",
+      Arg.Set_string health_out_path,
+      "PATH  (--serve-cert) write the post-drain ipcp.health/1 snapshot here" );
     ( "--delta",
       Arg.Set delta,
       "  incremental re-analysis differential: randomized edit sequences, \
@@ -106,7 +123,8 @@ let speclist =
 
 let usage =
   "fuzz [--seed N] [--iterations N] [--certify] [--inject-bad] \
-   [--serve-diff] [--serve-smoke --ipcp PATH] [--delta] [--subsume]"
+   [--serve-diff] [--serve-smoke --ipcp PATH] [--serve-cert] [--delta] \
+   [--subsume]"
 
 (* ------------------------------------------------------------------ *)
 
@@ -393,7 +411,15 @@ let parse_responses out =
   List.map
     (fun line ->
       match SReq.response_of_line line with
-      | Ok r -> r
+      | Ok r ->
+        (* typed-error frame schema: any error object a server emits must
+           be well-formed (coded, classed, prefix-consistent, non-empty
+           detail) — enforced across every serve harness *)
+        (match r.SReq.rs_error with
+        | Some e when not (SErr.well_formed e) ->
+          failwith (Printf.sprintf "ill-formed typed error in frame %S" line)
+        | _ -> ());
+        r
       | Error e -> failwith (Printf.sprintf "unparseable response %S: %s" line e))
     (nonempty_lines out)
 
@@ -459,14 +485,17 @@ let tables_case ~id =
     dc_expect = Jobs.tables ~jobs:1 ();
   }
 
-let run_server_inproc ~workers ~cache_dir ~dir ~label lines =
+let run_server_inproc ?(certify_sample = 0.0) ?health_out ?sample_seed ~workers
+    ~cache_dir ~dir ~label lines =
   let in_path = Filename.concat dir (label ^ ".in.jsonl") in
   write_file in_path (String.concat "\n" lines ^ "\n");
   let out_path = Filename.concat dir (label ^ ".out.jsonl") in
   let fd = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
   let oc = open_out_bin out_path in
   let config =
-    { Server.default_config with workers; queue_capacity = 4096; cache_dir }
+    { Server.default_config with workers; queue_capacity = 4096; cache_dir;
+      certify_sample; health_out;
+      seed = Option.value sample_seed ~default:Server.default_config.seed }
   in
   let code = Server.run ~config ~input:fd ~output:oc () in
   Unix.close fd;
@@ -562,6 +591,206 @@ let run_serve_diff () =
   end
   else begin
     Fmt.epr "serve-diff: %d divergences@." !failures;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* --serve-cert: online certification under armed corruption.          *)
+
+(* The adversarial half of the serve contract: with the corruption site
+   [serve.solution:<seq>] armed at rate 1.0, served solutions really are
+   corrupted before rendering, and the online-certification policy is
+   all that stands between them and the client.  The harness proves,
+   at workers 1/2/4 and sampling rates 1.0 and 0.5:
+
+   - no corrupted solution is ever emitted as an [ok] frame: every [ok]
+     is byte-identical to the direct uncorrupted rendering, every
+     corrupted response surfaces as a typed [certification_failed];
+   - conservation holds: exactly one terminal response per request;
+   - the outcome set is a pure function of (seed, rate, seq) — the same
+     statuses at every worker count, and exactly the set predicted by
+     [Server.certify_sampled] ∧ corruptibility. *)
+let run_serve_cert () =
+  let dir = fresh_dir "serve-cert" in
+  let failures = ref 0 in
+  let err fmt =
+    Fmt.kstr (fun m -> incr failures; Fmt.epr "serve-cert: %s@." m) fmt
+  in
+  (* distinct inputs (one request each, so quarantine never interferes):
+     generated programs on disk plus two suite entries *)
+  let gen_inputs =
+    List.init (max 1 !iterations) (fun i ->
+        let iter_seed = !seed + (7919 * i) in
+        let path = Filename.concat dir (Printf.sprintf "gen%d.mf" i) in
+        write_file path (gen_source iter_seed);
+        (Printf.sprintf "gen%d" i, `File path))
+  in
+  let suite_inputs =
+    List.map
+      (fun (e : Ipcp_suite.Registry.entry) -> (e.name, `Suite e.name))
+      (match Ipcp_suite.Registry.entries with
+      | a :: b :: _ -> [ a; b ]
+      | l -> l)
+  in
+  let inputs = gen_inputs @ suite_inputs in
+  let line_of (id, target) =
+    Json.to_string
+      (Json.Obj
+         ([ ("id", Json.Str id); ("op", Json.Str "analyze") ]
+         @
+         match target with
+         | `File p -> [ ("file", Json.Str p) ]
+         | `Suite n -> [ ("suite", Json.Str n) ]))
+  in
+  let lines = List.map line_of inputs in
+  let progs =
+    List.map
+      (fun (id, target) ->
+        let prog =
+          match target with
+          | `Suite n -> (
+            match Ipcp_suite.Registry.find n with
+            | Some e -> Ipcp_suite.Registry.program e
+            | None -> failwith ("no suite " ^ n))
+          | `File p -> (
+            match Jobs.load p with
+            | Ok (_, prog) -> prog
+            | Error o -> failwith ("generated input does not load: " ^ o.Jobs.err))
+        in
+        (id, prog))
+      inputs
+  in
+  (* direct renderings, computed before arming the faults *)
+  let direct =
+    List.map
+      (fun (id, prog) ->
+        (id, Jobs.analyze ~config:Config.default ~jobs:1 prog))
+      progs
+  in
+  Fault.configure ~corrupt_rate:1.0 ~seed:!seed ();
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  (* which sequence numbers can actually be corrupted: the site draw is
+     stateless and per-seq, so the server's behavior is predictable here *)
+  let corruptible =
+    List.mapi
+      (fun seq (id, prog) ->
+        let c =
+          match Fault.corruption (Server.solution_fault_site seq) with
+          | None -> false
+          | Some cseed ->
+            Certify.corrupt ~seed:cseed (Driver.analyze Config.default prog)
+            <> None
+        in
+        (id, c))
+      progs
+  in
+  let expected_statuses ~rate =
+    List.mapi
+      (fun seq (id, corr) ->
+        let sampled = Server.certify_sampled ~seed:!seed ~rate ~seq in
+        (id, if sampled && corr then "certification_failed" else "ok"))
+      corruptible
+    |> List.sort compare
+  in
+  (* [uncorrupted] are the ids whose ok frames must equal the direct
+     rendering at any rate; a corruptible-but-unsampled response is
+     allowed to escape below rate 1.0 — that is what sampling means, and
+     the status-prediction check still pins exactly which ones do *)
+  let check_run ~label ~uncorrupted (code, responses) =
+    if code <> 0 then err "%s: server exited %d, expected 0" label code;
+    (* conservation: exactly one terminal response per request *)
+    List.iter
+      (fun (id, _) ->
+        match
+          List.filter (fun (r : SReq.response) -> r.rs_id = id) responses
+        with
+        | [ _ ] -> ()
+        | l ->
+          err "%s: request %s got %d responses, expected exactly 1" label id
+            (List.length l))
+      inputs;
+    List.iter
+      (fun (r : SReq.response) ->
+        match r.rs_status with
+        | SReq.Ok_done -> (
+          match List.assoc_opt r.rs_id direct with
+          | None -> err "%s: unsolicited response id %S" label r.rs_id
+          | Some d ->
+            if
+              List.mem r.rs_id uncorrupted
+              && (r.rs_stdout <> Some d.Jobs.out
+                 || r.rs_code <> Some d.Jobs.code)
+            then
+              err
+                "%s: %s: an ok frame diverges from the uncorrupted direct \
+                 rendering — a corrupted solution escaped@.  server: %S@.  \
+                 direct: %S"
+                label r.rs_id
+                (abbrev (Option.value ~default:"<absent>" r.rs_stdout))
+                (abbrev d.Jobs.out))
+        | SReq.Certification_failed -> (
+          if r.rs_stdout <> None then
+            err "%s: %s: a withheld frame still carries stdout" label r.rs_id;
+          match r.rs_error with
+          | Some e when e.SErr.e_class = SErr.Certification -> ()
+          | Some e ->
+            err "%s: %s: withheld frame coded %s, expected E-CERT-*" label
+              r.rs_id e.SErr.e_code
+          | None -> err "%s: %s: withheld frame has no typed error" label r.rs_id)
+        | s ->
+          err "%s: %s: status %s outside {ok, certification_failed}" label
+            r.rs_id (SReq.status_name s))
+      responses;
+    List.sort compare
+      (List.map
+         (fun (r : SReq.response) -> (r.rs_id, SReq.status_name r.rs_status))
+         responses)
+  in
+  List.iter
+    (fun rate ->
+      let expect = expected_statuses ~rate in
+      let caught =
+        List.length (List.filter (fun (_, s) -> s = "certification_failed") expect)
+      in
+      if caught = 0 then
+        err "rate %.1f: no corruption lands in the sample (seed %d)" rate !seed;
+      let uncorrupted =
+        List.filteri
+          (fun seq (_, corr) ->
+            (not corr) || Server.certify_sampled ~seed:!seed ~rate ~seq)
+          corruptible
+        |> List.map fst
+      in
+      List.iter
+        (fun workers ->
+          let label = Printf.sprintf "rate%.1f-w%d" rate workers in
+          let health_out =
+            if !health_out_path <> "" && rate >= 1.0 && workers = 1 then
+              Some !health_out_path
+            else None
+          in
+          let got =
+            check_run ~label ~uncorrupted
+              (run_server_inproc ~certify_sample:rate ?health_out
+                 ~sample_seed:!seed ~workers ~cache_dir:None ~dir ~label lines)
+          in
+          if got <> expect then
+            err
+              "%s: statuses diverge from the (seed, rate, seq) prediction — \
+               the sampled set is not deterministic"
+              label)
+        [ 1; 2; 4 ])
+    [ 1.0; 0.5 ];
+  if !failures = 0 then begin
+    Fmt.pr
+      "serve-cert: %d corrupted-at-source requests, workers 1/2/4, rates \
+       1.0/0.5 — no corrupted solution served as ok, conservation and \
+       status determinism hold (seed %d)@."
+      (List.length inputs) !seed;
+    0
+  end
+  else begin
+    Fmt.epr "serve-cert: %d failures@." !failures;
     1
   end
 
@@ -781,10 +1010,70 @@ let run_serve_smoke () =
         if r.rs_stdout <> Some direct_out then
           err "fault run: survivor %s diverges from direct CLI" r.rs_id)
     completed;
+  (* ---- gate 5: certified serving under armed corruption ----
+     IPCP_FAULT_CORRUPT arms the served-solution corruption site in the
+     subprocess; with --certify-sample 1.0 no corrupted solution may
+     leave it as ok, and statuses stay identical at workers 1/2/4. *)
+  let direct_out =
+    List.map
+      (fun (name, path) ->
+        let _, out, _ = run_capture [| !ipcp_bin; "analyze"; path |] in
+        (name, out))
+      suite_files
+  in
+  Unix.putenv "IPCP_FAULT_CORRUPT" "7";
+  let cert_run workers =
+    let sp =
+      start_server [| "--workers"; workers; "--certify-sample"; "1.0" |]
+    in
+    List.iter
+      (fun (name, path) -> submit sp (analyze_req ~id:name ~path))
+      suite_files;
+    let code, out = finish_server sp in
+    if code <> 0 then
+      err "certified run (workers %s): server exited %d" workers code;
+    parse_responses out
+  in
+  let c1 = cert_run "1" and c2 = cert_run "2" and c4 = cert_run "4" in
+  (* int_of_string_opt fails on "" -> the hook stays unarmed downstream *)
+  Unix.putenv "IPCP_FAULT_CORRUPT" "";
+  List.iter
+    (fun (label, rs) ->
+      if List.length rs <> List.length suite_files then
+        err "certified run %s: %d responses for %d requests" label
+          (List.length rs) (List.length suite_files);
+      List.iter
+        (fun (r : SReq.response) ->
+          match r.rs_status with
+          | SReq.Ok_done ->
+            if r.rs_stdout <> List.assoc_opt r.rs_id direct_out then
+              err
+                "certified run %s: %s served as ok but diverges from the \
+                 direct CLI — a corrupted solution escaped"
+                label r.rs_id
+          | SReq.Certification_failed -> (
+            match r.rs_error with
+            | Some e when e.SErr.e_class = SErr.Certification -> ()
+            | _ ->
+              err "certified run %s: %s withheld without an E-CERT error"
+                label r.rs_id)
+          | s ->
+            err "certified run %s: %s: unexpected status %s" label r.rs_id
+              (SReq.status_name s))
+        rs)
+    [ ("w1", c1); ("w2", c2); ("w4", c4) ];
+  if
+    not
+      (List.exists
+         (fun (r : SReq.response) -> r.rs_status = SReq.Certification_failed)
+         c1)
+  then err "certified run: armed corruption produced no certification_failed";
+  if statuses c1 <> statuses c2 || statuses c1 <> statuses c4 then
+    err "certified run: statuses differ across workers 1/2/4";
   if !failures = 0 then begin
     Fmt.pr
-      "serve-smoke: suite diff, SIGTERM drain, cache corruption and fault \
-       containment gates all passed@.";
+      "serve-smoke: suite diff, SIGTERM drain, cache corruption, fault \
+       containment and certified-serving gates all passed@.";
     0
   end
   else begin
@@ -1007,6 +1296,7 @@ let () =
     usage;
   exit
     (if !serve_diff then run_serve_diff ()
+     else if !serve_cert then run_serve_cert ()
      else if !serve_smoke then run_serve_smoke ()
      else if !inject_bad then run_inject_bad ()
      else if !delta then run_delta ()

@@ -1,14 +1,29 @@
-(* Validate machine-readable profile documents (schema ipcp.profile/1).
+(* Validate machine-readable documents the toolchain emits.
 
    Usage: profile_lint [--stages] FILE...
 
-   Accepts both layouts the telemetry subsystem emits: a single indented
-   document (--profile-json) and append-mode files with one compact
-   document per line (the bench harness).  Every document must parse,
-   carry the expected schema tag, and have a non-empty span tree and a
-   counters object; with --stages, the four driver pipeline stages must
-   all appear in the span tree (the CI smoke target runs the analyzer on
-   the bundled suite, so their absence means the wiring regressed).
+   Three document kinds are recognized, keyed by shape:
+
+   - profiles (schema ipcp.profile/1): both layouts the telemetry
+     subsystem emits — a single indented document (--profile-json) and
+     append-mode files with one compact document per line (the bench
+     harness).  Every document must parse, carry the expected schema
+     tag, and have a non-empty span tree and a counters object; with
+     --stages, the four driver pipeline stages must all appear in the
+     span tree (the CI smoke target runs the analyzer on the bundled
+     suite, so their absence means the wiring regressed);
+   - health snapshots (schema ipcp.health/1): gauges and counters must
+     be all-integer objects;
+   - serve response streams (objects with "id" and "status"): one frame
+     per line, `ipcp serve` output fed back for offline validation.
+     Any frame with an "error" member must carry a well-formed typed
+     error object — coded, classed, class-consistent prefix, non-empty
+     detail ({!Ipcp_serve.Err}).
+
+   Counter-coherence rules apply wherever counters appear: the online
+   certification quadruple (certify.sampled / passed / failed /
+   cache_hits_checked) and the incremental cone triple travel together
+   or not at all — a partial set means the telemetry wiring regressed.
 
    Parallel runs (--jobs N) nest each worker's spans under a
    pool:domain-<i> node; the stage search is recursive, so the stages are
@@ -31,6 +46,84 @@ let rec span_names (j : Json.t) =
     |> Option.value ~default:[]
   in
   name @ List.concat_map span_names children
+
+let health_schema = "ipcp.health/1"
+
+let certify_quadruple =
+  [ "certify.sampled"; "certify.passed"; "certify.failed";
+    "certify.cache_hits_checked" ]
+
+(* the online-certification counters are recorded as a unit (creation at
+   0 keeps them together), so a partial quadruple means the serve-layer
+   telemetry regressed *)
+let check_certify_quadruple (problem : string -> unit) counters =
+  if List.exists (fun c -> List.mem c certify_quadruple) counters then
+    List.iter
+      (fun c ->
+        if not (List.mem c counters) then
+          problem (Printf.sprintf "certify counters present but %S missing" c))
+      certify_quadruple
+
+(* ipcp.health/1: gauges and counters, all-integer objects. *)
+let check_health_doc ~where (doc : Json.t) : string list =
+  let problems = ref [] in
+  let problem fmt =
+    Fmt.kstr (fun m -> problems := (where ^ ": " ^ m) :: !problems) fmt
+  in
+  let int_object section =
+    match Json.member section doc with
+    | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) ->
+          match v with
+          | Json.Int _ -> Some k
+          | _ ->
+            problem "%s.%s is not an integer" section k;
+            None)
+        fields
+    | Some _ ->
+      problem "%s is not an object" section;
+      []
+    | None ->
+      problem "missing %s object" section;
+      []
+  in
+  let _gauges = int_object "gauges" in
+  let counters = int_object "counters" in
+  check_certify_quadruple (fun m -> problem "%s" m) counters;
+  List.rev !problems
+
+(* A serve response frame: "id" and "status" strings; any "error" member
+   must be a well-formed typed error object. *)
+let is_frame (doc : Json.t) =
+  Option.bind (Json.member "id" doc) Json.to_string_opt <> None
+  && Option.bind (Json.member "status" doc) Json.to_string_opt <> None
+
+let check_frame ~where (doc : Json.t) : string list =
+  let problems = ref [] in
+  let problem fmt =
+    Fmt.kstr (fun m -> problems := (where ^ ": " ^ m) :: !problems) fmt
+  in
+  let id =
+    Option.value ~default:"?"
+      (Option.bind (Json.member "id" doc) Json.to_string_opt)
+  in
+  (match
+     Option.bind (Json.member "status" doc) Json.to_string_opt
+     |> Fun.flip Option.bind Ipcp_serve.Request.status_of_name
+   with
+  | Some _ -> ()
+  | None -> problem "frame %s: unknown status" id);
+  (match Json.member "error" doc with
+  | None -> ()
+  | Some e -> (
+    match Ipcp_serve.Err.of_json e with
+    | Error m -> problem "frame %s: %s" id m
+    | Ok err ->
+      if not (Ipcp_serve.Err.well_formed err) then
+        problem "frame %s: typed error %s is not well-formed" id
+          err.Ipcp_serve.Err.e_code));
+  List.rev !problems
 
 let check_doc ~stages ~where (doc : Json.t) : string list =
   let problems = ref [] in
@@ -79,6 +172,7 @@ let check_doc ~stages ~where (doc : Json.t) : string list =
         if not (List.mem c counters) then
           problem "incremental counters present but %S missing" c)
       incr_triple;
+  check_certify_quadruple (fun m -> problem "%s" m) counters;
   if stages then
     List.iter
       (fun stage ->
@@ -125,7 +219,15 @@ let () =
         if not (Sys.file_exists path) then [ path ^ ": no such file" ]
         else
           docs_of_file path
-          |> List.concat_map (fun (where, doc) -> check_doc ~stages ~where doc))
+          |> List.concat_map (fun (where, doc) ->
+                 match
+                   Option.bind (Json.member "schema" doc) Json.to_string_opt
+                 with
+                 | Some s when s = health_schema -> check_health_doc ~where doc
+                 | Some _ -> check_doc ~stages ~where doc
+                 | None ->
+                   if is_frame doc then check_frame ~where doc
+                   else check_doc ~stages ~where doc))
       files
   in
   match problems with
