@@ -689,6 +689,41 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "input" ] ~docv:"PATH" ~doc)
   in
+  let listen =
+    let doc =
+      "Serve over a listening socket at $(docv) (unix:PATH or \
+       tcp:HOST:PORT) instead of stdio: concurrent client connections, \
+       one response frame per submitted line on the connection that \
+       submitted it, per-connection conservation, slow-loris defenses \
+       (--max-line, --read-timeout-ms), and crash isolation from \
+       vanishing clients (counted and logged E-LOAD-GONE).  Runs until \
+       SIGTERM/SIGINT, then drains gracefully."
+    in
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let read_timeout_ms =
+    let doc =
+      "Socket mode: refuse a connection (E-REQ-TIMEOUT) that keeps a \
+       partial request line buffered longer than $(docv) milliseconds.  \
+       0 disables the deadline."
+    in
+    Arg.(value & opt int 10_000 & info [ "read-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_line =
+    let doc =
+      "Refuse request lines longer than $(docv) bytes (E-REQ-OVERSIZE \
+       on a socket, invalid on stdio).  0 leaves them unchecked."
+    in
+    Arg.(value & opt int (1 lsl 20) & info [ "max-line" ] ~docv:"BYTES" ~doc)
+  in
+  let prepare_memo =
+    let doc =
+      "Capacity of the in-process memo of prepared artifacts that \
+       batches same-program-different-config requests into one prepare \
+       + N solves.  0 disables."
+    in
+    Arg.(value & opt int 64 & info [ "prepare-memo" ] ~docv:"N" ~doc)
+  in
   let fault_rate =
     let doc =
       "Arm deterministic fault injection at the $(b,serve.worker:<seq>) \
@@ -702,43 +737,66 @@ let serve_cmd =
   in
   let run workers queue queue_policy breaker breaker_reset_after cache
       cache_max certify_sample no_certify_cache_hits backoff_ms backoff_cap_ms
-      seed input health_out fault_rate fault_seed =
+      seed input listen read_timeout_ms max_line prepare_memo health_out
+      fault_rate fault_seed =
     if fault_rate > 0.0 then
       Ipcp_support.Fault.configure ~raise_rate:fault_rate ~seed:fault_seed ();
-    let fd =
-      match input with
-      | None -> Ok Unix.stdin
-      | Some path -> (
-        match Unix.openfile path [ Unix.O_RDONLY ] 0 with
-        | fd -> Ok fd
-        | exception Unix.Unix_error (e, _, _) ->
-          Error (Fmt.str "cannot open %s: %s" path (Unix.error_message e)))
+    let config =
+      {
+        Server.workers;
+        queue_capacity = queue;
+        queue_policy;
+        breaker_threshold = breaker;
+        breaker_reset_after;
+        cache_dir = cache;
+        cache_max_entries = (if cache_max <= 0 then None else Some cache_max);
+        certify_sample;
+        certify_cache_hits = not no_certify_cache_hits;
+        backoff_base_ms = backoff_ms;
+        backoff_cap_ms;
+        seed;
+        health_out;
+        read_timeout_ms;
+        max_line;
+        prepare_memo;
+      }
     in
-    match fd with
-    | Error m ->
-      Fmt.epr "error: %s@." m;
-      exit_input
-    | Ok fd ->
-      let config =
-        {
-          Server.workers;
-          queue_capacity = queue;
-          queue_policy;
-          breaker_threshold = breaker;
-          breaker_reset_after;
-          cache_dir = cache;
-          cache_max_entries = (if cache_max <= 0 then None else Some cache_max);
-          certify_sample;
-          certify_cache_hits = not no_certify_cache_hits;
-          backoff_base_ms = backoff_ms;
-          backoff_cap_ms;
-          seed;
-          health_out;
-        }
+    match listen with
+    | Some addr_s -> (
+      match Ipcp_serve.Transport.parse_addr addr_s with
+      | Error m ->
+        Fmt.epr "error: %s@." m;
+        exit_input
+      | Ok addr -> (
+        if input <> None then begin
+          Fmt.epr "error: --listen and --input are mutually exclusive@.";
+          exit_input
+        end
+        else
+          match Server.run_listen ~config ~addr () with
+          | code -> code
+          | exception Unix.Unix_error (e, _, _) ->
+            Fmt.epr "error: cannot listen on %s: %s@." addr_s
+              (Unix.error_message e);
+            exit_input))
+    | None -> (
+      let fd =
+        match input with
+        | None -> Ok Unix.stdin
+        | Some path -> (
+          match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+          | fd -> Ok fd
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (Fmt.str "cannot open %s: %s" path (Unix.error_message e)))
       in
-      let code = Server.run ~config ~input:fd ~output:stdout () in
-      (if input <> None then try Unix.close fd with Unix.Unix_error _ -> ());
-      code
+      match fd with
+      | Error m ->
+        Fmt.epr "error: %s@." m;
+        exit_input
+      | Ok fd ->
+        let code = Server.run ~config ~input:fd ~output:stdout () in
+        (if input <> None then try Unix.close fd with Unix.Unix_error _ -> ());
+        code)
   in
   let doc =
     "Process analysis requests as a long-lived service: newline-delimited \
@@ -753,7 +811,143 @@ let serve_cmd =
       const run $ workers $ queue $ queue_policy $ breaker
       $ breaker_reset_after $ cache $ cache_max_entries $ certify_sample
       $ no_certify_cache_hits $ backoff_ms $ backoff_cap_ms $ seed $ input
-      $ health_out $ fault_rate $ fault_seed)
+      $ listen $ read_timeout_ms $ max_line $ prepare_memo $ health_out
+      $ fault_rate $ fault_seed)
+
+(* ---------------- route ---------------- *)
+
+let route_cmd =
+  let shards =
+    let doc = "Number of shard worker processes to spawn and supervise." in
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let workers =
+    let doc = "Worker domains per shard (passed through to each shard)." in
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue =
+    let doc = "Admission queue capacity per shard." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let cache =
+    let doc =
+      "Artifact cache root shared by every shard — what makes failover \
+       warm: a respawned shard re-imports prepared artifacts and \
+       persisted incremental sessions instead of recomputing them."
+    in
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+  in
+  let cache_max_entries =
+    let doc = "Entry cap of the shared artifact cache; 0 unbounded." in
+    Arg.(value & opt int 4096 & info [ "cache-max-entries" ] ~docv:"N" ~doc)
+  in
+  let certify_sample =
+    let doc =
+      "Per-shard online-certification sample rate (passed through).  \
+       Sampling keys on each shard's own request sequence, so non-zero \
+       rates break byte-identity with a single-process server; \
+       certification outcomes are unaffected."
+    in
+    Arg.(value & opt float 0.0 & info [ "certify-sample" ] ~docv:"RATE" ~doc)
+  in
+  let breaker =
+    let doc =
+      "Router-scope circuit breaker: quarantine an input after $(docv) \
+       shard-process crashes while serving it (also passed to each shard \
+       for its in-process worker breaker); 0 disables."
+    in
+    Arg.(value & opt int 3 & info [ "breaker" ] ~docv:"N" ~doc)
+  in
+  let backoff_ms =
+    let doc = "First shard-respawn delay after a crash, in milliseconds." in
+    Arg.(value & opt int 10 & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+  in
+  let backoff_cap_ms =
+    let doc = "Respawn-backoff ceiling, in milliseconds." in
+    Arg.(value & opt int 1000 & info [ "backoff-cap-ms" ] ~docv:"MS" ~doc)
+  in
+  let seed =
+    let doc =
+      "Seed of the deterministic respawn-backoff jitter (also passed \
+       through to each shard)."
+    in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let runtime_dir =
+    let doc =
+      "Directory for the shard sockets (created if missing).  A private \
+       temp directory, removed on exit, when absent."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "runtime-dir" ] ~docv:"DIR" ~doc)
+  in
+  let health_out =
+    let doc =
+      "Write a final merged ipcp.health/1 snapshot (all shards summed \
+       plus router.* readings) to $(docv) after the drain barrier."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "health-out" ] ~docv:"PATH" ~doc)
+  in
+  let shard_pids =
+    let doc =
+      "Rewrite $(docv) with one \"slot pid\" line per live shard on \
+       every (re)spawn — how crash harnesses pick a victim to kill."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "shard-pids" ] ~docv:"PATH" ~doc)
+  in
+  let connect_timeout_ms =
+    let doc = "Per-spawn deadline for a shard to accept connections." in
+    Arg.(
+      value & opt int 5000 & info [ "connect-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let run shards workers queue cache cache_max certify_sample breaker
+      backoff_ms backoff_cap_ms seed runtime_dir health_out shard_pids
+      connect_timeout_ms =
+    let shard_args =
+      [ "--workers"; string_of_int workers;
+        "--queue"; string_of_int queue;
+        "--breaker"; string_of_int breaker;
+        "--seed"; string_of_int seed;
+        "--cache-max-entries"; string_of_int cache_max ]
+      @ (match cache with Some d -> [ "--cache"; d ] | None -> [])
+      @
+      if certify_sample > 0.0 then
+        [ "--certify-sample"; string_of_float certify_sample ]
+      else []
+    in
+    let config =
+      {
+        Ipcp_serve.Router.shards;
+        binary = Sys.executable_name;
+        shard_args;
+        runtime_dir;
+        breaker_threshold = breaker;
+        backoff_base_ms = backoff_ms;
+        backoff_cap_ms;
+        seed;
+        connect_timeout_ms;
+        health_out;
+        pids_out = shard_pids;
+      }
+    in
+    Ipcp_serve.Router.run config
+  in
+  let doc =
+    "Shard the serve workload over supervised worker processes: the same \
+     request stream and response frames as $(b,ipcp serve), but each \
+     request is consistent-hashed by its program content (or session \
+     name) to one of $(b,--shards) child processes.  A SIGKILLed shard \
+     costs only its in-flight requests one re-route; every submitted \
+     line still gets exactly one terminal response."
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc)
+    Term.(
+      const run $ shards $ workers $ queue $ cache $ cache_max_entries
+      $ certify_sample $ breaker $ backoff_ms $ backoff_cap_ms $ seed
+      $ runtime_dir $ health_out $ shard_pids $ connect_timeout_ms)
 
 (* ---------------- broken-pipe handling ---------------- *)
 
@@ -800,7 +994,7 @@ let () =
     Cmd.group info
       [
         analyze_cmd; certify_cmd; run_cmd; lint_cmd; tables_cmd;
-        characteristics_cmd; generate_cmd; serve_cmd;
+        characteristics_cmd; generate_cmd; serve_cmd; route_cmd;
       ]
   in
   (* ~catch:false so an escaped exception is ours to report: anything the

@@ -195,6 +195,43 @@ echo "== serve smoke"
 dune exec --no-build tools/fuzz.exe -- --serve-smoke \
   --ipcp "$(pwd)/_build/default/bin/ipcp.exe"
 
+echo "== serve shard fleet"
+# The multi-process router under two pinned seeds: routed output
+# byte-identical to a single-process server at shards 1/2/4, exactly one
+# terminal response per request with a shard SIGKILLed mid-stream, the
+# router-scope breaker quarantining a poison input that kills two shard
+# processes, a respawned shard re-importing its incremental session from
+# the shared on-disk cache, and the socket listener's oversize /
+# slow-loris / client-gone defenses driven over a real unix socket.
+for seed in 7 11; do
+  echo "-- seed $seed"
+  dune exec --no-build tools/fuzz.exe -- --serve-shard --seed "$seed" \
+    --ipcp "$(pwd)/_build/default/bin/ipcp.exe"
+done
+# Shell-level identity smoke: the same request file through `ipcp serve`
+# and `ipcp route --shards 3` must produce byte-identical (sorted)
+# response streams, and the routed stream must pass the typed-error
+# frame lint.
+cat > "$tmpdir/route.in.jsonl" <<'EOF'
+{"id":"t","op":"tables"}
+{"id":"a","op":"analyze","suite":"adm"}
+{"id":"d","op":"analyze","suite":"doduc","jf":"literal"}
+{"id":"c","op":"certify","suite":"trfd"}
+{"id":"bad","op":"frobnicate"}
+EOF
+dune exec --no-build -- ipcp serve --workers 2 \
+  < "$tmpdir/route.in.jsonl" > "$tmpdir/route.single.jsonl"
+dune exec --no-build -- ipcp route --shards 3 --workers 2 \
+  < "$tmpdir/route.in.jsonl" > "$tmpdir/route.routed.jsonl"
+sort "$tmpdir/route.single.jsonl" > "$tmpdir/route.single.sorted"
+sort "$tmpdir/route.routed.jsonl" > "$tmpdir/route.routed.sorted"
+if ! cmp -s "$tmpdir/route.single.sorted" "$tmpdir/route.routed.sorted"; then
+  echo "route: routed stream is not byte-identical to a single server" >&2
+  diff "$tmpdir/route.single.sorted" "$tmpdir/route.routed.sorted" >&2 || true
+  exit 1
+fi
+dune exec --no-build tools/profile_lint.exe -- "$tmpdir/route.routed.jsonl"
+
 echo "== broken output pipe"
 # A reader that vanishes mid-stream must surface as the documented I/O
 # exit code 3 — never a SIGPIPE death.  `false` closes its stdin at

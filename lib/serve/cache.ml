@@ -23,19 +23,32 @@ let rec mkdir_p dir =
 (* The build fingerprint folds the binary's digest into every key:
    Marshal payloads are layout-specific, so a rebuilt ipcp must never
    decode an old build's entries — with the fingerprint in the key it
-   never even finds them. *)
+   never even finds them.  Memoized under a mutex, not a lazy: [key] is
+   called from worker domains (the prepare memo hashes sources whether
+   or not a cache exists), and a bare lazy raced by two domains raises
+   CamlinternalLazy.Undefined. *)
 let build_id =
-  lazy
-    (match Digest.file Sys.executable_name with
-    | d -> Digest.to_hex d
-    | exception Sys_error _ -> "unknown-build")
+  let mu = Mutex.create () in
+  let v = ref None in
+  fun () ->
+    Mutex.lock mu;
+    let id =
+      match !v with
+      | Some id -> id
+      | None ->
+        let id =
+          match Digest.file Sys.executable_name with
+          | d -> Digest.to_hex d
+          | exception Sys_error _ -> "unknown-build"
+        in
+        v := Some id;
+        id
+    in
+    Mutex.unlock mu;
+    id
 
 let create ?max_entries ~dir () =
   mkdir_p dir;
-  (* force the build fingerprint here, in whichever single domain sets
-     the cache up: a lazy raced by two worker domains on their first
-     [key] raises CamlinternalLazy.Undefined *)
-  ignore (Lazy.force build_id);
   {
     c_dir = dir;
     c_max_entries = max_entries;
@@ -50,7 +63,7 @@ let create ?max_entries ~dir () =
 let dir t = t.c_dir
 
 let key ~source =
-  Digest.to_hex (Digest.string (Lazy.force build_id ^ "\x00" ^ source))
+  Digest.to_hex (Digest.string (build_id () ^ "\x00" ^ source))
 
 let entry_path t ~key = Filename.concat t.c_dir (key ^ ".art")
 
@@ -83,13 +96,25 @@ let decode data =
 
 (* Raw entry load with no stats accounting; corrupt entries are removed
    so they are never trusted again (the recompute overwrites anyway). *)
+(* Touch the entry so eviction order is least-recently-USED, not
+   least-recently-written: a hot entry read by every request must not
+   become the eviction victim just because it was stored first.
+   Best-effort — a concurrent eviction can remove the file between the
+   read and the touch, and that is fine (the hit already has its bytes;
+   the next request recomputes). *)
+let touch path =
+  let now = Unix.gettimeofday () in
+  try Unix.utimes path now now with Unix.Unix_error _ | Sys_error _ -> ()
+
 let load t ~key =
   let path = entry_path t ~key in
   match read_file path with
   | exception Sys_error _ -> `Miss
   | data -> (
     match decode data with
-    | Some payload -> `Hit payload
+    | Some payload ->
+      touch path;
+      `Hit payload
     | None ->
       (try Sys.remove path with Sys_error _ -> ());
       `Corrupt)

@@ -15,13 +15,17 @@
 
     The cache is bounded when [max_entries] is given: after each store,
     the oldest entries by mtime (ties broken by name) are evicted down
-    to the cap, and {!stats} counts the evictions.
+    to the cap, and {!stats} counts the evictions.  A hit touches its
+    entry's mtime (best-effort), so the order is least-recently-{e used}
+    — a hot entry is not evicted merely for being stored first.
 
-    Safe for concurrent use from worker domains: lookups and stores are
-    independent file operations, a racing double-store resolves to
-    whichever atomic rename lands last (both writes carry identical
-    bytes), and racing evictors fail their duplicate removes
-    harmlessly. *)
+    Safe for concurrent use from worker domains {b and} from several
+    processes sharing the directory (the shard fleet does): lookups and
+    stores are independent file operations, a racing double-store
+    resolves to whichever atomic rename lands last (both writes carry
+    identical bytes — the key digests the content), a reader racing an
+    eviction either got its bytes first or takes a clean miss, and
+    racing evictors fail their duplicate removes harmlessly. *)
 
 open Ipcp_core
 

@@ -42,6 +42,10 @@ let rejected detail = make ~code:"E-LOAD-REJECT" Load detail
 let draining detail = make ~code:"E-LOAD-DRAIN" Load detail
 let quarantined detail = make ~code:"E-LOAD-QUARANTINE" Load detail
 let worker_crash detail = make ~code:"E-WORKER-CRASH" Worker detail
+let worker_lost detail = make ~code:"E-WORKER-LOST" Worker detail
+let gone detail = make ~code:"E-LOAD-GONE" Load detail
+let oversize detail = make ~code:"E-REQ-OVERSIZE" Request_error detail
+let timed_out detail = make ~code:"E-REQ-TIMEOUT" Request_error detail
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix

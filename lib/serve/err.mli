@@ -8,7 +8,10 @@
     code prefixes:
 
     - [request] / [E-REQ-*]: the request line was refused at parse time
-      (see {!Request.error_code}).
+      (see {!Request.error_code}), or refused by the socket listener
+      before parsing — [E-REQ-OVERSIZE] (the line exceeded the
+      per-connection length cap) and [E-REQ-TIMEOUT] (the read deadline
+      expired with a partial request buffered).
     - [certification] / [E-CERT-*]: online certification of a served
       solution failed — the first violation's obligation code
       ([E-CERT-EDGE], [E-CERT-MOD], ...), or [E-CERT-ARTIFACT] when a
@@ -19,10 +22,15 @@
       [E-BUDGET-STARVED]); attached to [ok] frames as a caveat.
     - [load] / [E-LOAD-*]: admission-control refusals — [E-LOAD-SHED]
       (displaced from a full queue), [E-LOAD-REJECT] (refused at a full
-      queue), [E-LOAD-DRAIN] (read but never admitted before drain), and
-      [E-LOAD-QUARANTINE] (the input's circuit breaker is open).
+      queue), [E-LOAD-DRAIN] (read but never admitted before drain),
+      [E-LOAD-QUARANTINE] (the input's circuit breaker is open), and
+      [E-LOAD-GONE] (the client connection vanished before its terminal
+      response could be written — logged as a stderr accounting entry,
+      never on the wire, so conservation stays auditable).
     - [worker] / [E-WORKER-*]: the executing worker crashed
-      ([E-WORKER-CRASH]); only that request fails.
+      ([E-WORKER-CRASH]); only that request fails.  [E-WORKER-LOST] is
+      the router-scope variant: the shard process serving the request
+      died, and so did the one the request was re-routed to.
 
     Rendering is pinned by the frame goldens: a JSON object with keys in
     the fixed order [code], [class], [loc] (omitted when absent),
@@ -57,6 +65,10 @@ val rejected : string -> t
 val draining : string -> t
 val quarantined : string -> t
 val worker_crash : string -> t
+val worker_lost : string -> t
+val gone : string -> t
+val oversize : string -> t
+val timed_out : string -> t
 
 (** The code matches its class prefix and [detail] is non-empty — the
     frame-schema obligation the fuzz harnesses enforce on every [error]

@@ -1,0 +1,102 @@
+(** The multi-process shard router ([ipcp route --shards N]).
+
+    Reads the same newline-delimited request stream as [ipcp serve] on
+    stdin and writes the same response-frame stream on stdout, but
+    executes nothing itself: it spawns and supervises [N] [ipcp serve
+    --listen] worker {e processes} ({!Shard}), consistent-hashes each
+    request to a shard, and relays each shard's frames back with the
+    client's request ids restored.  On healthy inputs the stream is
+    byte-identical to a single-process server's (same renderers, same
+    fixed key order), which the differential harnesses pin.
+
+    Durability properties on top of the single server's:
+
+    {ul
+    {- {b conservation across crashes}: every submitted line gets
+       exactly one terminal frame even when shards are SIGKILLed
+       mid-request.  A dead shard's in-flight requests are re-routed
+       {e exactly once} to the next live shard on the ring; a request
+       whose re-routed shard also dies answers a terminal [error] frame
+       typed [E-WORKER-LOST] instead of being retried forever;}
+    {- {b crash isolation}: a shard crash (segfault, OOM-kill, poison
+       input) costs only that shard's in-flight work — the router and
+       the other shards keep serving, and the shard respawns on the
+       same capped seeded backoff the in-process worker supervisor
+       uses;}
+    {- {b router-scope quarantine}: the per-input circuit breaker is
+       lifted to router scope — an input whose requests kill
+       [breaker_threshold] shard processes is quarantined at admission
+       (the same [quarantined] frame a single server emits), so a
+       poison input cannot crash-loop the whole fleet;}
+    {- {b affinity = batching}: requests hash by {e content} ({!route_key}
+       — program text digest, or session name for analyze-delta), so
+       same-program-different-config runs land on one shard and share
+       its prepared-artifact memo, and a session's deltas always reach
+       the shard holding that session;}
+    {- {b warm failover}: shards share one on-disk artifact cache, so a
+       respawned shard re-imports prepared artifacts and persisted
+       incremental sessions instead of recomputing them;}
+    {- {b merged health}: a [health] request fans out to every live
+       shard and answers one [ipcp.health/1] snapshot with the shards'
+       gauges and counters summed plus the router's own ([router.*]).}}
+
+    The byte-identity caveat: certification {e sampling} is a function
+    of each server's own request sequence numbers, which sharding
+    permutes — run identity comparisons with [--certify-sample 0] (the
+    default).  Certification itself is unaffected. *)
+
+(** The consistent-hash ring: [vnodes] virtual points per shard slot on
+    the MD5 circle.  Pure and deterministic — exposed for the unit
+    tests, and so failover order can be stated: a key's shard is the
+    first point clockwise of its hash, its failover shard the next
+    {e distinct} slot clockwise. *)
+module Ring : sig
+  type t
+
+  val make : slots:int -> t
+
+  (** The owning slot of a routing key. *)
+  val lookup : t -> string -> int
+
+  (** Every slot, in ring order starting at the key's owner — the
+      failover sequence.  Deterministic, contains each slot exactly
+      once. *)
+  val order_from : t -> string -> int list
+end
+
+(** The routing key a request hashes by: [prog:<md5>] of the target's
+    program text (suite source, or file contents) for analyze/certify,
+    [session:<analysis>:<name>] for analyze-delta (session affinity),
+    [op:tables] for tables.  Content-addressed, so renames and
+    duplicate registrations of the same program still co-locate. *)
+val route_key : Request.t -> string
+
+type config = {
+  shards : int;  (** worker processes (at least 1) *)
+  binary : string;  (** the [ipcp] executable to spawn shards from *)
+  shard_args : string list;
+      (** extra [serve] flags passed to every shard verbatim *)
+  runtime_dir : string option;
+      (** where shard sockets live; a fresh temp dir (removed on exit)
+          when [None] *)
+  breaker_threshold : int;
+      (** router-scope breaker: quarantine an input after this many
+          shard-process crashes while serving it; 0 disables *)
+  backoff_base_ms : int;
+  backoff_cap_ms : int;
+  seed : int;  (** seed of the respawn-backoff jitter *)
+  connect_timeout_ms : int;  (** per-spawn connect deadline *)
+  health_out : string option;
+      (** write a final merged snapshot here after the drain barrier *)
+  pids_out : string option;
+      (** rewrite this file with ["slot pid"] lines on every (re)spawn —
+          how the crash harnesses find a victim to SIGKILL *)
+}
+
+val default_config : config
+
+(** Run the router to completion (stdin EOF or SIGTERM/SIGINT, then a
+    full drain: every pending request resolved, shards terminated, the
+    runtime dir cleaned up).  Returns the exit code: 0, or
+    {!Jobs.exit_input} when stdout died mid-stream. *)
+val run : config -> int

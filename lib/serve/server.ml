@@ -20,6 +20,9 @@ type config = {
   backoff_cap_ms : int;
   seed : int;
   health_out : string option;
+  read_timeout_ms : int;
+  max_line : int;
+  prepare_memo : int;
 }
 
 let default_config =
@@ -37,6 +40,9 @@ let default_config =
     backoff_cap_ms = 1000;
     seed = 0;
     health_out = None;
+    read_timeout_ms = 10_000;
+    max_line = 1 lsl 20;
+    prepare_memo = 64;
   }
 
 (* Whether the online certification policy samples response [seq] — a
@@ -52,7 +58,59 @@ let certify_sampled ~seed ~rate ~seq =
    they only flip this flag; the reader polls it. *)
 let stop_flag = Atomic.make false
 
-type job = { j_seq : int; j_req : Request.t; j_probe : bool }
+let contains ~sub s =
+  let n = String.length s and k = String.length sub in
+  let rec scan i = i + k <= n && (String.sub s i k = sub || scan (i + 1)) in
+  k = 0 || scan 0
+
+(* ---------------- outlets ---------------- *)
+
+(* Where one request's terminal response goes: the single stdio channel
+   in pipe mode, or the client connection that submitted it in socket
+   mode.  [ol_pending] counts terminal responses owed to the peer (the
+   per-connection share of the conservation law — the listener closes a
+   connection only once it reaches zero); [ol_dead] latches on the first
+   failed write. *)
+type outlet = {
+  ol_mu : Mutex.t;
+  ol_dest : [ `Channel of out_channel | `Fd of Unix.file_descr ];
+  mutable ol_dead : bool;
+  mutable ol_pending : int;
+  mutable ol_eof : bool;  (** peer finished submitting (EOF, or refused) *)
+}
+
+let outlet dest =
+  {
+    ol_mu = Mutex.create ();
+    ol_dest = dest;
+    ol_dead = false;
+    ol_pending = 0;
+    ol_eof = false;
+  }
+
+(* One request line was submitted on this outlet: a terminal response is
+   now owed. *)
+let owe o =
+  Mutex.lock o.ol_mu;
+  o.ol_pending <- o.ol_pending + 1;
+  Mutex.unlock o.ol_mu
+
+let rec write_all fd buf pos len =
+  if len > 0 then
+    match Unix.write fd buf pos len with
+    | n -> write_all fd buf (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf pos len
+
+(* Worker domains log through one mutex so accounting entries never
+   interleave mid-line. *)
+let log_mu = Mutex.create ()
+
+let log_line s =
+  Mutex.lock log_mu;
+  prerr_endline s;
+  Mutex.unlock log_mu
+
+type job = { j_seq : int; j_req : Request.t; j_probe : bool; j_outlet : outlet }
 
 type counters = {
   mutable received : int;
@@ -74,6 +132,12 @@ type counters = {
   mutable incr_cone_size : int;
   mutable incr_procs_reused : int;
   mutable incr_procs_resolved : int;
+  mutable conns_accepted : int;  (** socket connections accepted *)
+  mutable client_gone : int;
+      (** responses undeliverable because the client connection died *)
+  mutable req_oversize : int;  (** lines refused by the length cap *)
+  mutable req_timeout : int;  (** connections refused by the read deadline *)
+  mutable memo_hits : int;  (** prepare calls answered by the in-memory memo *)
 }
 
 (* One circuit-breaker entry.  [bk_denied]/[bk_probing] implement the
@@ -104,26 +168,65 @@ type state = {
           session is one lattice's fixpoint and must never be updated
           under the other *)
   n : counters;
-  out_mu : Mutex.t;
-  out : out_channel;
-  mutable out_dead : bool;
+  memo_mu : Mutex.t;  (** guards the prepare memo *)
+  prep_memo : (string, string) Hashtbl.t;
+      (** serialized prepared artifacts by cache key — the same-program
+          batching layer: one [prepare], then cheap decodes *)
+  memo_order : string Queue.t;  (** FIFO eviction order of the memo *)
+  kill_input : string option;
+      (** test-only: SIGKILL the whole process when executing a matching
+          input (IPCP_SERVE_KILL_INPUT) — how the shard-failover
+          harnesses fell a shard deterministically *)
 }
 
 (* ---------------- responses ---------------- *)
 
+(* The stderr accounting entry for a response whose client vanished: the
+   frame that could not be delivered, addressed and typed E-LOAD-GONE,
+   so an auditor can still match every submitted request to exactly one
+   terminal outcome (wire frame or log entry). *)
+let gone_entry (r : Request.response) =
+  Request.response_to_line
+    (Request.response ~id:r.Request.rs_id
+       ~reason:"client connection gone before the response could be written"
+       ~error:
+         (Err.gone
+            (Printf.sprintf
+               "terminal %s response undeliverable: client closed the \
+                connection first"
+               (Request.status_name r.Request.rs_status)))
+       r.Request.rs_status)
+
 (* One frame per response, flushed immediately so a client sees each
-   result as it lands.  A dead output (broken pipe) latches: the server
-   keeps draining — jobs are cheap to finish and the accounting stays
-   consistent — but stops writing and reports exit 3. *)
-let respond st r =
-  Mutex.lock st.out_mu;
-  (if not st.out_dead then
+   result as it lands.  A dead outlet latches: the server keeps draining
+   — jobs are cheap to finish and the accounting stays consistent — but
+   stops writing to that peer.  On the stdio outlet this surfaces as
+   exit 3; on a socket outlet the loss is counted and logged
+   (E-LOAD-GONE) and the server lives on — one flaky client must never
+   kill the shard. *)
+let respond st o r =
+  Mutex.lock o.ol_mu;
+  (if not o.ol_dead then
      try
-       output_string st.out (Request.response_to_line r);
-       output_char st.out '\n';
-       flush st.out
-     with Sys_error _ -> st.out_dead <- true);
-  Mutex.unlock st.out_mu
+       let line = Request.response_to_line r ^ "\n" in
+       match o.ol_dest with
+       | `Channel oc ->
+         output_string oc line;
+         flush oc
+       | `Fd fd ->
+         let b = Bytes.of_string line in
+         write_all fd b 0 (Bytes.length b)
+     with Sys_error _ | Unix.Unix_error _ -> (
+       o.ol_dead <- true;
+       match o.ol_dest with
+       | `Channel _ -> ()
+       | `Fd _ ->
+         Mutex.lock st.mu;
+         st.n.client_gone <- st.n.client_gone + 1;
+         Mutex.unlock st.mu;
+         log_line (gone_entry r)));
+  o.ol_pending <- o.ol_pending - 1;
+  Mutex.unlock o.ol_mu
 
 let locked st f =
   Mutex.lock st.mu;
@@ -226,6 +329,11 @@ let health_doc st =
             ("serve.invalid", st.n.invalid);
             ("serve.delta_updates", st.n.delta_updates);
             ("serve.delta_fresh", st.n.delta_fresh);
+            ("serve.conns_accepted", st.n.conns_accepted);
+            ("serve.client_gone", st.n.client_gone);
+            ("serve.req_oversize", st.n.req_oversize);
+            ("serve.req_timeout", st.n.req_timeout);
+            ("serve.prepare_memo_hits", st.n.memo_hits);
             ("certify.sampled", st.n.cert_sampled);
             ("certify.passed", st.n.cert_passed);
             ("certify.failed", st.n.cert_failed);
@@ -273,22 +381,67 @@ let resolve_target (req : Request.t) =
     | Error o -> Error o
     | Ok (src, prog) -> Ok (path, src, prog))
 
-(* Prepared artifacts, through the cache when one is configured.  A
-   corrupt or missing entry recomputes silently; the recomputed result
-   is stored back, so the next request is warm again.  The returned flag
-   says the artifacts came from disk — the deserialization event the
-   always-certify-on-cache-hit policy keys on. *)
+(* The in-memory prepare memo: serialized artifacts by cache key.  Each
+   hit decodes a private copy (the live value may carry mutable memo
+   state and must not be shared across worker domains); a decode is far
+   cheaper than a prepare, which is what batches same-program requests
+   into one [prepare] + N [solve].  Serialized-in-process bytes never
+   crossed a trust boundary, so memo hits do NOT set the from-disk flag
+   the always-certify-on-cache-hit policy keys on — response statuses
+   stay identical with the memo on or off. *)
+let memo_find st key =
+  if st.cfg.prepare_memo <= 0 then None
+  else begin
+    Mutex.lock st.memo_mu;
+    let payload = Hashtbl.find_opt st.prep_memo key in
+    Mutex.unlock st.memo_mu;
+    match payload with
+    | None -> None
+    | Some p -> (
+      match Driver.artifacts_of_string p with
+      | Some a ->
+        locked st (fun () -> st.n.memo_hits <- st.n.memo_hits + 1);
+        Some a
+      | None -> None)
+  end
+
+let memo_store st key artifacts =
+  if st.cfg.prepare_memo > 0 then begin
+    let payload = Driver.artifacts_to_string artifacts in
+    Mutex.lock st.memo_mu;
+    if not (Hashtbl.mem st.prep_memo key) then begin
+      Hashtbl.replace st.prep_memo key payload;
+      Queue.add key st.memo_order;
+      if Queue.length st.memo_order > st.cfg.prepare_memo then
+        Hashtbl.remove st.prep_memo (Queue.pop st.memo_order)
+    end;
+    Mutex.unlock st.memo_mu
+  end
+
+(* Prepared artifacts: first the in-memory memo, then the disk cache
+   when one is configured.  A corrupt or missing disk entry recomputes
+   silently; the recomputed result is stored back, so the next request
+   is warm again.  The returned flag says the artifacts came from disk —
+   the deserialization event the always-certify-on-cache-hit policy
+   keys on (a memo hit deliberately does not set it). *)
 let artifacts_for st ~source prog =
-  match st.cache with
-  | None -> (Driver.prepare prog, false)
-  | Some c -> (
-    let key = Cache.key ~source in
-    match Cache.find c ~key with
-    | Some a -> (a, true)
+  let key = Cache.key ~source in
+  match memo_find st key with
+  | Some a -> (a, false)
+  | None -> (
+    match st.cache with
     | None ->
       let a = Driver.prepare prog in
-      Cache.store c ~key a;
-      (a, false))
+      memo_store st key a;
+      (a, false)
+    | Some c -> (
+      match Cache.find c ~key with
+      | Some a -> (a, true)
+      | None ->
+        let a = Driver.prepare prog in
+        Cache.store c ~key a;
+        memo_store st key a;
+        (a, false)))
 
 (* ---------------- online certification ---------------- *)
 
@@ -585,6 +738,19 @@ let quarantined_response (req : Request.t) =
             "circuit breaker open for %s after repeated failures" key))
     Request.Quarantined
 
+let invalid_response (pe : Request.parse_error) =
+  Request.response ~id:pe.Request.pe_id ~reason:pe.Request.pe_reason
+    ~error:
+      (Err.request
+         ~code:(Request.error_code_name pe.Request.pe_code)
+         pe.Request.pe_reason)
+    Request.Invalid
+
+let drained_response ~id =
+  Request.response ~id ~reason:"server is draining"
+    ~error:(Err.draining "request line read but never admitted before drain")
+    Request.Rejected
+
 let certification_failed_response (req : Request.t) (e : Err.t) =
   Request.response ~id:req.rq_id ~code:Jobs.exit_internal
     ~reason:"online certification failed; response withheld and input \
@@ -617,6 +783,13 @@ let worker_fault_point seq =
 let execute st ~slot ~restarts job =
   let req = job.j_req in
   let key = Request.input_key req in
+  (* test-only: IPCP_SERVE_KILL_INPUT=<fragment> fells the whole process
+     with SIGKILL when executing a matching input — the deterministic
+     poison pill the shard-failover harnesses drop on one shard *)
+  (match st.kill_input with
+  | Some frag when frag <> "" && contains ~sub:frag key ->
+    Unix.kill (Unix.getpid ()) Sys.sigkill
+  | _ -> ());
   let decision =
     (* a probe admitted by the reader already holds the half-open slot;
        deciding again here would deny it against its own probe *)
@@ -625,7 +798,7 @@ let execute st ~slot ~restarts job =
   match decision with
   | `Deny ->
     locked st (fun () -> st.n.quarantined <- st.n.quarantined + 1);
-    respond st (quarantined_response req);
+    respond st job.j_outlet (quarantined_response req);
     0
   | `Run _probe -> (
     match
@@ -638,14 +811,14 @@ let execute st ~slot ~restarts job =
          quarantined — serving it again would serve the same corruption *)
       breaker_trip st key;
       locked st (fun () -> note_verdict st.n v);
-      respond st (certification_failed_response req e);
+      respond st job.j_outlet (certification_failed_response req e);
       0
     | o ->
       breaker_note st key false;
       locked st (fun () ->
           Option.iter (note_verdict st.n) o.ex_verdict;
           st.n.completed <- st.n.completed + 1);
-      respond st
+      respond st job.j_outlet
         (Request.response ~id:req.rq_id ~code:o.ex_out.Jobs.code
            ~stdout:o.ex_out.Jobs.out ~stderr:o.ex_out.Jobs.err
            ?error:o.ex_typed Request.Ok_done);
@@ -653,7 +826,7 @@ let execute st ~slot ~restarts job =
     | exception e ->
       breaker_note st key true;
       locked st (fun () -> st.n.errors <- st.n.errors + 1);
-      respond st
+      respond st job.j_outlet
         (Request.response ~id:req.rq_id ~code:Jobs.exit_internal
            ~reason:(Printexc.to_string e)
            ~error:(Err.worker_crash (Printexc.to_string e))
@@ -688,38 +861,34 @@ let worker st slot () =
 
 (* ---------------- admission (reader side) ---------------- *)
 
-let handle_line st ~seq line =
+let handle_line st ~outlet ~seq line =
   if String.trim line <> "" then begin
+    owe outlet;
     locked st (fun () -> st.n.received <- st.n.received + 1);
     match Request.of_line line with
     | Error pe ->
       locked st (fun () -> st.n.invalid <- st.n.invalid + 1);
-      respond st
-        (Request.response ~id:pe.Request.pe_id ~reason:pe.Request.pe_reason
-           ~error:
-             (Err.request
-                ~code:(Request.error_code_name pe.Request.pe_code)
-                pe.Request.pe_reason)
-           Request.Invalid)
+      respond st outlet (invalid_response pe)
     | Ok req -> (
       match req.rq_op with
       | Request.Health ->
         (* answered inline: health must work under full queues *)
         let doc = health_doc st in
-        respond st
+        respond st outlet
           (Request.response ~id:req.rq_id ~code:0 ~health:doc Request.Ok_done)
       | _ -> (
         let key = Request.input_key req in
         match breaker_decide st key with
         | `Deny ->
           locked st (fun () -> st.n.quarantined <- st.n.quarantined + 1);
-          respond st (quarantined_response req)
+          respond st outlet (quarantined_response req)
         | `Run probe -> (
           let admit =
             locked st (fun () ->
                 let a =
                   Bqueue.push st.queue
-                    { j_seq = seq; j_req = req; j_probe = probe }
+                    { j_seq = seq; j_req = req; j_probe = probe;
+                      j_outlet = outlet }
                 in
                 (match a with
                 | Bqueue.Enqueued | Bqueue.Displaced _ ->
@@ -731,7 +900,7 @@ let handle_line st ~seq line =
           | Bqueue.Enqueued -> ()
           | Bqueue.Rejected ->
             locked st (fun () -> st.n.rejected <- st.n.rejected + 1);
-            respond st
+            respond st outlet
               (Request.response ~id:req.rq_id
                  ~reason:"queue full (reject-new)"
                  ~error:
@@ -749,7 +918,7 @@ let handle_line st ~seq line =
                     (fun e -> e.bk_probing <- false)
                     (Hashtbl.find_opt st.breaker
                        (Request.input_key old.j_req)));
-            respond st
+            respond st old.j_outlet
               (Request.response ~id:old.j_req.Request.rq_id
                  ~reason:"displaced from a full queue (drop-oldest)"
                  ~error:
@@ -761,8 +930,9 @@ let handle_line st ~seq line =
 
 (* A request line that was read but never admitted (the server began
    draining first) still gets its terminal frame. *)
-let reject_drained st line =
+let reject_drained st ~outlet line =
   if String.trim line <> "" then begin
+    owe outlet;
     locked st (fun () ->
         st.n.received <- st.n.received + 1;
         st.n.rejected <- st.n.rejected + 1);
@@ -771,19 +941,15 @@ let reject_drained st line =
       | Ok r -> r.Request.rq_id
       | Error pe -> pe.Request.pe_id
     in
-    respond st
-      (Request.response ~id ~reason:"server is draining"
-         ~error:
-           (Err.draining "request line read but never admitted before drain")
-         Request.Rejected)
+    respond st outlet (drained_response ~id)
   end
 
-(* ---------------- reader loop ---------------- *)
+(* ---------------- reader loop (stdio mode) ---------------- *)
 
 (* Poll with a short select timeout rather than blocking in read: a
    termination signal must be noticed even when no input arrives, and
    EINTR can interrupt either call. *)
-let reader st input =
+let reader st ~outlet input =
   let buf = Buffer.create 4096 in
   let chunk = Bytes.create 4096 in
   let seq = ref 0 in
@@ -795,7 +961,7 @@ let reader st input =
         Buffer.clear buf;
         Buffer.add_substring buf data start (String.length data - start)
       | Some nl ->
-        handle_line st ~seq:!seq (String.sub data start (nl - start));
+        handle_line st ~outlet ~seq:!seq (String.sub data start (nl - start));
         incr seq;
         go (nl + 1)
     in
@@ -821,16 +987,18 @@ let reader st input =
   | `Eof ->
     (* a final line without a trailing newline is still a request *)
     if Buffer.length buf > 0 then begin
-      handle_line st ~seq:!seq (Buffer.contents buf);
+      handle_line st ~outlet ~seq:!seq (Buffer.contents buf);
       incr seq
     end
   | `Stopped ->
     (* stop wins over anything still buffered: those lines were
        submitted, so they get typed rejections, not silence *)
-    List.iter (reject_drained st) (String.split_on_char '\n' (Buffer.contents buf)));
+    List.iter
+      (reject_drained st ~outlet)
+      (String.split_on_char '\n' (Buffer.contents buf)));
   Buffer.clear buf
 
-(* ---------------- run ---------------- *)
+(* ---------------- shared run machinery ---------------- *)
 
 let with_signals f =
   match Sys.os_type with
@@ -845,70 +1013,66 @@ let with_signals f =
       f
   | _ -> f ()
 
-let run ?(config = default_config) ~input ~output () =
-  Atomic.set stop_flag false;
-  let config = { config with workers = max 1 config.workers } in
-  let st =
-    {
-      cfg = config;
-      mu = Mutex.create ();
-      cond = Condition.create ();
-      queue =
-        Bqueue.create ~capacity:config.queue_capacity
-          ~policy:config.queue_policy;
-      draining = false;
-      breaker = Hashtbl.create 16;
-      cache =
-        Option.map
-          (fun dir ->
-            Cache.create ?max_entries:config.cache_max_entries ~dir ())
-          config.cache_dir;
-      sess_mu = Mutex.create ();
-      sessions = Hashtbl.create 4;
-      copy_sessions = Hashtbl.create 4;
-      n =
-        {
-          received = 0;
-          completed = 0;
-          errors = 0;
-          cert_failed = 0;
-          shed = 0;
-          rejected = 0;
-          quarantined = 0;
-          invalid = 0;
-          restarts_total = 0;
-          cert_sampled = 0;
-          cert_cache_checked = 0;
-          cert_passed = 0;
-          delta_updates = 0;
-          delta_fresh = 0;
-          incr_cone_size = 0;
-          incr_procs_reused = 0;
-          incr_procs_resolved = 0;
-        };
-      out_mu = Mutex.create ();
-      out = output;
-      out_dead = false;
-    }
-  in
-  (* Pre-resolve every suite program in this domain: the registry's memo
-     table is not synchronized, so the workers must only ever read it. *)
+let make_state config =
+  {
+    cfg = config;
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    queue =
+      Bqueue.create ~capacity:config.queue_capacity
+        ~policy:config.queue_policy;
+    draining = false;
+    breaker = Hashtbl.create 16;
+    cache =
+      Option.map
+        (fun dir -> Cache.create ?max_entries:config.cache_max_entries ~dir ())
+        config.cache_dir;
+    sess_mu = Mutex.create ();
+    sessions = Hashtbl.create 4;
+    copy_sessions = Hashtbl.create 4;
+    n =
+      {
+        received = 0;
+        completed = 0;
+        errors = 0;
+        cert_failed = 0;
+        shed = 0;
+        rejected = 0;
+        quarantined = 0;
+        invalid = 0;
+        restarts_total = 0;
+        cert_sampled = 0;
+        cert_cache_checked = 0;
+        cert_passed = 0;
+        delta_updates = 0;
+        delta_fresh = 0;
+        incr_cone_size = 0;
+        incr_procs_reused = 0;
+        incr_procs_resolved = 0;
+        conns_accepted = 0;
+        client_gone = 0;
+        req_oversize = 0;
+        req_timeout = 0;
+        memo_hits = 0;
+      };
+    memo_mu = Mutex.create ();
+    prep_memo = Hashtbl.create 16;
+    memo_order = Queue.create ();
+    kill_input = Sys.getenv_opt "IPCP_SERVE_KILL_INPUT";
+  }
+
+(* Pre-resolve every suite program in this domain: the registry's memo
+   table is not synchronized, so the workers must only ever read it. *)
+let prewarm_registry () =
   List.iter
     (fun e -> ignore (Ipcp_suite.Registry.program e))
-    Ipcp_suite.Registry.entries;
-  with_signals @@ fun () ->
-  let workers =
-    Array.init config.workers (fun slot -> Domain.spawn (worker st slot))
-  in
-  reader st input;
-  locked st (fun () ->
-      st.draining <- true;
-      Condition.broadcast st.cond);
-  Array.iter Domain.join workers;
-  (* After the drain barrier the counters are final — a health snapshot
-     written here is deterministic for a deterministic request stream,
-     unlike in-stream health answers that race the workers. *)
-  (match config.health_out with
+    Ipcp_suite.Registry.entries
+
+(* After the drain barrier the counters are final — a health snapshot
+   written here is deterministic for a deterministic request stream,
+   unlike in-stream health answers that race the workers. *)
+let write_health_out st =
+  match st.cfg.health_out with
   | None -> ()
   | Some path ->
     let oc = open_out path in
@@ -916,9 +1080,276 @@ let run ?(config = default_config) ~input ~output () =
       ~finally:(fun () -> close_out oc)
       (fun () ->
         output_string oc (Ipcp_telemetry.Json.to_string (health_doc st));
-        output_char oc '\n'));
-  Mutex.lock st.out_mu;
-  (if not st.out_dead then
-     try flush st.out with Sys_error _ -> st.out_dead <- true);
-  Mutex.unlock st.out_mu;
-  if st.out_dead then Jobs.exit_input else 0
+        output_char oc '\n')
+
+(* ---------------- run (stdio mode) ---------------- *)
+
+let run ?(config = default_config) ~input ~output () =
+  Atomic.set stop_flag false;
+  let config = { config with workers = max 1 config.workers } in
+  let st = make_state config in
+  let out = outlet (`Channel output) in
+  prewarm_registry ();
+  with_signals @@ fun () ->
+  let workers =
+    Array.init config.workers (fun slot -> Domain.spawn (worker st slot))
+  in
+  reader st ~outlet:out input;
+  locked st (fun () ->
+      st.draining <- true;
+      Condition.broadcast st.cond);
+  Array.iter Domain.join workers;
+  write_health_out st;
+  Mutex.lock out.ol_mu;
+  (if not out.ol_dead then
+     try flush output with Sys_error _ -> out.ol_dead <- true);
+  Mutex.unlock out.ol_mu;
+  if out.ol_dead then Jobs.exit_input else 0
+
+(* ---------------- run (socket listener mode) ---------------- *)
+
+(* One accepted client connection of the listener loop. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_outlet : outlet;
+  c_framer : Transport.Framing.t;
+  mutable c_partial_since : float option;
+      (** when the currently buffered partial request line began — the
+          read deadline's clock, armed only while a request is pending *)
+  mutable c_stop_read : bool;
+      (** EOF seen, or the connection was refused (oversize/timeout) *)
+}
+
+(* Serve over a listening socket: one select-driven connection manager
+   feeding the same admission machinery and worker pool as stdio mode,
+   with per-connection outlets.  Concurrency comes from the worker
+   domains; the manager only frames lines and answers health inline.
+   Defenses: [max_line] caps a request line (refused E-REQ-OVERSIZE,
+   connection closed), [read_timeout_ms] bounds how long a partial line
+   may dribble in (refused E-REQ-TIMEOUT) — together the slow-loris
+   guard.  Runs until SIGTERM/SIGINT, then drains in-flight work and
+   answers typed rejections for lines that arrived but were never
+   admitted.  Always returns 0: a vanished client is that client's
+   problem (counted and logged E-LOAD-GONE), never the server's. *)
+let run_listen ?(config = default_config) ~addr () =
+  Atomic.set stop_flag false;
+  let config = { config with workers = max 1 config.workers } in
+  let st = make_state config in
+  let listener = Transport.listen addr in
+  prewarm_registry ();
+  with_signals @@ fun () ->
+  let workers =
+    Array.init config.workers (fun slot -> Domain.spawn (worker st slot))
+  in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let chunk = Bytes.create 4096 in
+  let seq = ref 0 in
+  let submit c line =
+    handle_line st ~outlet:c.c_outlet ~seq:!seq line;
+    incr seq
+  in
+  let refuse c r =
+    (* conservation for a refused line that never parsed: one owed,
+       typed terminal frame, then no more reads from this peer *)
+    owe c.c_outlet;
+    respond st c.c_outlet r;
+    c.c_stop_read <- true;
+    Mutex.lock c.c_outlet.ol_mu;
+    c.c_outlet.ol_eof <- true;
+    Mutex.unlock c.c_outlet.ol_mu
+  in
+  let refuse_oversize c bytes =
+    locked st (fun () ->
+        st.n.received <- st.n.received + 1;
+        st.n.invalid <- st.n.invalid + 1;
+        st.n.req_oversize <- st.n.req_oversize + 1);
+    refuse c
+      (Request.response ~id:""
+         ~reason:
+           (Printf.sprintf "request line exceeds the %d byte cap (%d buffered)"
+              config.max_line bytes)
+         ~error:
+           (Err.oversize
+              (Printf.sprintf
+                 "request line of %d bytes exceeds the per-connection cap of \
+                  %d"
+                 bytes config.max_line))
+         Request.Invalid)
+  in
+  let refuse_timeout c =
+    locked st (fun () ->
+        st.n.received <- st.n.received + 1;
+        st.n.invalid <- st.n.invalid + 1;
+        st.n.req_timeout <- st.n.req_timeout + 1);
+    refuse c
+      (Request.response ~id:""
+         ~reason:
+           (Printf.sprintf "read deadline (%d ms) expired with a partial \
+                            request buffered"
+              config.read_timeout_ms)
+         ~error:
+           (Err.timed_out
+              (Printf.sprintf
+                 "no complete request line within %d ms of the first partial \
+                  byte"
+                 config.read_timeout_ms))
+         Request.Invalid)
+  in
+  let note_events c events =
+    List.iter
+      (function
+        | Transport.Framing.Line l -> submit c l
+        | Transport.Framing.Oversize bytes -> refuse_oversize c bytes)
+      events;
+    c.c_partial_since <-
+      (if Transport.Framing.partial c.c_framer then
+         match c.c_partial_since with
+         | Some _ as t -> t
+         | None -> Some (Unix.gettimeofday ())
+       else None)
+  in
+  let conn_eof c ~broken =
+    c.c_stop_read <- true;
+    c.c_partial_since <- None;
+    (if not broken then
+       (* a final line without a trailing newline is still a request *)
+       match Transport.Framing.finish c.c_framer with
+       | Some l -> submit c l
+       | None -> ());
+    Mutex.lock c.c_outlet.ol_mu;
+    c.c_outlet.ol_eof <- true;
+    if broken then c.c_outlet.ol_dead <- true;
+    Mutex.unlock c.c_outlet.ol_mu
+  in
+  let accept_one () =
+    match Unix.accept ~cloexec:true listener with
+    | exception
+        Unix.Unix_error
+          ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+      ()
+    | fd, _ ->
+      (* a peer that stops reading must stall its own responses, not a
+         worker domain forever: a send timeout turns the blocked write
+         into a counted E-LOAD-GONE loss *)
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 60.0
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
+      locked st (fun () -> st.n.conns_accepted <- st.n.conns_accepted + 1);
+      Hashtbl.replace conns fd
+        {
+          c_fd = fd;
+          c_outlet = outlet (`Fd fd);
+          c_framer = Transport.Framing.create ~max_line:config.max_line;
+          c_partial_since = None;
+          c_stop_read = false;
+        }
+  in
+  let handle_read c =
+    match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> conn_eof c ~broken:true
+    | 0 -> conn_eof c ~broken:false
+    | n -> note_events c (Transport.Framing.feed c.c_framer (Bytes.sub_string chunk 0 n))
+  in
+  let check_deadlines () =
+    if config.read_timeout_ms > 0 then begin
+      let now = Unix.gettimeofday () in
+      let limit = float_of_int config.read_timeout_ms /. 1000.0 in
+      Hashtbl.iter
+        (fun _ c ->
+          match c.c_partial_since with
+          | Some t0 when (not c.c_stop_read) && now -. t0 > limit ->
+            c.c_partial_since <- None;
+            refuse_timeout c
+          | _ -> ())
+        conns
+    end
+  in
+  (* close a connection only when its conservation account is settled:
+     the peer finished submitting (or died) and every owed terminal
+     response has been written (or charged to E-LOAD-GONE) *)
+  let sweep_closed () =
+    let closable =
+      Hashtbl.fold
+        (fun fd c acc ->
+          Mutex.lock c.c_outlet.ol_mu;
+          let close_now =
+            (c.c_stop_read || c.c_outlet.ol_dead)
+            && c.c_outlet.ol_pending = 0
+          in
+          Mutex.unlock c.c_outlet.ol_mu;
+          if close_now then fd :: acc else acc)
+        conns []
+    in
+    List.iter
+      (fun fd ->
+        Hashtbl.remove conns fd;
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      closable
+  in
+  let rec loop () =
+    if not (Atomic.get stop_flag) then begin
+      let read_fds =
+        listener
+        :: Hashtbl.fold
+             (fun fd c acc -> if c.c_stop_read then acc else fd :: acc)
+             conns []
+      in
+      (match Unix.select read_fds [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd == listener then accept_one ()
+            else
+              match Hashtbl.find_opt conns fd with
+              | Some c when not c.c_stop_read -> handle_read c
+              | _ -> ())
+          ready);
+      check_deadlines ();
+      sweep_closed ();
+      loop ()
+    end
+  in
+  loop ();
+  (* stopping: lines already in flight on the wire were submitted, so
+     one bounded non-blocking sweep gives them typed drain rejections
+     instead of silence (the stdio parity) *)
+  Hashtbl.iter
+    (fun _ c ->
+      if not c.c_stop_read then begin
+        (try Unix.set_nonblock c.c_fd with Unix.Unix_error _ -> ());
+        let budget = ref (1 lsl 20) in
+        let rec drain_reads () =
+          if !budget > 0 then
+            match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+            | exception Unix.Unix_error _ -> ()
+            | 0 -> ()
+            | n ->
+              budget := !budget - n;
+              List.iter
+                (function
+                  | Transport.Framing.Line l ->
+                    reject_drained st ~outlet:c.c_outlet l
+                  | Transport.Framing.Oversize _ -> ())
+                (Transport.Framing.feed c.c_framer (Bytes.sub_string chunk 0 n));
+              drain_reads ()
+        in
+        drain_reads ();
+        (match Transport.Framing.finish c.c_framer with
+        | Some l -> reject_drained st ~outlet:c.c_outlet l
+        | None -> ());
+        c.c_stop_read <- true
+      end)
+    conns;
+  locked st (fun () ->
+      st.draining <- true;
+      Condition.broadcast st.cond);
+  Array.iter Domain.join workers;
+  Hashtbl.iter
+    (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+    conns;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  Transport.unlink_addr addr;
+  write_health_out st;
+  0

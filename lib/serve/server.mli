@@ -78,6 +78,23 @@ type config = {
       (** write a final [ipcp.health/1] snapshot to this path after the
           drain barrier, when every counter is settled — unlike
           in-stream [health] answers, which race the workers *)
+  read_timeout_ms : int;
+      (** socket mode only: refuse a connection ([E-REQ-TIMEOUT]) that
+          keeps a partial request line buffered for longer than this —
+          the slow-loris guard; 0 disables *)
+  max_line : int;
+      (** refuse request lines longer than this many bytes
+          ([E-REQ-OVERSIZE] on a socket, [invalid] on stdio); [<= 0]
+          leaves them unchecked *)
+  prepare_memo : int;
+      (** capacity of the in-process memo of prepared (analysis-
+          independent) artifacts, keyed like the disk cache — this is
+          what batches same-program-different-config request runs into
+          one [prepare] + N [solve]; 0 disables.  Memo hits decode a
+          private copy per request and do {e not} count as cache hits
+          for the always-certify-on-cache-hit policy (nothing crossed a
+          process boundary), so response statuses are identical with the
+          memo on or off *)
 }
 
 val default_config : config
@@ -95,6 +112,16 @@ val certify_sampled : seed:int -> rate:float -> seq:int -> bool
     certification keeps it from reaching the client as [ok]. *)
 val solution_fault_site : int -> string
 
+(** The canonical terminal frames the serving tier answers without
+    executing anything — exported so the shard router produces
+    byte-identical refusals to a single-process server. *)
+
+val quarantined_response : Request.t -> Request.response
+
+val invalid_response : Request.parse_error -> Request.response
+
+val drained_response : id:string -> Request.response
+
 (** Run the serve loop to completion (end of input, or a termination
     signal).  Returns the process exit code: 0 after a clean drain,
     {!Jobs.exit_input} when the response stream died (e.g. a broken
@@ -102,3 +129,36 @@ val solution_fault_site : int -> string
     on return. *)
 val run :
   ?config:config -> input:Unix.file_descr -> output:out_channel -> unit -> int
+
+(** Serve over a listening socket ({!Transport.addr}) instead of stdio:
+    one connection manager accepts concurrent clients, frames their
+    request lines, and feeds the same admission machinery and worker
+    pool as {!run}; each response is written back on the connection that
+    submitted its request.  Additional durability properties on top of
+    {!run}'s:
+
+    {ul
+    {- {b per-connection conservation}: a connection closes only after
+       every line it submitted has its terminal frame (its share of the
+       conservation ledger reaches zero);}
+    {- {b crash isolation from clients}: a client that disconnects
+       before its response is written ([EPIPE]/[ECONNRESET]) costs
+       nothing but that response — the loss is counted
+       ([serve.client_gone]) and logged to stderr as a typed
+       [E-LOAD-GONE] accounting frame, and the server lives on;}
+    {- {b slow-loris defense}: a request line longer than
+       [config.max_line] is refused with [E-REQ-OVERSIZE], a connection
+       holding a partial line longer than [config.read_timeout_ms] is
+       refused with [E-REQ-TIMEOUT]; both refusals are terminal frames
+       on the wire before the close, so conservation holds for them
+       too;}
+    {- {b graceful drain}: SIGTERM/SIGINT stops accepting, answers typed
+       drain rejections for lines already in flight, finishes queued
+       work, closes every connection, and removes a Unix socket file.}}
+
+    Returns the exit code (0; client failures never fail the server).
+    The test-only [IPCP_SERVE_KILL_INPUT] environment hook (also honored
+    by {!run}) SIGKILLs the whole process when a matching input key
+    executes — how the shard-failover harnesses fell one shard
+    deterministically. *)
+val run_listen : ?config:config -> addr:Transport.addr -> unit -> int

@@ -1,0 +1,110 @@
+type t = {
+  sh_slot : int;
+  sh_addr : Transport.addr;
+  mutable sh_pid : int;
+  mutable sh_fd : Unix.file_descr option;
+}
+
+let slot t = t.sh_slot
+let pid t = t.sh_pid
+let addr t = t.sh_addr
+let fd t = t.sh_fd
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let dead pid =
+  match Unix.waitpid [ Unix.WNOHANG ] pid with
+  | 0, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> true
+
+(* Retry until the child's listener accepts: there is no startup
+   handshake, the bound socket itself is the readiness signal. *)
+let rec connect_retry ~addr ~pid deadline =
+  match Transport.connect addr with
+  | fd -> fd
+  | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+    if dead pid then
+      failwith
+        (Printf.sprintf "shard at %s died before accepting connections"
+           (Transport.addr_to_string addr))
+    else if Unix.gettimeofday () > deadline then
+      failwith
+        (Printf.sprintf "shard at %s did not accept within the connect \
+                         timeout"
+           (Transport.addr_to_string addr))
+    else begin
+      Unix.sleepf 0.02;
+      connect_retry ~addr ~pid deadline
+    end
+
+let start ~binary ~addr ~slot ~args ~connect_timeout_ms =
+  let argv =
+    Array.of_list
+      (binary :: "serve" :: "--listen" :: Transport.addr_to_string addr :: args)
+  in
+  let nul = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Fun.protect
+      ~finally:(fun () -> close_quiet nul)
+      (fun () -> Unix.create_process binary argv nul Unix.stderr Unix.stderr)
+  in
+  let deadline =
+    Unix.gettimeofday () +. (float_of_int connect_timeout_ms /. 1000.0)
+  in
+  match connect_retry ~addr ~pid deadline with
+  | fd -> { sh_slot = slot; sh_addr = addr; sh_pid = pid; sh_fd = Some fd }
+  | exception e ->
+    (if not (dead pid) then begin
+       (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+       try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+     end);
+    raise e
+
+let rec write_all fd buf pos len =
+  if len > 0 then
+    match Unix.write fd buf pos len with
+    | n -> write_all fd buf (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf pos len
+
+let send t line =
+  match t.sh_fd with
+  | None -> false
+  | Some fd -> (
+    let b = Bytes.of_string (line ^ "\n") in
+    match write_all fd b 0 (Bytes.length b) with
+    | () -> true
+    | exception (Unix.Unix_error _ | Sys_error _) -> false)
+
+let reap ?(patience_ms = 5000) t =
+  let deadline =
+    Unix.gettimeofday () +. (float_of_int patience_ms /. 1000.0)
+  in
+  let rec wait escalated =
+    match Unix.waitpid [ Unix.WNOHANG ] t.sh_pid with
+    | 0, _ ->
+      if (not escalated) && Unix.gettimeofday () > deadline then begin
+        (try Unix.kill t.sh_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        wait true
+      end
+      else begin
+        Unix.sleepf 0.02;
+        wait escalated
+      end
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  in
+  wait false
+
+let abandon t =
+  Option.iter close_quiet t.sh_fd;
+  t.sh_fd <- None;
+  reap ~patience_ms:2000 t;
+  Transport.unlink_addr t.sh_addr
+
+let terminate t =
+  Option.iter close_quiet t.sh_fd;
+  t.sh_fd <- None;
+  (try Unix.kill t.sh_pid Sys.sigterm with Unix.Unix_error _ -> ());
+  reap t;
+  Transport.unlink_addr t.sh_addr

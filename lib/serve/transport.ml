@@ -1,0 +1,127 @@
+type addr = Unix_sock of string | Tcp of string * int
+
+let parse_addr s =
+  let colon_split s =
+    match String.rindex_opt s ':' with
+    | None -> None
+    | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  let tcp host port_s =
+    match int_of_string_opt port_s with
+    | Some p when p >= 0 && p <= 65535 ->
+      Ok (Tcp ((if host = "" then "*" else host), p))
+    | _ -> Error (Printf.sprintf "bad TCP port %S" port_s)
+  in
+  if String.length s > 5 && String.sub s 0 5 = "unix:" then
+    let path = String.sub s 5 (String.length s - 5) in
+    if path = "" then Error "empty unix socket path" else Ok (Unix_sock path)
+  else if String.length s > 4 && String.sub s 0 4 = "tcp:" then
+    match colon_split (String.sub s 4 (String.length s - 4)) with
+    | Some (host, port) -> tcp host port
+    | None -> Error (Printf.sprintf "bad TCP address %S (want tcp:HOST:PORT)" s)
+  else if String.contains s '/' then Ok (Unix_sock s)
+  else
+    Error
+      (Printf.sprintf
+         "bad listen address %S (want unix:PATH or tcp:HOST:PORT)" s)
+
+let addr_to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let sockaddr_of = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+    let ip =
+      if host = "*" then Unix.inet_addr_any
+      else if host = "localhost" then Unix.inet_addr_loopback
+      else
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } -> Unix.inet_addr_loopback
+          | h -> h.Unix.h_addr_list.(0)
+          | exception Not_found -> Unix.inet_addr_loopback)
+    in
+    Unix.ADDR_INET (ip, port)
+
+let domain_of = function
+  | Unix_sock _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET
+
+let unlink_addr = function
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()
+
+let listen ?(backlog = 64) addr =
+  (* a stale socket file from a dead listener can only ever refuse *)
+  unlink_addr addr;
+  let fd = Unix.socket (domain_of addr) Unix.SOCK_STREAM 0 in
+  (match addr with
+  | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+  | Unix_sock _ -> ());
+  (try Unix.bind fd (sockaddr_of addr)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen fd backlog;
+  fd
+
+let connect addr =
+  let fd = Unix.socket (domain_of addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr_of addr)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+module Framing = struct
+  type t = { buf : Buffer.t; max_line : int; mutable poisoned : bool }
+
+  type event = Line of string | Oversize of int
+
+  let create ~max_line = { buf = Buffer.create 256; max_line; poisoned = false }
+
+  let feed t chunk =
+    if t.poisoned then []
+    else begin
+      Buffer.add_string t.buf chunk;
+      let data = Buffer.contents t.buf in
+      let events = ref [] in
+      let over n =
+        t.poisoned <- true;
+        Buffer.clear t.buf;
+        events := Oversize n :: !events
+      in
+      let rec go start =
+        if not t.poisoned then
+          match String.index_from_opt data start '\n' with
+          | Some nl ->
+            if t.max_line > 0 && nl - start > t.max_line then over (nl - start)
+            else begin
+              events := Line (String.sub data start (nl - start)) :: !events;
+              go (nl + 1)
+            end
+          | None ->
+            let rest = String.length data - start in
+            if t.max_line > 0 && rest > t.max_line then over rest
+            else begin
+              Buffer.clear t.buf;
+              Buffer.add_substring t.buf data start rest
+            end
+      in
+      go 0;
+      List.rev !events
+    end
+
+  let finish t =
+    let line =
+      if t.poisoned || Buffer.length t.buf = 0 then None
+      else Some (Buffer.contents t.buf)
+    in
+    Buffer.clear t.buf;
+    line
+
+  let partial t = (not t.poisoned) && Buffer.length t.buf > 0
+end

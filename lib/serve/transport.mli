@@ -1,0 +1,56 @@
+(** Socket transport for the serving layer: address notation, listener
+    and client-connection setup, and the per-connection line framing the
+    listener's defenses hang off.
+
+    Addresses are written [unix:PATH] (a filesystem socket) or
+    [tcp:HOST:PORT]; a bare string containing [/] is taken as a Unix
+    socket path.  The framing splits a byte stream into
+    newline-delimited request lines while enforcing a per-line length
+    cap: the first line to exceed it poisons the framer (one
+    {!Framing.Oversize} event, then silence), which the listener turns
+    into a structured [E-REQ-OVERSIZE] refusal and a close — buffering
+    an unbounded line for a client that never sends a newline is exactly
+    the slow-loris memory attack the cap exists to stop. *)
+
+type addr =
+  | Unix_sock of string  (** filesystem socket path *)
+  | Tcp of string * int  (** host (name, numeric, or ["*"] = any) and port *)
+
+val parse_addr : string -> (addr, string) result
+val addr_to_string : addr -> string
+
+(** Bind and listen.  A stale Unix socket file left by a dead process is
+    removed first (connecting to it can only ever fail).  TCP listeners
+    set [SO_REUSEADDR].  Raises [Unix.Unix_error] when the address
+    cannot be bound. *)
+val listen : ?backlog:int -> addr -> Unix.file_descr
+
+(** Connect as a client.  Raises [Unix.Unix_error] on refusal. *)
+val connect : addr -> Unix.file_descr
+
+(** Remove the filesystem artifact of a Unix-socket listener
+    (best-effort; TCP addresses are a no-op). *)
+val unlink_addr : addr -> unit
+
+module Framing : sig
+  type t
+
+  type event =
+    | Line of string  (** one complete request line (newline stripped) *)
+    | Oversize of int
+        (** the buffered line exceeded [max_line] at this many bytes;
+            terminal — the framer ignores all further input *)
+
+  (** [max_line <= 0] leaves the length unchecked. *)
+  val create : max_line:int -> t
+
+  val feed : t -> string -> event list
+
+  (** The trailing unterminated line at EOF, if any ([feed] order: a
+      client that closes without a final newline still submitted that
+      line).  Resets the buffer. *)
+  val finish : t -> string option
+
+  (** A partial line is buffered — the state the read deadline guards. *)
+  val partial : t -> bool
+end

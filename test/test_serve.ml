@@ -1069,6 +1069,243 @@ let test_certify_off_frames_unchanged () =
   check Alcotest.string "certified run byte-identical when everything passes"
     base certified
 
+(* ---- the socket transport and the shard router ---- *)
+
+module Transport = Ipcp_serve.Transport
+module Router = Ipcp_serve.Router
+
+let test_transport_parse_addr () =
+  check Alcotest.bool "unix: form" true
+    (Transport.parse_addr "unix:/run/ipcp.sock"
+    = Ok (Transport.Unix_sock "/run/ipcp.sock"));
+  check Alcotest.bool "tcp: form" true
+    (Transport.parse_addr "tcp:127.0.0.1:7070"
+    = Ok (Transport.Tcp ("127.0.0.1", 7070)));
+  check Alcotest.bool "tcp: empty host is any" true
+    (Transport.parse_addr "tcp::7070" = Ok (Transport.Tcp ("*", 7070)));
+  check Alcotest.bool "bare path with a slash is a unix socket" true
+    (Transport.parse_addr "/tmp/x.sock"
+    = Ok (Transport.Unix_sock "/tmp/x.sock"));
+  (match Transport.parse_addr "tcp:host:notaport" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad TCP port accepted");
+  (match Transport.parse_addr "unix:" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty unix path accepted");
+  match Transport.parse_addr "sideways" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage address accepted"
+
+let feed_lines f s =
+  List.filter_map
+    (function Transport.Framing.Line l -> Some l | Oversize _ -> None)
+    (Transport.Framing.feed f s)
+
+let test_framing_reassembles_split_lines () =
+  let f = Transport.Framing.create ~max_line:1024 in
+  check (Alcotest.list Alcotest.string) "batch of two" [ "alpha"; "beta" ]
+    (feed_lines f "alpha\nbeta\n");
+  check (Alcotest.list Alcotest.string) "first half buffers" []
+    (feed_lines f "gam");
+  check Alcotest.bool "partial flagged" true (Transport.Framing.partial f);
+  check (Alcotest.list Alcotest.string) "completion flushes in order"
+    [ "gamma"; "delta" ]
+    (feed_lines f "ma\ndelta\nepsi");
+  check Alcotest.bool "trailing partial survives to finish" true
+    (Transport.Framing.finish f = Some "epsi");
+  check Alcotest.bool "finish resets the buffer" true
+    (Transport.Framing.finish f = None)
+
+let test_framing_poisons_oversize () =
+  let f = Transport.Framing.create ~max_line:8 in
+  (match Transport.Framing.feed f (String.make 32 'x') with
+  | [ Transport.Framing.Oversize n ] ->
+    check Alcotest.bool "measured past the cap" true (n > 8)
+  | _ -> Alcotest.fail "expected exactly one oversize event");
+  (* terminal: the framer never yields again, even for valid lines *)
+  check Alcotest.int "poisoned framer stays silent" 0
+    (List.length (Transport.Framing.feed f "ok\nok\n"));
+  check Alcotest.bool "no trailing partial after poisoning" true
+    (Transport.Framing.finish f = None);
+  check Alcotest.bool "no deadline armed after poisoning" true
+    (not (Transport.Framing.partial f));
+  (* the cap measures one line, not the connection: many short lines
+     whose total far exceeds it all pass *)
+  let f = Transport.Framing.create ~max_line:8 in
+  let many = String.concat "" (List.init 64 (fun i -> Printf.sprintf "l%d\n" i)) in
+  check Alcotest.int "64 short lines pass an 8-byte cap" 64
+    (List.length (feed_lines f many))
+
+let test_ring_covers_and_is_deterministic () =
+  List.iter
+    (fun slots ->
+      let ring = Router.Ring.make ~slots in
+      let again = Router.Ring.make ~slots in
+      List.iter
+        (fun key ->
+          let owner = Router.Ring.lookup ring key in
+          check Alcotest.bool "owner in range" true
+            (owner >= 0 && owner < slots);
+          check Alcotest.int "lookup deterministic across ring builds" owner
+            (Router.Ring.lookup again key);
+          let order = Router.Ring.order_from ring key in
+          check Alcotest.int "failover order has every slot" slots
+            (List.length (List.sort_uniq compare order));
+          check Alcotest.int "failover order has no repeats" slots
+            (List.length order);
+          match order with
+          | first :: _ ->
+            check Alcotest.int "failover order starts at the owner" owner first
+          | [] -> Alcotest.fail "empty failover order")
+        [ "prog:a"; "prog:b"; "session:const:s1"; "op:tables"; "" ])
+    [ 1; 2; 4; 7 ]
+
+let test_ring_rebalance_is_partial () =
+  (* the consistent-hashing point: adding a shard re-homes only the keys
+     the new slot's vnodes capture, not the whole keyspace *)
+  let keys = List.init 200 (fun i -> Printf.sprintf "prog:%d" i) in
+  let r4 = Router.Ring.make ~slots:4 in
+  let r5 = Router.Ring.make ~slots:5 in
+  let moved =
+    List.length
+      (List.filter
+         (fun k -> Router.Ring.lookup r4 k <> Router.Ring.lookup r5 k)
+         keys)
+  in
+  check Alcotest.bool "the new slot captures some keys" true (moved > 0);
+  check Alcotest.bool
+    (Printf.sprintf "most keys stay put (%d/200 moved)" moved)
+    true (moved < 100)
+
+let req_of line =
+  match Request.of_line line with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("request did not parse: " ^ e.Request.pe_reason)
+
+let test_route_key_content_affinity () =
+  let k l = Router.route_key (req_of l) in
+  (* same program under different ids and configurations lands on one
+     shard — that co-location is what makes the prepare memo pay *)
+  check Alcotest.string "id and configuration do not affect the key"
+    (k {|{"id":"a","op":"analyze","suite":"adm"}|})
+    (k {|{"id":"b","op":"analyze","suite":"adm","jf":"literal","certify":true}|});
+  check Alcotest.string "certify co-locates with analyze"
+    (k {|{"id":"a","op":"analyze","suite":"adm"}|})
+    (k {|{"id":"c","op":"certify","suite":"adm"}|});
+  check Alcotest.bool "different programs hash apart" true
+    (k {|{"id":"a","op":"analyze","suite":"adm"}|}
+    <> k {|{"id":"a","op":"analyze","suite":"doduc"}|});
+  (* content-addressed: a file holding a suite program's exact source
+     keys identically to the suite request *)
+  let dir = tmp_dir "route-key" in
+  let path = Filename.concat dir "adm-copy.mf" in
+  (match Registry.find "adm" with
+  | Some e -> write_file path e.source
+  | None -> Alcotest.fail "no adm suite entry");
+  check Alcotest.string "file content keys like the identical suite source"
+    (k {|{"id":"a","op":"analyze","suite":"adm"}|})
+    (k
+       (Json.to_string
+          (Json.Obj
+             [ ("id", Json.Str "f"); ("op", Json.Str "analyze");
+               ("file", Json.Str path) ])));
+  (* analyze-delta routes by session, not content: the pinned session
+     state is what the request must reach *)
+  check Alcotest.string "delta keys by session name"
+    (k {|{"id":"a","op":"analyze-delta","suite":"adm","session":"s1"}|})
+    (k {|{"id":"b","op":"analyze-delta","suite":"doduc","session":"s1"}|});
+  check Alcotest.bool "distinct sessions hash apart" true
+    (k {|{"id":"a","op":"analyze-delta","suite":"adm","session":"s1"}|}
+    <> k {|{"id":"a","op":"analyze-delta","suite":"adm","session":"s2"}|})
+
+(* The prepare memo is semantically invisible: repeated service of one
+   program renders frames identical to a memo-disabled server, and the
+   post-drain counter proves the repeats actually rode the memo. *)
+let test_prepare_memo_transparent () =
+  let lines =
+    List.map (fun i -> analyze_line ~id:(Printf.sprintf "m%d" i) ~suite:"adm")
+      [ 1; 2; 3; 4 ]
+  in
+  let run memo =
+    let health = Filename.concat (tmp_dir "memo-health") "health.json" in
+    let config =
+      { Server.default_config with workers = 1; prepare_memo = memo;
+        health_out = Some health }
+    in
+    let code, responses = run_server ~config lines in
+    check Alcotest.int "clean exit" 0 code;
+    let hits =
+      match Json.of_string (read_file health) with
+      | Ok doc -> (
+        match Json.path [ "counters"; "serve.prepare_memo_hits" ] doc with
+        | Some j -> Option.value ~default:0 (Json.to_int_opt j)
+        | None -> 0)
+      | Error e -> Alcotest.fail ("unreadable health snapshot: " ^ e)
+    in
+    (List.sort compare (List.map Request.response_to_line responses), hits)
+  in
+  let with_memo, hits_on = run 8 in
+  let without_memo, hits_off = run 0 in
+  check (Alcotest.list Alcotest.string) "frames identical memo on/off"
+    without_memo with_memo;
+  check Alcotest.bool "repeats hit the memo" true (hits_on >= 3);
+  check Alcotest.int "disabled memo never hits" 0 hits_off
+
+(* Two handles on one directory — the shape of the shard fleet, where
+   every worker process opens its own [Cache.t] over the shared root. *)
+let test_cache_double_commit () =
+  let dir = tmp_dir "cache-share" in
+  let a = Cache.create ~dir () in
+  let b = Cache.create ~dir () in
+  let key = Cache.key ~source:"shared source" in
+  (* a racing double-store commits whichever rename lands last; both
+     carry identical bytes, so both handles must read them back *)
+  Cache.store_blob a ~key "payload";
+  Cache.store_blob b ~key "payload";
+  check Alcotest.bool "first handle reads the entry" true
+    (Cache.find_blob a ~key = Some "payload");
+  check Alcotest.bool "second handle reads the entry" true
+    (Cache.find_blob b ~key = Some "payload");
+  (* a store one handle never performed is still visible to it *)
+  let key2 = Cache.key ~source:"late arrival" in
+  Cache.store_blob b ~key:key2 "late";
+  check Alcotest.bool "cross-handle visibility" true
+    (Cache.find_blob a ~key:key2 = Some "late")
+
+(* Readers racing the evictor: a tight find loop in one domain while
+   another stores far past the cap.  Every read must return the
+   committed bytes or a clean miss — never an exception, never torn or
+   foreign bytes (the checksum header turns torn reads into misses). *)
+let test_cache_eviction_under_concurrent_readers () =
+  let dir = tmp_dir "cache-race" in
+  let writer = Cache.create ~max_entries:4 ~dir () in
+  let reader = Cache.create ~dir () in
+  let hot_key = Cache.key ~source:"hot" in
+  Cache.store_blob writer ~key:hot_key "hot payload";
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let reads = Atomic.make 0 in
+  let d =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          (match Cache.find_blob reader ~key:hot_key with
+          | Some "hot payload" | None -> ()
+          | Some _ -> Atomic.incr torn);
+          Atomic.incr reads
+        done)
+  in
+  for i = 1 to 200 do
+    Cache.store_blob writer
+      ~key:(Cache.key ~source:(string_of_int i))
+      (String.make (16 + (i mod 32)) 'p')
+  done;
+  Atomic.set stop true;
+  Domain.join d;
+  check Alcotest.int "no torn or foreign bytes" 0 (Atomic.get torn);
+  check Alcotest.bool "the reader actually raced" true (Atomic.get reads > 0);
+  check Alcotest.bool "evictions happened during the race" true
+    ((Cache.stats writer).evictions > 0)
+
 let suite =
   [
     ("serve request parsing", `Quick, test_request_parse);
@@ -1111,4 +1348,18 @@ let suite =
      test_certification_failure_quarantines);
     ("serve certify-off frames unchanged", `Quick,
      test_certify_off_frames_unchanged);
+    ("serve transport address parsing", `Quick, test_transport_parse_addr);
+    ("serve framing reassembles split lines", `Quick,
+     test_framing_reassembles_split_lines);
+    ("serve framing poisons oversize lines", `Quick,
+     test_framing_poisons_oversize);
+    ("serve ring covers and is deterministic", `Quick,
+     test_ring_covers_and_is_deterministic);
+    ("serve ring rebalance is partial", `Quick, test_ring_rebalance_is_partial);
+    ("serve route key content affinity", `Quick,
+     test_route_key_content_affinity);
+    ("serve prepare memo transparent", `Quick, test_prepare_memo_transparent);
+    ("serve cache double commit", `Quick, test_cache_double_commit);
+    ("serve cache eviction under concurrent readers", `Quick,
+     test_cache_eviction_under_concurrent_readers);
   ]

@@ -67,6 +67,7 @@ module Jobs = Ipcp_serve.Jobs
 module SReq = Ipcp_serve.Request
 module SErr = Ipcp_serve.Err
 module Server = Ipcp_serve.Server
+module STransport = Ipcp_serve.Transport
 module Incr = Ipcp_incr.Incr
 
 let seed = ref 1
@@ -75,6 +76,7 @@ let certify = ref false
 let inject_bad = ref false
 let serve_diff = ref false
 let serve_smoke = ref false
+let serve_shard = ref false
 let serve_cert = ref false
 let delta = ref false
 let subsume = ref false
@@ -101,6 +103,12 @@ let speclist =
     ( "--serve-smoke",
       Arg.Set serve_smoke,
       "  drive a real `ipcp serve` subprocess (needs --ipcp)" );
+    ( "--serve-shard",
+      Arg.Set serve_shard,
+      "  drive a real `ipcp route` shard fleet (needs --ipcp): \
+       router-vs-single-server byte identity, SIGKILL conservation at \
+       shards 1/2/4, poison quarantine, session re-import, socket \
+       defenses" );
     ( "--serve-cert",
       Arg.Set serve_cert,
       "  online-certification differential: armed corruption, sampling 1.0 \
@@ -116,15 +124,17 @@ let speclist =
       Arg.Set subsume,
       "  copy-vs-const differential: the copy fixpoint must project onto \
        the const fixpoint and substitute at least as much" );
-    ("--ipcp", Arg.Set_string ipcp_bin, "PATH  ipcp binary for --serve-smoke");
+    ( "--ipcp",
+      Arg.Set_string ipcp_bin,
+      "PATH  ipcp binary for --serve-smoke / --serve-shard" );
     ("--fuel", Arg.Set_int fuel, "N  interpreter fuel per run");
     ("--verbose", Arg.Set verbose, "  print each iteration");
   ]
 
 let usage =
   "fuzz [--seed N] [--iterations N] [--certify] [--inject-bad] \
-   [--serve-diff] [--serve-smoke --ipcp PATH] [--serve-cert] [--delta] \
-   [--subsume]"
+   [--serve-diff] [--serve-smoke --ipcp PATH] [--serve-shard --ipcp PATH] \
+   [--serve-cert] [--delta] [--subsume]"
 
 (* ------------------------------------------------------------------ *)
 
@@ -819,14 +829,18 @@ let run_capture argv =
 
 type server_proc = { sp_pid : int; sp_send : out_channel; sp_recv : in_channel }
 
-let start_server args =
+let start_proc ?env argv =
   (* cloexec, or the child would inherit the write end of its own stdin
      pipe and closing ours would never deliver EOF (create_process
      dup2s onto fds 0/1, which clears the flag on the copies) *)
   let stdin_r, stdin_w = Unix.pipe ~cloexec:true () in
   let stdout_r, stdout_w = Unix.pipe ~cloexec:true () in
-  let argv = Array.append [| !ipcp_bin; "serve" |] args in
-  let pid = Unix.create_process !ipcp_bin argv stdin_r stdout_w Unix.stderr in
+  let pid =
+    match env with
+    | None -> Unix.create_process argv.(0) argv stdin_r stdout_w Unix.stderr
+    | Some env ->
+      Unix.create_process_env argv.(0) argv env stdin_r stdout_w Unix.stderr
+  in
   Unix.close stdin_r;
   Unix.close stdout_w;
   {
@@ -834,6 +848,8 @@ let start_server args =
     sp_send = Unix.out_channel_of_descr stdin_w;
     sp_recv = Unix.in_channel_of_descr stdout_r;
   }
+
+let start_server args = start_proc (Array.append [| !ipcp_bin; "serve" |] args)
 
 let read_to_eof ic =
   let buf = Buffer.create 4096 in
@@ -1082,6 +1098,443 @@ let run_serve_smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* --serve-shard: a real `ipcp route` multi-process shard fleet.       *)
+
+let start_router ?env args =
+  start_proc ?env (Array.append [| !ipcp_bin; "route" |] args)
+
+(* One synchronous request/response exchange (the poison and re-import
+   gates pin an exact status sequence, so they go one at a time). *)
+let rpc sp line =
+  submit sp line;
+  input_line sp.sp_recv
+
+let shard_pids path =
+  nonempty_lines (read_file path)
+  |> List.filter_map (fun l ->
+         match String.split_on_char ' ' (String.trim l) with
+         | [ _slot; pid ] -> int_of_string_opt pid
+         | _ -> None)
+
+(* Read [fd] until one full '\n'-terminated frame (returned without the
+   newline) or EOF; [None] when the peer closed without answering. *)
+let read_frame_fd fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 256 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | n -> (
+      Buffer.add_subbytes buf chunk 0 n;
+      match String.index_opt (Buffer.contents buf) '\n' with
+      | Some nl -> Some (String.sub (Buffer.contents buf) 0 nl)
+      | None -> go ())
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+      if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+  in
+  go ()
+
+let gauge_of doc name =
+  match Json.path [ "gauges"; name ] doc with
+  | Some j -> Json.to_int_opt j
+  | None -> None
+
+let counter_of doc name =
+  match Json.path [ "counters"; name ] doc with
+  | Some j -> Json.to_int_opt j
+  | None -> None
+
+let run_serve_shard () =
+  if !ipcp_bin = "" then begin
+    Fmt.epr "--serve-shard needs --ipcp PATH@.";
+    exit 2
+  end;
+  let dir = fresh_dir "serve-shard" in
+  let failures = ref 0 in
+  let err fmt =
+    Fmt.kstr (fun m -> incr failures; Fmt.epr "serve-shard: %s@." m) fmt
+  in
+  let suite_files =
+    List.map
+      (fun (e : Ipcp_suite.Registry.entry) ->
+        let path = Filename.concat dir (e.name ^ ".mf") in
+        write_file path e.source;
+        (e.name, path))
+      Ipcp_suite.Registry.entries
+  in
+  let names = List.map fst suite_files in
+  let kind_of i = List.nth diff_kinds (i mod List.length diff_kinds) in
+  let suite_line ~id name =
+    Json.to_string
+      (Json.Obj
+         [ ("id", Json.Str id); ("op", Json.Str "analyze");
+           ("suite", Json.Str name) ])
+  in
+  (* ---- gate 1: routed stream byte-identical to a single server ----
+     The same mixed request file (analyze under rotating jump functions,
+     some certified, tables, one garbage line) through `ipcp serve` and
+     through `ipcp route --shards N`: the sorted response streams must
+     be equal byte-for-byte — the router relays shard frames verbatim
+     with only the id spliced back.  A health probe rides along on the
+     router runs; it is router-merged (router.* readings exist only
+     there), so it is excluded from the identity comparison. *)
+  let id_cases =
+    List.mapi
+      (fun i (name, path) ->
+        analyze_case ~id:("a-" ^ name) ~path ~kind:(kind_of i)
+          ~cert:(i mod 3 = 0))
+      suite_files
+    @ [ tables_case ~id:"tables" ]
+  in
+  let id_lines =
+    List.map (fun c -> c.dc_line) id_cases @ [ "this is not a request" ]
+  in
+  let sp = start_server [| "--workers"; "2"; "--queue"; "256" |] in
+  List.iter (submit sp) id_lines;
+  let single_code, single_out = finish_server sp in
+  if single_code <> 0 then err "identity: single server exited %d" single_code;
+  ignore (parse_responses single_out);
+  let single_sorted = List.sort compare (nonempty_lines single_out) in
+  List.iter
+    (fun shards ->
+      let sp =
+        start_router
+          [| "--shards"; string_of_int shards; "--workers"; "2";
+             "--queue"; "256" |]
+      in
+      List.iter (submit sp) id_lines;
+      submit sp
+        (Json.to_string
+           (Json.Obj [ ("id", Json.Str "hprobe"); ("op", Json.Str "health") ]));
+      let code, out = finish_server sp in
+      if code <> 0 then err "identity (%d shards): router exited %d" shards code;
+      let responses = parse_responses out in
+      (match
+         List.find_opt (fun (r : SReq.response) -> r.rs_id = "hprobe") responses
+       with
+      | None -> err "identity (%d shards): no merged health answer" shards
+      | Some r -> (
+        match r.rs_health with
+        | None ->
+          err "identity (%d shards): health frame has no document" shards
+        | Some doc ->
+          if gauge_of doc "router.shards" <> Some shards then
+            err "identity (%d shards): merged health lacks router.shards"
+              shards;
+          (* shard readings are summed in: each shard reports workers=2 *)
+          if gauge_of doc "serve.workers" <> Some (2 * shards) then
+            err "identity (%d shards): summed serve.workers gauge is wrong"
+              shards));
+      let routed_sorted =
+        nonempty_lines out
+        |> List.filter (fun l ->
+               match SReq.response_of_line l with
+               | Ok r -> r.SReq.rs_id <> "hprobe"
+               | Error _ -> true)
+        |> List.sort compare
+      in
+      if routed_sorted <> single_sorted then begin
+        let s = Filename.concat dir "identity-single.sorted" in
+        let r = Filename.concat dir (Printf.sprintf "identity-%d.sorted" shards) in
+        write_file s (String.concat "\n" single_sorted ^ "\n");
+        write_file r (String.concat "\n" routed_sorted ^ "\n");
+        err
+          "identity (%d shards): routed stream is not byte-identical to the \
+           single-process server (dumped %s vs %s)" shards s r
+      end)
+    [ 1; 2; 4 ];
+  (* ---- gate 2: SIGKILLed shard, every request still answered ----
+     Conservation across a crash: a few requests answered first (so the
+     pids file is known-written), the rest submitted and the victim
+     SIGKILLed while they are in flight.  Every request must still get
+     exactly one terminal frame, all ok, byte-identical to the direct
+     rendering — the dead shard's in-flight work re-routes to the next
+     live shard (or waits for the respawn when it was the only one). *)
+  let kill_cases =
+    List.mapi
+      (fun i (name, path) ->
+        analyze_case ~id:("k-" ^ name) ~path ~kind:(kind_of (i + 1))
+          ~cert:false)
+      suite_files
+  in
+  List.iter
+    (fun shards ->
+      let pids_path = Filename.concat dir (Printf.sprintf "pids.%d" shards) in
+      let sp =
+        start_router
+          [| "--shards"; string_of_int shards; "--workers"; "1";
+             "--shard-pids"; pids_path; "--backoff-ms"; "5";
+             "--backoff-cap-ms"; "40" |]
+      in
+      let warmup = List.filteri (fun i _ -> i < 3) kill_cases in
+      let rest = List.filteri (fun i _ -> i >= 3) kill_cases in
+      List.iter (fun (c : diff_case) -> submit sp c.dc_line) warmup;
+      let answered = List.map (fun _ -> input_line sp.sp_recv) warmup in
+      let victim =
+        match shard_pids pids_path with
+        | pid :: _ -> pid
+        | [] ->
+          err "kill (%d shards): no shard pids written" shards;
+          -1
+      in
+      List.iter (fun (c : diff_case) -> submit sp c.dc_line) rest;
+      if victim > 0 then Unix.kill victim Sys.sigkill;
+      let code, out = finish_server sp in
+      if code <> 0 then err "kill (%d shards): router exited %d" shards code;
+      let responses =
+        parse_responses (String.concat "\n" answered ^ "\n" ^ out)
+      in
+      if List.length responses <> List.length kill_cases then
+        err "kill (%d shards): conservation broken: %d responses for %d \
+             requests" shards (List.length responses)
+          (List.length kill_cases);
+      List.iter
+        (fun (c : diff_case) ->
+          match
+            List.find_opt
+              (fun (r : SReq.response) -> r.rs_id = c.dc_id)
+              responses
+          with
+          | None -> err "kill (%d shards): no response for %s" shards c.dc_id
+          | Some r ->
+            if r.rs_status <> SReq.Ok_done then
+              err "kill (%d shards): %s: status %s, expected ok" shards
+                c.dc_id (SReq.status_name r.rs_status)
+            else if r.rs_stdout <> Some c.dc_expect.Jobs.out then
+              err "kill (%d shards): %s diverges from the direct rendering"
+                shards c.dc_id)
+        kill_cases)
+    [ 1; 2; 4 ];
+  (* ---- gate 3: poison input quarantined at router scope ----
+     IPCP_SERVE_KILL_INPUT makes any shard SIGKILL itself the moment it
+     executes the poison input.  The first submission kills its shard,
+     re-routes exactly once, kills the second — and terminates with
+     E-WORKER-LOST instead of crash-looping.  Two shard deaths on one
+     input open the router-scope breaker, so the next submission is
+     quarantined at admission without touching any shard; healthy
+     traffic keeps flowing around the whole episode. *)
+  let poison = List.hd names in
+  let healthy =
+    List.find
+      (fun n -> n <> poison && not (String.starts_with ~prefix:poison n))
+      names
+  in
+  let env =
+    Array.append (Unix.environment ())
+      [| "IPCP_SERVE_KILL_INPUT=suite:" ^ poison |]
+  in
+  List.iter
+    (fun shards ->
+      let sp =
+        start_router ~env
+          [| "--shards"; string_of_int shards; "--breaker"; "2";
+             "--backoff-ms"; "5"; "--backoff-cap-ms"; "40" |]
+      in
+      let check ~label ~status ~ecode line =
+        match SReq.response_of_line (rpc sp line) with
+        | Error e ->
+          err "poison (%d shards): %s: unparseable frame: %s" shards label e
+        | Ok r ->
+          if SReq.status_name r.rs_status <> status then
+            err "poison (%d shards): %s: status %s, expected %s" shards label
+              (SReq.status_name r.rs_status) status;
+          (match ecode with
+          | None -> ()
+          | Some c -> (
+            match r.rs_error with
+            | Some e when e.SErr.e_code = c -> ()
+            | _ ->
+              err "poison (%d shards): %s: expected error code %s" shards
+                label c))
+      in
+      check ~label:"healthy before" ~status:"ok" ~ecode:None
+        (suite_line ~id:"ok1" healthy);
+      check ~label:"poison #1" ~status:"error" ~ecode:(Some "E-WORKER-LOST")
+        (suite_line ~id:"p1" poison);
+      check ~label:"poison #2" ~status:"quarantined"
+        ~ecode:(Some "E-LOAD-QUARANTINE")
+        (suite_line ~id:"p2" poison);
+      check ~label:"healthy after" ~status:"ok" ~ecode:None
+        (suite_line ~id:"ok2" healthy);
+      let code, _ = finish_server sp in
+      if code <> 0 then err "poison (%d shards): router exited %d" shards code)
+    [ 1; 2 ];
+  (* ---- gate 4: warm failover re-imports sessions from the cache ----
+     An analyze-delta session is started, its shard SIGKILLed, and the
+     next delta served by the respawned process.  The respawn must
+     restore the session from the shared on-disk cache — proven by the
+     serve.delta_updates counter (an incremental update fired, not a
+     fresh start) — and the delta output must stay byte-identical to a
+     from-scratch CLI analyze of the edited source. *)
+  let cache = Filename.concat dir "shared-cache" in
+  let pids_path = Filename.concat dir "pids.reimport" in
+  let prog_path = Filename.concat dir "reimport.mf" in
+  write_file prog_path (gen_source ((!seed * 131) + 1));
+  let delta_line id =
+    Json.to_string
+      (Json.Obj
+         [ ("id", Json.Str id); ("op", Json.Str "analyze-delta");
+           ("file", Json.Str prog_path); ("session", Json.Str "reimport") ])
+  in
+  let sp =
+    start_router
+      [| "--shards"; "1"; "--cache"; cache; "--shard-pids"; pids_path;
+         "--backoff-ms"; "5"; "--backoff-cap-ms"; "40" |]
+  in
+  (match SReq.response_of_line (rpc sp (delta_line "d1")) with
+  | Ok r when r.rs_status = SReq.Ok_done -> ()
+  | Ok r -> err "reimport: d1: status %s" (SReq.status_name r.rs_status)
+  | Error e -> err "reimport: d1: unparseable frame: %s" e);
+  (match shard_pids pids_path with
+  | pid :: _ -> Unix.kill pid Sys.sigkill
+  | [] -> err "reimport: no shard pid written");
+  write_file prog_path (gen_source ((!seed * 131) + 2));
+  (match SReq.response_of_line (rpc sp (delta_line "d2")) with
+  | Ok r when r.rs_status = SReq.Ok_done ->
+    let _, direct_out, _ = run_capture [| !ipcp_bin; "analyze"; prog_path |] in
+    if r.rs_stdout <> Some direct_out then
+      err "reimport: d2 diverges from a from-scratch analyze"
+  | Ok r -> err "reimport: d2: status %s" (SReq.status_name r.rs_status)
+  | Error e -> err "reimport: d2: unparseable frame: %s" e);
+  (match
+     SReq.response_of_line
+       (rpc sp
+          (Json.to_string
+             (Json.Obj [ ("id", Json.Str "h"); ("op", Json.Str "health") ])))
+   with
+  | Ok { rs_health = Some doc; _ } -> (
+    match counter_of doc "serve.delta_updates" with
+    | Some n when n >= 1 -> ()
+    | _ ->
+      err
+        "reimport: the respawned shard did not re-import the session (no \
+         delta_update recorded — it started fresh)")
+  | Ok _ -> err "reimport: health frame has no document"
+  | Error e -> err "reimport: health: unparseable frame: %s" e);
+  let code, _ = finish_server sp in
+  if code <> 0 then err "reimport: router exited %d" code;
+  (* ---- gate 5: the socket listener's own defenses ----
+     A real `ipcp serve --listen` process, attacked directly over its
+     unix socket: an oversized line is refused with E-REQ-OVERSIZE, a
+     stalled partial line is timed out with E-REQ-TIMEOUT, a client that
+     hangs up before its answer costs nothing but an E-LOAD-GONE
+     stderr-accounting entry — and a healthy connection still
+     round-trips after all three.  The post-drain snapshot pins each
+     defense's counter. *)
+  let sock = Filename.concat dir "defense.sock" in
+  let health_path = Filename.concat dir "defense-health.json" in
+  let errlog = Filename.concat dir "defense-stderr.log" in
+  let err_fd =
+    Unix.openfile errlog [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let in_fd = devnull_in () in
+  let listener_pid =
+    Unix.create_process !ipcp_bin
+      [| !ipcp_bin; "serve"; "--listen"; "unix:" ^ sock; "--workers"; "1";
+         "--read-timeout-ms"; "400"; "--max-line"; "2048";
+         "--health-out"; health_path |]
+      in_fd err_fd err_fd
+  in
+  Unix.close in_fd;
+  Unix.close err_fd;
+  let addr = STransport.Unix_sock sock in
+  let rec connect_retry tries =
+    match STransport.connect addr with
+    | fd -> fd
+    | exception (Unix.Unix_error _ | Sys_error _) when tries > 0 ->
+      Unix.sleepf 0.02;
+      connect_retry (tries - 1)
+  in
+  let send_all fd s =
+    let n = String.length s in
+    let rec go off =
+      if off < n then go (off + Unix.write_substring fd s off (n - off))
+    in
+    go 0
+  in
+  let expect_refusal ~label ~code fd =
+    match read_frame_fd fd with
+    | None -> err "defense: %s got no response frame" label
+    | Some line -> (
+      match SReq.response_of_line line with
+      | Ok { rs_status = SReq.Invalid; rs_error = Some e; _ }
+        when e.SErr.e_code = code -> ()
+      | Ok r ->
+        err "defense: %s: status %s, expected invalid/%s" label
+          (SReq.status_name r.rs_status) code
+      | Error e -> err "defense: %s: unparseable frame: %s" label e)
+  in
+  let fd = connect_retry 150 in
+  send_all fd (String.make 4096 'x' ^ "\n");
+  expect_refusal ~label:"oversize line" ~code:"E-REQ-OVERSIZE" fd;
+  Unix.close fd;
+  let fd = connect_retry 150 in
+  send_all fd "{\"id\":\"loris\"";
+  (* no newline ever comes; the read deadline must answer for us *)
+  expect_refusal ~label:"slow-loris partial" ~code:"E-REQ-TIMEOUT" fd;
+  Unix.close fd;
+  let fd = connect_retry 150 in
+  send_all fd
+    (Json.to_string
+       (Json.Obj [ ("id", Json.Str "gone"); ("op", Json.Str "tables") ])
+    ^ "\n");
+  (* hang up while tables is still computing: the write must fail
+     EPIPE-quietly inside the server, never kill it *)
+  Unix.close fd;
+  let fd = connect_retry 150 in
+  send_all fd (suite_line ~id:"alive" healthy ^ "\n");
+  (match read_frame_fd fd with
+  | None -> err "defense: healthy request after the attacks got no response"
+  | Some line -> (
+    match SReq.response_of_line line with
+    | Ok { rs_status = SReq.Ok_done; _ } -> ()
+    | Ok r ->
+      err "defense: healthy request: status %s" (SReq.status_name r.rs_status)
+    | Error e -> err "defense: healthy request: unparseable frame: %s" e));
+  Unix.close fd;
+  Unix.kill listener_pid Sys.sigterm;
+  let _, status = Unix.waitpid [] listener_pid in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> err "defense: listener exited %d after SIGTERM" c
+  | _ -> err "defense: listener did not exit on SIGTERM");
+  (match Json.of_string (read_file health_path) with
+  | exception Sys_error _ -> err "defense: no post-drain health snapshot"
+  | Error e -> err "defense: unreadable health snapshot: %s" e
+  | Ok doc ->
+    List.iter
+      (fun c ->
+        match counter_of doc c with
+        | Some n when n >= 1 -> ()
+        | _ -> err "defense: counter %s did not record the attack" c)
+      [ "serve.req_oversize"; "serve.req_timeout"; "serve.client_gone" ];
+    if counter_of doc "serve.conns_accepted" <> Some 4 then
+      err "defense: conns_accepted is not 4");
+  (* the E-LOAD-GONE accounting entry is a full, lintable response
+     frame on stderr — the request's outcome is recorded even though
+     no client was left to receive it *)
+  let gone_entries =
+    nonempty_lines (read_file errlog)
+    |> List.filter (fun l ->
+           match SReq.response_of_line l with
+           | Ok { rs_error = Some e; _ } -> e.SErr.e_code = "E-LOAD-GONE"
+           | _ -> false)
+  in
+  if gone_entries = [] then
+    err "defense: no E-LOAD-GONE accounting entry on the listener's stderr";
+  if !failures = 0 then begin
+    Fmt.pr
+      "serve-shard: identity, SIGKILL conservation, poison quarantine, \
+       session re-import and socket-defense gates all passed (shards \
+       1/2/4)@.";
+    0
+  end
+  else begin
+    Fmt.epr "serve-shard: %d failures@." !failures;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* --subsume: copy propagation subsumes constant propagation.          *)
 
 module Copy_driver = Driver.Make (Copy_analysis)
@@ -1298,6 +1751,7 @@ let () =
     (if !serve_diff then run_serve_diff ()
      else if !serve_cert then run_serve_cert ()
      else if !serve_smoke then run_serve_smoke ()
+     else if !serve_shard then run_serve_shard ()
      else if !inject_bad then run_inject_bad ()
      else if !delta then run_delta ()
      else if !subsume then run_subsume ()
