@@ -311,8 +311,10 @@ let cache_comparison () =
   let cache = Cache.create ~dir () in
   List.iter
     (fun (e : Registry.entry) ->
-      Cache.store cache ~key:(Cache.key ~source:e.source)
-        (Driver.prepare (Registry.program e)))
+      ignore
+        (Cache.store cache
+           ~key:(Cache.key ~source:e.source)
+           (Driver.prepare (Registry.program e))))
     Registry.entries;
   let warm () =
     List.iter

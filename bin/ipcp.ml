@@ -902,9 +902,33 @@ let route_cmd =
     Arg.(
       value & opt int 5000 & info [ "connect-timeout-ms" ] ~docv:"MS" ~doc)
   in
+  let route_deadline_ms =
+    let doc =
+      "Per-request deadline, in milliseconds: a request its shard has not \
+       answered within the window is hedged to the next ring slot exactly \
+       once, and the slow shard's late answer is discarded — bounded tail \
+       latency under gray failure at the cost of at most one duplicate \
+       compute.  0 disables."
+    in
+    Arg.(value & opt int 0 & info [ "route-deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let heartbeat_ms =
+    let doc =
+      "Heartbeat interval, in milliseconds: the router pings every live \
+       shard in-band (shards answer off-queue, even with all workers \
+       busy); a shard missing $(b,--heartbeat-misses) consecutive beats \
+       is ejected (SIGTERM then SIGKILL) and respawned on the usual \
+       seeded backoff.  0 disables."
+    in
+    Arg.(value & opt int 1000 & info [ "heartbeat-ms" ] ~docv:"MS" ~doc)
+  in
+  let heartbeat_misses =
+    let doc = "Consecutive unanswered heartbeats before ejection." in
+    Arg.(value & opt int 3 & info [ "heartbeat-misses" ] ~docv:"N" ~doc)
+  in
   let run shards workers queue cache cache_max certify_sample breaker
       backoff_ms backoff_cap_ms seed runtime_dir health_out shard_pids
-      connect_timeout_ms =
+      connect_timeout_ms route_deadline_ms heartbeat_ms heartbeat_misses =
     let shard_args =
       [ "--workers"; string_of_int workers;
         "--queue"; string_of_int queue;
@@ -930,6 +954,9 @@ let route_cmd =
         connect_timeout_ms;
         health_out;
         pids_out = shard_pids;
+        route_deadline_ms;
+        heartbeat_ms;
+        heartbeat_misses;
       }
     in
     Ipcp_serve.Router.run config
@@ -947,7 +974,8 @@ let route_cmd =
     Term.(
       const run $ shards $ workers $ queue $ cache $ cache_max_entries
       $ certify_sample $ breaker $ backoff_ms $ backoff_cap_ms $ seed
-      $ runtime_dir $ health_out $ shard_pids $ connect_timeout_ms)
+      $ runtime_dir $ health_out $ shard_pids $ connect_timeout_ms
+      $ route_deadline_ms $ heartbeat_ms $ heartbeat_misses)
 
 (* ---------------- broken-pipe handling ---------------- *)
 
@@ -985,6 +1013,32 @@ let () =
     | Some seed -> Ipcp_support.Fault.configure ~corrupt_rate:1.0 ~seed ()
     | None -> ())
   | None -> ());
+  (* Test-only hook: IPCP_FAULT_DISK=<seed> arms the disk-fault site in
+     the artifact cache's commit path (ENOSPC / short write / fsync
+     failure, shape chosen by the seeded draw), so CI can prove the
+     server degrades to cacheless operation instead of failing
+     requests. *)
+  (match Sys.getenv_opt "IPCP_FAULT_DISK" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some seed -> Ipcp_support.Fault.configure ~disk_rate:1.0 ~seed ()
+    | None -> ())
+  | None -> ());
+  (* Test-only hook: IPCP_TEST_EINTR_MS=<ms> installs a no-op SIGALRM
+     handler and a repeating interval timer, so every blocking syscall
+     in the process is EINTR-bombed at that period — the harness for
+     proving the serve/route select loops restart cleanly. *)
+  (match Sys.getenv_opt "IPCP_TEST_EINTR_MS" with
+  | Some s when Sys.os_type = "Unix" -> (
+    match int_of_string_opt s with
+    | Some ms when ms > 0 ->
+      Sys.set_signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ()));
+      let period = float_of_int ms /. 1000.0 in
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_interval = period; it_value = period })
+    | Some _ | None -> ())
+  | Some _ | None -> ());
   let doc =
     "interprocedural constant propagation: a study of jump function \
      implementations (Grove & Torczon, PLDI 1993)"

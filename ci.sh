@@ -208,6 +208,38 @@ for seed in 7 11; do
   dune exec --no-build tools/fuzz.exe -- --serve-shard --seed "$seed" \
     --ipcp "$(pwd)/_build/default/bin/ipcp.exe"
 done
+echo "== serve gray failures"
+# Gray-failure tolerance under two pinned seeds: a shard stalled via
+# IPCP_SERVE_STALL_INPUT must be hedged at the route deadline with the
+# stream staying byte-identical to a healthy run and no id answered
+# twice (ledger dedupe); a SIGSTOPped shard must be ejected after
+# missed heartbeats and respawned with no frame lost; injected disk
+# faults (ENOSPC / short write / fsync failure) during cache commits
+# must degrade the shards to cacheless operation with every response
+# still ok; and a 2ms EINTR storm must not change a byte.  The
+# post-drain snapshots must lint as ipcp.health/1 (router gray-counter
+# coherence included) and carry the new readings.
+for seed in 7 11; do
+  echo "-- seed $seed"
+  dune exec --no-build tools/fuzz.exe -- --serve-gray --seed "$seed" \
+    --ipcp "$(pwd)/_build/default/bin/ipcp.exe" \
+    --health-out "$tmpdir/gray_health_$seed"
+done
+dune exec --no-build tools/profile_lint.exe -- \
+  "$tmpdir/gray_health_7.eject" "$tmpdir/gray_health_7.disk"
+if ! grep -q 'router\.ejections' "$tmpdir/gray_health_7.eject"; then
+  echo "serve-gray: ejection snapshot carries no router.ejections counter" >&2
+  exit 1
+fi
+if ! grep -q 'router\.hedged' "$tmpdir/gray_health_7.eject"; then
+  echo "serve-gray: ejection snapshot carries no router.hedged counter" >&2
+  exit 1
+fi
+if ! grep -q 'serve\.cache_disabled' "$tmpdir/gray_health_7.disk"; then
+  echo "serve-gray: disk snapshot carries no serve.cache_disabled gauge" >&2
+  exit 1
+fi
+
 # Shell-level identity smoke: the same request file through `ipcp serve`
 # and `ipcp route --shards 3` must produce byte-identical (sorted)
 # response streams, and the routed stream must pass the typed-error

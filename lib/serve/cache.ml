@@ -188,6 +188,21 @@ let maybe_evict t =
           (List.sort compare dated)
       end)
 
+(* A commit failure surfaced to the caller: the entry was NOT published
+   and the temp file is gone.  The caller decides policy (the server
+   degrades to cacheless operation); the cache only reports. *)
+exception Commit_failed of string
+
+let write_all fd s ~pos ~len =
+  let off = ref pos and left = ref len in
+  while !left > 0 do
+    match Unix.write_substring fd s !off !left with
+    | n ->
+      off := !off + n;
+      left := !left - n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
 let store_blob t ~key payload =
   let header =
     Printf.sprintf "%s %s %d\n" magic
@@ -200,21 +215,50 @@ let store_blob t ~key payload =
          (Atomic.fetch_and_add t.tmp_seq 1)
          key)
   in
+  let injected = Ipcp_support.Fault.disk ("cache.commit:" ^ key) in
+  let fail fault =
+    raise
+      (Commit_failed
+         (Printf.sprintf "injected %s during cache commit"
+            (Ipcp_support.Fault.disk_fault_name fault)))
+  in
   match
-    let oc = open_out_bin tmp in
+    (match injected with Some (Enospc as f) -> fail f | _ -> ());
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
     Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
-        output_string oc header;
-        output_string oc payload);
+        write_all fd header ~pos:0 ~len:(String.length header);
+        (match injected with
+        | Some (Short_write as f) ->
+          (* land half the payload, then fail: the torn temp file must
+             never reach the rename below *)
+          write_all fd payload ~pos:0 ~len:(String.length payload / 2);
+          fail f
+        | _ -> write_all fd payload ~pos:0 ~len:(String.length payload));
+        (* fsync before the rename: a crash between write and rename
+           must not be able to publish an empty or torn entry once the
+           rename itself is durable *)
+        (match injected with Some (Fsync_fail as f) -> fail f | _ -> ());
+        Unix.fsync fd);
     (* the rename is the commit point: readers see the old entry (or
        none) until the new one is complete on disk *)
     Sys.rename tmp (entry_path t ~key)
   with
   | () ->
     Atomic.incr t.stores;
-    maybe_evict t
-  | exception Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+    maybe_evict t;
+    Ok ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    (match e with
+    | Commit_failed detail -> Error detail
+    | Sys_error detail -> Error detail
+    | Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+    | e -> raise e)
 
 let store t ~key artifacts =
   store_blob t ~key (Driver.artifacts_to_string artifacts)

@@ -51,11 +51,16 @@ val entry_path : t -> key:string -> string
     undecodable payload).  Failed entries are removed. *)
 val find : t -> key:string -> Driver.artifacts option
 
-(** Persist prepared artifacts under [key].  Best-effort: an I/O failure
-    leaves the cache without the entry (and the temp file cleaned up)
-    rather than raising — the cache is an accelerator, not a store of
-    record. *)
-val store : t -> key:string -> Driver.artifacts -> unit
+(** Persist prepared artifacts under [key].  The commit path is
+    write-temp, fsync, atomic-rename: the entry either appears whole and
+    durable or not at all.  Any I/O failure (including the injected
+    ENOSPC / short-write / fsync faults of
+    {!Ipcp_support.Fault.disk} at site [cache.commit:<key>]) leaves the
+    cache without the entry, the temp file cleaned up, and returns
+    [Error detail] — the cache is an accelerator, not a store of record,
+    so the caller decides policy (the server degrades to cacheless
+    operation). *)
+val store : t -> key:string -> Driver.artifacts -> (unit, string) result
 
 (** Raw checksummed payloads under the same crash-safety regime — the
     incremental layer stores session manifests and per-procedure
@@ -63,7 +68,7 @@ val store : t -> key:string -> Driver.artifacts -> unit
     failure. *)
 val find_blob : t -> key:string -> string option
 
-val store_blob : t -> key:string -> string -> unit
+val store_blob : t -> key:string -> string -> (unit, string) result
 
 type stats = {
   hits : int;

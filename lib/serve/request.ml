@@ -2,7 +2,7 @@ open Ipcp_core
 module Json = Ipcp_telemetry.Json
 
 type target = Suite of string | File of string
-type op = Analyze | Analyze_delta | Tables | Certify | Health
+type op = Analyze | Analyze_delta | Tables | Certify | Health | Ping
 
 type error_code = Bad_json | Not_object | Bad_field | Bad_op | Bad_analysis
 
@@ -42,6 +42,7 @@ let op_of_string = function
   | "tables" -> Some Tables
   | "certify" -> Some Certify
   | "health" -> Some Health
+  | "ping" -> Some Ping
   | _ -> None
 
 let kind_of_string = function
@@ -120,8 +121,8 @@ let of_doc doc =
             ( Bad_field,
               "analyze/analyze-delta/certify need a \"suite\" or \"file\" \
                target" )
-        | (Tables | Health), Some _ ->
-          Error (Bad_field, "tables/health take no target")
+        | (Tables | Health | Ping), Some _ ->
+          Error (Bad_field, "tables/health/ping take no target")
         | _ -> Ok target
       in
       let* session = field "session" Json.to_string_opt doc in

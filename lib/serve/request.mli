@@ -21,6 +21,10 @@ type op =
   | Tables  (** the [ipcp tables] regeneration *)
   | Certify  (** one-configuration independent certification *)
   | Health  (** health snapshot; bypasses the queue *)
+  | Ping
+      (** liveness probe; answered inline by the reader (off-queue, like
+          {!Health}), so a responsive process answers even when every
+          worker is busy or stalled — the router's heartbeat substrate *)
 
 (** Structured reasons a request line is refused — each renders as a
     stable [E-REQ-*] code in the response frame's [error] key, the first

@@ -73,6 +73,7 @@ let read_file_opt path =
 let route_key (req : Request.t) =
   match req.rq_op with
   | Request.Health -> "op:health"
+  | Request.Ping -> "op:ping"
   | Request.Tables -> "op:tables"
   | Request.Analyze_delta ->
     (* session affinity: every delta of a session must reach the shard
@@ -110,6 +111,16 @@ type config = {
   connect_timeout_ms : int;
   health_out : string option;
   pids_out : string option;
+  route_deadline_ms : int;
+      (** per-request deadline at the router: a request whose shard has
+          not answered within this window is hedged to the next ring
+          slot exactly once (0 disables) *)
+  heartbeat_ms : int;
+      (** interval between in-band pings to each live shard; any frame
+          from the shard counts as the answer (0 disables) *)
+  heartbeat_misses : int;
+      (** consecutive unanswered pings before a shard is ejected
+          (SIGTERM-then-SIGKILL, salvage, seeded-backoff respawn) *)
 }
 
 let default_config =
@@ -125,6 +136,9 @@ let default_config =
     connect_timeout_ms = 5000;
     health_out = None;
     pids_out = None;
+    route_deadline_ms = 0;
+    heartbeat_ms = 1000;
+    heartbeat_misses = 3;
   }
 
 (* Same shape as the in-process worker supervisor's restart delay: capped
@@ -145,6 +159,10 @@ type pending = {
   p_ikey : string;  (** breaker key ({!Request.input_key}) *)
   p_rkey : string;  (** ring key ({!route_key}) *)
   mutable p_rerouted : bool;  (** the one failover has been spent *)
+  mutable p_slot : int;  (** slot of the most recent forward; -1 = parked *)
+  mutable p_due : float;
+      (** absolute deadline of the current forward (0.0 = none); expiry
+          hedges the request to the next ring slot, once *)
 }
 
 (* One in-progress health fan-out, merging as shard answers arrive. *)
@@ -163,6 +181,9 @@ type slot_state = {
       (** iids (pending and health parts) currently on this shard *)
   mutable s_due : float;  (** respawn deadline while down *)
   mutable s_restarts : int;
+  mutable s_hb_sent : float;  (** when the last ping left (0.0 = never) *)
+  mutable s_hb_seen : float;  (** when any frame last arrived *)
+  mutable s_hb_missed : int;  (** consecutive pings with no frame since *)
 }
 
 type stats = {
@@ -175,6 +196,12 @@ type stats = {
   mutable invalid : int;
   mutable drained : int;
   mutable restarts : int;
+  mutable deadline_expired : int;
+  mutable hedged : int;
+  mutable ejections : int;
+  mutable late_dropped : int;
+      (** late answers from a slow shard discarded by the response
+          ledger after the hedge already answered *)
 }
 
 type rt = {
@@ -191,6 +218,7 @@ type rt = {
   chunk : Bytes.t;
   mutable seq : int;
   mutable hseq : int;
+  mutable pseq : int;  (** ping sequence ([g<pseq>.<slot>] iids) *)
   mutable eof : bool;  (** stdin closed (or stop observed) *)
   mutable out_dead : bool;
 }
@@ -241,6 +269,21 @@ let shards_up rt =
     (fun acc ss -> if ss.s_up = None then acc else acc + 1)
     0 rt.slots
 
+(* Worst-case staleness across the live fleet: how long ago the least
+   recently heard-from shard last produced any frame.  0 with heartbeats
+   disabled (the reading would be meaningless noise). *)
+let heartbeat_age_ms rt =
+  if rt.cfg.heartbeat_ms <= 0 then 0
+  else begin
+    let now = Unix.gettimeofday () in
+    Array.fold_left
+      (fun acc ss ->
+        match ss.s_up with
+        | None -> acc
+        | Some _ -> max acc (int_of_float ((now -. ss.s_hb_seen) *. 1000.0)))
+      0 rt.slots
+  end
+
 let write_pids rt =
   match rt.cfg.pids_out with
   | None -> ()
@@ -282,6 +325,7 @@ let merged_health rt docs =
         ("router.shards_up", shards_up rt);
         ("router.pending", Hashtbl.length rt.pending);
         ("router.waiting", Queue.length rt.waiting);
+        ("router.heartbeat_age_ms", heartbeat_age_ms rt);
       ]
   in
   let counters =
@@ -296,6 +340,10 @@ let merged_health rt docs =
         ("router.invalid", rt.st.invalid);
         ("router.drained", rt.st.drained);
         ("router.shard_restarts", rt.st.restarts);
+        ("router.deadline_expired", rt.st.deadline_expired);
+        ("router.hedged", rt.st.hedged);
+        ("router.ejections", rt.st.ejections);
+        ("router.late_dropped", rt.st.late_dropped);
       ]
   in
   Telemetry.health_snapshot ~gauges ~counters
@@ -333,13 +381,18 @@ let breaker_open rt key =
   && Option.value ~default:0 (Hashtbl.find_opt rt.breaker key)
      >= rt.cfg.breaker_threshold
 
-(* Forward [p] to the first live slot in its ring order.  With every
-   shard down it parks in [waiting], flushed on the next respawn —
+(* Forward [p] to the first live slot of [order].  With every shard
+   down it parks in [waiting], flushed on the next respawn —
    conservation holds because the router never gives up on an admitted
-   request, it only limits *re-routing after a crash* to once. *)
-let rec forward rt p =
+   request, it only limits *re-routing after a crash* to once.  A
+   successful send stamps [p_slot] and re-arms the per-forward deadline:
+   the deadline measures time on a shard, not time since admission, so
+   a request that waited out a full-fleet outage still gets its window. *)
+let rec forward_order rt p order =
   let rec try_slots = function
-    | [] -> Queue.add p rt.waiting
+    | [] ->
+      p.p_slot <- -1;
+      Queue.add p rt.waiting
     | slot :: rest -> (
       let ss = rt.slots.(slot) in
       match ss.s_up with
@@ -347,6 +400,11 @@ let rec forward rt p =
       | Some sh ->
         if Shard.send sh p.p_line then begin
           Hashtbl.replace ss.s_inflight p.p_iid ();
+          p.p_slot <- slot;
+          if rt.cfg.route_deadline_ms > 0 then
+            p.p_due <-
+              Unix.gettimeofday ()
+              +. (float_of_int rt.cfg.route_deadline_ms /. 1000.0);
           rt.st.forwarded <- rt.st.forwarded + 1
         end
         else begin
@@ -356,14 +414,22 @@ let rec forward rt p =
           try_slots rest
         end)
   in
-  try_slots (Ring.order_from rt.ring p.p_rkey)
+  try_slots order
+
+and forward rt p = forward_order rt p (Ring.order_from rt.ring p.p_rkey)
 
 (* The death protocol.  Order matters: salvage buffered frames first (a
    response fully written before the crash resolves normally — no
    double answer), only then charge the remaining inflight requests to
    the crash: each gets its single re-route, or its terminal
-   E-WORKER-LOST frame if the re-route is already spent. *)
-and shard_died rt slot =
+   E-WORKER-LOST frame if the re-route is already spent.
+
+   [eject] is the gray-failure variant: the process is alive but not
+   answering heartbeats (wedged, stopped, or pathologically slow), so
+   instead of merely abandoning the connection we SIGTERM it and
+   escalate to SIGKILL on a short fuse — a zombie shard holding the
+   socket would block its own replacement. *)
+and shard_died ?(eject = false) rt slot =
   let ss = rt.slots.(slot) in
   match ss.s_up with
   | None -> ()
@@ -387,7 +453,7 @@ and shard_died rt slot =
       salvage ());
     ss.s_up <- None;
     ss.s_framer <- Transport.Framing.create ~max_line:0;
-    Shard.abandon sh;
+    if eject then Shard.terminate ~patience_ms:500 sh else Shard.abandon sh;
     ss.s_restarts <- ss.s_restarts + 1;
     rt.st.restarts <- rt.st.restarts + 1;
     ss.s_due <-
@@ -399,6 +465,11 @@ and shard_died rt slot =
     List.iter
       (fun iid ->
         match Hashtbl.find_opt rt.pending iid with
+        | Some p when p.p_slot <> slot ->
+          (* a stale ledger entry: the request was hedged away at its
+             deadline and its live copy is on another shard — this
+             shard's death charges it nothing *)
+          ()
         | Some p ->
           crash_note rt p.p_ikey;
           if p.p_rerouted then begin
@@ -445,7 +516,15 @@ and resolve rt ss line =
           | None -> ());
           a.a_await <- a.a_await - 1;
           if a.a_await = 0 then finish_agg rt a
-        | None -> ()))
+        | None ->
+          (* the response ledger's discard point.  A request iid ([x*])
+             with no pending entry is a late answer from a shard whose
+             request was already resolved — the hedge answered first —
+             and is dropped here, never double-delivered.  Ping pongs
+             ([g*]) land here by design and count as nothing; any frame
+             already refreshed [s_hb_seen]. *)
+          if String.length iid > 0 && iid.[0] = 'x' then
+            rt.st.late_dropped <- rt.st.late_dropped + 1))
 
 let flush_waiting rt =
   let parked = Queue.length rt.waiting in
@@ -465,6 +544,9 @@ let respawn_due rt =
         | sh ->
           ss.s_up <- Some sh;
           ss.s_framer <- Transport.Framing.create ~max_line:0;
+          ss.s_hb_sent <- 0.0;
+          ss.s_hb_seen <- Unix.gettimeofday ();
+          ss.s_hb_missed <- 0;
           write_pids rt;
           flush_waiting rt
         | exception _ ->
@@ -479,6 +561,91 @@ let respawn_due rt =
                /. 1000.0
       end)
     rt.slots
+
+(* ---------------- gray-failure detection ---------------- *)
+
+let ping_line iid =
+  Json.to_string (Json.Obj [ ("id", Json.Str iid); ("op", Json.Str "ping") ])
+
+(* Heartbeats are in-band ping requests the shard answers off-queue (like
+   health), so a responsive process pongs even with every worker busy.
+   Any frame from the shard — pong or response — refreshes [s_hb_seen];
+   an interval that elapses with nothing heard since the last ping is a
+   miss, and [heartbeat_misses] consecutive misses eject the shard: a
+   process that is alive but silent is indistinguishable from one that
+   will never answer, and its inflight requests deserve their failover. *)
+let heartbeat rt =
+  if rt.cfg.heartbeat_ms > 0 then begin
+    let now = Unix.gettimeofday () in
+    let interval = float_of_int rt.cfg.heartbeat_ms /. 1000.0 in
+    Array.iter
+      (fun ss ->
+        match ss.s_up with
+        | None -> ()
+        | Some sh ->
+          if now -. ss.s_hb_sent >= interval then begin
+            if ss.s_hb_sent > 0.0 && ss.s_hb_seen < ss.s_hb_sent then
+              ss.s_hb_missed <- ss.s_hb_missed + 1
+            else ss.s_hb_missed <- 0;
+            if ss.s_hb_missed >= rt.cfg.heartbeat_misses then begin
+              rt.st.ejections <- rt.st.ejections + 1;
+              prerr_endline
+                (Printf.sprintf
+                   "ipcp route: shard %d missed %d heartbeats; ejecting \
+                    (pid %d)"
+                   ss.s_slot ss.s_hb_missed (Shard.pid sh));
+              shard_died ~eject:true rt ss.s_slot
+            end
+            else begin
+              rt.pseq <- rt.pseq + 1;
+              ss.s_hb_sent <- now;
+              (* fire-and-forget: the pong is not ledgered — it falls to
+                 [resolve]'s discard arm; liveness is tracked by
+                 [s_hb_seen], which any frame refreshes *)
+              if not (Shard.send sh (ping_line (Printf.sprintf "g%d.%d" rt.pseq ss.s_slot)))
+              then shard_died rt ss.s_slot
+            end
+          end)
+      rt.slots
+  end
+
+(* The per-request deadline scan: a forward that outlived its window is
+   hedged to the next ring slot, spending the request's one failover.
+   The slow shard's ledger entry stays in place so its late answer is
+   recognized and discarded, never double-delivered — the hedge trades
+   at most one duplicate compute for bounded tail latency, and the
+   one-terminal-frame conservation law survives because only the
+   pending-table entry (removed exactly once) can emit. *)
+let check_route_deadlines rt =
+  if rt.cfg.route_deadline_ms > 0 then begin
+    let now = Unix.gettimeofday () in
+    let expired =
+      Hashtbl.fold
+        (fun _ p acc ->
+          if
+            (not p.p_rerouted)
+            && p.p_slot >= 0
+            && p.p_due > 0.0
+            && now >= p.p_due
+          then p :: acc
+          else acc)
+        rt.pending []
+    in
+    List.iter
+      (fun p ->
+        p.p_rerouted <- true;
+        rt.st.deadline_expired <- rt.st.deadline_expired + 1;
+        rt.st.hedged <- rt.st.hedged + 1;
+        let prev = p.p_slot in
+        (* prefer any slot other than the slow one; a one-shard fleet
+           can only retry the same slot *)
+        let order =
+          List.filter (fun s -> s <> prev) (Ring.order_from rt.ring p.p_rkey)
+          @ [ prev ]
+        in
+        forward_order rt p order)
+      (List.sort (fun a b -> compare a.p_iid b.p_iid) expired)
+  end
 
 (* ---------------- admission ---------------- *)
 
@@ -540,6 +707,8 @@ let admit rt line =
             p_ikey = ikey;
             p_rkey = route_key req;
             p_rerouted = false;
+            p_slot = -1;
+            p_due = 0.0;
           }
         in
         Hashtbl.replace rt.pending iid p;
@@ -602,6 +771,9 @@ let run cfg =
               s_inflight = Hashtbl.create 16;
               s_due = 0.0;
               s_restarts = 0;
+              s_hb_sent = 0.0;
+              s_hb_seen = 0.0;
+              s_hb_missed = 0;
             });
       dir;
       dir_owned;
@@ -620,10 +792,15 @@ let run cfg =
           invalid = 0;
           drained = 0;
           restarts = 0;
+          deadline_expired = 0;
+          hedged = 0;
+          ejections = 0;
+          late_dropped = 0;
         };
       chunk = Bytes.create 65536;
       seq = 0;
       hseq = 0;
+      pseq = 0;
       eof = false;
       out_dead = false;
     }
@@ -660,6 +837,8 @@ let run cfg =
         | exception Unix.Unix_error _ -> shard_died rt ss.s_slot
         | 0 -> shard_died rt ss.s_slot
         | n ->
+          (* any bytes prove the process is alive and draining *)
+          ss.s_hb_seen <- Unix.gettimeofday ();
           List.iter
             (function
               | Transport.Framing.Line l -> resolve rt ss l
@@ -684,6 +863,8 @@ let run cfg =
     end;
     if not (settled ()) then begin
       respawn_due rt;
+      heartbeat rt;
+      check_route_deadlines rt;
       let shard_fds =
         Array.fold_left
           (fun acc ss ->

@@ -38,7 +38,18 @@
        incremental sessions instead of recomputing them;}
     {- {b merged health}: a [health] request fans out to every live
        shard and answers one [ipcp.health/1] snapshot with the shards'
-       gauges and counters summed plus the router's own ([router.*]).}}
+       gauges and counters summed plus the router's own ([router.*]);}
+    {- {b gray-failure tolerance}: a shard that is alive but {e silent}
+       (wedged, stopped, pathologically slow) is detected and handled,
+       not just a shard that died.  In-band heartbeats ([ping] requests
+       answered off-queue) track per-shard liveness; a shard missing
+       [heartbeat_misses] consecutive beats is {e ejected}
+       (SIGTERM-then-SIGKILL, buffered frames salvaged, inflight
+       re-routed, seeded-backoff respawn).  Independently, a per-request
+       deadline ([route_deadline_ms]) hedges a slow forward to the next
+       ring slot exactly once, and the response ledger discards the slow
+       shard's late answer ([router.late_dropped]) so no request is ever
+       answered twice.}}
 
     The byte-identity caveat: certification {e sampling} is a function
     of each server's own request sequence numbers, which sharding
@@ -91,6 +102,16 @@ type config = {
   pids_out : string option;
       (** rewrite this file with ["slot pid"] lines on every (re)spawn —
           how the crash harnesses find a victim to SIGKILL *)
+  route_deadline_ms : int;
+      (** per-request deadline: a forward unanswered within this window
+          is hedged to the next ring slot, spending the request's one
+          failover; the late answer is discarded by the ledger.  0
+          disables (the default) *)
+  heartbeat_ms : int;
+      (** interval between in-band pings per live shard; any frame from
+          the shard counts as the answer.  0 disables *)
+  heartbeat_misses : int;
+      (** consecutive unanswered pings before ejection *)
 }
 
 val default_config : config

@@ -73,7 +73,7 @@ let contains ~sub s =
    failed write. *)
 type outlet = {
   ol_mu : Mutex.t;
-  ol_dest : [ `Channel of out_channel | `Fd of Unix.file_descr ];
+  ol_dest : [ `Channel of out_channel | `Sock of Transport.Outbuf.t ];
   mutable ol_dead : bool;
   mutable ol_pending : int;
   mutable ol_eof : bool;  (** peer finished submitting (EOF, or refused) *)
@@ -94,12 +94,6 @@ let owe o =
   Mutex.lock o.ol_mu;
   o.ol_pending <- o.ol_pending + 1;
   Mutex.unlock o.ol_mu
-
-let rec write_all fd buf pos len =
-  if len > 0 then
-    match Unix.write fd buf pos len with
-    | n -> write_all fd buf (pos + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf pos len
 
 (* Worker domains log through one mutex so accounting entries never
    interleave mid-line. *)
@@ -138,6 +132,9 @@ type counters = {
   mutable req_oversize : int;  (** lines refused by the length cap *)
   mutable req_timeout : int;  (** connections refused by the read deadline *)
   mutable memo_hits : int;  (** prepare calls answered by the in-memory memo *)
+  mutable cache_disk_errors : int;
+      (** artifact-cache commits refused by the disk (each one arms or
+          re-arms the cacheless-degradation latch) *)
 }
 
 (* One circuit-breaker entry.  [bk_denied]/[bk_probing] implement the
@@ -177,6 +174,18 @@ type state = {
       (** test-only: SIGKILL the whole process when executing a matching
           input (IPCP_SERVE_KILL_INPUT) — how the shard-failover
           harnesses fell a shard deterministically *)
+  stall_input : string option;
+      (** test-only: sleep [stall_ms] when executing a matching input
+          (IPCP_SERVE_STALL_INPUT) — the gray-failure twin of
+          [kill_input]: the worker hangs past any router deadline but
+          the process stays alive and keeps answering pings *)
+  stall_ms : int;  (** sleep length of a stalled input (IPCP_SERVE_STALL_MS) *)
+  mutable cache_down_since : float option;
+      (** the cacheless-degradation latch: [Some t] after a disk fault
+          during a cache commit at time [t]; guarded by [mu].  While
+          set, requests bypass the cache entirely (and keep answering
+          [ok]); after {!cache_retry_after} seconds the next store acts
+          as a probe that either closes the latch or re-arms it *)
 }
 
 (* ---------------- responses ---------------- *)
@@ -207,20 +216,20 @@ let gone_entry (r : Request.response) =
 let respond st o r =
   Mutex.lock o.ol_mu;
   (if not o.ol_dead then
-     try
-       let line = Request.response_to_line r ^ "\n" in
-       match o.ol_dest with
-       | `Channel oc ->
+     let line = Request.response_to_line r ^ "\n" in
+     match o.ol_dest with
+     | `Channel oc -> (
+       try
          output_string oc line;
          flush oc
-       | `Fd fd ->
-         let b = Bytes.of_string line in
-         write_all fd b 0 (Bytes.length b)
-     with Sys_error _ | Unix.Unix_error _ -> (
-       o.ol_dead <- true;
-       match o.ol_dest with
-       | `Channel _ -> ()
-       | `Fd _ ->
+       with Sys_error _ -> o.ol_dead <- true)
+     | `Sock ob -> (
+       (* never blocks: the kernel-refused tail is buffered and resumed
+          from the select loop when the fd turns writable *)
+       match Transport.Outbuf.write ob line with
+       | `Ok | `Buffered -> ()
+       | `Dead ->
+         o.ol_dead <- true;
          Mutex.lock st.mu;
          st.n.client_gone <- st.n.client_gone + 1;
          Mutex.unlock st.mu;
@@ -316,6 +325,14 @@ let health_doc st =
               if st.cfg.breaker_threshold > 0 then quarantined_inputs else 0 );
             ("serve.breaker_entries", Hashtbl.length st.breaker);
           ]
+          @
+          match st.cache with
+          | None -> []
+          | Some _ ->
+            [
+              ( "serve.cache_disabled",
+                if st.cache_down_since = None then 0 else 1 );
+            ]
         in
         let counters =
           [
@@ -353,6 +370,7 @@ let health_doc st =
               ("serve.cache_corrupt", s.corrupt);
               ("serve.cache_stores", s.stores);
               ("serve.cache_evictions", s.evictions);
+              ("serve.cache_disk_errors", st.n.cache_disk_errors);
             ]
         in
         (gauges, counters))
@@ -418,6 +436,55 @@ let memo_store st key artifacts =
     Mutex.unlock st.memo_mu
   end
 
+(* ---------------- cacheless degradation ---------------- *)
+
+(* How long the server stays cacheless after a disk fault before the
+   next commit is allowed to probe the device again. *)
+let cache_retry_after = 1.0
+
+(* The disk cache, unless the degradation latch is armed.  While armed
+   (and inside the retry window) every caller sees [None] and serves
+   cacheless — the cache is an accelerator, never a reason to fail a
+   request.  Once the window expires the cache comes back as a probe:
+   the next successful commit closes the latch ({!note_store}), a
+   failing one re-arms it with a fresh window. *)
+let cache_for st =
+  match st.cache with
+  | None -> None
+  | Some c ->
+    let down =
+      locked st (fun () ->
+          match st.cache_down_since with
+          | None -> false
+          | Some t0 -> Unix.gettimeofday () -. t0 < cache_retry_after)
+    in
+    if down then None else Some c
+
+(* The stderr accounting frame for a disk fault: typed E-LOAD-DISK,
+   lintable like the E-LOAD-GONE entries, never on the wire. *)
+let disk_entry detail =
+  Request.response_to_line
+    (Request.response ~id:"cache"
+       ~reason:
+         "disk fault during artifact-cache commit; cache disabled, serving \
+          cacheless"
+       ~error:(Err.disk detail) Request.Error_crash)
+
+(* Account one cache-commit outcome: success closes the degradation
+   latch, failure arms (or re-arms) it.  The accounting frame is logged
+   once per armed window, not once per refused commit. *)
+let note_store st = function
+  | Ok () -> locked st (fun () -> st.cache_down_since <- None)
+  | Error detail ->
+    let newly_down =
+      locked st (fun () ->
+          st.n.cache_disk_errors <- st.n.cache_disk_errors + 1;
+          let newly_down = st.cache_down_since = None in
+          st.cache_down_since <- Some (Unix.gettimeofday ());
+          newly_down)
+    in
+    if newly_down then log_line (disk_entry detail)
+
 (* Prepared artifacts: first the in-memory memo, then the disk cache
    when one is configured.  A corrupt or missing disk entry recomputes
    silently; the recomputed result is stored back, so the next request
@@ -429,7 +496,7 @@ let artifacts_for st ~source prog =
   match memo_find st key with
   | Some a -> (a, false)
   | None -> (
-    match st.cache with
+    match cache_for st with
     | None ->
       let a = Driver.prepare prog in
       memo_store st key a;
@@ -439,7 +506,7 @@ let artifacts_for st ~source prog =
       | Some a -> (a, true)
       | None ->
         let a = Driver.prepare prog in
-        Cache.store c ~key a;
+        note_store st (Cache.store c ~key a);
         memo_store st key a;
         (a, false)))
 
@@ -535,20 +602,28 @@ module Analysis_serve (A : Ipcp_analysis.Analysis_sig.S) = struct
      procedures; the manifest (stored last, after every blob it references
      is durable) pins the session name to its current version. *)
   let persist_session st name sess =
-    match st.cache with
+    match cache_for st with
     | None -> ()
     | Some c ->
       let manifest, blobs = I.export sess in
-      List.iter
-        (fun (hash, payload) ->
-          Cache.store_blob c ~key:(proc_cache_key hash) payload)
-        blobs;
-      Cache.store_blob c ~key:(session_cache_key name) manifest
+      let failed =
+        List.exists
+          (fun (hash, payload) ->
+            let r = Cache.store_blob c ~key:(proc_cache_key hash) payload in
+            note_store st r;
+            Result.is_error r)
+          blobs
+      in
+      (* the manifest is stored last, and only if every blob it
+         references is durable: a disk fault mid-persist must never pin
+         the session name to missing pieces *)
+      if not failed then
+        note_store st (Cache.store_blob c ~key:(session_cache_key name) manifest)
 
   (* A session not pinned in memory (fresh server, or evicted by restart)
      may still be reassembled from cached pieces. *)
   let restore_session st name =
-    match st.cache with
+    match cache_for st with
     | None -> None
     | Some c -> (
       match Cache.find_blob c ~key:(session_cache_key name) with
@@ -692,7 +767,7 @@ module Delta_copy = Analysis_serve (Ipcp_analysis.Copy_analysis)
 
 let run_job st ~seq (req : Request.t) : exec =
   match req.rq_op with
-  | Request.Health -> assert false (* answered by the reader *)
+  | Request.Health | Request.Ping -> assert false (* answered by the reader *)
   | Request.Tables ->
     plain
       (Jobs.tables ~analysis:req.rq_analysis ~certify:req.rq_certify
@@ -715,7 +790,7 @@ let run_job st ~seq (req : Request.t) : exec =
         Delta_const.certify_op st req ~config ~name ~source prog
       | Request.Certify, `Copy ->
         Delta_copy.certify_op st req ~config ~name ~source prog
-      | (Request.Tables | Request.Health), _ -> assert false))
+      | (Request.Tables | Request.Health | Request.Ping), _ -> assert false))
 
 (* ---------------- worker supervision ---------------- *)
 
@@ -790,6 +865,18 @@ let execute st ~slot ~restarts job =
   | Some frag when frag <> "" && contains ~sub:frag key ->
     Unix.kill (Unix.getpid ()) Sys.sigkill
   | _ -> ());
+  (* test-only: IPCP_SERVE_STALL_INPUT=<fragment> is the gray twin —
+     the worker sleeps past any router deadline without crashing, while
+     the reader keeps answering pings; how the hedged-failover harness
+     makes one shard slow-but-alive *)
+  (match st.stall_input with
+  | Some frag when frag <> "" && contains ~sub:frag key ->
+    Unix.sleepf (float_of_int st.stall_ms /. 1000.)
+  | _ -> ());
+  (* the seeded stall site: same gray failure, chaos-layer flavoured *)
+  (match Fault.stall (Printf.sprintf "serve.worker:%d" job.j_seq) with
+  | Some ms -> Unix.sleepf (float_of_int ms /. 1000.)
+  | None -> ());
   let decision =
     (* a probe admitted by the reader already holds the half-open slot;
        deciding again here would deny it against its own probe *)
@@ -876,6 +963,12 @@ let handle_line st ~outlet ~seq line =
         let doc = health_doc st in
         respond st outlet
           (Request.response ~id:req.rq_id ~code:0 ~health:doc Request.Ok_done)
+      | Request.Ping ->
+        (* answered inline like health: a pong proves the process is
+           alive and reading even when every worker is busy or stalled —
+           exactly the liveness signal the router's heartbeats probe *)
+        respond st outlet
+          (Request.response ~id:req.rq_id ~code:0 Request.Ok_done)
       | _ -> (
         let key = Request.input_key req in
         match breaker_decide st key with
@@ -1054,11 +1147,20 @@ let make_state config =
         req_oversize = 0;
         req_timeout = 0;
         memo_hits = 0;
+        cache_disk_errors = 0;
       };
     memo_mu = Mutex.create ();
     prep_memo = Hashtbl.create 16;
     memo_order = Queue.create ();
     kill_input = Sys.getenv_opt "IPCP_SERVE_KILL_INPUT";
+    stall_input = Sys.getenv_opt "IPCP_SERVE_STALL_INPUT";
+    stall_ms =
+      (match
+         Option.bind (Sys.getenv_opt "IPCP_SERVE_STALL_MS") int_of_string_opt
+       with
+      | Some n when n > 0 -> n
+      | _ -> 2000);
+    cache_down_since = None;
   }
 
 (* Pre-resolve every suite program in this domain: the registry's memo
@@ -1112,6 +1214,9 @@ let run ?(config = default_config) ~input ~output () =
 type conn = {
   c_fd : Unix.file_descr;
   c_outlet : outlet;
+  c_outbuf : Transport.Outbuf.t;
+      (** the write-side tail buffer; the select loop services it when
+          the fd turns writable *)
   c_framer : Transport.Framing.t;
   mutable c_partial_since : float option;
       (** when the currently buffered partial request line began — the
@@ -1230,15 +1335,17 @@ let run_listen ?(config = default_config) ~addr () =
       ()
     | fd, _ ->
       (* a peer that stops reading must stall its own responses, not a
-         worker domain forever: a send timeout turns the blocked write
-         into a counted E-LOAD-GONE loss *)
-      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 60.0
-       with Unix.Unix_error _ | Invalid_argument _ -> ());
+         worker domain forever: the outbuf makes every response write
+         nonblocking — kernel-refused tails are buffered and resumed
+         from this loop, and a peer that outgrows the tail cap is
+         declared gone (counted E-LOAD-GONE) *)
+      let ob = Transport.Outbuf.create fd in
       locked st (fun () -> st.n.conns_accepted <- st.n.conns_accepted + 1);
       Hashtbl.replace conns fd
         {
           c_fd = fd;
-          c_outlet = outlet (`Fd fd);
+          c_outlet = outlet (`Sock ob);
+          c_outbuf = ob;
           c_framer = Transport.Framing.create ~max_line:config.max_line;
           c_partial_since = None;
           c_stop_read = false;
@@ -1247,9 +1354,34 @@ let run_listen ?(config = default_config) ~addr () =
   let handle_read c =
     match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* the outbuf put the fd in nonblocking mode; a read raced empty *)
+      ()
     | exception Unix.Unix_error _ -> conn_eof c ~broken:true
     | 0 -> conn_eof c ~broken:false
     | n -> note_events c (Transport.Framing.feed c.c_framer (Bytes.sub_string chunk 0 n))
+  in
+  (* the peer stopped reading and its buffered response tail outgrew the
+     cap, or the resumed write failed hard: charge the loss once *)
+  let outbuf_gone c =
+    Mutex.lock c.c_outlet.ol_mu;
+    let fresh = not c.c_outlet.ol_dead in
+    if fresh then c.c_outlet.ol_dead <- true;
+    Mutex.unlock c.c_outlet.ol_mu;
+    if fresh then begin
+      locked st (fun () -> st.n.client_gone <- st.n.client_gone + 1);
+      log_line
+        (Request.response_to_line
+           (Request.response ~id:""
+              ~reason:
+                "client connection gone with buffered response bytes \
+                 undelivered"
+              ~error:
+                (Err.gone
+                   "buffered response tail undeliverable: peer closed or \
+                    stopped reading")
+              Request.Error_crash))
+    end
   in
   let check_deadlines () =
     if config.read_timeout_ms > 0 then begin
@@ -1276,6 +1408,10 @@ let run_listen ?(config = default_config) ~addr () =
           let close_now =
             (c.c_stop_read || c.c_outlet.ol_dead)
             && c.c_outlet.ol_pending = 0
+            (* every owed frame is answered, but its bytes may still sit
+               in the outbuf: hold the fd until the tail lands too *)
+            && ((not (Transport.Outbuf.pending c.c_outbuf))
+               || Transport.Outbuf.dead c.c_outbuf)
           in
           Mutex.unlock c.c_outlet.ol_mu;
           if close_now then fd :: acc else acc)
@@ -1295,9 +1431,24 @@ let run_listen ?(config = default_config) ~addr () =
              (fun fd c acc -> if c.c_stop_read then acc else fd :: acc)
              conns []
       in
-      (match Unix.select read_fds [] [] 0.05 with
+      let write_fds =
+        Hashtbl.fold
+          (fun fd c acc ->
+            if Transport.Outbuf.pending c.c_outbuf then fd :: acc else acc)
+          conns []
+      in
+      (match Unix.select read_fds write_fds [] 0.05 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | ready, _, _ ->
+      | ready, writable, _ ->
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt conns fd with
+            | Some c -> (
+              match Transport.Outbuf.service c.c_outbuf with
+              | `Ok | `Buffered -> ()
+              | `Dead -> outbuf_gone c)
+            | None -> ())
+          writable;
         List.iter
           (fun fd ->
             if fd == listener then accept_one ()
@@ -1346,6 +1497,33 @@ let run_listen ?(config = default_config) ~addr () =
       st.draining <- true;
       Condition.broadcast st.cond);
   Array.iter Domain.join workers;
+  (* the drain rejections above may have landed in outbufs: give the
+     buffered tails a bounded window to reach their peers *)
+  let flush_deadline = Unix.gettimeofday () +. 2.0 in
+  let rec flush_tails () =
+    let waiting =
+      Hashtbl.fold
+        (fun fd c acc ->
+          if Transport.Outbuf.pending c.c_outbuf then (fd, c) :: acc else acc)
+        conns []
+    in
+    if waiting <> [] && Unix.gettimeofday () < flush_deadline then begin
+      (match Unix.select [] (List.map fst waiting) [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | _, writable, _ ->
+        List.iter
+          (fun fd ->
+            match List.assoc_opt fd waiting with
+            | Some c -> (
+              match Transport.Outbuf.service c.c_outbuf with
+              | `Ok | `Buffered -> ()
+              | `Dead -> outbuf_gone c)
+            | None -> ())
+          writable);
+      flush_tails ()
+    end
+  in
+  flush_tails ();
   Hashtbl.iter
     (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
     conns;

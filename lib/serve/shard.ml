@@ -102,9 +102,9 @@ let abandon t =
   reap ~patience_ms:2000 t;
   Transport.unlink_addr t.sh_addr
 
-let terminate t =
+let terminate ?patience_ms t =
   Option.iter close_quiet t.sh_fd;
   t.sh_fd <- None;
   (try Unix.kill t.sh_pid Sys.sigterm with Unix.Unix_error _ -> ());
-  reap t;
+  reap ?patience_ms t;
   Transport.unlink_addr t.sh_addr

@@ -41,5 +41,7 @@ val abandon : t -> unit
 
 (** Graceful stop: close the connection (the shard sees client EOF),
     send SIGTERM, and reap.  Escalates to SIGKILL if the shard has not
-    exited within ~5s. *)
-val terminate : t -> unit
+    exited within [patience_ms] (default ~5s) — the router's heartbeat
+    ejection passes a short fuse, since a shard being ejected is by
+    definition not responding and will likely need the escalation. *)
+val terminate : ?patience_ms:int -> t -> unit

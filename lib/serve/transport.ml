@@ -125,3 +125,88 @@ module Framing = struct
 
   let partial t = (not t.poisoned) && Buffer.length t.buf > 0
 end
+
+module Outbuf = struct
+  (* The write-side twin of [Framing]: a socket under pressure accepts
+     only part of a frame (EAGAIN/EWOULDBLOCK mid-write on a nonblocking
+     fd), and a frame must never be torn or reordered.  Writers append
+     whole frames; whatever the kernel refuses is buffered and resumed
+     by [service] when the select loop reports the fd writable.  All
+     entry points take the internal mutex, so worker domains and the
+     select loop can share one outbuf. *)
+  type t = {
+    ob_fd : Unix.file_descr;
+    ob_mu : Mutex.t;
+    ob_buf : Buffer.t;  (** the unwritten tail, oldest bytes first *)
+    ob_cap : int;  (** tail cap; exceeding it declares the peer dead *)
+    mutable ob_dead : bool;
+  }
+
+  let create ?(cap = 8 * 1024 * 1024) fd =
+    Unix.set_nonblock fd;
+    {
+      ob_fd = fd;
+      ob_mu = Mutex.create ();
+      ob_buf = Buffer.create 256;
+      ob_cap = cap;
+      ob_dead = false;
+    }
+
+  let fd t = t.ob_fd
+
+  let locked t f =
+    Mutex.lock t.ob_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.ob_mu) f
+
+  (* Push as much of the tail as the kernel accepts.  Call with the
+     mutex held.  Leaves [ob_dead] latched on any hard write error. *)
+  let drain_locked t =
+    let data = Buffer.contents t.ob_buf in
+    let len = String.length data in
+    let pos = ref 0 in
+    (try
+       while !pos < len do
+         let n = Unix.write_substring t.ob_fd data !pos (len - !pos) in
+         if n = 0 then raise Exit;
+         pos := !pos + n
+       done
+     with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) | Exit -> ()
+    | Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | Unix.Unix_error _ | Sys_error _ -> t.ob_dead <- true);
+    if !pos > 0 then begin
+      let rest = String.sub data !pos (len - !pos) in
+      Buffer.clear t.ob_buf;
+      Buffer.add_string t.ob_buf rest
+    end;
+    if t.ob_dead then Buffer.clear t.ob_buf
+
+  let write t frame =
+    locked t (fun () ->
+        if t.ob_dead then `Dead
+        else begin
+          Buffer.add_string t.ob_buf frame;
+          drain_locked t;
+          if t.ob_dead then `Dead
+          else if Buffer.length t.ob_buf = 0 then `Ok
+          else if Buffer.length t.ob_buf > t.ob_cap then begin
+            (* a peer that stopped reading while we owe it this much is
+               gone for all practical purposes; latch rather than grow *)
+            t.ob_dead <- true;
+            Buffer.clear t.ob_buf;
+            `Dead
+          end
+          else `Buffered
+        end)
+
+  let service t =
+    locked t (fun () ->
+        if not t.ob_dead then drain_locked t;
+        if t.ob_dead then `Dead
+        else if Buffer.length t.ob_buf = 0 then `Ok
+        else `Buffered)
+
+  let pending t = locked t (fun () -> (not t.ob_dead) && Buffer.length t.ob_buf > 0)
+
+  let dead t = locked t (fun () -> t.ob_dead)
+end

@@ -54,3 +54,39 @@ module Framing : sig
   (** A partial line is buffered — the state the read deadline guards. *)
   val partial : t -> bool
 end
+
+(** The write-side twin of {!Framing}: response frames to a socket peer
+    survive short/partial writes.  The fd is switched to nonblocking at
+    {!Outbuf.create}; a write the kernel only partially accepts
+    ([EAGAIN]/[EWOULDBLOCK] mid-frame) buffers its unwritten tail, and
+    the select loop resumes it with {!Outbuf.service} when the fd turns
+    writable — frames are never torn, never reordered, and a worker
+    domain never blocks on a slow client.  A tail that outgrows the cap
+    (default 8 MiB) or any hard write error latches the buffer dead:
+    the peer is treated as gone and the bytes are dropped (the caller
+    does its E-LOAD-GONE accounting). *)
+module Outbuf : sig
+  type t
+
+  (** Takes ownership of write-side concerns of [fd] (sets
+      [O_NONBLOCK]).  [cap] bounds the buffered tail in bytes. *)
+  val create : ?cap:int -> Unix.file_descr -> t
+
+  val fd : t -> Unix.file_descr
+
+  (** Append one whole frame and push as much as the kernel accepts.
+      [`Ok] = fully written, [`Buffered] = a tail remains (watch the fd
+      for writability and call {!service}), [`Dead] = the peer is gone
+      (this frame, and any tail, were dropped). *)
+  val write : t -> string -> [ `Ok | `Buffered | `Dead ]
+
+  (** Resume the buffered tail (call when select reports the fd
+      writable).  Same verdicts as {!write}. *)
+  val service : t -> [ `Ok | `Buffered | `Dead ]
+
+  (** A tail is buffered and the peer is still believed alive — the
+      condition under which the fd belongs in the select write set. *)
+  val pending : t -> bool
+
+  val dead : t -> bool
+end

@@ -10,6 +10,8 @@
 
 exception Injected of string
 
+type disk_fault = Enospc | Short_write | Fsync_fail
+
 type config = {
   seed : int;
   raise_rate : float;  (** probability a [inject] site raises {!Injected} *)
@@ -19,12 +21,16 @@ type config = {
   starve_steps : int;  (** step allowance of a starved budget *)
   corrupt_rate : float;
       (** probability a {!corruption} site yields a corruption seed *)
+  stall_rate : float;  (** probability a {!stall} site sleeps *)
+  stall_ms : int;  (** sleep duration of a stalled site *)
+  disk_rate : float;  (** probability a {!disk} site fails its commit *)
 }
 
 let state : config option Atomic.t = Atomic.make None
 
 let configure ?(raise_rate = 0.0) ?(spin_rate = 0.0) ?(spin_iters = 10_000)
-    ?(starve_rate = 0.0) ?(starve_steps = 0) ?(corrupt_rate = 0.0) ~seed () =
+    ?(starve_rate = 0.0) ?(starve_steps = 0) ?(corrupt_rate = 0.0)
+    ?(stall_rate = 0.0) ?(stall_ms = 0) ?(disk_rate = 0.0) ~seed () =
   Atomic.set state
     (Some
        {
@@ -35,6 +41,9 @@ let configure ?(raise_rate = 0.0) ?(spin_rate = 0.0) ?(spin_iters = 10_000)
          starve_rate;
          starve_steps;
          corrupt_rate;
+         stall_rate;
+         stall_ms;
+         disk_rate;
        })
 
 let clear () = Atomic.set state None
@@ -44,9 +53,9 @@ let active () = Atomic.get state <> None
 let config () = Atomic.get state
 
 let with_faults ?raise_rate ?spin_rate ?spin_iters ?starve_rate ?starve_steps
-    ?corrupt_rate ~seed f =
+    ?corrupt_rate ?stall_rate ?stall_ms ?disk_rate ~seed f =
   configure ?raise_rate ?spin_rate ?spin_iters ?starve_rate ?starve_steps
-    ?corrupt_rate ~seed ();
+    ?corrupt_rate ?stall_rate ?stall_ms ?disk_rate ~seed ();
   Fun.protect ~finally:clear f
 
 (* FNV-1a over the site string, mixed with the seed through the splitmix64
@@ -107,3 +116,35 @@ let corruption site =
               (hash_site c.seed (site ^ ":corrupt-seed"))
               0x3FFFFFFFL))
     else None
+
+let stall site =
+  match Atomic.get state with
+  | None -> None
+  | Some c ->
+    if c.stall_rate > 0.0 && roll c.seed (site ^ ":stall") < c.stall_rate then
+      Some c.stall_ms
+    else None
+
+let disk site =
+  match Atomic.get state with
+  | None -> None
+  | Some c ->
+    if c.disk_rate > 0.0 && roll c.seed (site ^ ":disk") < c.disk_rate then
+      (* which way the commit fails is itself a pure draw on the site,
+         so one armed run exercises all three failure shapes *)
+      let kind =
+        Int64.to_int
+          (Int64.logand (hash_site c.seed (site ^ ":disk-kind")) 0x7FFFFFFFL)
+        mod 3
+      in
+      Some
+        (match kind with
+        | 0 -> Enospc
+        | 1 -> Short_write
+        | _ -> Fsync_fail)
+    else None
+
+let disk_fault_name = function
+  | Enospc -> "enospc"
+  | Short_write -> "short-write"
+  | Fsync_fail -> "fsync-fail"

@@ -13,6 +13,12 @@
 (** Raised by {!inject} when the site's raise draw fires. *)
 exception Injected of string
 
+(** The three shapes a {!disk} commit fault takes: the filesystem is
+    full ([Enospc]), the write lands partially ([Short_write]), or the
+    data never reaches stable storage ([Fsync_fail]).  Which one a
+    firing site gets is itself a pure draw on the site string. *)
+type disk_fault = Enospc | Short_write | Fsync_fail
+
 type config = {
   seed : int;
   raise_rate : float;  (** probability an {!inject} site raises *)
@@ -22,6 +28,9 @@ type config = {
   starve_steps : int;  (** step allowance of a starved budget *)
   corrupt_rate : float;
       (** probability a {!corruption} site yields a corruption seed *)
+  stall_rate : float;  (** probability a {!stall} site sleeps *)
+  stall_ms : int;  (** sleep duration of a stalled site *)
+  disk_rate : float;  (** probability a {!disk} site fails its commit *)
 }
 
 (** Install a fault configuration (process-wide, atomically). *)
@@ -32,6 +41,9 @@ val configure :
   ?starve_rate:float ->
   ?starve_steps:int ->
   ?corrupt_rate:float ->
+  ?stall_rate:float ->
+  ?stall_ms:int ->
+  ?disk_rate:float ->
   seed:int ->
   unit ->
   unit
@@ -51,6 +63,9 @@ val with_faults :
   ?starve_rate:float ->
   ?starve_steps:int ->
   ?corrupt_rate:float ->
+  ?stall_rate:float ->
+  ?stall_ms:int ->
+  ?disk_rate:float ->
   seed:int ->
   (unit -> 'a) ->
   'a
@@ -70,3 +85,19 @@ val starvation : string -> int option
     when disabled or the draw does not fire.  Like every other site, the
     decision is a pure function of (seed, site). *)
 val corruption : string -> int option
+
+(** [stall site] is [Some ms] when the site's stall draw fires: the
+    caller should sleep [ms] milliseconds without raising — a gray
+    failure (slow, not dead) as opposed to {!inject}'s crash.  Pure in
+    (seed, site) like every other draw. *)
+val stall : string -> int option
+
+(** [disk site] is [Some fault] when the site's disk draw fires: the
+    instrumented cache-commit path must fail in the returned shape
+    (report [ENOSPC], land a short write, or fail the fsync) and must
+    {b not} publish the entry.  Pure in (seed, site). *)
+val disk : string -> disk_fault option
+
+(** Stable lowercase rendering for diagnostics ([enospc],
+    [short-write], [fsync-fail]). *)
+val disk_fault_name : disk_fault -> string

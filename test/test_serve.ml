@@ -170,7 +170,7 @@ let test_cache_round_trip () =
   let source, prog = suite_prog "adm" in
   let key = Cache.key ~source in
   check Alcotest.bool "cold miss" true (Cache.find c ~key = None);
-  Cache.store c ~key (Driver.prepare prog);
+  ignore (Cache.store c ~key (Driver.prepare prog));
   (match Cache.find c ~key with
   | None -> Alcotest.fail "stored entry not found"
   | Some artifacts ->
@@ -193,7 +193,7 @@ let test_cache_rejects_corruption () =
   let entry c = Filename.concat (Cache.dir c) (key ^ ".art") in
   let store_fresh () =
     let c = Cache.create ~dir () in
-    Cache.store c ~key (Driver.prepare prog);
+    ignore (Cache.store c ~key (Driver.prepare prog));
     c
   in
   let corruptions =
@@ -657,7 +657,7 @@ let test_delta_matches_analyze () =
 let test_cache_eviction_lru () =
   let dir = tmp_dir "cache-lru" in
   let c = Cache.create ~max_entries:2 ~dir () in
-  let store key payload = Cache.store_blob c ~key payload in
+  let store key payload = ignore (Cache.store_blob c ~key payload) in
   store "aaa" "first";
   store "bbb" "second";
   check Alcotest.int "under the cap, no evictions" 0 (Cache.stats c).evictions;
@@ -914,7 +914,7 @@ let test_cache_hit_corruption_certified () =
   let src_a, _prog_a = suite_prog "adm" in
   let _, prog_b = suite_prog "doduc" in
   let c = Cache.create ~dir () in
-  Cache.store c ~key:(Cache.key ~source:src_a) (Driver.prepare prog_b);
+  ignore (Cache.store c ~key:(Cache.key ~source:src_a) (Driver.prepare prog_b));
   let lines = [ analyze_line ~id:"hit" ~suite:"adm" ] in
   let config = { Server.default_config with cache_dir = Some dir } in
   let code, responses = run_server ~config lines in
@@ -1260,15 +1260,15 @@ let test_cache_double_commit () =
   let key = Cache.key ~source:"shared source" in
   (* a racing double-store commits whichever rename lands last; both
      carry identical bytes, so both handles must read them back *)
-  Cache.store_blob a ~key "payload";
-  Cache.store_blob b ~key "payload";
+  ignore (Cache.store_blob a ~key "payload");
+  ignore (Cache.store_blob b ~key "payload");
   check Alcotest.bool "first handle reads the entry" true
     (Cache.find_blob a ~key = Some "payload");
   check Alcotest.bool "second handle reads the entry" true
     (Cache.find_blob b ~key = Some "payload");
   (* a store one handle never performed is still visible to it *)
   let key2 = Cache.key ~source:"late arrival" in
-  Cache.store_blob b ~key:key2 "late";
+  ignore (Cache.store_blob b ~key:key2 "late");
   check Alcotest.bool "cross-handle visibility" true
     (Cache.find_blob a ~key:key2 = Some "late")
 
@@ -1281,7 +1281,7 @@ let test_cache_eviction_under_concurrent_readers () =
   let writer = Cache.create ~max_entries:4 ~dir () in
   let reader = Cache.create ~dir () in
   let hot_key = Cache.key ~source:"hot" in
-  Cache.store_blob writer ~key:hot_key "hot payload";
+  ignore (Cache.store_blob writer ~key:hot_key "hot payload");
   let stop = Atomic.make false in
   let torn = Atomic.make 0 in
   let reads = Atomic.make 0 in
@@ -1295,9 +1295,10 @@ let test_cache_eviction_under_concurrent_readers () =
         done)
   in
   for i = 1 to 200 do
-    Cache.store_blob writer
-      ~key:(Cache.key ~source:(string_of_int i))
-      (String.make (16 + (i mod 32)) 'p')
+    ignore
+      (Cache.store_blob writer
+         ~key:(Cache.key ~source:(string_of_int i))
+         (String.make (16 + (i mod 32)) 'p'))
   done;
   Atomic.set stop true;
   Domain.join d;
@@ -1305,6 +1306,292 @@ let test_cache_eviction_under_concurrent_readers () =
   check Alcotest.bool "the reader actually raced" true (Atomic.get reads > 0);
   check Alcotest.bool "evictions happened during the race" true
     ((Cache.stats writer).evictions > 0)
+
+(* ---- gray-failure tolerance ---- *)
+
+(* The wire op behind the router's heartbeats: parses, refuses a
+   target, and answers [ok] through a full server run. *)
+let test_ping_request () =
+  (match Request.of_line {|{"id":"p1","op":"ping"}|} with
+  | Ok r -> check Alcotest.bool "op" true (r.rq_op = Request.Ping)
+  | Error e -> Alcotest.fail ("ping should parse: " ^ e.Request.pe_reason));
+  (match Request.of_line {|{"id":"p2","op":"ping","suite":"adm"}|} with
+  | Ok _ -> Alcotest.fail "ping with a target accepted"
+  | Error _ -> ());
+  let code, responses =
+    run_server [ {|{"id":"p","op":"ping"}|}; analyze_line ~id:"a" ~suite:"adm" ]
+  in
+  check Alcotest.int "clean exit" 0 code;
+  check Alcotest.int "both answered" 2 (List.length responses);
+  match
+    List.find_opt (fun (r : Request.response) -> r.rs_id = "p") responses
+  with
+  | Some r -> check Alcotest.bool "pong is ok" true (r.rs_status = Request.Ok_done)
+  | None -> Alcotest.fail "no pong"
+
+(* The chaos layer's draws are pure in (seed, site): same seed same
+   answer, different sites decorrelated, zero rate never fires. *)
+let test_fault_stall_disk_deterministic () =
+  let stall_at seed site =
+    Fault.with_faults ~stall_rate:0.5 ~stall_ms:7 ~seed (fun () ->
+        Fault.stall site)
+  in
+  let disk_at seed site =
+    Fault.with_faults ~disk_rate:0.5 ~seed (fun () -> Fault.disk site)
+  in
+  for seed = 1 to 20 do
+    let site = Printf.sprintf "serve.worker:%d" seed in
+    check Alcotest.bool "stall draw is reproducible" true
+      (stall_at seed site = stall_at seed site);
+    check Alcotest.bool "disk draw is reproducible" true
+      (disk_at seed site = disk_at seed site)
+  done;
+  check Alcotest.bool "armed stall yields the configured pause" true
+    (List.exists
+       (fun seed -> stall_at seed "serve.worker:0" = Some 7)
+       (List.init 50 (fun i -> i)));
+  check Alcotest.bool "disarmed faults never fire" true
+    (Fault.stall "serve.worker:0" = None && Fault.disk "cache.commit:k" = None)
+
+(* Satellite: a disk fault mid-commit must surface as [Error], leave no
+   entry and no temp litter, and a later healthy store must publish. *)
+let test_cache_torn_commit () =
+  let dir = tmp_dir "torn-commit" in
+  let c = Cache.create ~dir () in
+  let key = Cache.key ~source:"torn commit probe" in
+  Fault.with_faults ~disk_rate:1.0 ~seed:5 (fun () ->
+      match Cache.store_blob c ~key "precious bytes" with
+      | Ok () -> Alcotest.fail "injected disk fault did not fail the store"
+      | Error detail ->
+        check Alcotest.bool "detail names the failure shape" true
+          (String.length detail > 0));
+  check Alcotest.bool "no entry published" true (Cache.find_blob c ~key = None);
+  Array.iter
+    (fun f ->
+      check Alcotest.bool ("no temp litter: " ^ f) false
+        (String.length f >= 4 && String.sub f 0 4 = ".tmp"))
+    (Sys.readdir dir);
+  (match Cache.store_blob c ~key "precious bytes" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("healthy store failed: " ^ e));
+  check Alcotest.bool "healthy store published" true
+    (Cache.find_blob c ~key = Some "precious bytes")
+
+(* All three injected failure shapes exist across seeds — the chaos
+   layer would silently lose coverage if one became unreachable. *)
+let test_disk_fault_shapes_covered () =
+  let shapes =
+    List.filter_map
+      (fun seed ->
+        Fault.with_faults ~disk_rate:1.0 ~seed (fun () ->
+            Option.map Fault.disk_fault_name (Fault.disk "cache.commit:x")))
+      (List.init 64 (fun i -> i))
+  in
+  List.iter
+    (fun shape ->
+      check Alcotest.bool ("shape reachable: " ^ shape) true
+        (List.mem shape shapes))
+    [ "enospc"; "short-write"; "fsync-fail" ]
+
+(* Satellite: response frames survive short/partial socket writes.  A
+   socketpair with a tiny send buffer forces the kernel to accept
+   frames in pieces; the outbuf must deliver every byte in order once
+   the reader drains, and report a clean [`Ok]. *)
+let test_outbuf_short_writes () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096
+   with Unix.Unix_error _ -> ());
+  let ob = Transport.Outbuf.create a in
+  let frame i = Printf.sprintf "frame-%04d-%s\n" i (String.make 2000 'x') in
+  let n_frames = 64 in
+  let buffered = ref false in
+  for i = 0 to n_frames - 1 do
+    match Transport.Outbuf.write ob (frame i) with
+    | `Ok -> ()
+    | `Buffered -> buffered := true
+    | `Dead -> Alcotest.fail "peer declared dead under backpressure"
+  done;
+  check Alcotest.bool "the kernel pushed back at least once" true !buffered;
+  (* drain reader-side while servicing the tail, as the select loop
+     would on writability *)
+  let got = Buffer.create (n_frames * 2048) in
+  let chunk = Bytes.create 8192 in
+  let expected = String.concat "" (List.init n_frames frame) in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while
+    Buffer.length got < String.length expected
+    && Unix.gettimeofday () < deadline
+  do
+    (match Transport.Outbuf.service ob with
+    | `Ok | `Buffered -> ()
+    | `Dead -> Alcotest.fail "peer declared dead while draining");
+    match Unix.select [ b ] [] [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ ->
+      let n = Unix.read b chunk 0 (Bytes.length chunk) in
+      Buffer.add_subbytes got chunk 0 n
+  done;
+  check Alcotest.bool "tail fully flushed" false (Transport.Outbuf.pending ob);
+  check Alcotest.bool "peer still believed alive" false
+    (Transport.Outbuf.dead ob);
+  check Alcotest.string "every frame arrived whole and in order" expected
+    (Buffer.contents got);
+  Unix.close a;
+  Unix.close b
+
+(* A peer that stops reading forever must latch [`Dead] at the tail
+   cap instead of buffering without bound. *)
+let test_outbuf_dead_peer_latches () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096
+   with Unix.Unix_error _ -> ());
+  let ob = Transport.Outbuf.create ~cap:65536 a in
+  let frame = String.make 8192 'y' in
+  let rec push n =
+    if n = 0 then Alcotest.fail "cap never latched"
+    else
+      match Transport.Outbuf.write ob frame with
+      | `Ok | `Buffered -> push (n - 1)
+      | `Dead -> ()
+  in
+  push 64;
+  check Alcotest.bool "dead latched" true (Transport.Outbuf.dead ob);
+  check Alcotest.bool "no pending tail once dead" false
+    (Transport.Outbuf.pending ob);
+  check Alcotest.bool "writes after death stay dead" true
+    (Transport.Outbuf.write ob "more" = `Dead);
+  Unix.close a;
+  Unix.close b
+
+(* Satellite: an EINTR storm (a repeating no-op SIGALRM) must not lose
+   or double-answer a single request, on stdio or on a socket.  This is
+   the in-process half of the coverage; tools/fuzz --serve-gray runs
+   the same storm against real subprocesses. *)
+let test_eintr_storm_conservation () =
+  let old_handler =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ()))
+  in
+  let period = 0.002 in
+  ignore
+    (Unix.setitimer Unix.ITIMER_REAL
+       { Unix.it_interval = period; it_value = period });
+  Fun.protect
+    ~finally:(fun () ->
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_interval = 0.0; it_value = 0.0 });
+      Sys.set_signal Sys.sigalrm old_handler)
+    (fun () ->
+      (* stdio server under the storm *)
+      let ids = List.init 12 (fun i -> Printf.sprintf "e%02d" i) in
+      let lines =
+        List.map (fun id -> analyze_line ~id ~suite:"adm") ids
+      in
+      let config = { Server.default_config with workers = 2 } in
+      let code, responses = run_server ~config lines in
+      check Alcotest.int "stdio: clean exit under storm" 0 code;
+      List.iter
+        (fun id ->
+          check Alcotest.int (id ^ " answered exactly once") 1
+            (List.length
+               (List.filter
+                  (fun (r : Request.response) -> r.rs_id = id)
+                  responses)))
+        ids;
+      (* socket server under the storm *)
+      let dir = tmp_dir "eintr-listen" in
+      let addr = Transport.Unix_sock (Filename.concat dir "s.sock") in
+      let srv = Domain.spawn (fun () -> Server.run_listen ~addr ()) in
+      let rec connect_retry tries =
+        match Transport.connect addr with
+        | fd -> fd
+        | exception Unix.Unix_error _ when tries > 0 ->
+          Unix.sleepf 0.02;
+          connect_retry (tries - 1)
+      in
+      let fd = connect_retry 250 in
+      let n_req = 20 in
+      let payload =
+        String.concat ""
+          (List.init n_req (fun i ->
+               Printf.sprintf {|{"id":"s%02d","op":"ping"}|} i ^ "\n"))
+      in
+      let b = Bytes.of_string payload in
+      let pos = ref 0 in
+      while !pos < Bytes.length b do
+        match Unix.write fd b !pos (Bytes.length b - !pos) with
+        | n -> pos := !pos + n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      let got = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes got chunk 0 n;
+          drain ()
+      in
+      drain ();
+      Unix.close fd;
+      let frames =
+        List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' (Buffer.contents got))
+      in
+      check Alcotest.int "socket: one frame per request under storm" n_req
+        (List.length frames);
+      List.iteri
+        (fun i l ->
+          match Request.response_of_line l with
+          | Ok r ->
+            check Alcotest.string
+              (Printf.sprintf "socket frame %d id" i)
+              (Printf.sprintf "s%02d" i) r.Request.rs_id
+          | Error e -> Alcotest.fail ("bad frame under storm: " ^ e))
+        frames;
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      let code = Domain.join srv in
+      check Alcotest.int "listener: clean exit under storm" 0 code)
+
+(* The server side of degradation: with the disk chaos armed, every
+   request still answers [ok]; the health snapshot admits the cache is
+   down ([serve.cache_disabled] with [serve.cache_disk_errors]
+   counted), and stderr carries the one typed E-LOAD-DISK accounting
+   frame per outage window. *)
+let test_cacheless_degradation () =
+  let dir = tmp_dir "cacheless" in
+  let health_path = Filename.concat dir "health.json" in
+  Fault.with_faults ~disk_rate:1.0 ~seed:11 (fun () ->
+      let config =
+        {
+          Server.default_config with
+          cache_dir = Some (Filename.concat dir "cache");
+          workers = 1;
+          health_out = Some health_path;
+        }
+      in
+      let lines =
+        [
+          analyze_line ~id:"c1" ~suite:"adm";
+          analyze_line ~id:"c2" ~suite:"doduc";
+        ]
+      in
+      let code, responses = run_server ~config lines in
+      check Alcotest.int "clean exit" 0 code;
+      List.iter
+        (fun (r : Request.response) ->
+          check Alcotest.bool (r.rs_id ^ " ok despite dead disk") true
+            (r.rs_status = Request.Ok_done))
+        responses;
+      (* the post-drain snapshot is settled: both commits have failed *)
+      check Alcotest.int "cache reported down" 1
+        (health_field health_path "gauges" "serve.cache_disabled");
+      check Alcotest.bool "disk errors counted" true
+        (health_field health_path "counters" "serve.cache_disk_errors" >= 1))
 
 let suite =
   [
@@ -1362,4 +1649,14 @@ let suite =
     ("serve cache double commit", `Quick, test_cache_double_commit);
     ("serve cache eviction under concurrent readers", `Quick,
      test_cache_eviction_under_concurrent_readers);
+    ("serve ping request", `Quick, test_ping_request);
+    ("serve stall/disk chaos deterministic", `Quick,
+     test_fault_stall_disk_deterministic);
+    ("serve cache torn commit degrades", `Quick, test_cache_torn_commit);
+    ("serve disk fault shapes covered", `Quick,
+     test_disk_fault_shapes_covered);
+    ("serve outbuf survives short writes", `Quick, test_outbuf_short_writes);
+    ("serve outbuf latches dead peer", `Quick, test_outbuf_dead_peer_latches);
+    ("serve EINTR storm conservation", `Slow, test_eintr_storm_conservation);
+    ("serve cacheless degradation", `Quick, test_cacheless_degradation);
   ]

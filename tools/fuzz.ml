@@ -77,6 +77,7 @@ let inject_bad = ref false
 let serve_diff = ref false
 let serve_smoke = ref false
 let serve_shard = ref false
+let serve_gray = ref false
 let serve_cert = ref false
 let delta = ref false
 let subsume = ref false
@@ -109,6 +110,12 @@ let speclist =
        router-vs-single-server byte identity, SIGKILL conservation at \
        shards 1/2/4, poison quarantine, session re-import, socket \
        defenses" );
+    ( "--serve-gray",
+      Arg.Set serve_gray,
+      "  gray-failure gates against a real `ipcp route` fleet (needs \
+       --ipcp): stalled-shard deadline hedging with ledger dedupe at \
+       shards 1/2/4, heartbeat ejection of a SIGSTOPped shard, \
+       disk-fault cacheless degradation, EINTR storm" );
     ( "--serve-cert",
       Arg.Set serve_cert,
       "  online-certification differential: armed corruption, sampling 1.0 \
@@ -134,7 +141,7 @@ let speclist =
 let usage =
   "fuzz [--seed N] [--iterations N] [--certify] [--inject-bad] \
    [--serve-diff] [--serve-smoke --ipcp PATH] [--serve-shard --ipcp PATH] \
-   [--serve-cert] [--delta] [--subsume]"
+   [--serve-gray --ipcp PATH] [--serve-cert] [--delta] [--subsume]"
 
 (* ------------------------------------------------------------------ *)
 
@@ -1535,6 +1542,276 @@ let run_serve_shard () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* --serve-gray: gray-failure tolerance of the shard router.           *)
+
+let contains_sub ~sub s =
+  let n = String.length s and k = String.length sub in
+  let rec scan i = i + k <= n && (String.sub s i k = sub || scan (i + 1)) in
+  k = 0 || scan 0
+
+(* Read exactly [n] frames from the router without closing stdin — the
+   conservation probe for runs where late duplicates are still in
+   flight behind the terminal answers. *)
+let read_n_frames sp n = List.init n (fun _ -> input_line sp.sp_recv)
+
+let run_serve_gray () =
+  if !ipcp_bin = "" then begin
+    Fmt.epr "--serve-gray needs --ipcp PATH@.";
+    exit 2
+  end;
+  let dir = fresh_dir "serve-gray" in
+  let failures = ref 0 in
+  let err fmt =
+    Fmt.kstr (fun m -> incr failures; Fmt.epr "serve-gray: %s@." m) fmt
+  in
+  let health_base =
+    if !health_out_path <> "" then !health_out_path
+    else Filename.concat dir "gray-health"
+  in
+  let suite_line ~id name =
+    Json.to_string
+      (Json.Obj
+         [ ("id", Json.Str id); ("op", Json.Str "analyze");
+           ("suite", Json.Str name) ])
+  in
+  let health_line ~id =
+    Json.to_string (Json.Obj [ ("id", Json.Str id); ("op", Json.Str "health") ])
+  in
+  let names =
+    List.filteri
+      (fun i _ -> i < 6)
+      (List.map
+         (fun (e : Ipcp_suite.Registry.entry) -> e.name)
+         Ipcp_suite.Registry.entries)
+  in
+  (* the stall hook matches by substring of the input key, so the victim
+     must not occur inside any other suite name *)
+  let victim =
+    List.find
+      (fun n -> List.for_all (fun m -> m = n || not (contains_sub ~sub:n m)) names)
+      names
+  in
+  let lines = List.map (fun n -> suite_line ~id:("g-" ^ n) n) names in
+  let n_lines = List.length lines in
+  (* healthy baseline: the same lines through a single, unstalled
+     server — the bytes every gray run must still produce *)
+  let sp = start_server [| "--workers"; "2" |] in
+  List.iter (submit sp) lines;
+  let base_code, base_out = finish_server sp in
+  if base_code <> 0 then err "baseline server exited %d" base_code;
+  ignore (parse_responses base_out);
+  let base_sorted = List.sort compare (nonempty_lines base_out) in
+  let check_identity ~label frames =
+    let responses = parse_responses (String.concat "\n" frames ^ "\n") in
+    let ids = List.map (fun (r : SReq.response) -> r.rs_id) responses in
+    let uniq = List.sort_uniq compare ids in
+    if List.length uniq <> List.length ids then
+      err "%s: duplicate response ids — the ledger double-delivered" label;
+    if List.sort compare frames <> base_sorted then begin
+      let p = Filename.concat dir (label ^ ".sorted") in
+      write_file p (String.concat "\n" (List.sort compare frames) ^ "\n");
+      err "%s: gray-run stream diverges from the healthy baseline (dumped %s)"
+        label p
+    end
+  in
+  (* ---- gate 1: stalled shard, deadline hedge, ledger dedupe ----
+     Every shard stalls the victim input for 800ms while the router's
+     deadline is 200ms: the victim expires and is hedged; whichever
+     copy answers second is discarded by the ledger.  The client-visible
+     stream must stay byte-identical to the healthy baseline, with no
+     id answered twice, at shards 1, 2 and 4 — and the router must
+     admit what happened (deadline_expired / hedged / late_dropped). *)
+  let stall_env =
+    Array.append (Unix.environment ())
+      [|
+        "IPCP_SERVE_STALL_INPUT=suite:" ^ victim; "IPCP_SERVE_STALL_MS=800";
+      |]
+  in
+  List.iter
+    (fun shards ->
+      let sp =
+        start_router ~env:stall_env
+          [| "--shards"; string_of_int shards; "--workers"; "1";
+             "--route-deadline-ms"; "200"; "--backoff-ms"; "5";
+             "--backoff-cap-ms"; "40" |]
+      in
+      List.iter (submit sp) lines;
+      let frames = read_n_frames sp n_lines in
+      check_identity ~label:(Printf.sprintf "stall-%d" shards) frames;
+      (* give the slow copies time to answer and be dropped *)
+      Unix.sleepf 2.5;
+      (match SReq.response_of_line (rpc sp (health_line ~id:"hg")) with
+      | Ok { rs_health = Some doc; _ } ->
+        List.iter
+          (fun c ->
+            match counter_of doc c with
+            | Some n when n >= 1 -> ()
+            | _ ->
+              err "stall (%d shards): counter %s did not record the hedge"
+                shards c)
+          [ "router.deadline_expired"; "router.hedged"; "router.late_dropped" ]
+      | Ok _ -> err "stall (%d shards): health frame has no document" shards
+      | Error e -> err "stall (%d shards): health unparseable: %s" shards e);
+      let code, rest = finish_server sp in
+      if code <> 0 then err "stall (%d shards): router exited %d" shards code;
+      if nonempty_lines rest <> [] then
+        err "stall (%d shards): %d frames after the drain — conservation \
+             broken" shards
+          (List.length (nonempty_lines rest)))
+    [ 1; 2; 4 ];
+  (* ---- gate 2: heartbeat ejection of a stopped shard ----
+     SIGSTOP leaves the process alive but silent — the gray failure a
+     crash detector cannot see.  The router must count missed beats,
+     eject (SIGTERM escalating to SIGKILL, since a stopped process
+     never handles SIGTERM), re-route the stopped shard's inflight, and
+     respawn the slot; traffic never loses a frame. *)
+  let pids_path = Filename.concat dir "gray-pids" in
+  let eject_health = health_base ^ ".eject" in
+  let sp =
+    start_router
+      [| "--shards"; "2"; "--workers"; "1"; "--heartbeat-ms"; "100";
+         "--heartbeat-misses"; "3"; "--backoff-ms"; "5";
+         "--backoff-cap-ms"; "40"; "--shard-pids"; pids_path;
+         "--health-out"; eject_health |]
+  in
+  (match SReq.response_of_line (rpc sp (List.hd lines)) with
+  | Ok { rs_status = SReq.Ok_done; _ } -> ()
+  | Ok r -> err "eject: warm-up status %s" (SReq.status_name r.rs_status)
+  | Error e -> err "eject: warm-up unparseable: %s" e);
+  (match shard_pids pids_path with
+  | pid :: _ -> Unix.kill pid Sys.sigstop
+  | [] -> err "eject: no shard pids written");
+  List.iter (submit sp) lines;
+  let frames = read_n_frames sp n_lines in
+  List.iter
+    (fun f ->
+      match SReq.response_of_line f with
+      | Ok { rs_status = SReq.Ok_done; _ } -> ()
+      | Ok r ->
+        err "eject: %s answered %s, expected ok (re-route after ejection)"
+          r.rs_id (SReq.status_name r.rs_status)
+      | Error e -> err "eject: unparseable frame: %s" e)
+    frames;
+  Unix.sleepf 0.3;
+  (match SReq.response_of_line (rpc sp (health_line ~id:"he")) with
+  | Ok { rs_health = Some doc; _ } ->
+    (match counter_of doc "router.ejections" with
+    | Some n when n >= 1 -> ()
+    | _ -> err "eject: router.ejections did not record the ejection");
+    (match counter_of doc "router.shard_restarts" with
+    | Some n when n >= 1 -> ()
+    | _ -> err "eject: the ejected shard was not respawned");
+    if gauge_of doc "router.shards_up" <> Some 2 then
+      err "eject: fleet not back to full strength after the respawn"
+  | Ok _ -> err "eject: health frame has no document"
+  | Error e -> err "eject: health unparseable: %s" e);
+  (match SReq.response_of_line (rpc sp (suite_line ~id:"post-eject" victim)) with
+  | Ok { rs_status = SReq.Ok_done; _ } -> ()
+  | Ok r -> err "eject: post-respawn status %s" (SReq.status_name r.rs_status)
+  | Error e -> err "eject: post-respawn unparseable: %s" e);
+  let code, _ = finish_server sp in
+  if code <> 0 then err "eject: router exited %d" code;
+  (* ---- gate 3: disk faults degrade to cacheless, never to errors ----
+     With every artifact-cache commit failing (injected ENOSPC / short
+     write / fsync failure), all analyze responses must still be ok;
+     the snapshot must admit the cache is down, and a direct stdio
+     server must log the typed E-LOAD-DISK accounting frame. *)
+  let disk_env =
+    Array.append (Unix.environment ())
+      [| "IPCP_FAULT_DISK=" ^ string_of_int !seed |]
+  in
+  let disk_health = health_base ^ ".disk" in
+  let sp =
+    start_router ~env:disk_env
+      [| "--shards"; "2"; "--workers"; "1";
+         "--cache"; Filename.concat dir "gray-cache";
+         "--health-out"; disk_health |]
+  in
+  List.iter (submit sp) lines;
+  let frames = read_n_frames sp n_lines in
+  check_identity ~label:"disk" frames;
+  (match SReq.response_of_line (rpc sp (health_line ~id:"hd")) with
+  | Ok { rs_health = Some doc; _ } ->
+    (match gauge_of doc "serve.cache_disabled" with
+    | Some n when n >= 1 -> ()
+    | _ -> err "disk: serve.cache_disabled gauge not raised");
+    (match counter_of doc "serve.cache_disk_errors" with
+    | Some n when n >= 1 -> ()
+    | _ -> err "disk: serve.cache_disk_errors did not count the faults")
+  | Ok _ -> err "disk: health frame has no document"
+  | Error e -> err "disk: health unparseable: %s" e);
+  let code, _ = finish_server sp in
+  if code <> 0 then err "disk: router exited %d" code;
+  (* the same faults against a direct stdio server, stderr captured:
+     the degradation must be accounted for as one typed frame *)
+  let in_path = Filename.concat dir "disk-direct.in" in
+  write_file in_path (String.concat "\n" lines ^ "\n");
+  let out_path = Filename.concat dir "disk-direct.out" in
+  let err_path = Filename.concat dir "disk-direct.err" in
+  let in_fd = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
+  let out_fd =
+    Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let err_fd =
+    Unix.openfile err_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let pid =
+    Unix.create_process_env !ipcp_bin
+      [| !ipcp_bin; "serve"; "--workers"; "1";
+         "--cache"; Filename.concat dir "gray-cache-direct" |]
+      disk_env in_fd out_fd err_fd
+  in
+  Unix.close in_fd;
+  Unix.close out_fd;
+  Unix.close err_fd;
+  let _, status = Unix.waitpid [] pid in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> err "disk-direct: server exited %d" c
+  | _ -> err "disk-direct: server did not exit cleanly");
+  List.iter
+    (fun (r : SReq.response) ->
+      if r.rs_status <> SReq.Ok_done then
+        err "disk-direct: %s answered %s, expected ok (cacheless degradation)"
+          r.rs_id (SReq.status_name r.rs_status))
+    (parse_responses (read_file out_path));
+  let disk_entries =
+    nonempty_lines (read_file err_path)
+    |> List.filter (fun l ->
+           match SReq.response_of_line l with
+           | Ok { rs_error = Some e; _ } -> e.SErr.e_code = "E-LOAD-DISK"
+           | _ -> false)
+  in
+  if disk_entries = [] then
+    err "disk-direct: no E-LOAD-DISK accounting entry on stderr";
+  (* ---- gate 4: EINTR storm across the fleet ----
+     A 2ms no-op SIGALRM timer in the router and every shard: every
+     blocking syscall gets interrupted constantly, and the stream must
+     not change by a byte. *)
+  let eintr_env =
+    Array.append (Unix.environment ()) [| "IPCP_TEST_EINTR_MS=2" |]
+  in
+  let sp =
+    start_router ~env:eintr_env
+      [| "--shards"; "2"; "--workers"; "2" |]
+  in
+  List.iter (submit sp) lines;
+  let code, out = finish_server sp in
+  if code <> 0 then err "eintr: router exited %d" code;
+  check_identity ~label:"eintr" (nonempty_lines out);
+  if !failures = 0 then begin
+    Fmt.pr
+      "serve-gray: stall/hedge identity (shards 1/2/4), heartbeat \
+       ejection, cacheless disk degradation and EINTR-storm gates all \
+       passed@.";
+    0
+  end
+  else begin
+    Fmt.epr "serve-gray: %d failures@." !failures;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* --subsume: copy propagation subsumes constant propagation.          *)
 
 module Copy_driver = Driver.Make (Copy_analysis)
@@ -1752,6 +2029,7 @@ let () =
      else if !serve_cert then run_serve_cert ()
      else if !serve_smoke then run_serve_smoke ()
      else if !serve_shard then run_serve_shard ()
+     else if !serve_gray then run_serve_gray ()
      else if !inject_bad then run_inject_bad ()
      else if !delta then run_delta ()
      else if !subsume then run_subsume ()

@@ -24,6 +24,11 @@
    certification quadruple (certify.sampled / passed / failed /
    cache_hits_checked) and the incremental cone triple travel together
    or not at all — a partial set means the telemetry wiring regressed.
+   Health snapshots with router.* counters must carry the full
+   gray-failure set (deadline_expired / hedged / ejections /
+   late_dropped plus the heartbeat_age_ms gauge), and a snapshot with
+   cache counters must expose the cacheless-degradation latch
+   (serve.cache_disabled / serve.cache_disk_errors).
 
    Parallel runs (--jobs N) nest each worker's spans under a
    pool:domain-<i> node; the stage search is recursive, so the stages are
@@ -64,6 +69,41 @@ let check_certify_quadruple (problem : string -> unit) counters =
           problem (Printf.sprintf "certify counters present but %S missing" c))
       certify_quadruple
 
+(* The router's gray-failure readings are created together at 0 (the
+   stats record), so a merged snapshot carrying any router.* counter
+   must carry the whole set plus the heartbeat-age gauge — a partial
+   set means the merge or the stats wiring regressed. *)
+let router_gray_counters =
+  [ "router.deadline_expired"; "router.hedged"; "router.ejections";
+    "router.late_dropped" ]
+
+let check_router_gray (problem : string -> unit) ~gauges ~counters =
+  if List.exists (fun c -> String.length c >= 7 && String.sub c 0 7 = "router.") counters
+  then begin
+    List.iter
+      (fun c ->
+        if not (List.mem c counters) then
+          problem
+            (Printf.sprintf "router counters present but %S missing" c))
+      router_gray_counters;
+    if not (List.mem "router.heartbeat_age_ms" gauges) then
+      problem
+        "router counters present but gauge \"router.heartbeat_age_ms\" missing"
+  end
+
+(* A server with a cache reports the degradation latch alongside the
+   hit/miss counters: cacheless fallback must be observable. *)
+let check_cache_degradation (problem : string -> unit) ~gauges ~counters =
+  if List.mem "serve.cache_hits" counters then begin
+    if not (List.mem "serve.cache_disabled" gauges) then
+      problem
+        "cache counters present but gauge \"serve.cache_disabled\" missing";
+    if not (List.mem "serve.cache_disk_errors" counters) then
+      problem
+        "cache counters present but counter \"serve.cache_disk_errors\" \
+         missing"
+  end
+
 (* ipcp.health/1: gauges and counters, all-integer objects. *)
 let check_health_doc ~where (doc : Json.t) : string list =
   let problems = ref [] in
@@ -88,9 +128,11 @@ let check_health_doc ~where (doc : Json.t) : string list =
       problem "missing %s object" section;
       []
   in
-  let _gauges = int_object "gauges" in
+  let gauges = int_object "gauges" in
   let counters = int_object "counters" in
   check_certify_quadruple (fun m -> problem "%s" m) counters;
+  check_router_gray (fun m -> problem "%s" m) ~gauges ~counters;
+  check_cache_degradation (fun m -> problem "%s" m) ~gauges ~counters;
   List.rev !problems
 
 (* A serve response frame: "id" and "status" strings; any "error" member
